@@ -1,0 +1,214 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/vds"
+)
+
+// repoRoot locates the module root from the test binary's source path.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func openCat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.Open(t.TempDir(), dtype.StandardRegistry(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	return cat
+}
+
+func TestInsertSampleVDLFiles(t *testing.T) {
+	root := repoRoot(t)
+	for _, f := range []string{
+		"examples/vdl/paper-appendix-a.vdl",
+		"examples/vdl/posix-pipeline.vdl",
+		"examples/vdl/sdss-campaign.vdl",
+	} {
+		cat := openCat(t)
+		if err := insert(cat, []string{filepath.Join(root, f)}); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		if cat.Stats().Derivations == 0 {
+			t.Errorf("%s: no derivations inserted", f)
+		}
+	}
+}
+
+func TestInsertIsIdempotent(t *testing.T) {
+	root := repoRoot(t)
+	cat := openCat(t)
+	path := filepath.Join(root, "examples/vdl/sdss-campaign.vdl")
+	if err := insert(cat, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	before := cat.Stats()
+	if err := insert(cat, []string{path}); err != nil {
+		t.Fatalf("re-insert: %v", err)
+	}
+	if cat.Stats() != before {
+		t.Errorf("re-insert changed state: %+v vs %+v", cat.Stats(), before)
+	}
+}
+
+func TestSearchLineagePlanEstimateAnnotate(t *testing.T) {
+	root := repoRoot(t)
+	cat := openCat(t)
+	if err := insert(cat, []string{filepath.Join(root, "examples/vdl/sdss-campaign.vdl")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := search(cat, []string{"-kind", "dataset", "derived"}); err != nil {
+		t.Error(err)
+	}
+	if err := search(cat, []string{"-kind", "transformation", "simple"}); err != nil {
+		t.Error(err)
+	}
+	if err := search(cat, []string{"-kind", "derivation", `attr.campaign = dr1`}); err != nil {
+		t.Error(err)
+	}
+	if err := search(cat, []string{"-kind", "bogus", "x"}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := search(cat, []string{}); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := lineage(cat, []string{"catalog.stripe0"}); err != nil {
+		t.Error(err)
+	}
+	if err := lineage(cat, []string{"field.0"}); err != nil {
+		t.Error(err)
+	}
+	if err := lineage(cat, []string{"ghost"}); err == nil {
+		t.Error("lineage of ghost accepted")
+	}
+	if err := invalidate(cat, []string{"field.0"}); err != nil {
+		t.Error(err)
+	}
+	if err := plan(cat, []string{"catalog.stripe0"}); err != nil {
+		t.Error(err)
+	}
+	if err := estimate(cat, []string{"-hosts", "4", "catalog.stripe0"}); err != nil {
+		t.Error(err)
+	}
+	if err := annotate(cat, []string{"catalog.stripe0", "quality=draft"}); err != nil {
+		t.Error(err)
+	}
+	ds, err := cat.Dataset("catalog.stripe0")
+	if err != nil || ds.Attrs["quality"] != "draft" {
+		t.Errorf("annotation: %+v %v", ds, err)
+	}
+	if err := annotate(cat, []string{"catalog.stripe0", "no-equals-sign"}); err == nil {
+		t.Error("malformed annotation accepted")
+	}
+	if err := annotate(cat, []string{"ghost", "k=v"}); err == nil {
+		t.Error("annotation of ghost accepted")
+	}
+}
+
+func TestRunCommandRealPipeline(t *testing.T) {
+	if _, err := os.Stat("/bin/cat"); err != nil {
+		t.Skip("POSIX binaries unavailable")
+	}
+	root := repoRoot(t)
+	cat := openCat(t)
+	if err := insert(cat, []string{filepath.Join(root, "examples/vdl/posix-pipeline.vdl")}); err != nil {
+		t.Fatal(err)
+	}
+	ws := t.TempDir()
+	if err := os.WriteFile(filepath.Join(ws, "corpus"), []byte("virtual data\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cat, []string{"-workspace", ws, "report"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(filepath.Join(ws, "report"))
+	if err != nil || string(out) != "VIRTUAL DATA\n" {
+		t.Errorf("pipeline output: %q %v", out, err)
+	}
+	// Provenance recorded; second run is a no-op.
+	if cat.Stats().Invocations != 2 {
+		t.Errorf("invocations: %d", cat.Stats().Invocations)
+	}
+	if err := run(cat, []string{"-workspace", ws, "report"}); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Stats().Invocations != 2 {
+		t.Error("re-run executed jobs despite materialization")
+	}
+	// Missing target errors.
+	if err := run(cat, []string{"-workspace", ws, "ghost"}); err == nil {
+		t.Error("run of ghost accepted")
+	}
+	if err := run(cat, []string{"-workspace", ws}); err == nil {
+		t.Error("run with no target accepted")
+	}
+}
+
+func TestConvertCommands(t *testing.T) {
+	root := repoRoot(t)
+	path := filepath.Join(root, "examples/vdl/paper-appendix-a.vdl")
+	if err := convert("print", []string{path}); err != nil {
+		t.Error(err)
+	}
+	if err := convert("xml", []string{path}); err != nil {
+		t.Error(err)
+	}
+	if err := convert("print", []string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := convert("print", []string{"/no/such.vdl"}); err == nil {
+		t.Error("unreadable file accepted")
+	}
+}
+
+func TestRemoteCommands(t *testing.T) {
+	root := repoRoot(t)
+	cat := openCat(t)
+	srv := httptest.NewServer(vds.NewServer("shared", cat))
+	defer srv.Close()
+	client := vds.NewClient(srv.URL)
+
+	if err := remoteCommand(client, "insert", []string{filepath.Join(root, "examples/vdl/sdss-campaign.vdl")}); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Stats().Derivations == 0 {
+		t.Fatal("remote insert did not land")
+	}
+	for _, kind := range []string{"dataset", "transformation", "derivation"} {
+		if err := remoteCommand(client, "search", []string{"-kind", kind, "*"}); err != nil {
+			t.Errorf("remote search %s: %v", kind, err)
+		}
+	}
+	if err := remoteCommand(client, "lineage", []string{"catalog.stripe0"}); err != nil {
+		t.Error(err)
+	}
+	if err := remoteCommand(client, "lineage", []string{"field.0"}); err != nil {
+		t.Error(err)
+	}
+	if err := remoteCommand(client, "stats", nil); err != nil {
+		t.Error(err)
+	}
+	if err := remoteCommand(client, "run", []string{"x"}); err == nil {
+		t.Error("remote run should be unsupported")
+	}
+	if err := remoteCommand(client, "search", []string{"-kind", "bogus", "*"}); err == nil {
+		t.Error("bad kind accepted remotely")
+	}
+	if err := remoteCommand(client, "insert", nil); err == nil {
+		t.Error("remote insert without files accepted")
+	}
+}

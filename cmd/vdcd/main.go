@@ -1,0 +1,54 @@
+// Command vdcd serves a durable virtual data catalog over HTTP: the
+// network face of one node in the virtual data grid. Other catalogs
+// hyperlink to its objects with vdp:// references, federated indexes
+// crawl it, and the chimera CLI (or any HTTP client) composes and
+// queries it remotely.
+//
+// Usage:
+//
+//	vdcd -addr :8844 -dir /var/lib/vdc -name physics.example.edu [-readonly]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/vds"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "listen address")
+	dir := flag.String("dir", "vdc-data", "catalog directory")
+	name := flag.String("name", "vdc", "catalog authority name")
+	readonly := flag.Bool("readonly", false, "reject mutations")
+	syncWAL := flag.Bool("sync", false, "fsync the write-ahead log on every mutation")
+	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
+	flag.Parse()
+
+	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{Sync: *syncWAL})
+	if err != nil {
+		log.Fatalf("vdcd: %v", err)
+	}
+	defer cat.Close()
+
+	if *snapshotEvery > 0 {
+		go func() {
+			for range time.Tick(*snapshotEvery) {
+				if err := cat.Snapshot(); err != nil {
+					log.Printf("vdcd: snapshot: %v", err)
+				}
+			}
+		}()
+	}
+
+	srv := vds.NewServer(*name, cat)
+	srv.ReadOnly = *readonly
+	st := cat.Stats()
+	log.Printf("vdcd: serving catalog %q (%d datasets, %d derivations) on %s",
+		*name, st.Datasets, st.Derivations, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,11 @@
+// Package chimera is a from-scratch Go implementation of the virtual
+// data grid of Foster, Vöckler, Wilde and Zhao, "The Virtual Data
+// Grid: A New Model and Architecture for Data-Intensive Collaboration"
+// (CIDR 2003) — the architecture behind the Chimera virtual data
+// system.
+//
+// The module root carries only documentation and the experiment
+// benchmarks (bench_test.go); the implementation lives under internal/
+// and the runnable tools under cmd/ and examples/. See README.md for a
+// tour and DESIGN.md for the system inventory.
+package chimera

@@ -1,0 +1,133 @@
+// federation demonstrates the distributed architecture of §4 (Figures
+// 2–4): three catalog services at personal, group and collaboration
+// scope; vdp:// hyperlinks between them; transformation import across
+// servers; a federated index answering discovery over all three; and
+// signed, quality-annotated entries filtered by trust policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"chimera/internal/catalog"
+	"chimera/internal/federation"
+	"chimera/internal/schema"
+	"chimera/internal/trust"
+	"chimera/internal/vds"
+)
+
+func twoArg(ns, name string) schema.Transformation {
+	return schema.Transformation{Namespace: ns, Name: name, Kind: schema.Simple,
+		Exec: "/grid/bin/" + name,
+		Args: []schema.FormalArg{
+			{Name: "out", Direction: schema.Out},
+			{Name: "in", Direction: schema.In},
+		}}
+}
+
+func derive(tr, in, out string) schema.Derivation {
+	return schema.Derivation{TR: tr, Params: map[string]schema.Actual{
+		"out": schema.DatasetActual("output", out),
+		"in":  schema.DatasetActual("input", in),
+	}}
+}
+
+func main() {
+	// Three catalogs, served over HTTP.
+	collab := catalog.New(nil)
+	group := catalog.New(nil)
+	personal := catalog.New(nil)
+	collabSrv := httptest.NewServer(vds.NewServer("collab.griphyn.org", collab))
+	groupSrv := httptest.NewServer(vds.NewServer("group.uchicago.edu", group))
+	personalSrv := httptest.NewServer(vds.NewServer("laptop.home", personal))
+	defer collabSrv.Close()
+	defer groupSrv.Close()
+	defer personalSrv.Close()
+
+	reg := vds.NewRegistry()
+	reg.Register("collab.griphyn.org", collabSrv.URL)
+	reg.Register("group.uchicago.edu", groupSrv.URL)
+	reg.Register("laptop.home", personalSrv.URL)
+
+	// Collaboration: official reconstruction of raw instrument data.
+	must(collab.AddTransformation(twoArg("official", "reconstruct")))
+	_, err := collab.AddDerivation(derive("official::reconstruct", "raw-2002", "official-events"))
+	must(err)
+
+	// Group: a skim defined over the collaboration's product, linked by
+	// a vdp hyperlink (Figure 3's cross-server dependency).
+	must(group.AddTransformation(twoArg("uc", "skim")))
+	_, err = group.AddDerivation(derive("uc::skim",
+		"vdp://collab.griphyn.org/official-events", "muon-skim"))
+	must(err)
+
+	// Personal: analysis over the group skim.
+	must(personal.AddTransformation(twoArg("me", "histogram")))
+	_, err = personal.AddDerivation(derive("me::histogram",
+		"vdp://group.uchicago.edu/muon-skim", "my-plot"))
+	must(err)
+
+	// Cross-catalog lineage: my-plot traces through all three servers.
+	lin, err := federation.Lineage(reg, "laptop.home", "my-plot", 5)
+	must(err)
+	fmt.Println("distributed lineage of my-plot:")
+	for _, step := range lin.Steps {
+		fmt.Printf("  hop %d @ %-22s %s -> %v\n",
+			step.Hop, step.Authority, step.Step.TR, step.Step.Outputs)
+	}
+	fmt.Printf("primary sources: %v\n\n", lin.PrimarySources)
+
+	// Federated index (Figure 4): one query spans all catalogs.
+	ix := federation.NewIndex("collab-wide", "collaboration")
+	ix.AddMember("collab.griphyn.org", vds.NewClient(collabSrv.URL))
+	ix.AddMember("group.uchicago.edu", vds.NewClient(groupSrv.URL))
+	ix.AddMember("laptop.home", vds.NewClient(personalSrv.URL))
+	must(ix.Crawl())
+	hits, err := ix.SearchDatasets("derived")
+	must(err)
+	fmt.Println("federated discovery (derived datasets everywhere):")
+	for _, h := range hits {
+		fmt.Printf("  %-18s @ %s\n", h.Name, h.Authority)
+	}
+
+	// Transformation import (Figure 2): the personal catalog pulls the
+	// group's skim transformation to run it locally.
+	tr, err := vds.ImportTransformation(personal, reg, "vdp://group.uchicago.edu/uc::skim")
+	must(err)
+	fmt.Printf("\nimported %s from %s\n", tr.Ref(), tr.Attrs["importedFrom"])
+
+	// Quality and security (§4.2): the collaboration office signs and
+	// annotates the official product; a consumer's trust policy accepts
+	// entries only with a trusted signature.
+	office, err := trust.NewAuthority("collab-office")
+	must(err)
+	ledger := trust.NewLedger()
+	ds, err := collab.Dataset("official-events")
+	must(err)
+	payload, err := schema.CanonicalBytes(ds)
+	must(err)
+	ledger.Attach(trust.KindDataset, ds.Name, office.SignEntry(trust.KindDataset, ds.Name, payload))
+	ledger.AddAnnotation(office.Annotate(trust.KindDataset, ds.Name, "quality", "approved"))
+
+	store := trust.NewStore()
+	store.AddRoot(office.Authority)
+	policy := trust.RequireSigners(ledger, store, 1)
+	fmt.Printf("\ntrust policy accepts official-events: %v\n",
+		policy(trust.KindDataset, ds.Name, payload))
+	fmt.Printf("quality assertions: %v\n",
+		ledger.QualityOf(store, trust.KindDataset, ds.Name, "quality"))
+
+	// An unsigned personal product fails the same policy.
+	myPlot, err := personal.Dataset("my-plot")
+	must(err)
+	plotPayload, _ := schema.CanonicalBytes(myPlot)
+	fmt.Printf("trust policy accepts my-plot (unsigned): %v\n",
+		policy(trust.KindDataset, myPlot.Name, plotPayload))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

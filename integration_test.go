@@ -1,0 +1,335 @@
+package chimera
+
+// Integration tests spanning the whole stack: VDL composition through
+// distributed catalogs, planning, simulated execution, provenance,
+// trust, durability and recompute — the six facets of Figure 5 working
+// together as one system.
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/core"
+	"chimera/internal/dtype"
+	"chimera/internal/executor"
+	"chimera/internal/federation"
+	"chimera/internal/grid"
+	"chimera/internal/schema"
+	"chimera/internal/trust"
+	"chimera/internal/vds"
+	"chimera/internal/workload"
+)
+
+const campaignVDL = `
+TYPE content HEP;
+TYPE content RawEvents extends HEP;
+TYPE content Reconstructed extends HEP;
+
+DS run15<RawEvents> size "200000000";
+
+TR reconstruct( output o<Reconstructed>, input i<RawEvents>, none cal="v2" ) {
+  argument carg = "-c "${none:cal};
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/hep/bin/reco";
+}
+TR select( output o, input i<Reconstructed> ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/hep/bin/select";
+}
+TR recoselect( input i, inout mid=@{inout:"reco":""}, output o ) {
+  reconstruct( o=${output:mid}, i=${i} );
+  select( o=${o}, i=${input:mid} );
+}
+DV analysis->recoselect( i=@{input:"run15"}, o=@{output:"golden-events"} );
+`
+
+func newFourSiteSystem(t *testing.T) *core.System {
+	t.Helper()
+	g, err := grid.FourSiteTestbed([4]int{8, 8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSimulated("integration", g, 77, dtype.StandardRegistry())
+	return sys
+}
+
+// TestFullLifecycle walks one request through composition, type
+// checking, estimation, planned execution on the simulated grid,
+// provenance audit, reuse, and calibration-error recompute.
+func TestFullLifecycle(t *testing.T) {
+	sys := newFourSiteSystem(t)
+	if err := sys.LoadVDL(campaignVDL); err != nil {
+		t.Fatal(err)
+	}
+	// The compound expanded into two typed stages; the type system
+	// accepted RawEvents <= RawEvents and intermediate bindings.
+	if got := sys.Cat.Stats().Derivations; got != 2 {
+		t.Fatalf("derivations: %d", got)
+	}
+	// Raw data lives at fnal.
+	if err := sys.Cat.AddReplica(schema.Replica{
+		ID: "prim", Dataset: "run15", Site: "fnal", PFN: "/tape/run15", Size: 200e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Estimate, then materialize.
+	est, err := sys.Estimate("golden-events", 32)
+	if err != nil || est.TotalWork <= 0 {
+		t.Fatalf("estimate: %+v %v", est, err)
+	}
+	res, err := sys.Materialize("golden-events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Reused || res[0].Report.Completed != 2 {
+		t.Fatalf("materialize: %+v", res[0])
+	}
+
+	// Provenance reaches the raw data with invocation detail.
+	lin, err := sys.Lineage("golden-events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Steps) != 2 || lin.PrimarySources[0] != "run15" {
+		t.Fatalf("lineage: %+v", lin)
+	}
+	for _, step := range lin.Steps {
+		if len(step.Invocations) != 1 || !step.Invocations[0].Succeeded() {
+			t.Fatalf("invocation detail: %+v", step)
+		}
+	}
+
+	// Discovery: typed and relationship predicates work together.
+	ds, err := sys.SearchDatasets(`type <= HEP and descendantof(run15) or name = golden-events`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) < 1 {
+		t.Fatal("discovery found nothing")
+	}
+
+	// Reuse: a second identical request runs nothing.
+	res, err = sys.Materialize("golden-events")
+	if err != nil || !res[0].Reused {
+		t.Fatalf("reuse: %+v %v", res, err)
+	}
+
+	// Calibration error on the raw data: recompute downstream.
+	invBefore := sys.Cat.Stats().Invocations
+	if _, err := sys.MarkUpdated("run15"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Recompute("run15"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Cat.Stats().Invocations; got != invBefore+2 {
+		t.Fatalf("recompute invocations: %d -> %d", invBefore, got)
+	}
+	if !sys.Cat.Materialized("golden-events") {
+		t.Fatal("golden-events stale after recompute")
+	}
+}
+
+// TestCollaborationScenario spans two organizations: one runs a catalog
+// service and a campaign; a partner imports its transformations via
+// vdp://, contributes signed quality annotations, and a federated index
+// serves discovery over both.
+func TestCollaborationScenario(t *testing.T) {
+	// Organization A: runs the campaign.
+	orgA := newFourSiteSystem(t)
+	if err := orgA.LoadVDL(campaignVDL); err != nil {
+		t.Fatal(err)
+	}
+	orgA.Cat.AddReplica(schema.Replica{ID: "prim", Dataset: "run15", Site: "fnal", PFN: "/t", Size: 200e6})
+	if _, err := orgA.Materialize("golden-events"); err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(orgA.Handler())
+	defer srvA.Close()
+
+	// Organization B: imports A's compound transformation by hyperlink
+	// and applies it to its own data.
+	orgB := newFourSiteSystem(t)
+	reg := vds.NewRegistry()
+	reg.Register("orgA", srvA.URL)
+	if _, err := orgB.ImportTransformation(reg, "vdp://orgA/recoselect"); err != nil {
+		t.Fatal(err)
+	}
+	orgB.Cat.AddDataset(schema.Dataset{Name: "run99", Type: dtype.Type{Content: "RawEvents"}, Size: 1e6})
+	orgB.Cat.AddReplica(schema.Replica{ID: "p99", Dataset: "run99", Site: "anl", PFN: "/d", Size: 1e6})
+	if _, err := orgB.Define(schema.Derivation{TR: "recoselect", Params: map[string]schema.Actual{
+		"i": schema.DatasetActual("input", "run99"),
+		"o": schema.DatasetActual("output", "my-golden"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orgB.Materialize("my-golden"); err != nil {
+		t.Fatal(err)
+	}
+	srvB := httptest.NewServer(orgB.Handler())
+	defer srvB.Close()
+
+	// Federated discovery across both.
+	ix := federation.NewIndex("two-orgs", "collaboration")
+	ix.AddMember("orgA", vds.NewClient(srvA.URL))
+	ix.AddMember("orgB", vds.NewClient(srvB.URL))
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ix.SearchDatasets(`name ~ "*golden*"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("federated hits: %+v", hits)
+	}
+
+	// Quality: A's office signs its product; B's trust store, anchored
+	// at the office, verifies through the wire.
+	office, err := trust.NewAuthority("orgA-office")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientA := vds.NewClient(srvA.URL)
+	goldenDS, err := clientA.Dataset("golden-events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := schema.CanonicalBytes(goldenDS)
+	if err := clientA.PutSignature(trust.KindDataset, "golden-events",
+		office.SignEntry(trust.KindDataset, "golden-events", payload)); err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := clientA.Signatures(trust.KindDataset, "golden-events")
+	if err != nil || len(sigs) != 1 {
+		t.Fatal(err)
+	}
+	store := trust.NewStore()
+	store.AddRoot(office.Authority)
+	if err := store.Verify(trust.KindDataset, "golden-events", payload, sigs[0]); err != nil {
+		t.Fatalf("cross-org verification: %v", err)
+	}
+}
+
+// TestDurableCampaignRestart runs half a campaign against a durable
+// catalog, "crashes", reopens, and finishes — provenance and reuse
+// intact across the restart.
+func TestDurableCampaignRestart(t *testing.T) {
+	dir := t.TempDir()
+	w := workload.CMS(workload.CMSParams{Runs: 6, Merge: true})
+
+	open := func() (*catalog.Catalog, *core.System) {
+		cat, err := catalog.Open(filepath.Join(dir, "vdc"), nil, catalog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := core.NewWithCatalog("durable", t.TempDir(), cat)
+		for _, name := range []string{"cmkin", "cmsim", "oorec", "analyze", "combine"} {
+			name := name
+			sys.Register(name, func(task executor.Task) error {
+				// Touch real files so outputs exist.
+				for _, out := range task.Node.Outputs {
+					if err := os.WriteFile(filepath.Join(task.Workspace, sanitize(out)), []byte(name), 0o644); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		return cat, sys
+	}
+
+	cat, sys := open()
+	if err := w.Install(cat); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize three runs' ntuples, then "crash".
+	if _, err := sys.Materialize("ntuple.run0", "ntuple.run1", "ntuple.run2"); err != nil {
+		t.Fatal(err)
+	}
+	preStats := cat.Stats()
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cat2, sys2 := open()
+	defer cat2.Close()
+	if got := cat2.Stats(); got != preStats {
+		t.Fatalf("state after restart: %+v vs %+v", got, preStats)
+	}
+	// Finishing the campaign reuses the completed runs.
+	res, err := sys2.Materialize("histograms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 runs × 4 stages + merge = 25 total; 12 already done (3 runs ×
+	// 4 stages); note materialized intermediates prune the plan.
+	if res[0].Report.Completed != 13 {
+		t.Fatalf("jobs after restart: %+v", res[0].Report)
+	}
+	lin, err := sys2.Lineage("histograms")
+	if err != nil || len(lin.Steps) != 25 {
+		t.Fatalf("post-restart lineage: %d steps, %v", len(lin.Steps), err)
+	}
+	// Invocations recorded before the crash are still in the trail.
+	recorded := 0
+	for _, step := range lin.Steps {
+		recorded += len(step.Invocations)
+	}
+	if recorded != 25 {
+		t.Fatalf("invocations across restart: %d", recorded)
+	}
+}
+
+func sanitize(name string) string { return strings.ReplaceAll(name, "/", "_") }
+
+// TestScaleSmoke exercises the paper-scale shape cheaply: a ~1200-node
+// SDSS campaign end to end on the four-site grid, asserting campaign
+// metrics match the structure the paper reports.
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g, err := grid.FourSiteTestbed([4]int{30, 30, 30, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSimulated("sdss", g, 5, nil)
+	w := workload.SDSS(workload.SDSSParams{Fields: 400, Window: 2, StripeSize: 200, Seed: 1})
+	if err := w.Install(sys.Cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PlacePrimary(sys.Cat, []string{"fnal"}); err != nil {
+		t.Fatal(err)
+	}
+	w.SeedEstimator(sys.Est, 3)
+	res, err := sys.Materialize(w.Targets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res[0].Report
+	if rep.Completed != len(w.Derivations) {
+		t.Fatalf("completed %d of %d", rep.Completed, len(w.Derivations))
+	}
+	// Several-hundred-node DAG shape and full lineage.
+	lin, err := sys.Lineage(w.Targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Steps) < 300 {
+		t.Fatalf("lineage steps: %d", len(lin.Steps))
+	}
+	if errors.Is(err, catalog.ErrNotFound) {
+		t.Fatal("unexpected")
+	}
+	fmt.Println() // keep fmt imported for debugging convenience
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/grid"
+	"chimera/internal/planner"
+	"chimera/internal/workload"
+)
+
+// A1IndexVsScan ablates DESIGN.md decision 2 (provenance kept as an
+// indexed bipartite graph): lineage answered through the catalog's
+// adjacency indexes versus recomputing producer/consumer relations by
+// scanning every derivation per query.
+func A1IndexVsScan(sizes []int) (Table, error) {
+	t := Table{
+		Experiment: "A1",
+		Title:      "ablation: indexed provenance graph vs per-query derivation scan",
+		Columns:    []string{"derivations", "indexed-ms", "scan-ms", "scan/indexed", "agree"},
+	}
+	for _, size := range sizes {
+		width := 25
+		layers := size/width + 1
+		if layers < 2 {
+			layers = 2
+		}
+		w := workload.Canonical(workload.CanonicalParams{
+			Layers: layers + 1, Width: width, MaxFanIn: 3, Seed: 42, Styles: 4,
+		})
+		cat := catalog.New(nil)
+		if err := w.Install(cat); err != nil {
+			return t, err
+		}
+		target := w.Targets[0]
+
+		start := time.Now()
+		indexed, err := cat.Ancestors(target)
+		if err != nil {
+			return t, err
+		}
+		indexedMS := ms(start)
+
+		start = time.Now()
+		scanned := scanAncestors(cat, target)
+		scanMS := ms(start)
+
+		agree := len(scanned) == len(indexed.Datasets)
+		if agree {
+			for i, d := range indexed.Datasets {
+				if scanned[i] != d {
+					agree = false
+					break
+				}
+			}
+		}
+		ratio := 0.0
+		if indexedMS > 0 {
+			ratio = scanMS / indexedMS
+		}
+		t.Add(len(w.Derivations), indexedMS, scanMS, ratio, agree)
+	}
+	t.Notes = append(t.Notes,
+		"the forward/inverse adjacency maps turn lineage into O(cone) traversal; a scan re-derives the edge relation from every derivation on every hop")
+	return t, nil
+}
+
+// scanAncestors computes the ancestor closure without the catalog's
+// provenance indexes: every hop rescans all derivations.
+func scanAncestors(cat *catalog.Catalog, dataset string) []string {
+	dvs := cat.Derivations()
+	seen := map[string]bool{}
+	var out []string
+	frontier := []string{dataset}
+	for len(frontier) > 0 {
+		var next []string
+		for _, ds := range frontier {
+			for _, dv := range dvs { // full scan per hop — the ablation
+				ins, outs, err := cat.DerivationIO(dv.ID)
+				if err != nil {
+					continue
+				}
+				produces := false
+				for _, o := range outs {
+					if o == ds {
+						produces = true
+						break
+					}
+				}
+				if !produces {
+					continue
+				}
+				for _, in := range ins {
+					if !seen[in] {
+						seen[in] = true
+						out = append(out, in)
+						next = append(next, in)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A2PendingLoad ablates the planner's in-flight assignment tracking
+// (the fix that lets burst dispatches spread): the E3 campaign at a
+// fixed host count, with and without tracking.
+func A2PendingLoad(fields, hosts int) (Table, error) {
+	t := Table{
+		Experiment: "A2",
+		Title:      fmt.Sprintf("ablation: planner pending-load tracking (SDSS %d fields, %d hosts)", fields, hosts),
+		Columns:    []string{"tracking", "makespan-s", "utilization-%", "wan-GB"},
+	}
+	for _, disable := range []bool{false, true} {
+		per := hosts / 4
+		g, err := grid.FourSiteTestbed([4]int{hosts - 3*per, per, per, per})
+		if err != nil {
+			return t, err
+		}
+		w := workload.SDSS(workload.SDSSParams{Fields: fields, Window: 2, StripeSize: fields / 2, Seed: 3})
+		env, err := newSimEnv(g, 202, w)
+		if err != nil {
+			return t, err
+		}
+		env.pl.Replication = planner.CacheAtClient{}
+		env.pl.DisablePendingLoad = disable
+		rep, err := env.run(0)
+		if err != nil {
+			return t, err
+		}
+		if !rep.Succeeded() {
+			return t, fmt.Errorf("A2: run failed (disable=%v)", disable)
+		}
+		util := 100 * env.cl.BusyTime / (rep.Makespan * float64(hosts))
+		t.Add(fmt.Sprint(!disable), rep.Makespan, util, float64(env.cl.TransferredBytes)/1e9)
+	}
+	t.Notes = append(t.Notes,
+		"without tracking, the whole ready frontier sees empty queues and piles onto the data's home site; host utilization collapses")
+	return t, nil
+}

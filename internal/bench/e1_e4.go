@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/estimator"
+	"chimera/internal/executor"
+	"chimera/internal/grid"
+	"chimera/internal/planner"
+	"chimera/internal/workload"
+)
+
+// simEnv is one simulated-grid experiment setup.
+type simEnv struct {
+	cat *catalog.Catalog
+	cl  *grid.Cluster
+	pl  *planner.Planner
+	w   workload.Workload
+}
+
+// newSimEnv installs a workload on a grid, places primaries on the
+// first site, and seeds the estimator with the workload's true costs.
+func newSimEnv(g *grid.Grid, seed int64, w workload.Workload) (*simEnv, error) {
+	cat := catalog.New(nil)
+	if err := w.Install(cat); err != nil {
+		return nil, err
+	}
+	sites := g.Sites()
+	if err := w.PlacePrimary(cat, sites[:1]); err != nil && len(w.Primary) > 0 {
+		return nil, err
+	}
+	cl := grid.NewCluster(g, grid.NewSim(seed))
+	est := estimator.New(60)
+	w.SeedEstimator(est, 3)
+	pl := planner.New(cat, est, cl)
+	return &simEnv{cat: cat, cl: cl, pl: pl, w: w}, nil
+}
+
+// run executes all the workload's derivations as one campaign.
+func (e *simEnv) run(retries int) (executor.Report, error) {
+	g, err := dag.Build(e.w.Derivations, e.cat.Resolver())
+	if err != nil {
+		return executor.Report{}, err
+	}
+	ex := &executor.Executor{
+		Driver:     executor.NewSimDriver(e.cl),
+		Assign:     e.pl.Assign,
+		OnEvent:    e.pl.OnEvent,
+		Catalog:    e.cat,
+		MaxRetries: retries,
+	}
+	return ex.Run(g)
+}
+
+// E1HEP reproduces §6's Chimera-0 validation: the four-stage CMS event
+// simulation pipeline with provenance fully captured — every ancestor
+// of the final product reachable, every execution recorded.
+func E1HEP(runCounts []int) (Table, error) {
+	t := Table{
+		Experiment: "E1",
+		Title:      "CMS four-stage pipeline: provenance capture completeness",
+		Columns:    []string{"runs", "derivations", "invocations", "lineage-steps", "primary-roots", "complete", "makespan-s"},
+	}
+	for _, runs := range runCounts {
+		g := grid.NewGrid()
+		if _, err := g.AddSite("site", 1e15); err != nil {
+			return t, err
+		}
+		if err := g.AddHosts("site", "h", 20, 1.0, 1); err != nil {
+			return t, err
+		}
+		w := workload.CMS(workload.CMSParams{Runs: runs, Merge: true})
+		env, err := newSimEnv(g, 101, w)
+		if err != nil {
+			return t, err
+		}
+		env.pl.DefaultSize = 1e6
+		rep, err := env.run(0)
+		if err != nil {
+			return t, err
+		}
+		lin, err := env.cat.Lineage("histograms")
+		if err != nil {
+			return t, err
+		}
+		complete := rep.Succeeded() && len(lin.Steps) == len(w.Derivations)
+		invoked := 0
+		for _, step := range lin.Steps {
+			invoked += len(step.Invocations)
+		}
+		t.Add(runs, len(w.Derivations), invoked, len(lin.Steps), len(lin.PrimarySources), complete, rep.Makespan)
+	}
+	t.Notes = append(t.Notes,
+		"complete=true means the lineage report reaches every derivation and each carries its invocation record — the paper's audit-trail claim")
+	return t, nil
+}
+
+// E2ProvenanceScale reproduces the "canonical applications" validation:
+// provenance tracking on large synthetic dependency graphs, with
+// lineage query cost growing with ancestry size, not catalog size.
+func E2ProvenanceScale(sizes []int) (Table, error) {
+	t := Table{
+		Experiment: "E2",
+		Title:      "provenance tracking at scale on synthetic dependency graphs",
+		Columns:    []string{"derivations", "build-ms", "lineage-ms", "ancestors", "invalidate-ms", "invalidated"},
+	}
+	for _, size := range sizes {
+		width := 25
+		layers := size/width + 1
+		if layers < 2 {
+			layers = 2
+		}
+		w := workload.Canonical(workload.CanonicalParams{
+			Layers: layers + 1, Width: width, MaxFanIn: 3, Seed: 42, Styles: 4,
+		})
+		cat := catalog.New(nil)
+		start := time.Now()
+		if err := w.Install(cat); err != nil {
+			return t, err
+		}
+		buildMS := float64(time.Since(start).Microseconds()) / 1000
+
+		target := w.Targets[0]
+		start = time.Now()
+		lin, err := cat.Lineage(target)
+		if err != nil {
+			return t, err
+		}
+		lineageMS := float64(time.Since(start).Microseconds()) / 1000
+
+		root := w.Primary[0].Name
+		start = time.Now()
+		inv, err := cat.Invalidate(root)
+		if err != nil {
+			return t, err
+		}
+		invMS := float64(time.Since(start).Microseconds()) / 1000
+
+		t.Add(len(w.Derivations), buildMS, lineageMS, len(lin.Steps), invMS, len(inv.Datasets))
+	}
+	t.Notes = append(t.Notes,
+		"lineage cost tracks ancestry size; the calibration-error question (invalidate) walks only the affected cone")
+	return t, nil
+}
+
+// E3SDSS reproduces the galaxy-cluster-finding campaign: ~3 derivations
+// per field in several-hundred-node DAGs on the four-site, ~800-host
+// testbed, sweeping how many hosts a single workflow may use (the paper
+// used up to 120 of ~800).
+func E3SDSS(fields int, hostCounts []int) (Table, error) {
+	t := Table{
+		Experiment: "E3",
+		Title:      fmt.Sprintf("SDSS cluster search: makespan vs hosts (%d fields)", fields),
+		Columns:    []string{"hosts", "nodes", "makespan-s", "speedup", "efficiency", "wan-GB"},
+	}
+	var base float64
+	for _, hosts := range hostCounts {
+		// Four sites; the workflow is confined to `hosts` hosts spread
+		// evenly, emulating the per-workflow host cap.
+		per := hosts / 4
+		counts := [4]int{hosts - 3*per, per, per, per}
+		g, err := grid.FourSiteTestbed(counts)
+		if err != nil {
+			return t, err
+		}
+		w := workload.SDSS(workload.SDSSParams{Fields: fields, Window: 2, StripeSize: fields / 2, Seed: 3})
+		env, err := newSimEnv(g, 202, w)
+		if err != nil {
+			return t, err
+		}
+		env.pl.Replication = planner.CacheAtClient{}
+		rep, err := env.run(0)
+		if err != nil {
+			return t, err
+		}
+		if !rep.Succeeded() {
+			return t, fmt.Errorf("E3: campaign failed at %d hosts", hosts)
+		}
+		if base == 0 {
+			base = rep.Makespan
+		}
+		speedup := base / rep.Makespan
+		eff := speedup / float64(hosts)
+		t.Add(hosts, rep.Completed, rep.Makespan, speedup, eff, float64(env.cl.TransferredBytes)/1e9)
+	}
+	t.Notes = append(t.Notes,
+		"speedup is near-linear until stage width and the neighbor-window dependencies bound parallelism — the campaign behaviour reported via [1]")
+	return t, nil
+}
+
+// E4Reuse reproduces the core virtual-data promise: "if the program has
+// already been run and the results stored, I'll save weeks of
+// computation". A warm catalog answers overlapping requests from
+// storage; only the novel fraction computes.
+func E4Reuse(overlaps []float64) (Table, error) {
+	t := Table{
+		Experiment: "E4",
+		Title:      "virtual-data reuse: overlapping request mixes against a warm catalog",
+		Columns:    []string{"overlap", "requests", "reused", "computed-jobs", "cold-jobs", "work-saved-%"},
+	}
+	for _, overlap := range overlaps {
+		g := grid.NewGrid()
+		if _, err := g.AddSite("site", 1e15); err != nil {
+			return t, err
+		}
+		if err := g.AddHosts("site", "h", 16, 1.0, 1); err != nil {
+			return t, err
+		}
+		// Region A: computed up front (the warm archive). Region B: novel.
+		// Both offer 20 requestable targets.
+		wA := workload.CMS(workload.CMSParams{Runs: 20})
+		wB := workload.SDSS(workload.SDSSParams{Fields: 40, Window: 1, StripeSize: 2, Seed: 8})
+		env, err := newSimEnv(g, 303, wA)
+		if err != nil {
+			return t, err
+		}
+		if err := wB.Install(env.cat); err != nil {
+			return t, err
+		}
+		if err := wB.PlacePrimary(env.cat, []string{"site"}); err != nil {
+			return t, err
+		}
+		if _, err := env.run(0); err != nil { // warm region A
+			return t, err
+		}
+
+		// Request mix: overlap fraction from A (already materialized),
+		// remainder from B (must compute).
+		total := len(wA.Targets)
+		fromA := int(overlap * float64(total))
+		targets := append([]string{}, wA.Targets[:fromA]...)
+		need := total - fromA
+		for i := 0; i < need && i < len(wB.Targets); i++ {
+			targets = append(targets, wB.Targets[i])
+		}
+
+		reused, computed := 0, 0
+		var pending []string
+		for _, target := range targets {
+			if env.cat.Materialized(target) {
+				reused++
+				continue
+			}
+			pending = append(pending, target)
+		}
+		coldJobs := 0
+		if len(pending) > 0 {
+			var dvs []string
+			seen := map[string]bool{}
+			for _, target := range pending {
+				p, err := env.cat.MaterializationPlan(target, nil)
+				if err != nil {
+					return t, err
+				}
+				for _, dv := range p {
+					if !seen[dv.ID] {
+						seen[dv.ID] = true
+						dvs = append(dvs, dv.ID)
+					}
+				}
+			}
+			coldJobs = len(dvs)
+			computed = coldJobs
+		}
+		// Cold baseline: the work a catalog without reuse would run,
+		// deduplicated across requests the same way the warm path is.
+		coldSeen := map[string]bool{}
+		coldBaseline := 0
+		for _, target := range targets {
+			p, err := env.cat.MaterializationPlan(target, func(ds string) bool {
+				rec, err := env.cat.Dataset(ds)
+				return err == nil && rec.CreatedBy == ""
+			})
+			if err != nil {
+				return t, err
+			}
+			for _, dv := range p {
+				if !coldSeen[dv.ID] {
+					coldSeen[dv.ID] = true
+					coldBaseline++
+				}
+			}
+		}
+		saved := 0.0
+		if coldBaseline > 0 {
+			saved = 100 * (1 - float64(computed)/float64(coldBaseline))
+		}
+		t.Add(overlap, len(targets), reused, computed, coldBaseline, saved)
+	}
+	t.Notes = append(t.Notes,
+		"reuse is an O(1) signature lookup; saved work scales directly with request overlap")
+	return t, nil
+}

@@ -1,0 +1,709 @@
+// Package catalog implements the Virtual Data Catalog (VDC): the
+// service that maintains the objects of the virtual data schema and
+// the relationships among them.
+//
+// The catalog stores the five object classes (datasets, replicas,
+// transformations, derivations, invocations) plus the dataset-type
+// registry and transformation version-compatibility assertions. On top
+// of raw storage it maintains the provenance graph — which derivation
+// produces which dataset, which derivations consume it — and supports
+// the queries the paper motivates: lineage reports, invalidation sets,
+// duplicate-derivation detection, and materialization planning input.
+//
+// Durability is write-ahead logging with snapshot compaction; see wal.go.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// Sentinel errors reported by catalog operations.
+var (
+	// ErrNotFound reports a missing object.
+	ErrNotFound = errors.New("catalog: not found")
+	// ErrExists reports an attempt to redefine an object differently.
+	ErrExists = errors.New("catalog: already exists")
+	// ErrDuplicate reports that an identical derivation (same canonical
+	// signature) is already registered; the caller can reuse it.
+	ErrDuplicate = errors.New("catalog: duplicate derivation")
+	// ErrConflict reports a provenance conflict, e.g. two different
+	// derivations claiming to produce the same dataset.
+	ErrConflict = errors.New("catalog: provenance conflict")
+	// ErrType reports a dataset-type conformance failure.
+	ErrType = errors.New("catalog: type mismatch")
+)
+
+// Catalog is an in-memory VDC with optional write-ahead durability.
+// It is safe for concurrent use.
+type Catalog struct {
+	mu sync.RWMutex
+
+	types           *dtype.Registry
+	datasets        map[string]schema.Dataset
+	transformations map[string]schema.Transformation // key: canonical ref
+	derivations     map[string]schema.Derivation     // key: ID (canonical signature)
+	invocations     map[string]schema.Invocation
+	replicas        map[string]schema.Replica
+	compat          []schema.CompatibilityAssertion
+
+	// Provenance indexes.
+	producerOf  map[string]string   // dataset -> derivation ID producing it
+	consumersOf map[string][]string // dataset -> derivation IDs reading it
+	outputsOf   map[string][]string // derivation ID -> output dataset names
+	inputsOf    map[string][]string // derivation ID -> input dataset names
+
+	// Secondary indexes.
+	replicasByDataset map[string][]string // dataset -> replica IDs
+	invocationsByDV   map[string][]string // derivation ID -> invocation IDs
+	versionsOf        map[string][]string // "ns::name" -> versions
+
+	wal *wal // nil for purely in-memory catalogs
+}
+
+// New returns an empty in-memory catalog using the given type registry
+// (nil for a fresh empty registry).
+func New(types *dtype.Registry) *Catalog {
+	if types == nil {
+		types = dtype.NewRegistry()
+	}
+	return &Catalog{
+		types:             types,
+		datasets:          make(map[string]schema.Dataset),
+		transformations:   make(map[string]schema.Transformation),
+		derivations:       make(map[string]schema.Derivation),
+		invocations:       make(map[string]schema.Invocation),
+		replicas:          make(map[string]schema.Replica),
+		producerOf:        make(map[string]string),
+		consumersOf:       make(map[string][]string),
+		outputsOf:         make(map[string][]string),
+		inputsOf:          make(map[string][]string),
+		replicasByDataset: make(map[string][]string),
+		invocationsByDV:   make(map[string][]string),
+		versionsOf:        make(map[string][]string),
+	}
+}
+
+// Types returns the catalog's dataset-type registry.
+func (c *Catalog) Types() *dtype.Registry { return c.types }
+
+// DefineType registers a dataset type in the catalog's registry and
+// logs it for durability.
+func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.types.Register(d, name, parent); err != nil {
+		return err
+	}
+	return c.logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
+}
+
+// --- Datasets ---------------------------------------------------------
+
+// AddDataset registers a dataset. Re-adding a byte-identical dataset is
+// a no-op; redefining an existing name differently is ErrExists.
+func (c *Catalog) AddDataset(ds schema.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.types.CheckType(ds.Type); err != nil {
+		return fmt.Errorf("%w: dataset %q: %v", ErrType, ds.Name, err)
+	}
+	if old, ok := c.datasets[ds.Name]; ok {
+		if equalJSON(old, ds) {
+			return nil
+		}
+		return fmt.Errorf("%w: dataset %q", ErrExists, ds.Name)
+	}
+	if ds.CreatedBy != "" {
+		if _, ok := c.derivations[ds.CreatedBy]; !ok {
+			return fmt.Errorf("%w: dataset %q cites unknown derivation %q", ErrNotFound, ds.Name, ds.CreatedBy)
+		}
+	}
+	c.datasets[ds.Name] = ds
+	return c.logOp(opDataset, ds)
+}
+
+// UpdateDataset replaces an existing dataset record (e.g. to attach a
+// descriptor once the data is materialized, or bump the epoch).
+func (c *Catalog) UpdateDataset(ds schema.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.datasets[ds.Name]
+	if !ok {
+		return fmt.Errorf("%w: dataset %q", ErrNotFound, ds.Name)
+	}
+	if ds.Epoch < old.Epoch {
+		return fmt.Errorf("%w: dataset %q epoch moved backwards (%d -> %d)", ErrConflict, ds.Name, old.Epoch, ds.Epoch)
+	}
+	c.datasets[ds.Name] = ds
+	return c.logOp(opDataset, ds)
+}
+
+// BumpEpoch records an in-place update of a dataset (§8's "update"
+// operation): the epoch increments, making all current-epoch state
+// stale. When restampReplicas is true the dataset's existing replicas
+// are re-stamped to the new epoch — the caller asserts the physical
+// copies were corrected in place; when false they become stale and the
+// dataset must be re-materialized.
+func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.datasets[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
+	}
+	ds.Epoch++
+	c.datasets[name] = ds
+	if err := c.logOp(opDataset, ds); err != nil {
+		return 0, err
+	}
+	if restampReplicas {
+		for _, id := range c.replicasByDataset[name] {
+			r := c.replicas[id]
+			r.Epoch = ds.Epoch
+			c.replicas[id] = r
+			if err := c.logOp(opReplica, r); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return ds.Epoch, nil
+}
+
+// Dataset returns the dataset with the given logical name.
+func (c *Catalog) Dataset(name string) (schema.Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.datasets[name]
+	if !ok {
+		return schema.Dataset{}, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
+	}
+	return ds, nil
+}
+
+// Datasets returns all datasets, sorted by name.
+func (c *Catalog) Datasets() []schema.Dataset {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]schema.Dataset, 0, len(c.datasets))
+	for _, ds := range c.datasets {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- Transformations --------------------------------------------------
+
+// AddTransformation registers a transformation under its canonical
+// reference. Identical re-registration is a no-op.
+func (c *Catalog) AddTransformation(tr schema.Transformation) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range tr.Args {
+		for _, t := range f.Types {
+			if err := c.types.CheckType(t); err != nil {
+				return fmt.Errorf("%w: transformation %q formal %q: %v", ErrType, tr.Ref(), f.Name, err)
+			}
+		}
+	}
+	ref := tr.Ref()
+	if old, ok := c.transformations[ref]; ok {
+		if equalJSON(old, tr) {
+			return nil
+		}
+		return fmt.Errorf("%w: transformation %q", ErrExists, ref)
+	}
+	c.transformations[ref] = tr
+	base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
+	c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+	return c.logOp(opTransformation, tr)
+}
+
+// Transformation resolves a canonical reference. A versionless
+// reference resolves to the unversioned registration if present,
+// otherwise to the single registered version (it is ambiguous, and an
+// error, if several versions exist).
+func (c *Catalog) Transformation(ref string) (schema.Transformation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.transformationLocked(ref)
+}
+
+func (c *Catalog) transformationLocked(ref string) (schema.Transformation, error) {
+	if tr, ok := c.transformations[ref]; ok {
+		return tr, nil
+	}
+	ns, name, ver, err := schema.ParseTRRef(ref)
+	if err != nil {
+		return schema.Transformation{}, err
+	}
+	if ver == "" {
+		base := schema.FormatTRRef(ns, name, "")
+		versions := c.versionsOf[base]
+		var nonEmpty []string
+		for _, v := range versions {
+			if v != "" {
+				nonEmpty = append(nonEmpty, v)
+			}
+		}
+		if len(nonEmpty) == 1 {
+			return c.transformations[schema.FormatTRRef(ns, name, nonEmpty[0])], nil
+		}
+		if len(nonEmpty) > 1 {
+			return schema.Transformation{}, fmt.Errorf("%w: transformation %q is ambiguous among versions %v", ErrNotFound, ref, nonEmpty)
+		}
+	}
+	return schema.Transformation{}, fmt.Errorf("%w: transformation %q", ErrNotFound, ref)
+}
+
+// Transformations returns all transformations sorted by reference.
+func (c *Catalog) Transformations() []schema.Transformation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]schema.Transformation, 0, len(c.transformations))
+	for _, tr := range c.transformations {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref() < out[j].Ref() })
+	return out
+}
+
+// Versions lists the registered versions of a transformation name.
+func (c *Catalog) Versions(namespace, name string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vs := append([]string(nil), c.versionsOf[schema.FormatTRRef(namespace, name, "")]...)
+	sort.Strings(vs)
+	return vs
+}
+
+// Resolver returns a schema.Resolver view of the catalog for compound
+// expansion.
+func (c *Catalog) Resolver() schema.Resolver {
+	return func(ref string) (schema.Transformation, error) {
+		return c.Transformation(ref)
+	}
+}
+
+// --- Compatibility assertions ------------------------------------------
+
+// AssertCompatibility records a version-compatibility assertion.
+func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, old := range c.compat {
+		if old == a {
+			return nil
+		}
+	}
+	c.compat = append(c.compat, a)
+	return c.logOp(opCompat, a)
+}
+
+// Compatible reports whether products of version v1 of a transformation
+// satisfy requests for version v2 (or vice versa), under the recorded
+// assertions. Equivalence is symmetric and transitive; an Incompatible
+// assertion for the pair vetoes any derived equivalence.
+func (c *Catalog) Compatible(namespace, name, v1, v2 string) bool {
+	if v1 == v2 {
+		return true
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Collect equivalence edges and veto pairs for this transformation.
+	adj := make(map[string][]string)
+	veto := make(map[[2]string]bool)
+	for _, a := range c.compat {
+		if a.Namespace != namespace || a.Name != name {
+			continue
+		}
+		switch a.Mode {
+		case schema.Equivalent, schema.Supersedes:
+			adj[a.V1] = append(adj[a.V1], a.V2)
+			adj[a.V2] = append(adj[a.V2], a.V1)
+		case schema.Incompatible:
+			veto[[2]string{a.V1, a.V2}] = true
+			veto[[2]string{a.V2, a.V1}] = true
+		}
+	}
+	if veto[[2]string{v1, v2}] {
+		return false
+	}
+	// BFS through the equivalence graph.
+	seen := map[string]bool{v1: true}
+	queue := []string{v1}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == v2 {
+			return true
+		}
+		for _, next := range adj[cur] {
+			if !seen[next] && !veto[[2]string{v1, next}] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// --- Derivations -------------------------------------------------------
+
+// AddDerivation canonicalizes and registers a derivation. It returns
+// the stored derivation.
+//
+// Behaviour implementing the paper's core promises:
+//   - Duplicate detection: if a derivation with the same canonical
+//     signature is already present, the stored one is returned together
+//     with ErrDuplicate (callers typically treat this as success-and-reuse).
+//   - Virtual data: output datasets that are not yet registered are
+//     auto-registered as virtual (no descriptor) with CreatedBy linkage;
+//     unknown input datasets are auto-registered as primary data.
+//   - Provenance conflict: a dataset may have at most one producing
+//     derivation.
+//   - Type checking: every bound dataset with a declared type must
+//     conform to the formal's type union.
+func (c *Catalog) AddDerivation(dv schema.Derivation) (schema.Derivation, error) {
+	dv = dv.Canonicalize()
+	if err := dv.Validate(); err != nil {
+		return schema.Derivation{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.derivations[dv.ID]; ok {
+		return existing, ErrDuplicate
+	}
+	tr, err := c.transformationLocked(dv.TR)
+	if err != nil {
+		return schema.Derivation{}, err
+	}
+	if err := dv.CheckBinding(tr); err != nil {
+		return schema.Derivation{}, err
+	}
+
+	inputs := dv.Inputs(tr)
+	outputs := dv.Outputs(tr)
+
+	// Type conformance for bound datasets that exist with a type.
+	for _, f := range tr.Args {
+		if !f.IsDataset() || len(f.Types) == 0 {
+			continue
+		}
+		a, ok := dv.Params[f.Name]
+		if !ok && f.Default != nil {
+			a = *f.Default
+		}
+		for _, name := range a.Datasets() {
+			if ds, ok := c.datasets[name]; ok && !ds.Type.IsUniversal() {
+				if !f.Accepts(c.types, ds.Type) {
+					return schema.Derivation{}, fmt.Errorf("%w: dataset %q (%s) does not conform to formal %q of %s",
+						ErrType, name, ds.Type, f.Name, tr.Ref())
+				}
+			}
+		}
+	}
+
+	// A dataset has at most one producer, and cannot be both input and
+	// output of one derivation. Validate fully before mutating so a
+	// failed add leaves no partial state (or WAL records) behind.
+	inputSet := make(map[string]bool, len(inputs))
+	for _, in := range inputs {
+		inputSet[in] = true
+	}
+	for _, out := range outputs {
+		if prod, ok := c.producerOf[out]; ok && prod != dv.ID {
+			return schema.Derivation{}, fmt.Errorf("%w: dataset %q already produced by derivation %s", ErrConflict, out, prod)
+		}
+		if inputSet[out] {
+			return schema.Derivation{}, fmt.Errorf("%w: dataset %q is both input and output of one derivation", ErrConflict, out)
+		}
+	}
+
+	// Auto-register datasets.
+	for _, in := range inputs {
+		if _, ok := c.datasets[in]; !ok {
+			ds := schema.Dataset{Name: in}
+			c.datasets[in] = ds
+			if err := c.logOp(opDataset, ds); err != nil {
+				return schema.Derivation{}, err
+			}
+		}
+	}
+	for _, out := range outputs {
+		if ds, ok := c.datasets[out]; ok {
+			if ds.CreatedBy == "" {
+				ds.CreatedBy = dv.ID
+				c.datasets[out] = ds
+				if err := c.logOp(opDataset, ds); err != nil {
+					return schema.Derivation{}, err
+				}
+			}
+		} else {
+			ds := schema.Dataset{Name: out, CreatedBy: dv.ID}
+			c.datasets[out] = ds
+			if err := c.logOp(opDataset, ds); err != nil {
+				return schema.Derivation{}, err
+			}
+		}
+	}
+
+	c.derivations[dv.ID] = dv
+	c.inputsOf[dv.ID] = inputs
+	c.outputsOf[dv.ID] = outputs
+	for _, in := range inputs {
+		c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
+	}
+	for _, out := range outputs {
+		c.producerOf[out] = dv.ID
+	}
+	if err := c.logOp(opDerivation, dv); err != nil {
+		return schema.Derivation{}, err
+	}
+	return dv, nil
+}
+
+// Derivation returns the derivation with the given ID.
+func (c *Catalog) Derivation(id string) (schema.Derivation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	dv, ok := c.derivations[id]
+	if !ok {
+		return schema.Derivation{}, fmt.Errorf("%w: derivation %q", ErrNotFound, id)
+	}
+	return dv, nil
+}
+
+// FindDerivation checks whether an equivalent derivation (same
+// canonical signature) is already registered — the paper's "has this
+// computation been performed previously?" in O(1).
+func (c *Catalog) FindDerivation(dv schema.Derivation) (schema.Derivation, bool) {
+	sig := dv.Signature()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	found, ok := c.derivations[sig]
+	return found, ok
+}
+
+// FindEquivalentDerivation extends FindDerivation with the paper's §8
+// version-equivalence model: if no derivation matches exactly, the
+// lookup retries under every registered version of the transformation
+// asserted Compatible with the requested one. It returns the match and
+// the transformation ref it was found under.
+func (c *Catalog) FindEquivalentDerivation(dv schema.Derivation) (schema.Derivation, string, bool) {
+	if found, ok := c.FindDerivation(dv); ok {
+		return found, dv.TR, true
+	}
+	ns, name, ver, err := schema.ParseTRRef(dv.TR)
+	if err != nil {
+		return schema.Derivation{}, "", false
+	}
+	for _, v := range c.Versions(ns, name) {
+		if v == ver || !c.Compatible(ns, name, ver, v) {
+			continue
+		}
+		alt := dv
+		alt.TR = schema.FormatTRRef(ns, name, v)
+		alt.ID = ""
+		if found, ok := c.FindDerivation(alt); ok {
+			return found, alt.TR, true
+		}
+	}
+	return schema.Derivation{}, "", false
+}
+
+// Derivations returns all derivations sorted by ID.
+func (c *Catalog) Derivations() []schema.Derivation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]schema.Derivation, 0, len(c.derivations))
+	for _, dv := range c.derivations {
+		out = append(out, dv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- Invocations -------------------------------------------------------
+
+// AddInvocation records an execution of a registered derivation,
+// registering any produced replicas it cites.
+func (c *Catalog) AddInvocation(iv schema.Invocation) error {
+	if err := iv.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.derivations[iv.Derivation]; !ok {
+		return fmt.Errorf("%w: invocation %q cites unknown derivation %q", ErrNotFound, iv.ID, iv.Derivation)
+	}
+	if _, ok := c.invocations[iv.ID]; ok {
+		return fmt.Errorf("%w: invocation %q", ErrExists, iv.ID)
+	}
+	c.invocations[iv.ID] = iv
+	c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
+	return c.logOp(opInvocation, iv)
+}
+
+// Invocation returns the invocation with the given ID.
+func (c *Catalog) Invocation(id string) (schema.Invocation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	iv, ok := c.invocations[id]
+	if !ok {
+		return schema.Invocation{}, fmt.Errorf("%w: invocation %q", ErrNotFound, id)
+	}
+	return iv, nil
+}
+
+// InvocationsOf returns the invocations of one derivation, in insertion
+// order.
+func (c *Catalog) InvocationsOf(derivation string) []schema.Invocation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := c.invocationsByDV[derivation]
+	out := make([]schema.Invocation, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.invocations[id])
+	}
+	return out
+}
+
+// Invocations returns all invocations sorted by ID.
+func (c *Catalog) Invocations() []schema.Invocation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]schema.Invocation, 0, len(c.invocations))
+	for _, iv := range c.invocations {
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- Replicas ----------------------------------------------------------
+
+// AddReplica registers a physical replica of a known dataset.
+func (c *Catalog) AddReplica(r schema.Replica) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[r.Dataset]; !ok {
+		return fmt.Errorf("%w: replica %q cites unknown dataset %q", ErrNotFound, r.ID, r.Dataset)
+	}
+	if _, ok := c.replicas[r.ID]; ok {
+		return fmt.Errorf("%w: replica %q", ErrExists, r.ID)
+	}
+	c.replicas[r.ID] = r
+	c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+	return c.logOp(opReplica, r)
+}
+
+// RemoveReplica deletes a replica record (e.g. when a planner reclaims
+// storage).
+func (c *Catalog) RemoveReplica(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.replicas[id]
+	if !ok {
+		return fmt.Errorf("%w: replica %q", ErrNotFound, id)
+	}
+	delete(c.replicas, id)
+	ids := c.replicasByDataset[r.Dataset]
+	for i, x := range ids {
+		if x == id {
+			c.replicasByDataset[r.Dataset] = append(ids[:i:i], ids[i+1:]...)
+			break
+		}
+	}
+	return c.logOp(opRemoveReplica, r.ID)
+}
+
+// Replica returns the replica with the given ID.
+func (c *Catalog) Replica(id string) (schema.Replica, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.replicas[id]
+	if !ok {
+		return schema.Replica{}, fmt.Errorf("%w: replica %q", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// ReplicasOf lists the replicas of a dataset, in registration order.
+func (c *Catalog) ReplicasOf(dataset string) []schema.Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := c.replicasByDataset[dataset]
+	out := make([]schema.Replica, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.replicas[id])
+	}
+	return out
+}
+
+// Materialized reports whether a dataset has at least one replica at
+// its current epoch.
+func (c *Catalog) Materialized(dataset string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.materializedLocked(dataset)
+}
+
+func (c *Catalog) materializedLocked(dataset string) bool {
+	ds, ok := c.datasets[dataset]
+	if !ok {
+		return false
+	}
+	for _, id := range c.replicasByDataset[dataset] {
+		if c.replicas[id].Epoch == ds.Epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes catalog contents.
+type Stats struct {
+	Datasets, Transformations, Derivations, Invocations, Replicas int
+}
+
+// Stats returns object counts.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Datasets:        len(c.datasets),
+		Transformations: len(c.transformations),
+		Derivations:     len(c.derivations),
+		Invocations:     len(c.invocations),
+		Replicas:        len(c.replicas),
+	}
+}
+
+// equalJSON compares two values by canonical encoding.
+func equalJSON(a, b any) bool {
+	ab, err1 := schema.CanonicalBytes(a)
+	bb, err2 := schema.CanonicalBytes(b)
+	return err1 == nil && err2 == nil && string(ab) == string(bb)
+}

@@ -1,0 +1,164 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"chimera/internal/schema"
+)
+
+func TestBumpEpochBasics(t *testing.T) {
+	c := New(nil)
+	if _, err := c.BumpEpoch("ghost", false); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown dataset: %v", err)
+	}
+	c.AddDataset(schema.Dataset{Name: "d"})
+	c.AddReplica(schema.Replica{ID: "r1", Dataset: "d", Site: "s", PFN: "/d"})
+	if !c.Materialized("d") {
+		t.Fatal("setup")
+	}
+
+	// Bump without re-stamp: replica goes stale.
+	epoch, err := c.BumpEpoch("d", false)
+	if err != nil || epoch != 1 {
+		t.Fatalf("bump: %d %v", epoch, err)
+	}
+	if c.Materialized("d") {
+		t.Error("stale replica still materializes")
+	}
+
+	// Bump with re-stamp: replica follows.
+	epoch, err = c.BumpEpoch("d", true)
+	if err != nil || epoch != 2 {
+		t.Fatalf("bump2: %d %v", epoch, err)
+	}
+	if !c.Materialized("d") {
+		t.Error("re-stamped replica does not materialize")
+	}
+	if got := c.ReplicasOf("d")[0].Epoch; got != 2 {
+		t.Errorf("replica epoch: %d", got)
+	}
+}
+
+func TestBumpEpochSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddDataset(schema.Dataset{Name: "d"})
+	c.AddReplica(schema.Replica{ID: "r1", Dataset: "d", Site: "s", PFN: "/d"})
+	if _, err := c.BumpEpoch("d", true); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	c2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ds, err := c2.Dataset("d")
+	if err != nil || ds.Epoch != 1 {
+		t.Errorf("epoch after replay: %+v %v", ds, err)
+	}
+	reps := c2.ReplicasOf("d")
+	if len(reps) != 1 || reps[0].Epoch != 1 {
+		t.Errorf("replica after replay: %+v", reps)
+	}
+	if !c2.Materialized("d") {
+		t.Error("materialization lost in replay")
+	}
+}
+
+func TestFindEquivalentDerivation(t *testing.T) {
+	c := New(nil)
+	mk := func(ver string) schema.Transformation {
+		return schema.Transformation{Name: "sim", Version: ver, Kind: schema.Simple, Exec: "/bin/sim-" + ver,
+			Args: []schema.FormalArg{
+				{Name: "a2", Direction: schema.Out},
+				{Name: "a1", Direction: schema.In},
+			}}
+	}
+	for _, v := range []string{"1.0", "1.1", "2.0"} {
+		if err := c.AddTransformation(mk(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkDV := func(ver string) schema.Derivation {
+		return schema.Derivation{TR: "sim:" + ver, Params: map[string]schema.Actual{
+			"a2": schema.DatasetActual("output", "out-"+ver),
+			"a1": schema.DatasetActual("input", "in"),
+		}}
+	}
+	// A product exists under 1.0.
+	stored, err := c.AddDerivation(mkDV("1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact match still wins.
+	got, via, ok := c.FindEquivalentDerivation(mkDV("1.0"))
+	if !ok || got.ID != stored.ID || via != "sim:1.0" {
+		t.Fatalf("exact: %v %q %v", got.ID, via, ok)
+	}
+
+	// 1.1 request: no assertion yet -> miss.
+	want11 := mkDV("1.1")
+	want11.Params["a2"] = schema.DatasetActual("output", "out-1.0")
+	if _, _, ok := c.FindEquivalentDerivation(want11); ok {
+		t.Fatal("unasserted equivalence matched")
+	}
+	// Assert 1.0 ~ 1.1: the 1.0 product now satisfies a 1.1 request
+	// with identical arguments.
+	if err := c.AssertCompatibility(schema.CompatibilityAssertion{
+		Name: "sim", V1: "1.0", V2: "1.1", Mode: schema.Equivalent}); err != nil {
+		t.Fatal(err)
+	}
+	got, via, ok = c.FindEquivalentDerivation(want11)
+	if !ok || got.ID != stored.ID || via != "sim:1.0" {
+		t.Fatalf("equivalent: %v %q %v", got.ID, via, ok)
+	}
+	// 2.0 is not asserted compatible.
+	want20 := mkDV("2.0")
+	want20.Params["a2"] = schema.DatasetActual("output", "out-1.0")
+	if _, _, ok := c.FindEquivalentDerivation(want20); ok {
+		t.Fatal("incompatible version matched")
+	}
+	// Different arguments never match.
+	other := mkDV("1.1")
+	other.Params["a1"] = schema.DatasetActual("input", "other-input")
+	if _, _, ok := c.FindEquivalentDerivation(other); ok {
+		t.Fatal("different args matched")
+	}
+	// Malformed ref is a miss, not a panic.
+	if _, _, ok := c.FindEquivalentDerivation(schema.Derivation{TR: "ns::"}); ok {
+		t.Fatal("bad ref matched")
+	}
+}
+
+func TestLineageDOT(t *testing.T) {
+	c := New(nil)
+	c.AddTransformation(twoArg("t"))
+	c.AddDerivation(chainDV("t", "a", "b"))
+	c.AddDerivation(chainDV("t", "b", "target"))
+	rep, err := c.Lineage("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := rep.DOT()
+	for _, want := range []string{"digraph lineage", `"a"`, `"b"`, `"target"`, "shape=box", "->"} {
+		if !containsStr(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

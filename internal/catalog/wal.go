@@ -1,0 +1,539 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// Durability: every mutation appends one JSON-lines record to wal.jsonl
+// in the catalog directory; Snapshot() compacts the full state into
+// snapshot.json and truncates the log. Open replays snapshot + log, so
+// a crash between append and response loses at most the in-flight
+// operation.
+
+type opKind string
+
+const (
+	opType           opKind = "type"
+	opDataset        opKind = "dataset"
+	opTransformation opKind = "transformation"
+	opDerivation     opKind = "derivation"
+	opInvocation     opKind = "invocation"
+	opReplica        opKind = "replica"
+	opRemoveReplica  opKind = "remove-replica"
+	opCompat         opKind = "compat"
+)
+
+type walRecord struct {
+	Op   opKind          `json:"op"`
+	Data json.RawMessage `json:"data"`
+}
+
+type typeRecord struct {
+	Dim    int    `json:"dim"`
+	Name   string `json:"name"`
+	Parent string `json:"parent,omitempty"`
+}
+
+type wal struct {
+	dir  string
+	f    *os.File
+	bw   *bufio.Writer
+	sync bool
+}
+
+const (
+	walFile      = "wal.jsonl"
+	snapshotFile = "snapshot.json"
+)
+
+// Options configure a durable catalog.
+type Options struct {
+	// Sync forces an fsync after every logged operation. Slower but
+	// survives OS crashes, not just process crashes.
+	Sync bool
+}
+
+// Open loads (or creates) a durable catalog in dir. The registry seeds
+// the type hierarchy for *new* catalogs; reopened catalogs restore
+// their persisted registry and merge the seed into it.
+func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: open: %w", err)
+	}
+	c := New(dtype.NewRegistry())
+	if seed != nil {
+		if err := c.types.Merge(seed); err != nil {
+			return nil, err
+		}
+	}
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var exp Export
+		if err := json.Unmarshal(data, &exp); err != nil {
+			return nil, fmt.Errorf("catalog: snapshot %s: %w", snapPath, err)
+		}
+		if err := c.applyExport(exp); err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("catalog: snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	if f, err := os.Open(walPath); err == nil {
+		err = c.replay(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("catalog: wal: %w", err)
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: wal: %w", err)
+	}
+	c.wal = &wal{dir: dir, f: f, bw: bufio.NewWriter(f), sync: opts.Sync}
+	return c, nil
+}
+
+// Close flushes and closes the write-ahead log. The catalog remains
+// usable in memory but further mutations are not persisted.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return nil
+	}
+	w := c.wal
+	c.wal = nil
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// logOp appends one operation to the WAL. Callers hold c.mu.
+func (c *Catalog) logOp(op opKind, v any) error {
+	if c.wal == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("catalog: wal encode: %w", err)
+	}
+	rec, err := json.Marshal(walRecord{Op: op, Data: data})
+	if err != nil {
+		return err
+	}
+	if _, err := c.wal.bw.Write(append(rec, '\n')); err != nil {
+		return fmt.Errorf("catalog: wal append: %w", err)
+	}
+	if err := c.wal.bw.Flush(); err != nil {
+		return fmt.Errorf("catalog: wal flush: %w", err)
+	}
+	if c.wal.sync {
+		if err := c.wal.f.Sync(); err != nil {
+			return fmt.Errorf("catalog: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// replay applies WAL records to the in-memory state. A truncated final
+// line (torn write during a crash) is tolerated and ignored.
+func (c *Catalog) replay(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail record: stop replay here.
+			return nil
+		}
+		if err := c.apply(rec); err != nil {
+			return fmt.Errorf("catalog: replay: %w", err)
+		}
+	}
+	return sc.Err()
+}
+
+// apply replays one record directly onto the maps and indexes, without
+// re-validation (records were validated before being logged) and
+// without re-logging.
+func (c *Catalog) apply(rec walRecord) error {
+	switch rec.Op {
+	case opType:
+		var t typeRecord
+		if err := json.Unmarshal(rec.Data, &t); err != nil {
+			return err
+		}
+		return c.types.Register(dtype.Dimension(t.Dim), t.Name, t.Parent)
+	case opDataset:
+		var ds schema.Dataset
+		if err := json.Unmarshal(rec.Data, &ds); err != nil {
+			return err
+		}
+		c.datasets[ds.Name] = ds
+	case opTransformation:
+		var tr schema.Transformation
+		if err := json.Unmarshal(rec.Data, &tr); err != nil {
+			return err
+		}
+		ref := tr.Ref()
+		if _, ok := c.transformations[ref]; !ok {
+			base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
+			c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+		}
+		c.transformations[ref] = tr
+	case opDerivation:
+		var dv schema.Derivation
+		if err := json.Unmarshal(rec.Data, &dv); err != nil {
+			return err
+		}
+		tr, err := c.transformationLocked(dv.TR)
+		if err != nil {
+			return fmt.Errorf("derivation %s: %w", dv.ID, err)
+		}
+		c.indexDerivation(dv, tr)
+	case opInvocation:
+		var iv schema.Invocation
+		if err := json.Unmarshal(rec.Data, &iv); err != nil {
+			return err
+		}
+		if _, ok := c.invocations[iv.ID]; !ok {
+			c.invocations[iv.ID] = iv
+			c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
+		}
+	case opReplica:
+		var r schema.Replica
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		if _, ok := c.replicas[r.ID]; ok {
+			// Re-logged replica (e.g. epoch re-stamp): update in place.
+			c.replicas[r.ID] = r
+		} else {
+			c.replicas[r.ID] = r
+			c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+		}
+	case opRemoveReplica:
+		var id string
+		if err := json.Unmarshal(rec.Data, &id); err != nil {
+			return err
+		}
+		if r, ok := c.replicas[id]; ok {
+			delete(c.replicas, id)
+			ids := c.replicasByDataset[r.Dataset]
+			for i, x := range ids {
+				if x == id {
+					c.replicasByDataset[r.Dataset] = append(ids[:i:i], ids[i+1:]...)
+					break
+				}
+			}
+		}
+	case opCompat:
+		var a schema.CompatibilityAssertion
+		if err := json.Unmarshal(rec.Data, &a); err != nil {
+			return err
+		}
+		c.compat = append(c.compat, a)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// indexDerivation installs a derivation and its provenance indexes.
+func (c *Catalog) indexDerivation(dv schema.Derivation, tr schema.Transformation) {
+	if _, ok := c.derivations[dv.ID]; ok {
+		return
+	}
+	inputs := dv.Inputs(tr)
+	outputs := dv.Outputs(tr)
+	c.derivations[dv.ID] = dv
+	c.inputsOf[dv.ID] = inputs
+	c.outputsOf[dv.ID] = outputs
+	for _, in := range inputs {
+		c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
+	}
+	for _, out := range outputs {
+		c.producerOf[out] = dv.ID
+	}
+}
+
+// Export is the full-state serialization used for snapshots and for
+// shipping catalog contents between services.
+type Export struct {
+	Types           *dtype.Registry                 `json:"types"`
+	Datasets        []schema.Dataset                `json:"datasets,omitempty"`
+	Transformations []schema.Transformation         `json:"transformations,omitempty"`
+	Derivations     []schema.Derivation             `json:"derivations,omitempty"`
+	Invocations     []schema.Invocation             `json:"invocations,omitempty"`
+	Replicas        []schema.Replica                `json:"replicas,omitempty"`
+	Compat          []schema.CompatibilityAssertion `json:"compat,omitempty"`
+}
+
+// Export captures the catalog's full state.
+func (c *Catalog) Export() Export {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	exp := Export{Types: c.types.Clone()}
+	exp.Datasets = make([]schema.Dataset, 0, len(c.datasets))
+	for _, ds := range c.datasets {
+		exp.Datasets = append(exp.Datasets, ds)
+	}
+	exp.Transformations = make([]schema.Transformation, 0, len(c.transformations))
+	for _, tr := range c.transformations {
+		exp.Transformations = append(exp.Transformations, tr)
+	}
+	exp.Derivations = make([]schema.Derivation, 0, len(c.derivations))
+	for _, dv := range c.derivations {
+		exp.Derivations = append(exp.Derivations, dv)
+	}
+	exp.Invocations = make([]schema.Invocation, 0, len(c.invocations))
+	for _, iv := range c.invocations {
+		exp.Invocations = append(exp.Invocations, iv)
+	}
+	exp.Replicas = make([]schema.Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		exp.Replicas = append(exp.Replicas, r)
+	}
+	exp.Compat = append([]schema.CompatibilityAssertion(nil), c.compat...)
+	sortExport(&exp)
+	return exp
+}
+
+func sortExport(exp *Export) {
+	sort.Slice(exp.Datasets, func(i, j int) bool { return exp.Datasets[i].Name < exp.Datasets[j].Name })
+	sort.Slice(exp.Transformations, func(i, j int) bool { return exp.Transformations[i].Ref() < exp.Transformations[j].Ref() })
+	sort.Slice(exp.Derivations, func(i, j int) bool { return exp.Derivations[i].ID < exp.Derivations[j].ID })
+	sort.Slice(exp.Invocations, func(i, j int) bool { return exp.Invocations[i].ID < exp.Invocations[j].ID })
+	sort.Slice(exp.Replicas, func(i, j int) bool { return exp.Replicas[i].ID < exp.Replicas[j].ID })
+}
+
+// applyExport loads an export into an empty catalog.
+func (c *Catalog) applyExport(exp Export) error {
+	if exp.Types != nil {
+		if err := c.types.Merge(exp.Types); err != nil {
+			return err
+		}
+	}
+	for _, ds := range exp.Datasets {
+		c.datasets[ds.Name] = ds
+	}
+	for _, tr := range exp.Transformations {
+		ref := tr.Ref()
+		if _, ok := c.transformations[ref]; !ok {
+			base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
+			c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+		}
+		c.transformations[ref] = tr
+	}
+	for _, dv := range exp.Derivations {
+		tr, err := c.transformationLocked(dv.TR)
+		if err != nil {
+			return fmt.Errorf("catalog: import derivation %s: %w", dv.ID, err)
+		}
+		c.indexDerivation(dv, tr)
+	}
+	for _, iv := range exp.Invocations {
+		if _, ok := c.invocations[iv.ID]; !ok {
+			c.invocations[iv.ID] = iv
+			c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
+		}
+	}
+	for _, r := range exp.Replicas {
+		if _, ok := c.replicas[r.ID]; !ok {
+			c.replicas[r.ID] = r
+			c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+		}
+	}
+	c.compat = append(c.compat, exp.Compat...)
+	return nil
+}
+
+// ImportTolerant merges an export, skipping objects that conflict with
+// existing state (and anything depending on them) instead of aborting.
+// It returns the number of skipped objects. Federated indexes use it so
+// one overlapping definition does not hide a whole member catalog.
+func (c *Catalog) ImportTolerant(exp Export) int {
+	skipped := 0
+	tolerate := func(err error) {
+		if err != nil && !errors.Is(err, ErrDuplicate) {
+			skipped++
+		}
+	}
+	if exp.Types != nil {
+		// Best-effort merge; conflicting names keep their first parent.
+		_ = c.types.Merge(exp.Types)
+	}
+	for _, tr := range exp.Transformations {
+		tolerate(c.AddTransformation(tr))
+	}
+	for _, ds := range exp.Datasets {
+		ds.CreatedBy = ""
+		if err := c.AddDataset(ds); err != nil && !errors.Is(err, ErrExists) {
+			skipped++
+		}
+	}
+	for _, dv := range exp.Derivations {
+		if _, err := c.AddDerivation(dv); err != nil && !errors.Is(err, ErrDuplicate) {
+			skipped++
+		}
+	}
+	for _, iv := range exp.Invocations {
+		if err := c.AddInvocation(iv); err != nil && !errors.Is(err, ErrExists) {
+			skipped++
+		}
+	}
+	for _, r := range exp.Replicas {
+		if err := c.AddReplica(r); err != nil && !errors.Is(err, ErrExists) {
+			skipped++
+		}
+	}
+	for _, a := range exp.Compat {
+		if err := c.AssertCompatibility(a); err != nil {
+			skipped++
+		}
+	}
+	return skipped
+}
+
+// Import merges an export into the catalog, validating and logging each
+// object through the public mutation paths. Duplicate derivations are
+// skipped silently; other conflicts abort with an error.
+func (c *Catalog) Import(exp Export) error {
+	if exp.Types != nil {
+		for _, d := range dtype.Dimensions() {
+			// Parents must register before children: order by depth.
+			names := exp.Types.Names(d)
+			sort.Slice(names, func(i, j int) bool {
+				di, dj := exp.Types.Depth(d, names[i]), exp.Types.Depth(d, names[j])
+				if di != dj {
+					return di < dj
+				}
+				return names[i] < names[j]
+			})
+			for _, name := range names {
+				anc := exp.Types.Ancestors(d, name)
+				parent := ""
+				if len(anc) > 0 {
+					parent = anc[0]
+				}
+				if err := c.DefineType(d, name, parent); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, tr := range exp.Transformations {
+		if err := c.AddTransformation(tr); err != nil {
+			return err
+		}
+	}
+	for _, ds := range exp.Datasets {
+		if ds.CreatedBy != "" {
+			// Producer linkage is re-established by AddDerivation below.
+			ds.CreatedBy = ""
+		}
+		if err := c.AddDataset(ds); err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	for _, dv := range exp.Derivations {
+		if _, err := c.AddDerivation(dv); err != nil && !errors.Is(err, ErrDuplicate) {
+			return err
+		}
+	}
+	for _, iv := range exp.Invocations {
+		if err := c.AddInvocation(iv); err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	for _, r := range exp.Replicas {
+		if err := c.AddReplica(r); err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	for _, a := range exp.Compat {
+		if err := c.AssertCompatibility(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot compacts the durable state: the full catalog is written to
+// snapshot.json and the WAL truncated. No-op for in-memory catalogs.
+func (c *Catalog) Snapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wal == nil {
+		return nil
+	}
+	exp := c.exportLocked()
+	data, err := json.Marshal(exp)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.wal.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.wal.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// Truncate the log now that the snapshot covers it.
+	if err := c.wal.bw.Flush(); err != nil {
+		return err
+	}
+	if err := c.wal.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := c.wal.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	c.wal.bw.Reset(c.wal.f)
+	return nil
+}
+
+// exportLocked is Export with c.mu already held.
+func (c *Catalog) exportLocked() Export {
+	exp := Export{Types: c.types.Clone()}
+	for _, ds := range c.datasets {
+		exp.Datasets = append(exp.Datasets, ds)
+	}
+	for _, tr := range c.transformations {
+		exp.Transformations = append(exp.Transformations, tr)
+	}
+	for _, dv := range c.derivations {
+		exp.Derivations = append(exp.Derivations, dv)
+	}
+	for _, iv := range c.invocations {
+		exp.Invocations = append(exp.Invocations, iv)
+	}
+	for _, r := range c.replicas {
+		exp.Replicas = append(exp.Replicas, r)
+	}
+	exp.Compat = append([]schema.CompatibilityAssertion(nil), c.compat...)
+	sortExport(&exp)
+	return exp
+}

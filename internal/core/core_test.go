@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/executor"
+	"chimera/internal/grid"
+	"chimera/internal/schema"
+	"chimera/internal/vds"
+	"chimera/internal/workload"
+)
+
+const pipelineVDL = `
+TYPE content Events;
+TYPE content Raw extends Events;
+DS source<Raw> size "1000000";
+TR cook( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/cook";
+}
+TR doublecook( input i, inout mid=@{inout:"mid":""}, output o ) {
+  cook( o=${output:mid}, i=${i} );
+  cook( o=${o}, i=${input:mid} );
+}
+DV first->doublecook( i=@{input:"source"}, o=@{output:"refined"} );
+`
+
+func newSimSystem(t *testing.T) *System {
+	t.Helper()
+	g := grid.NewGrid()
+	if _, err := g.AddSite("s", 1e15); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddHosts("s", "h", 4, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return NewSimulated("test", g, 11, nil)
+}
+
+func TestLoadVDLExpandsCompounds(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Cat.Stats()
+	// Compound derivation expands to 2 simple leaves.
+	if st.Derivations != 2 {
+		t.Errorf("derivations: %d", st.Derivations)
+	}
+	// refined is derived; its ancestry includes source and the
+	// generated intermediate.
+	anc, err := s.Cat.Ancestors("refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc.Datasets) != 2 || anc.Datasets[1] != "source" && anc.Datasets[0] != "source" {
+		t.Errorf("ancestors: %v", anc.Datasets)
+	}
+	// Types landed.
+	res, err := s.SearchDatasets(`type <= Events`)
+	if err != nil || len(res) != 1 || res[0].Name != "source" {
+		t.Errorf("type search: %v %v", res, err)
+	}
+}
+
+func TestMaterializeSimulated(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cat.AddReplica(schema.Replica{ID: "r0", Dataset: "source", Site: "s", PFN: "/src", Size: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Materialize("refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Reused || res[0].Report.Completed != 2 {
+		t.Fatalf("result: %+v", res[0])
+	}
+	if !s.Cat.Materialized("refined") {
+		t.Error("target not materialized")
+	}
+	// Estimator learned from the run.
+	if _, confident := s.Est.Work("cook"); !confident {
+		t.Error("estimator not updated")
+	}
+	// Re-request: pure reuse.
+	res, err = s.Materialize("refined")
+	if err != nil || !res[0].Reused {
+		t.Errorf("reuse: %+v %v", res, err)
+	}
+	// Lineage reflects the executed invocations.
+	lin, err := s.Lineage("refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Steps) != 2 || len(lin.Steps[0].Invocations) != 1 {
+		t.Errorf("lineage: %+v", lin)
+	}
+}
+
+func TestMaterializeManyTargetsShareWork(t *testing.T) {
+	s := newSimSystem(t)
+	w := workload.CMS(workload.CMSParams{Runs: 3})
+	if err := w.Install(s.Cat); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Materialize(w.Targets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Reused {
+			t.Errorf("%s unexpectedly reused", r.Target)
+		}
+	}
+	if got := len(s.Cat.Invocations()); got != 12 {
+		t.Errorf("invocations: %d", got)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.Estimate("refined", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two nodes at the 60s default prior, serial chain.
+	if est.TotalWork != 120 || est.Makespan != 120 {
+		t.Errorf("estimate: %+v", est)
+	}
+	if est.Confident {
+		t.Error("prior-based estimate claims confidence")
+	}
+	if _, err := s.Estimate("ghost", 1); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := s.Invalidate("source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Datasets) != 2 { // mid.<suffix> and refined
+		t.Errorf("invalidation set: %v", cl.Datasets)
+	}
+}
+
+func TestLocalModeEndToEnd(t *testing.T) {
+	ws := t.TempDir()
+	s := NewLocal("laptop", ws, nil)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("cook", func(task executor.Task) error {
+		data, err := os.ReadFile(filepath.Join(task.Workspace, task.Node.Inputs[0]))
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(task.Workspace, task.Node.Outputs[0]),
+			[]byte(strings.ToUpper(string(data))), 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ws, "source"), []byte("events"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Materialize("refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Reused || res[0].Report.Completed != 2 {
+		t.Fatalf("local run: %+v", res[0])
+	}
+	data, err := os.ReadFile(filepath.Join(ws, "refined"))
+	if err != nil || string(data) != "EVENTS" {
+		t.Errorf("pipeline output: %q %v", data, err)
+	}
+	// Register on a sim system fails.
+	if err := newSimSystem(t).Register("x", nil); err == nil {
+		t.Error("Register on sim system accepted")
+	}
+}
+
+func TestHandlerSharing(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	client := vds.NewClient(hs.URL)
+	info, err := client.Info()
+	if err != nil || info.Name != "test" || info.Stats.Derivations != 2 {
+		t.Errorf("shared info: %+v %v", info, err)
+	}
+
+	// Another system imports the transformation via vdp.
+	other := newSimSystem(t)
+	reg := vds.NewRegistry()
+	reg.Register("test", hs.URL)
+	tr, err := other.ImportTransformation(reg, "vdp://test/cook")
+	if err != nil || tr.Name != "cook" {
+		t.Fatalf("import: %+v %v", tr, err)
+	}
+	if _, err := other.Cat.Transformation("cook"); err != nil {
+		t.Error("imported TR not in catalog")
+	}
+}
+
+func TestNewWithCatalogDurable(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := catalog.Open(filepath.Join(dir, "cat"), nil, catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithCatalog("durable", dir, cat)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := catalog.Open(filepath.Join(dir, "cat"), nil, catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	if cat2.Stats().Derivations != 2 {
+		t.Errorf("durable reopen: %+v", cat2.Stats())
+	}
+}
+
+func TestMaterializeFailurePropagates(t *testing.T) {
+	ws := t.TempDir()
+	s := NewLocal("laptop", ws, nil)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	s.Register("cook", func(executor.Task) error { return fmt.Errorf("no such calibration") })
+	os.WriteFile(filepath.Join(ws, "source"), []byte("x"), 0o644)
+	if _, err := s.Materialize("refined"); err == nil {
+		t.Error("failed workflow reported success")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chimera/internal/executor"
+	"chimera/internal/schema"
+)
+
+func TestRecomputeSimulated(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cat.AddReplica(schema.Replica{ID: "r0", Dataset: "source", Site: "s", PFN: "/src", Size: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Materialize("refined"); err != nil {
+		t.Fatal(err)
+	}
+	invBefore := s.Cat.Stats().Invocations
+	refinedBefore, _ := s.Cat.Dataset("refined")
+
+	// The calibration error: source was corrected in place.
+	epoch, err := s.MarkUpdated("source")
+	if err != nil || epoch != 1 {
+		t.Fatalf("MarkUpdated: %d %v", epoch, err)
+	}
+	// Source's replica is re-stamped, so it is still materialized.
+	if !s.Cat.Materialized("source") {
+		t.Fatal("updated primary lost its replica")
+	}
+	// Downstream replicas predate the fix and must be recomputed.
+	results, err := s.Recompute("source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two affected datasets (intermediate + refined), two jobs re-run.
+	if len(results) != 2 {
+		t.Fatalf("results: %d", len(results))
+	}
+	if got := s.Cat.Stats().Invocations; got != invBefore+2 {
+		t.Errorf("invocations: %d -> %d", invBefore, got)
+	}
+	refinedAfter, _ := s.Cat.Dataset("refined")
+	if refinedAfter.Epoch != refinedBefore.Epoch+1 {
+		t.Errorf("refined epoch: %d -> %d", refinedBefore.Epoch, refinedAfter.Epoch)
+	}
+	if !s.Cat.Materialized("refined") {
+		t.Error("refined not re-materialized at new epoch")
+	}
+	// Old-epoch replicas do not satisfy the new epoch; new ones exist.
+	fresh := 0
+	for _, r := range s.Cat.ReplicasOf("refined") {
+		if r.Epoch == refinedAfter.Epoch {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Errorf("fresh replicas: %d", fresh)
+	}
+}
+
+func TestRecomputeLocalRealFiles(t *testing.T) {
+	ws := t.TempDir()
+	s := NewLocal("laptop", ws, nil)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	s.Register("cook", func(task executor.Task) error {
+		data, err := os.ReadFile(filepath.Join(task.Workspace, task.Node.Inputs[0]))
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(task.Workspace, task.Node.Outputs[0]),
+			append([]byte("cooked:"), data...), 0o644)
+	})
+	os.WriteFile(filepath.Join(ws, "source"), []byte("v1"), 0o644)
+	if _, err := s.Materialize("refined"); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := os.ReadFile(filepath.Join(ws, "refined"))
+
+	// Fix the source file, mark it updated, recompute.
+	os.WriteFile(filepath.Join(ws, "source"), []byte("v2"), 0o644)
+	if _, err := s.MarkUpdated("source"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recompute("source"); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := os.ReadFile(filepath.Join(ws, "refined"))
+	if string(v1) == string(v2) {
+		t.Errorf("recompute did not refresh output: %q vs %q", v1, v2)
+	}
+	if string(v2) != "cooked:cooked:v2" {
+		t.Errorf("recomputed content: %q", v2)
+	}
+}
+
+func TestRecomputeOfLeafIsNoop(t *testing.T) {
+	s := newSimSystem(t)
+	if err := s.LoadVDL(pipelineVDL); err != nil {
+		t.Fatal(err)
+	}
+	s.Cat.AddReplica(schema.Replica{ID: "r0", Dataset: "source", Site: "s", PFN: "/src"})
+	if _, err := s.Materialize("refined"); err != nil {
+		t.Fatal(err)
+	}
+	// refined has no descendants: recompute affects nothing.
+	results, err := s.Recompute("refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results != nil {
+		t.Errorf("leaf recompute results: %+v", results)
+	}
+}
+
+func TestMarkUpdatedUnknown(t *testing.T) {
+	s := newSimSystem(t)
+	if _, err := s.MarkUpdated("ghost"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,307 @@
+// Package dag builds and analyzes workflow graphs: the directed acyclic
+// graphs of derivations that the derivation facet executes (§5.4). A
+// node is one simple-transformation derivation; an edge exists from the
+// producer of a dataset to each of its consumers.
+//
+// The package provides validation (acyclicity, single producers),
+// topological ordering, the ready-frontier computation that drives
+// DAGman-style dispatch, and structural metrics (levels, width,
+// critical path) used by the estimator and the experiment harness.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"chimera/internal/schema"
+)
+
+// Node is one executable unit of a workflow.
+type Node struct {
+	// ID equals the derivation's canonical signature.
+	ID string
+	// Derivation is the underlying recipe.
+	Derivation schema.Derivation
+	// Inputs and Outputs are the consumed/produced dataset names.
+	Inputs  []string
+	Outputs []string
+
+	preds map[*Node]bool
+	succs map[*Node]bool
+}
+
+// Preds returns the node's predecessors sorted by ID.
+func (n *Node) Preds() []*Node { return sortedNodes(n.preds) }
+
+// Succs returns the node's successors sorted by ID.
+func (n *Node) Succs() []*Node { return sortedNodes(n.succs) }
+
+func sortedNodes(m map[*Node]bool) []*Node {
+	out := make([]*Node, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Graph is a validated workflow DAG.
+type Graph struct {
+	nodes    map[string]*Node
+	producer map[string]*Node // dataset -> producing node
+	// ExternalInputs are datasets consumed by some node but produced by
+	// none: they must be materialized before the workflow runs.
+	ExternalInputs []string
+}
+
+// Build constructs a graph from derivations; each derivation must be of
+// a simple transformation resolvable through resolve (compound
+// derivations are expanded by the caller first). Build validates that
+// each dataset has at most one producer within the graph and that the
+// result is acyclic.
+func Build(dvs []schema.Derivation, resolve schema.Resolver) (*Graph, error) {
+	g := &Graph{
+		nodes:    make(map[string]*Node, len(dvs)),
+		producer: make(map[string]*Node),
+	}
+	for _, dv := range dvs {
+		dv = dv.Canonicalize()
+		if _, ok := g.nodes[dv.ID]; ok {
+			// The same computation listed twice collapses to one node.
+			continue
+		}
+		tr, err := resolve(dv.TR)
+		if err != nil {
+			return nil, fmt.Errorf("dag: node %s: %w", dv.ID, err)
+		}
+		if tr.Kind != schema.Simple {
+			return nil, fmt.Errorf("dag: node %s uses compound transformation %s; expand it first", dv.ID, tr.Ref())
+		}
+		n := &Node{
+			ID:         dv.ID,
+			Derivation: dv,
+			Inputs:     dv.Inputs(tr),
+			Outputs:    dv.Outputs(tr),
+			preds:      make(map[*Node]bool),
+			succs:      make(map[*Node]bool),
+		}
+		g.nodes[dv.ID] = n
+		for _, out := range n.Outputs {
+			if other, ok := g.producer[out]; ok {
+				return nil, fmt.Errorf("dag: dataset %q produced by both %s and %s", out, other.ID, n.ID)
+			}
+			g.producer[out] = n
+		}
+	}
+	// Wire edges and find external inputs.
+	external := make(map[string]bool)
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			if p, ok := g.producer[in]; ok {
+				if p == n {
+					return nil, fmt.Errorf("dag: node %s consumes its own output %q", n.ID, in)
+				}
+				n.preds[p] = true
+				p.succs[n] = true
+			} else {
+				external[in] = true
+			}
+		}
+	}
+	for ds := range external {
+		g.ExternalInputs = append(g.ExternalInputs, ds)
+	}
+	sort.Strings(g.ExternalInputs)
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns a node by derivation ID.
+func (g *Graph) Node(id string) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Producer returns the node producing a dataset within the graph.
+func (g *Graph) Producer(dataset string) (*Node, bool) {
+	n, ok := g.producer[dataset]
+	return n, ok
+}
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Roots returns the nodes with no predecessors.
+func (g *Graph) Roots() []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if len(n.preds) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ready returns the nodes whose predecessors are all in done and that
+// are not themselves in done — the dispatch frontier.
+func (g *Graph) Ready(done map[string]bool) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if done[n.ID] {
+			continue
+		}
+		ok := true
+		for p := range n.preds {
+			if !done[p.ID] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TopoOrder returns the nodes in a topological order (stable: among
+// candidates, smallest ID first). It reports a cycle as an error.
+func (g *Graph) TopoOrder() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = len(n.preds)
+	}
+	var frontier []*Node
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].ID < frontier[j].ID })
+	var order []*Node
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, n)
+		var unlocked []*Node
+		for s := range n.succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		sort.Slice(unlocked, func(i, j int) bool { return unlocked[i].ID < unlocked[j].ID })
+		frontier = append(frontier, unlocked...)
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: cycle among %d nodes", len(g.nodes)-len(order))
+	}
+	return order, nil
+}
+
+// Levels partitions nodes by depth: level 0 holds the roots, level k
+// the nodes whose longest predecessor chain has length k.
+func (g *Graph) Levels() [][]*Node {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil
+	}
+	depth := make(map[*Node]int, len(order))
+	maxDepth := 0
+	for _, n := range order {
+		d := 0
+		for p := range n.preds {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[n] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]*Node, maxDepth+1)
+	for _, n := range order {
+		levels[depth[n]] = append(levels[depth[n]], n)
+	}
+	return levels
+}
+
+// Width returns the size of the largest level — an upper bound on
+// useful parallelism for level-synchronized execution.
+func (g *Graph) Width() int {
+	w := 0
+	for _, level := range g.Levels() {
+		if len(level) > w {
+			w = len(level)
+		}
+	}
+	return w
+}
+
+// CriticalPath returns the maximum, over all sink nodes, of the total
+// cost along predecessor chains, with per-node costs from the given
+// function. With unit costs it is the DAG depth in nodes.
+func (g *Graph) CriticalPath(cost func(*Node) float64) float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	best := make(map[*Node]float64, len(order))
+	max := 0.0
+	for _, n := range order {
+		c := 0.0
+		for p := range n.preds {
+			if best[p] > c {
+				c = best[p]
+			}
+		}
+		c += cost(n)
+		best[n] = c
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Stats summarizes the graph's shape.
+type Stats struct {
+	Nodes, Edges   int
+	Depth, Width   int
+	ExternalInputs int
+	Sinks          int
+}
+
+// Stats computes structural statistics.
+func (g *Graph) Stats() Stats {
+	st := Stats{Nodes: len(g.nodes), ExternalInputs: len(g.ExternalInputs)}
+	for _, n := range g.nodes {
+		st.Edges += len(n.succs)
+		if len(n.succs) == 0 {
+			st.Sinks++
+		}
+	}
+	levels := g.Levels()
+	st.Depth = len(levels)
+	for _, l := range levels {
+		if len(l) > st.Width {
+			st.Width = len(l)
+		}
+	}
+	return st
+}

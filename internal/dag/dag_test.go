@@ -1,0 +1,248 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chimera/internal/schema"
+)
+
+func tr1in1out() schema.Transformation {
+	return schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/bin/t",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}
+}
+
+func tr2in1out() schema.Transformation {
+	return schema.Transformation{Name: "m", Kind: schema.Simple, Exec: "/bin/m",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i1", Direction: schema.In},
+			{Name: "i2", Direction: schema.In},
+		}}
+}
+
+func dv1(in, out string) schema.Derivation {
+	return schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", out),
+		"i": schema.DatasetActual("input", in),
+	}}
+}
+
+func dv2(in1, in2, out string) schema.Derivation {
+	return schema.Derivation{TR: "m", Params: map[string]schema.Actual{
+		"o":  schema.DatasetActual("output", out),
+		"i1": schema.DatasetActual("input", in1),
+		"i2": schema.DatasetActual("input", in2),
+	}}
+}
+
+func resolver() schema.Resolver { return schema.MapResolver(tr1in1out(), tr2in1out()) }
+
+// diamond builds: a -> b, a -> c, (b,c) -> d.
+func diamond(t *testing.T) (*Graph, map[string]string) {
+	t.Helper()
+	dvs := []schema.Derivation{dv1("a", "b"), dv1("a", "c"), dv2("b", "c", "d")}
+	g, err := Build(dvs, resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOut := make(map[string]string)
+	for _, n := range g.Nodes() {
+		byOut[n.Outputs[0]] = n.ID
+	}
+	return g, byOut
+}
+
+func TestBuildDiamond(t *testing.T) {
+	g, byOut := diamond(t)
+	if g.Len() != 3 {
+		t.Fatalf("len=%d", g.Len())
+	}
+	if strings.Join(g.ExternalInputs, ",") != "a" {
+		t.Errorf("external inputs: %v", g.ExternalInputs)
+	}
+	d, _ := g.Node(byOut["d"])
+	if len(d.Preds()) != 2 || len(d.Succs()) != 0 {
+		t.Errorf("d edges: %d preds %d succs", len(d.Preds()), len(d.Succs()))
+	}
+	b, _ := g.Node(byOut["b"])
+	if len(b.Preds()) != 0 || len(b.Succs()) != 1 {
+		t.Errorf("b edges")
+	}
+	if p, ok := g.Producer("d"); !ok || p.ID != byOut["d"] {
+		t.Error("producer lookup")
+	}
+	roots := g.Roots()
+	if len(roots) != 2 {
+		t.Errorf("roots: %d", len(roots))
+	}
+}
+
+func TestDuplicateDerivationsCollapse(t *testing.T) {
+	g, err := Build([]schema.Derivation{dv1("a", "b"), dv1("a", "b")}, resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("len=%d", g.Len())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Two producers of one dataset.
+	if _, err := Build([]schema.Derivation{dv1("a", "x"), dv1("b", "x")}, resolver()); err == nil {
+		t.Error("double producer accepted")
+	}
+	// Compound not allowed.
+	comp := schema.Transformation{Name: "c", Kind: schema.Compound,
+		Args:  []schema.FormalArg{{Name: "i", Direction: schema.In}},
+		Calls: []schema.Call{{TR: "t", Bindings: map[string]schema.Actual{"i": schema.FormalRefActual("i")}}}}
+	dv := schema.Derivation{TR: "c", Params: map[string]schema.Actual{"i": schema.DatasetActual("input", "a")}}
+	if _, err := Build([]schema.Derivation{dv}, schema.MapResolver(comp, tr1in1out())); err == nil {
+		t.Error("compound node accepted")
+	}
+	// Unknown TR.
+	if _, err := Build([]schema.Derivation{dv1("a", "b")}, schema.MapResolver()); err == nil {
+		t.Error("unknown TR accepted")
+	}
+	// Cycle: x->y, y->x.
+	if _, err := Build([]schema.Derivation{dv1("x", "y"), dv1("y", "x")}, resolver()); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestReadyFrontier(t *testing.T) {
+	g, byOut := diamond(t)
+	done := map[string]bool{}
+	ready := g.Ready(done)
+	if len(ready) != 2 {
+		t.Fatalf("initial frontier: %d", len(ready))
+	}
+	done[byOut["b"]] = true
+	ready = g.Ready(done)
+	if len(ready) != 1 || ready[0].ID != byOut["c"] {
+		t.Fatalf("after b: %v", ready)
+	}
+	done[byOut["c"]] = true
+	ready = g.Ready(done)
+	if len(ready) != 1 || ready[0].ID != byOut["d"] {
+		t.Fatalf("after b,c: %v", ready)
+	}
+	done[byOut["d"]] = true
+	if len(g.Ready(done)) != 0 {
+		t.Error("frontier after completion")
+	}
+}
+
+func TestTopoOrderAndLevels(t *testing.T) {
+	g, byOut := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n.ID] = i
+	}
+	if pos[byOut["d"]] < pos[byOut["b"]] || pos[byOut["d"]] < pos[byOut["c"]] {
+		t.Error("topo violation")
+	}
+	levels := g.Levels()
+	if len(levels) != 2 || len(levels[0]) != 2 || len(levels[1]) != 1 {
+		t.Errorf("levels: %v", levels)
+	}
+	if g.Width() != 2 {
+		t.Errorf("width: %d", g.Width())
+	}
+	st := g.Stats()
+	if st.Nodes != 3 || st.Edges != 2 || st.Depth != 2 || st.Width != 2 || st.Sinks != 1 || st.ExternalInputs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g, _ := diamond(t)
+	// Unit cost: depth 2.
+	if cp := g.CriticalPath(func(*Node) float64 { return 1 }); cp != 2 {
+		t.Errorf("unit critical path: %g", cp)
+	}
+	// Weighted: b=5, c=1, d=2 → a-side path 5+2=7.
+	cp := g.CriticalPath(func(n *Node) float64 {
+		switch n.Outputs[0] {
+		case "b":
+			return 5
+		case "c":
+			return 1
+		default:
+			return 2
+		}
+	})
+	if cp != 7 {
+		t.Errorf("weighted critical path: %g", cp)
+	}
+}
+
+// Property: on random layered DAGs, executing nodes in Ready-frontier
+// order never violates dependencies and completes all nodes.
+func TestFrontierExecutionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		var dvs []schema.Derivation
+		const layers, width = 5, 6
+		name := func(l, i int) string { return fmt.Sprintf("x%d_%d", l, i) }
+		for l := 1; l < layers; l++ {
+			for i := 0; i < width; i++ {
+				if rng.Intn(2) == 0 {
+					dvs = append(dvs, dv1(name(l-1, rng.Intn(width)), name(l, i)))
+				} else {
+					dvs = append(dvs, dv2(name(l-1, rng.Intn(width)), name(l-1, rng.Intn(width)), name(l, i)))
+				}
+			}
+		}
+		g, err := Build(dvs, resolver())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := map[string]bool{}
+		steps := 0
+		for len(done) < g.Len() {
+			ready := g.Ready(done)
+			if len(ready) == 0 {
+				t.Fatalf("trial %d: deadlock with %d/%d done", trial, len(done), g.Len())
+			}
+			// Complete a random ready node.
+			n := ready[rng.Intn(len(ready))]
+			for _, p := range n.Preds() {
+				if !done[p.ID] {
+					t.Fatalf("trial %d: node ready before predecessor", trial)
+				}
+			}
+			done[n.ID] = true
+			steps++
+			if steps > g.Len()+1 {
+				t.Fatal("runaway")
+			}
+		}
+	}
+}
+
+func BenchmarkBuildLargeDAG(b *testing.B) {
+	var dvs []schema.Derivation
+	const n = 2000
+	for i := 1; i < n; i++ {
+		dvs = append(dvs, dv1(fmt.Sprintf("f%d", i/2), fmt.Sprintf("f%d", i)))
+	}
+	res := resolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(dvs, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package dtype
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimensionString(t *testing.T) {
+	cases := map[Dimension]string{
+		Content:      "Dataset-content",
+		Format:       "Dataset-format",
+		Encoding:     "Dataset-encoding",
+		Dimension(9): "Dimension(9)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Dimension(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestTypeStringParseRoundTrip(t *testing.T) {
+	cases := []Type{
+		{},
+		{Content: "CMS"},
+		{Format: "Fileset"},
+		{Encoding: "ASCII"},
+		{Content: "SDSS", Format: "Simple", Encoding: "Text"},
+		{Content: "FITS-file", Encoding: "Unicode"},
+	}
+	for _, tt := range cases {
+		s := tt.String()
+		got, err := ParseType(s)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", s, err)
+		}
+		if got != tt {
+			t.Errorf("round trip %v -> %q -> %v", tt, s, got)
+		}
+	}
+}
+
+func TestParseTypeForms(t *testing.T) {
+	for _, s := range []string{"", "Dataset", "dataset", " DATASET "} {
+		got, err := ParseType(s)
+		if err != nil || !got.IsUniversal() {
+			t.Errorf("ParseType(%q) = %v, %v; want Universal", s, got, err)
+		}
+	}
+	got, err := ParseType("CMS")
+	if err != nil || got != (Type{Content: "CMS"}) {
+		t.Errorf("single segment: got %v, %v", got, err)
+	}
+	got, err = ParseType("CMS;Fileset")
+	if err != nil || got != (Type{Content: "CMS", Format: "Fileset"}) {
+		t.Errorf("two segments: got %v, %v", got, err)
+	}
+	if _, err := ParseType("a;b;c;d"); err == nil {
+		t.Error("ParseType with 4 segments should fail")
+	}
+}
+
+func TestMustParseTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseType on invalid input did not panic")
+		}
+	}()
+	MustParseType("a;b;c;d")
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Content, "", ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(Content, "has space", ""); err == nil {
+		t.Error("name with space accepted")
+	}
+	if err := r.Register(Content, "semi;colon", ""); err == nil {
+		t.Error("name with semicolon accepted")
+	}
+	if err := r.Register(Dimension(7), "x", ""); err == nil {
+		t.Error("invalid dimension accepted")
+	}
+	if err := r.Register(Content, "child", "nonexistent"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := r.Register(Content, "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration with same parent is idempotent.
+	if err := r.Register(Content, "a", ""); err != nil {
+		t.Errorf("idempotent re-register failed: %v", err)
+	}
+	if err := r.Register(Content, "b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting parent is an error.
+	if err := r.Register(Content, "b", ""); err == nil {
+		t.Error("conflicting parent accepted")
+	}
+}
+
+func TestSubtypeBasics(t *testing.T) {
+	r := StandardRegistry()
+	cases := []struct {
+		d          Dimension
+		sub, super string
+		want       bool
+	}{
+		{Format, "Simple", "Fileset", true},
+		{Format, "Fileset", "Simple", false},
+		{Format, "Simple", "Simple", true},
+		{Format, "Simple", "", true},
+		{Format, "", "Fileset", false},
+		{Format, "", "", true},
+		{Encoding, "DOS-text", "Text", true}, // two levels
+		{Encoding, "DOS-text", "ASCII", true},
+		{Encoding, "DOS-text", "EBCDIC", false},
+		{Content, "Zebra-file", "CMS", true},
+		{Content, "Zebra-file", "SDSS", false},
+		{Content, "not-registered", "CMS", false},
+		{Content, "not-registered", "", true},
+	}
+	for _, c := range cases {
+		if got := r.IsSubtype(c.d, c.sub, c.super); got != c.want {
+			t.Errorf("IsSubtype(%s, %q, %q) = %v, want %v", c.d, c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestConforms(t *testing.T) {
+	r := StandardRegistry()
+	zebraTar := Type{Content: "Zebra-file", Format: "Tar-archive", Encoding: "HDF-4-file"}
+	cases := []struct {
+		t, formal Type
+		want      bool
+	}{
+		{zebraTar, Universal, true},
+		{zebraTar, Type{Content: "CMS"}, true},
+		{zebraTar, Type{Content: "Simulation"}, true},
+		{zebraTar, Type{Content: "Analysis"}, false},
+		{zebraTar, Type{Content: "CMS", Format: "Fileset"}, true},
+		{zebraTar, Type{Content: "CMS", Format: "Relation"}, false},
+		{zebraTar, zebraTar, true},
+		{Universal, zebraTar, false},
+		{Universal, Universal, true},
+	}
+	for _, c := range cases {
+		if got := r.Conforms(c.t, c.formal); got != c.want {
+			t.Errorf("Conforms(%v, %v) = %v, want %v", c.t, c.formal, got, c.want)
+		}
+	}
+}
+
+func TestConformsUnion(t *testing.T) {
+	r := StandardRegistry()
+	union := []Type{{Content: "SDSS"}, {Content: "Analysis"}}
+	if !r.ConformsUnion(Type{Content: "FITS-file"}, union) {
+		t.Error("FITS-file should conform to SDSS|Analysis")
+	}
+	if !r.ConformsUnion(Type{Content: "ROOT-IO-file"}, union) {
+		t.Error("ROOT-IO-file should conform to SDSS|Analysis")
+	}
+	if r.ConformsUnion(Type{Content: "Zebra-file"}, union) {
+		t.Error("Zebra-file should not conform to SDSS|Analysis")
+	}
+	if r.ConformsUnion(Type{Content: "FITS-file"}, nil) {
+		t.Error("empty union must accept nothing")
+	}
+}
+
+func TestAncestorsDepthChildren(t *testing.T) {
+	r := StandardRegistry()
+	anc := r.Ancestors(Encoding, "DOS-text")
+	if !reflect.DeepEqual(anc, []string{"ASCII", "Text"}) {
+		t.Errorf("Ancestors(DOS-text) = %v", anc)
+	}
+	if r.Ancestors(Encoding, "Text") != nil {
+		t.Errorf("Ancestors(Text) should be nil, got %v", r.Ancestors(Encoding, "Text"))
+	}
+	if d := r.Depth(Encoding, "DOS-text"); d != 3 {
+		t.Errorf("Depth(DOS-text) = %d, want 3", d)
+	}
+	if d := r.Depth(Encoding, ""); d != 0 {
+		t.Errorf("Depth(root) = %d, want 0", d)
+	}
+	kids := r.Children(Encoding, "ASCII")
+	if !reflect.DeepEqual(kids, []string{"DOS-text", "UNIX-text"}) {
+		t.Errorf("Children(ASCII) = %v", kids)
+	}
+	roots := r.Children(Content, "")
+	if len(roots) != 3 { // UChicago, CMS, SDSS
+		t.Errorf("Children(content root) = %v", roots)
+	}
+}
+
+func TestSpecificity(t *testing.T) {
+	r := StandardRegistry()
+	if s := r.Specificity(Universal); s != 0 {
+		t.Errorf("Specificity(Universal) = %d", s)
+	}
+	a := r.Specificity(Type{Content: "CMS"})
+	b := r.Specificity(Type{Content: "Zebra-file"})
+	if !(a < b) {
+		t.Errorf("deeper type should be more specific: %d vs %d", a, b)
+	}
+	c := r.Specificity(Type{Content: "Zebra-file", Format: "Simple", Encoding: "DOS-text"})
+	if c != 3+2+3 {
+		t.Errorf("Specificity = %d, want 8", c)
+	}
+}
+
+func TestCheckType(t *testing.T) {
+	r := StandardRegistry()
+	if err := r.CheckType(Type{Content: "CMS", Format: "Fileset"}); err != nil {
+		t.Errorf("valid type rejected: %v", err)
+	}
+	if err := r.CheckType(Type{Content: "Nope"}); err == nil {
+		t.Error("unknown content accepted")
+	}
+	if err := r.CheckType(Universal); err != nil {
+		t.Errorf("universal rejected: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := StandardRegistry()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	if err := json.Unmarshal(data, r2); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Dimensions() {
+		if !reflect.DeepEqual(r.Names(d), r2.Names(d)) {
+			t.Errorf("dimension %s: names differ after round trip", d)
+		}
+		for _, n := range r.Names(d) {
+			if !reflect.DeepEqual(r.Ancestors(d, n), r2.Ancestors(d, n)) {
+				t.Errorf("ancestors of %s differ after round trip", n)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadEntries(t *testing.T) {
+	r := NewRegistry()
+	if err := json.Unmarshal([]byte(`[{"dim":0,"name":"kid","parent":"ghost"}]`), r); err == nil {
+		t.Error("unmarshal with unknown parent should fail")
+	}
+	if err := json.Unmarshal([]byte(`{`), r); err == nil {
+		t.Error("unmarshal with bad JSON should fail")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := StandardRegistry()
+	c := r.Clone()
+	c.MustRegister(Content, "NewThing", "CMS")
+	if r.Known(Content, "NewThing") {
+		t.Error("clone mutation leaked into original")
+	}
+	if !c.IsSubtype(Content, "NewThing", "CMS") {
+		t.Error("clone lost hierarchy")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewRegistry()
+	a.MustRegister(Content, "X", "")
+	b := NewRegistry()
+	b.MustRegister(Content, "X", "")
+	b.MustRegister(Content, "Y", "X")
+	b.MustRegister(Content, "Z", "Y")
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !a.IsSubtype(Content, "Z", "X") {
+		t.Error("merge lost transitive hierarchy")
+	}
+	// Conflict: same name, different parent.
+	c := NewRegistry()
+	c.MustRegister(Content, "W", "")
+	c.MustRegister(Content, "Y", "W")
+	if err := a.Merge(c); err == nil {
+		t.Error("conflicting merge should report an error")
+	}
+}
+
+// randomHierarchy builds a random hierarchy in one dimension and
+// returns the registry plus the names in registration order.
+func randomHierarchy(rng *rand.Rand, n int) (*Registry, []string) {
+	r := NewRegistry()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = "t" + string(rune('a'+i%26)) + "-" + itoa(i)
+		parent := ""
+		if i > 0 && rng.Intn(4) != 0 {
+			parent = names[rng.Intn(i)]
+		}
+		r.MustRegister(Content, names[i], parent)
+	}
+	return r, names
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// Property: conformance is reflexive and transitive, and antisymmetric
+// except for equality.
+func TestSubtypeLatticeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r, names := randomHierarchy(rng, 60)
+	// Reflexive.
+	for _, n := range names {
+		if !r.IsSubtype(Content, n, n) {
+			t.Fatalf("reflexivity violated for %q", n)
+		}
+	}
+	// Transitive + antisymmetric over sampled triples.
+	for i := 0; i < 4000; i++ {
+		a, b, c := names[rng.Intn(len(names))], names[rng.Intn(len(names))], names[rng.Intn(len(names))]
+		if r.IsSubtype(Content, a, b) && r.IsSubtype(Content, b, c) && !r.IsSubtype(Content, a, c) {
+			t.Fatalf("transitivity violated: %q <= %q <= %q", a, b, c)
+		}
+		if a != b && r.IsSubtype(Content, a, b) && r.IsSubtype(Content, b, a) {
+			t.Fatalf("antisymmetry violated: %q and %q", a, b)
+		}
+	}
+}
+
+// Property: IsSubtype(sub, super) holds exactly when super appears in
+// Ancestors(sub) or equals sub or is the root.
+func TestSubtypeMatchesAncestors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r, names := randomHierarchy(rng, 40)
+	for _, sub := range names {
+		anc := map[string]bool{sub: true, "": true}
+		for _, a := range r.Ancestors(Content, sub) {
+			anc[a] = true
+		}
+		for _, super := range append(names, "") {
+			if got := r.IsSubtype(Content, sub, super); got != anc[super] {
+				t.Fatalf("IsSubtype(%q,%q) = %v, ancestors say %v", sub, super, got, anc[super])
+			}
+		}
+	}
+}
+
+// Property: Type string form round-trips for arbitrary dimension values
+// drawn from a safe alphabet.
+func TestTypeRoundTripQuick(t *testing.T) {
+	clean := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(c, fo, e string) bool {
+		tt := Type{Content: clean(c), Format: clean(fo), Encoding: clean(e)}
+		got, err := ParseType(tt.String())
+		return err == nil && got == tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round trip preserves the subtype relation on random
+// hierarchies.
+func TestJSONRoundTripQuick(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r, names := randomHierarchy(rng, 30)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := NewRegistry()
+		if err := json.Unmarshal(data, r2); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			a, b := names[rng.Intn(len(names))], names[rng.Intn(len(names))]
+			if r.IsSubtype(Content, a, b) != r2.IsSubtype(Content, a, b) {
+				t.Fatalf("seed %d: subtype relation changed by serialization for (%q,%q)", seed, a, b)
+			}
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := StandardRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.MustRegister(Content, "conc-"+itoa(i), "CMS")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.Conforms(Type{Content: "Zebra-file"}, Type{Content: "CMS"})
+		r.Names(Content)
+	}
+	<-done
+	if !r.IsSubtype(Content, "conc-199", "CMS") {
+		t.Error("concurrent registration lost")
+	}
+}
+
+func BenchmarkConforms(b *testing.B) {
+	r := StandardRegistry()
+	tt := Type{Content: "Zebra-file", Format: "Tar-archive", Encoding: "DOS-text"}
+	formal := Type{Content: "CMS", Format: "Fileset", Encoding: "Text"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Conforms(tt, formal) {
+			b.Fatal("should conform")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package dtype
+
+// StandardRegistry returns a registry pre-loaded with the example
+// dataset-type hierarchy of Appendix C of the paper, covering the three
+// dimensions. Communities normally extend this (or start from an empty
+// NewRegistry) with their own vocabularies.
+func StandardRegistry() *Registry {
+	r := NewRegistry()
+
+	// Dimension: Dataset-format.
+	for _, e := range [][2]string{
+		{"Fileset", ""},
+		{"Simple", "Fileset"},
+		{"Multi-file-list", "Fileset"},
+		{"Tar-archive", "Fileset"},
+		{"Zip-archive", "Fileset"},
+		{"Spreadsheet", ""},
+		{"Excel-95", "Spreadsheet"},
+		{"Excel-2000", "Spreadsheet"},
+		{"Relation", ""},
+		{"SQL-table", "Relation"},
+		{"SQL-table-set", "Relation"},
+		{"SQL-table-keyrange", "Relation"},
+	} {
+		r.MustRegister(Format, e[0], e[1])
+	}
+
+	// Dimension: Dataset-encoding.
+	for _, e := range [][2]string{
+		{"Text", ""},
+		{"ASCII", "Text"},
+		{"DOS-text", "ASCII"},
+		{"UNIX-text", "ASCII"},
+		{"EBCDIC", "Text"},
+		{"MVS-Text", "EBCDIC"},
+		{"Unicode", "Text"},
+		{"Table", ""},
+		{"Tab-separated-table", "Table"},
+		{"Comma-separated-table", "Table"},
+		{"HDF-file", ""},
+		{"HDF-4-file", "HDF-file"},
+		{"HDF-5-file", "HDF-file"},
+		{"SPSS", ""},
+		{"SPSS-portable", "SPSS"},
+		{"SPSS-native", "SPSS"},
+		{"SAS", ""},
+		{"SAS-transport", "SAS"},
+		{"SAS-native", "SAS"},
+	} {
+		r.MustRegister(Encoding, e[0], e[1])
+	}
+
+	// Dimension: Dataset-content.
+	for _, e := range [][2]string{
+		{"UChicago", ""},
+		{"UChicago-student-record", "UChicago"},
+		{"UChicago-class-record", "UChicago"},
+		{"CMS", ""},
+		{"Simulation", "CMS"},
+		{"Zebra-file", "Simulation"},
+		{"Geant-4-file", "Simulation"},
+		{"Analysis", "CMS"},
+		{"ROOT-IO-file", "Analysis"},
+		{"PAW-ntuple-file", "Analysis"},
+		{"SDSS", ""},
+		{"FITS-file", "SDSS"},
+		{"Object-map", "SDSS"},
+		{"Spectrometry-raw", "SDSS"},
+		{"Image-raw", "SDSS"},
+	} {
+		r.MustRegister(Content, e[0], e[1])
+	}
+
+	return r
+}

@@ -1,0 +1,208 @@
+// Package estimator implements the estimation facet (§5.3): it learns
+// per-transformation cost models from recorded invocations and uses
+// them to predict the cost of executing data-derivation workflow
+// graphs, for both automated request planning and interactive "can I
+// have it in time?" queries.
+//
+// Resource requirements recorded with provenance guide subsequent
+// planning decisions — the synergy the paper gives for integrating
+// provenance with planning.
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/schema"
+)
+
+// trStats accumulates Welford-style running statistics for one
+// transformation.
+type trStats struct {
+	n                 int
+	meanDur, m2       float64
+	meanIn, meanOut   float64
+	failures, samples int
+}
+
+// Estimator predicts derivation costs from invocation history.
+// It is safe for concurrent use.
+type Estimator struct {
+	mu    sync.RWMutex
+	stats map[string]*trStats
+
+	// DefaultWork is the prior runtime (reference-CPU seconds) assumed
+	// for transformations with no history.
+	DefaultWork float64
+}
+
+// New returns an estimator with the given prior.
+func New(defaultWork float64) *Estimator {
+	if defaultWork <= 0 {
+		defaultWork = 60
+	}
+	return &Estimator{stats: make(map[string]*trStats), DefaultWork: defaultWork}
+}
+
+// Observe folds one execution sample for a transformation into the
+// model: elapsed seconds, staged bytes, and success/failure.
+func (e *Estimator) Observe(tr string, seconds float64, bytesIn, bytesOut int64, succeeded bool) {
+	if seconds < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats[tr]
+	if s == nil {
+		s = &trStats{}
+		e.stats[tr] = s
+	}
+	s.samples++
+	if !succeeded {
+		s.failures++
+		return
+	}
+	s.n++
+	d := seconds - s.meanDur
+	s.meanDur += d / float64(s.n)
+	s.m2 += d * (seconds - s.meanDur)
+	s.meanIn += (float64(bytesIn) - s.meanIn) / float64(s.n)
+	s.meanOut += (float64(bytesOut) - s.meanOut) / float64(s.n)
+}
+
+// ObserveInvocation folds a recorded invocation, resolving its
+// transformation through the derivation.
+func (e *Estimator) ObserveInvocation(dv schema.Derivation, iv schema.Invocation) {
+	e.Observe(dv.TR, iv.Duration().Seconds(), iv.BytesIn, iv.BytesOut, iv.Succeeded())
+}
+
+// LoadCatalog folds every invocation recorded in a catalog.
+func (e *Estimator) LoadCatalog(c *catalog.Catalog) error {
+	for _, iv := range c.Invocations() {
+		dv, err := c.Derivation(iv.Derivation)
+		if err != nil {
+			return fmt.Errorf("estimator: %w", err)
+		}
+		e.ObserveInvocation(dv, iv)
+	}
+	return nil
+}
+
+// Work returns the predicted runtime (seconds on a reference host) for
+// one derivation of the transformation, and whether the prediction is
+// backed by history.
+func (e *Estimator) Work(tr string) (float64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.stats[tr]
+	if s == nil || s.n == 0 {
+		return e.DefaultWork, false
+	}
+	return s.meanDur, true
+}
+
+// StdDev returns the sample standard deviation of the transformation's
+// runtime (0 with fewer than two successful samples).
+func (e *Estimator) StdDev(tr string) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.stats[tr]
+	if s == nil || s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Bytes returns the predicted staged-in and staged-out volumes.
+func (e *Estimator) Bytes(tr string) (in, out float64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.stats[tr]
+	if s == nil || s.n == 0 {
+		return 0, 0
+	}
+	return s.meanIn, s.meanOut
+}
+
+// FailureRate returns the observed fraction of failed invocations.
+func (e *Estimator) FailureRate(tr string) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.stats[tr]
+	if s == nil || s.samples == 0 {
+		return 0
+	}
+	return float64(s.failures) / float64(s.samples)
+}
+
+// History returns the number of successful samples for a transformation.
+func (e *Estimator) History(tr string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.stats[tr]
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Estimate is the predicted cost of a workflow graph.
+type Estimate struct {
+	// TotalWork is the sum of node runtimes (reference-CPU seconds).
+	TotalWork float64
+	// CriticalPath is the longest dependency chain in seconds,
+	// including per-node transfer overhead.
+	CriticalPath float64
+	// Makespan is the classic lower bound max(CriticalPath,
+	// TotalWork/hosts + transfer amortization).
+	Makespan float64
+	// TransferSeconds is the total predicted data-movement time.
+	TransferSeconds float64
+	// Confident reports whether every node's transformation had
+	// history (false means priors were used somewhere).
+	Confident bool
+}
+
+// EstimateGraph predicts the cost of running a workflow on the given
+// number of reference hosts. transferCost, if non-nil, returns the
+// per-node staging time in seconds.
+func (e *Estimator) EstimateGraph(g *dag.Graph, hosts int, transferCost func(*dag.Node) float64) Estimate {
+	if hosts <= 0 {
+		hosts = 1
+	}
+	est := Estimate{Confident: true}
+	nodeCost := func(n *dag.Node) float64 {
+		w, ok := e.Work(n.Derivation.TR)
+		if !ok {
+			est.Confident = false
+		}
+		x := 0.0
+		if transferCost != nil {
+			x = transferCost(n)
+		}
+		return w + x
+	}
+	for _, n := range g.Nodes() {
+		w, _ := e.Work(n.Derivation.TR)
+		est.TotalWork += w
+		if transferCost != nil {
+			est.TransferSeconds += transferCost(n)
+		}
+	}
+	est.CriticalPath = g.CriticalPath(nodeCost)
+	parallel := (est.TotalWork + est.TransferSeconds) / float64(hosts)
+	est.Makespan = math.Max(est.CriticalPath, parallel)
+	return est
+}
+
+// EstimateDerivations is EstimateGraph over a plain derivation list.
+func (e *Estimator) EstimateDerivations(dvs []schema.Derivation, resolve schema.Resolver, hosts int) (Estimate, error) {
+	g, err := dag.Build(dvs, resolve)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return e.EstimateGraph(g, hosts, nil), nil
+}

@@ -1,0 +1,253 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/schema"
+)
+
+func TestPriorWithoutHistory(t *testing.T) {
+	e := New(120)
+	w, confident := e.Work("unknown")
+	if w != 120 || confident {
+		t.Errorf("prior: %g %v", w, confident)
+	}
+	if New(0).DefaultWork <= 0 {
+		t.Error("zero prior not defaulted")
+	}
+	if e.StdDev("unknown") != 0 || e.History("unknown") != 0 || e.FailureRate("unknown") != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestObserveConverges(t *testing.T) {
+	e := New(60)
+	for i := 0; i < 100; i++ {
+		e.Observe("sim", 100+float64(i%11)-5, 1000, 2000, true)
+	}
+	w, confident := e.Work("sim")
+	if !confident {
+		t.Error("history should make estimate confident")
+	}
+	if math.Abs(w-100) > 1 {
+		t.Errorf("mean: %g", w)
+	}
+	if sd := e.StdDev("sim"); sd < 2 || sd > 5 {
+		t.Errorf("stddev: %g", sd)
+	}
+	in, out := e.Bytes("sim")
+	if in != 1000 || out != 2000 {
+		t.Errorf("bytes: %g %g", in, out)
+	}
+	if e.History("sim") != 100 {
+		t.Errorf("history: %d", e.History("sim"))
+	}
+}
+
+func TestFailuresTracked(t *testing.T) {
+	e := New(60)
+	e.Observe("flaky", 10, 0, 0, true)
+	e.Observe("flaky", 0, 0, 0, false)
+	e.Observe("flaky", 0, 0, 0, false)
+	e.Observe("flaky", 12, 0, 0, true)
+	if fr := e.FailureRate("flaky"); fr != 0.5 {
+		t.Errorf("failure rate: %g", fr)
+	}
+	// Failures do not pollute runtime stats.
+	w, _ := e.Work("flaky")
+	if w != 11 {
+		t.Errorf("mean with failures: %g", w)
+	}
+	// Negative durations ignored.
+	e.Observe("flaky", -5, 0, 0, true)
+	if e.History("flaky") != 2 {
+		t.Error("negative sample counted")
+	}
+}
+
+func buildChainGraph(t *testing.T, n int) (*dag.Graph, schema.Resolver) {
+	t.Helper()
+	tr := schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/bin/t",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}
+	res := schema.MapResolver(tr)
+	var dvs []schema.Derivation
+	for i := 0; i < n; i++ {
+		dvs = append(dvs, schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+			"o": schema.DatasetActual("output", fmt.Sprintf("f%d", i+1)),
+			"i": schema.DatasetActual("input", fmt.Sprintf("f%d", i)),
+		}})
+	}
+	g, err := dag.Build(dvs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func buildFanGraph(t *testing.T, n int) *dag.Graph {
+	t.Helper()
+	tr := schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/bin/t",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}
+	var dvs []schema.Derivation
+	for i := 0; i < n; i++ {
+		dvs = append(dvs, schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+			"o": schema.DatasetActual("output", fmt.Sprintf("out%d", i)),
+			"i": schema.DatasetActual("input", "shared"),
+		}})
+	}
+	g, err := dag.Build(dvs, schema.MapResolver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEstimateGraphChainVsFan(t *testing.T) {
+	e := New(60)
+	for i := 0; i < 10; i++ {
+		e.Observe("t", 100, 0, 0, true)
+	}
+	chain, _ := buildChainGraph(t, 10)
+	fan := buildFanGraph(t, 10)
+
+	// Chain: critical path dominates regardless of hosts.
+	ec := e.EstimateGraph(chain, 100, nil)
+	if ec.TotalWork != 1000 || ec.CriticalPath != 1000 || ec.Makespan != 1000 {
+		t.Errorf("chain: %+v", ec)
+	}
+	if !ec.Confident {
+		t.Error("chain should be confident")
+	}
+	// Fan: parallelizes perfectly.
+	ef := e.EstimateGraph(fan, 10, nil)
+	if ef.CriticalPath != 100 || ef.Makespan != 100 {
+		t.Errorf("fan on 10 hosts: %+v", ef)
+	}
+	ef1 := e.EstimateGraph(fan, 1, nil)
+	if ef1.Makespan != 1000 {
+		t.Errorf("fan on 1 host: %+v", ef1)
+	}
+	// Hosts <= 0 treated as 1.
+	if e.EstimateGraph(fan, 0, nil).Makespan != 1000 {
+		t.Error("zero hosts")
+	}
+}
+
+func TestEstimateTransferCost(t *testing.T) {
+	e := New(60)
+	e.Observe("t", 100, 0, 0, true)
+	chain, _ := buildChainGraph(t, 5)
+	est := e.EstimateGraph(chain, 1, func(*dag.Node) float64 { return 10 })
+	if est.TransferSeconds != 50 {
+		t.Errorf("transfer: %g", est.TransferSeconds)
+	}
+	if est.CriticalPath != 550 || est.Makespan != 550 {
+		t.Errorf("with transfers: %+v", est)
+	}
+}
+
+func TestConfidenceFlag(t *testing.T) {
+	e := New(60)
+	chain, _ := buildChainGraph(t, 3)
+	if e.EstimateGraph(chain, 1, nil).Confident {
+		t.Error("no history should not be confident")
+	}
+}
+
+func TestLoadCatalog(t *testing.T) {
+	c := catalog.New(nil)
+	tr := schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/bin/t",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}
+	if err := c.AddTransformation(tr); err != nil {
+		t.Fatal(err)
+	}
+	dv, err := c.AddDerivation(schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "b"),
+		"i": schema.DatasetActual("input", "a"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		if err := c.AddInvocation(schema.Invocation{
+			ID: fmt.Sprintf("iv%d", i), Derivation: dv.ID,
+			Start: base, End: base.Add(40 * time.Second),
+			BytesIn: 100, BytesOut: 200,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(60)
+	if err := e.LoadCatalog(c); err != nil {
+		t.Fatal(err)
+	}
+	w, confident := e.Work("t")
+	if !confident || w != 40 {
+		t.Errorf("loaded work: %g %v", w, confident)
+	}
+}
+
+func TestEstimateDerivations(t *testing.T) {
+	tr := schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/bin/t",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}
+	res := schema.MapResolver(tr)
+	dvs := []schema.Derivation{{TR: "t", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "b"),
+		"i": schema.DatasetActual("input", "a"),
+	}}}
+	e := New(77)
+	est, err := e.EstimateDerivations(dvs, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalWork != 77 {
+		t.Errorf("total: %g", est.TotalWork)
+	}
+	// Bad graph surfaces the error.
+	bad := []schema.Derivation{{TR: "ghost", Params: map[string]schema.Actual{}}}
+	if _, err := e.EstimateDerivations(bad, res, 1); err == nil {
+		t.Error("bad derivations accepted")
+	}
+}
+
+// Property: estimation error shrinks as history grows (E6's shape).
+func TestErrorShrinksWithHistory(t *testing.T) {
+	trueMean := 100.0
+	errAt := func(samples int) float64 {
+		e := New(10) // bad prior
+		// Deterministic pseudo-noise around the true mean.
+		for i := 0; i < samples; i++ {
+			noise := float64((i*37)%21) - 10
+			e.Observe("t", trueMean+noise, 0, 0, true)
+		}
+		w, _ := e.Work("t")
+		return math.Abs(w - trueMean)
+	}
+	e0 := errAt(0)   // prior error = 90
+	e10 := errAt(10) // sample error
+	e200 := errAt(200)
+	if !(e0 > e10 && e10 >= e200-0.5) {
+		t.Errorf("error not shrinking: %g %g %g", e0, e10, e200)
+	}
+	if e200 > 1 {
+		t.Errorf("converged error too large: %g", e200)
+	}
+}

@@ -1,0 +1,106 @@
+package executor
+
+import (
+	"fmt"
+	"strings"
+
+	"chimera/internal/schema"
+)
+
+// Command is the POSIX-model realization of one derivation: the
+// executable, its argument vector, stdio redirections, and environment
+// — the paper's Chimera-0/1 execution semantics.
+type Command struct {
+	Exec   string
+	Args   []string
+	Stdin  string
+	Stdout string
+	Stderr string
+	Env    map[string]string
+}
+
+// BuildCommand instantiates a simple transformation's argument
+// templates with a derivation's actuals. Dataset references resolve to
+// their logical names (drivers map those to physical paths).
+func BuildCommand(tr schema.Transformation, dv schema.Derivation) (Command, error) {
+	if tr.Kind != schema.Simple {
+		return Command{}, fmt.Errorf("executor: cannot build command for compound %s", tr.Ref())
+	}
+	binding := make(map[string]schema.Actual, len(tr.Args))
+	for _, f := range tr.Args {
+		if a, ok := dv.Params[f.Name]; ok {
+			binding[f.Name] = a
+		} else if f.Default != nil {
+			binding[f.Name] = *f.Default
+		} else {
+			return Command{}, fmt.Errorf("executor: formal %q of %s unbound", f.Name, tr.Ref())
+		}
+	}
+	expand := func(parts []schema.TemplatePart) (string, error) {
+		var b strings.Builder
+		for _, p := range parts {
+			if p.Ref == "" {
+				b.WriteString(p.Literal)
+				continue
+			}
+			a, ok := binding[p.Ref]
+			if !ok {
+				return "", fmt.Errorf("executor: template references unbound formal %q", p.Ref)
+			}
+			b.WriteString(actualText(a))
+		}
+		return b.String(), nil
+	}
+
+	cmd := Command{Exec: tr.Exec}
+	if cmd.Exec == "" {
+		cmd.Exec = tr.Profile["hints.pfnHint"]
+	}
+	for _, at := range tr.ArgTemplates {
+		text, err := expand(at.Parts)
+		if err != nil {
+			return Command{}, err
+		}
+		switch at.Name {
+		case "stdin":
+			cmd.Stdin = text
+		case "stdout":
+			cmd.Stdout = text
+		case "stderr":
+			cmd.Stderr = text
+		default:
+			cmd.Args = append(cmd.Args, text)
+		}
+	}
+	if len(tr.Env) > 0 || len(dv.Env) > 0 {
+		cmd.Env = make(map[string]string, len(tr.Env)+len(dv.Env))
+		for name, parts := range tr.Env {
+			text, err := expand(parts)
+			if err != nil {
+				return Command{}, err
+			}
+			cmd.Env[name] = text
+		}
+		// Derivation-level env overrides transformation templates.
+		for k, v := range dv.Env {
+			cmd.Env[k] = v
+		}
+	}
+	return cmd, nil
+}
+
+// actualText renders an actual for command-line substitution.
+func actualText(a schema.Actual) string {
+	switch a.Kind {
+	case schema.AString, schema.ADataset:
+		return a.Value
+	case schema.AList:
+		parts := make([]string, len(a.List))
+		for i, e := range a.List {
+			parts[i] = actualText(e)
+		}
+		return strings.Join(parts, " ")
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,248 @@
+package executor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"chimera/internal/dag"
+	"chimera/internal/grid"
+	"chimera/internal/schema"
+)
+
+// catTR pipes stdin to stdout via /bin/cat — a real POSIX
+// transformation with dataset-bound redirections.
+func catTR() schema.Transformation {
+	return schema.Transformation{
+		Name: "copy", Kind: schema.Simple, Exec: "/bin/cat",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		},
+		ArgTemplates: []schema.ArgTemplate{
+			{Name: "stdin", Parts: []schema.TemplatePart{{Ref: "i"}}},
+			{Name: "stdout", Parts: []schema.TemplatePart{{Ref: "o"}}},
+		},
+	}
+}
+
+// envTR dumps the process environment — exercising env-variable
+// resolution through the POSIX model.
+func envTR() schema.Transformation {
+	return schema.Transformation{
+		Name: "printenv", Kind: schema.Simple, Exec: "/usr/bin/env",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+			{Name: "greeting", Direction: schema.None, Default: defaultActual("hello")},
+		},
+		ArgTemplates: []schema.ArgTemplate{
+			{Name: "stdin", Parts: []schema.TemplatePart{{Ref: "i"}}},
+			{Name: "stdout", Parts: []schema.TemplatePart{{Ref: "o"}}},
+		},
+		Env: map[string][]schema.TemplatePart{"GREETING": {{Ref: "greeting"}}},
+	}
+}
+
+func defaultActual(v string) *schema.Actual {
+	a := schema.StringActual(v)
+	return &a
+}
+
+func requirePOSIX(t *testing.T) {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX executables unavailable")
+	}
+	if _, err := os.Stat("/bin/cat"); err != nil {
+		t.Skip("/bin/cat unavailable")
+	}
+}
+
+func TestExecFallbackRunsRealProcesses(t *testing.T) {
+	requirePOSIX(t)
+	ws := t.TempDir()
+	res := schema.MapResolver(catTR(), envTR())
+	drv := NewLocalDriver(ws)
+	drv.Resolve = res
+	drv.ExecFallback = true
+
+	if err := os.WriteFile(filepath.Join(ws, "src"), []byte("payload\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dvs := []schema.Derivation{
+		{TR: "copy", Params: map[string]schema.Actual{
+			"o": schema.DatasetActual("output", "mid"),
+			"i": schema.DatasetActual("input", "src"),
+		}},
+		{TR: "printenv", Params: map[string]schema.Actual{
+			"o":        schema.DatasetActual("output", "final"),
+			"i":        schema.DatasetActual("input", "mid"),
+			"greeting": schema.StringActual("bonjour"),
+		}},
+	}
+	g, err := dag.Build(dvs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Stage 1: /bin/cat copied src -> mid byte for byte.
+	mid, err := os.ReadFile(filepath.Join(ws, "mid"))
+	if err != nil || string(mid) != "payload\n" {
+		t.Errorf("cat stage: %q %v", mid, err)
+	}
+	// Stage 2: /usr/bin/env saw the resolved GREETING variable.
+	out, err := os.ReadFile(filepath.Join(ws, "final"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "GREETING=bonjour") {
+		t.Errorf("env output missing GREETING: %q", out)
+	}
+}
+
+func TestExecFallbackFailuresReported(t *testing.T) {
+	requirePOSIX(t)
+	ws := t.TempDir()
+	// Nonexistent executable → failed attempt, not executor error.
+	bad := schema.Transformation{Name: "nope", Kind: schema.Simple, Exec: "/no/such/bin",
+		Args: []schema.FormalArg{{Name: "o", Direction: schema.Out}, {Name: "i", Direction: schema.In}}}
+	res := schema.MapResolver(bad, catTR())
+	drv := NewLocalDriver(ws)
+	drv.Resolve = res
+	drv.ExecFallback = true
+	g, _ := dag.Build([]schema.Derivation{{TR: "nope", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "o"), "i": schema.DatasetActual("input", "i"),
+	}}}, res)
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("missing executable: %+v", rep)
+	}
+
+	// Missing stdin file → failure too.
+	g2, _ := dag.Build([]schema.Derivation{{TR: "copy", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "out2"), "i": schema.DatasetActual("input", "missing-input"),
+	}}}, res)
+	ex2 := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	rep, err = ex2.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("missing input: %+v", rep)
+	}
+}
+
+func TestExecFallbackDisabledStillErrors(t *testing.T) {
+	ws := t.TempDir()
+	res := schema.MapResolver(catTR())
+	drv := NewLocalDriver(ws)
+	drv.Resolve = res // fallback off
+	g, _ := dag.Build([]schema.Derivation{{TR: "copy", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "o"), "i": schema.DatasetActual("input", "i"),
+	}}}, res)
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	if _, err := ex.Run(g); err == nil {
+		t.Error("unregistered TR without fallback accepted")
+	}
+}
+
+func TestRegisteredFuncBeatsFallback(t *testing.T) {
+	ws := t.TempDir()
+	res := schema.MapResolver(catTR())
+	drv := NewLocalDriver(ws)
+	drv.Resolve = res
+	drv.ExecFallback = true
+	ran := false
+	drv.Register("copy", func(Task) error { ran = true; return nil })
+	g, _ := dag.Build([]schema.Derivation{{TR: "copy", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "o"), "i": schema.DatasetActual("input", "i"),
+	}}}, res)
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	rep, err := ex.Run(g)
+	if err != nil || !rep.Succeeded() || !ran {
+		t.Errorf("registered func not preferred: %v %v ran=%v", rep, err, ran)
+	}
+}
+
+func TestCampaignSurvivesHostFailures(t *testing.T) {
+	// 2 sites × 4 hosts; kill one site's hosts mid-campaign. Retries
+	// reroute the lost jobs; the campaign still completes.
+	g := grid.NewGrid()
+	for _, s := range []string{"a", "b"} {
+		if _, err := g.AddSite(s, 1e15); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddHosts(s, s, 4, 1.0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect("a", "b", 1e9, 0.01, 4); err != nil {
+		t.Fatal(err)
+	}
+	cl := grid.NewCluster(g, grid.NewSim(13))
+	drv := NewSimDriver(cl)
+
+	var dvs []schema.Derivation
+	tr := catTR()
+	for i := 0; i < 40; i++ {
+		dvs = append(dvs, schema.Derivation{TR: "copy", Params: map[string]schema.Actual{
+			"o": schema.DatasetActual("output", fmt.Sprintf("out%d", i)),
+			"i": schema.DatasetActual("input", "src"),
+		}})
+	}
+	graph, err := dag.Build(dvs, schema.MapResolver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill site a's hosts at t=50 (jobs are 100s; many are mid-run).
+	cl.Sim.After(50, func() {
+		for i := 0; i < 4; i++ {
+			cl.FailHost(fmt.Sprintf("a-%d", i))
+		}
+	})
+
+	round := 0
+	ex := &Executor{Driver: drv, MaxRetries: 3, Assign: func(*dag.Node) (Placement, error) {
+		// Round-robin across sites; placements onto dead hosts surface
+		// as failed attempts and retry elsewhere (site-level choice:
+		// host is picked at launch among live hosts).
+		round++
+		site := "a"
+		if round%2 == 0 || cl.LeastLoadedHost("a") == "" {
+			site = "b"
+		}
+		return Placement{Site: site, Work: 100}, nil
+	}}
+	rep, err := ex.Run(graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("campaign lost jobs to host failures: %+v", rep)
+	}
+	if rep.Retries == 0 {
+		t.Error("expected retries after host failures")
+	}
+	// Every successful completion ran on a surviving host.
+	for _, r := range rep.Results {
+		if r.ExitCode == 0 && r.Site == "a" && r.End > 50 {
+			t.Errorf("job completed on dead site after failure: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package executor implements the derivation facet (§5.4): a
+// DAGman-style workflow execution manager that dispatches the nodes of
+// a workflow graph as their predecessor dependencies complete, retries
+// failures, records invocation objects (and output replicas) in the
+// virtual data catalog, and reports completion statistics.
+//
+// Execution is abstracted behind a Driver: SimDriver runs placements on
+// the simulated grid in virtual time; LocalDriver runs registered Go
+// functions on the local machine in real time. The executor itself is
+// identical over both.
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/schema"
+)
+
+// StageIn describes one input transfer a placement requires.
+type StageIn struct {
+	// Dataset being staged.
+	Dataset string
+	// FromSite holding the chosen replica.
+	FromSite string
+	// Bytes to move.
+	Bytes int64
+}
+
+// Placement is the planner's decision for one node: where it runs, how
+// much work it is, and what data must move first.
+type Placement struct {
+	// Site and Host name the execution location.
+	Site string
+	Host string
+	// Work is the job cost in reference-CPU seconds.
+	Work float64
+	// NoiseAmp adds runtime jitter in simulation (0 = deterministic).
+	NoiseAmp float64
+	// Transfers stage inputs to Site before the job starts.
+	Transfers []StageIn
+	// OutputBytes predicts the size of each produced dataset, used for
+	// replica registration and accounting.
+	OutputBytes map[string]int64
+}
+
+// Result reports one attempt at one node.
+type Result struct {
+	Node     string
+	Attempt  int
+	ExitCode int
+	Site     string
+	Host     string
+	// Start and End are in driver time (seconds).
+	Start, End float64
+	BytesIn    int64
+	BytesOut   int64
+}
+
+// Driver runs placed jobs and delivers completions.
+type Driver interface {
+	// Start launches a node; done is called exactly once with the
+	// attempt's result. Start must not block on job completion.
+	Start(n *dag.Node, p Placement, attempt int, done func(Result)) error
+	// Drain runs until every started job has delivered its result.
+	Drain()
+	// Now returns the driver's current time in seconds.
+	Now() float64
+}
+
+// Event describes executor progress for observers.
+type Event struct {
+	// Kind is "dispatch", "done", "retry", "fail".
+	Kind   string
+	Node   string
+	Result Result
+}
+
+// Executor drives a workflow graph to completion.
+type Executor struct {
+	// Driver executes placed nodes. Required.
+	Driver Driver
+	// Assign chooses a placement when a node becomes ready. Required.
+	// It is called in dispatch order and may observe current load.
+	Assign func(*dag.Node) (Placement, error)
+	// MaxRetries bounds re-execution after failures (0 = no retries).
+	MaxRetries int
+	// Catalog, when set, receives invocation records for every attempt
+	// and replica records for the outputs of successful nodes.
+	Catalog *catalog.Catalog
+	// Epoch maps driver seconds to wall-clock timestamps in invocation
+	// records; zero means Unix epoch.
+	Epoch time.Time
+	// OnEvent observes progress (optional).
+	OnEvent func(Event)
+
+	mu         sync.Mutex
+	done       map[string]bool
+	attempts   map[string]int
+	failed     map[string]bool
+	dispatched map[string]bool
+	results    []Result
+	firstErr   error
+	graph      *dag.Graph
+	invSeq     int
+}
+
+// Report summarizes a workflow run.
+type Report struct {
+	// Completed, Failed and Blocked count terminal node states; a node
+	// is blocked when an ancestor failed permanently.
+	Completed, Failed, Blocked int
+	// Makespan is the driver time at completion.
+	Makespan float64
+	// Retries counts re-executions.
+	Retries int
+	// BytesStagedIn totals input transfer volume.
+	BytesStagedIn int64
+	// Results holds every attempt in completion order.
+	Results []Result
+}
+
+// Succeeded reports whether every node completed.
+func (r Report) Succeeded() bool { return r.Failed == 0 && r.Blocked == 0 }
+
+// Run executes the graph to quiescence and returns the report. Run is
+// not safe for concurrent invocation on one Executor.
+func (e *Executor) Run(g *dag.Graph) (Report, error) {
+	if e.Driver == nil || e.Assign == nil {
+		return Report{}, errors.New("executor: Driver and Assign are required")
+	}
+	e.mu.Lock()
+	e.graph = g
+	e.done = make(map[string]bool, g.Len())
+	e.attempts = make(map[string]int)
+	e.failed = make(map[string]bool)
+	e.dispatched = make(map[string]bool)
+	e.results = nil
+	e.firstErr = nil
+	e.mu.Unlock()
+
+	e.mu.Lock()
+	e.dispatchReadyLocked()
+	e.mu.Unlock()
+	e.Driver.Drain()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.firstErr != nil {
+		return Report{}, e.firstErr
+	}
+	rep := Report{Makespan: e.Driver.Now(), Results: e.results}
+	for _, n := range g.Nodes() {
+		switch {
+		case e.done[n.ID]:
+			rep.Completed++
+		case e.failed[n.ID]:
+			rep.Failed++
+		default:
+			rep.Blocked++
+		}
+	}
+	for _, r := range e.results {
+		rep.BytesStagedIn += r.BytesIn
+		if r.Attempt > 0 {
+			rep.Retries++
+		}
+	}
+	return rep, nil
+}
+
+// dispatchReadyLocked starts every ready, not-yet-dispatched node.
+// Callers hold e.mu.
+func (e *Executor) dispatchReadyLocked() {
+	if e.firstErr != nil {
+		return
+	}
+	for _, n := range e.graph.Ready(e.done) {
+		if e.dispatched[n.ID] || e.failed[n.ID] {
+			continue
+		}
+		e.startLocked(n, 0)
+	}
+}
+
+// startLocked dispatches one attempt. Callers hold e.mu.
+func (e *Executor) startLocked(n *dag.Node, attempt int) {
+	p, err := e.Assign(n)
+	if err != nil {
+		e.firstErr = fmt.Errorf("executor: assign %s: %w", n.ID, err)
+		return
+	}
+	e.dispatched[n.ID] = true
+	e.emit(Event{Kind: "dispatch", Node: n.ID})
+	err = e.Driver.Start(n, p, attempt, func(res Result) {
+		e.complete(n, p, res)
+	})
+	if err != nil {
+		e.firstErr = fmt.Errorf("executor: start %s: %w", n.ID, err)
+	}
+}
+
+// complete handles one attempt result; it may run on any goroutine.
+func (e *Executor) complete(n *dag.Node, p Placement, res Result) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.results = append(e.results, res)
+	e.record(n, p, res)
+	if res.ExitCode == 0 {
+		e.done[n.ID] = true
+		e.emit(Event{Kind: "done", Node: n.ID, Result: res})
+		e.dispatchReadyLocked()
+		return
+	}
+	if res.Attempt < e.MaxRetries {
+		e.emit(Event{Kind: "retry", Node: n.ID, Result: res})
+		e.startLocked(n, res.Attempt+1)
+		return
+	}
+	e.failed[n.ID] = true
+	e.emit(Event{Kind: "fail", Node: n.ID, Result: res})
+}
+
+// record persists the attempt as an invocation (and, on success, the
+// output replicas) if a catalog is attached. Callers hold e.mu.
+func (e *Executor) record(n *dag.Node, p Placement, res Result) {
+	if e.Catalog == nil {
+		return
+	}
+	epoch := e.Epoch
+	if epoch.IsZero() {
+		epoch = time.Unix(0, 0).UTC()
+	}
+	e.invSeq++
+	iv := schema.Invocation{
+		// Sequence by prior recorded executions so re-running a
+		// derivation (retries, epoch recomputes) never collides.
+		ID:         fmt.Sprintf("iv-%s-%d", n.ID, len(e.Catalog.InvocationsOf(n.ID))),
+		Derivation: n.ID,
+		Site:       res.Site,
+		Host:       res.Host,
+		Start:      epoch.Add(time.Duration(res.Start * float64(time.Second))),
+		End:        epoch.Add(time.Duration(res.End * float64(time.Second))),
+		ExitCode:   res.ExitCode,
+		BytesIn:    res.BytesIn,
+		BytesOut:   res.BytesOut,
+	}
+	if err := e.Catalog.AddInvocation(iv); err != nil && e.firstErr == nil {
+		e.firstErr = err
+		return
+	}
+	if res.ExitCode != 0 {
+		return
+	}
+	for _, out := range n.Outputs {
+		epoch := 0
+		if rec, err := e.Catalog.Dataset(out); err == nil {
+			epoch = rec.Epoch
+		}
+		rep := schema.Replica{
+			ID:         fmt.Sprintf("rep-%s-%s-e%d-%d", out, res.Site, epoch, e.invSeq),
+			Dataset:    out,
+			Site:       res.Site,
+			PFN:        fmt.Sprintf("/store/%s/%s", res.Site, out),
+			Size:       p.OutputBytes[out],
+			Epoch:      epoch,
+			ProducedBy: iv.ID,
+		}
+		if err := e.Catalog.AddReplica(rep); err != nil && !errors.Is(err, catalog.ErrExists) {
+			if e.firstErr == nil {
+				e.firstErr = err
+			}
+			return
+		}
+	}
+}
+
+func (e *Executor) emit(ev Event) {
+	if e.OnEvent != nil {
+		e.OnEvent(ev)
+	}
+}

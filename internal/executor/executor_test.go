@@ -1,0 +1,476 @@
+package executor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/grid"
+	"chimera/internal/schema"
+)
+
+func tr1() schema.Transformation {
+	return schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/bin/t",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}
+}
+
+func tr2() schema.Transformation {
+	return schema.Transformation{Name: "m", Kind: schema.Simple, Exec: "/bin/m",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i1", Direction: schema.In},
+			{Name: "i2", Direction: schema.In},
+		}}
+}
+
+func dv1(in, out string) schema.Derivation {
+	return schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", out),
+		"i": schema.DatasetActual("input", in),
+	}}
+}
+
+func dv2(i1, i2, out string) schema.Derivation {
+	return schema.Derivation{TR: "m", Params: map[string]schema.Actual{
+		"o":  schema.DatasetActual("output", out),
+		"i1": schema.DatasetActual("input", i1),
+		"i2": schema.DatasetActual("input", i2),
+	}}
+}
+
+func diamondGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	g, err := dag.Build(
+		[]schema.Derivation{dv1("a", "b"), dv1("a", "c"), dv2("b", "c", "d")},
+		schema.MapResolver(tr1(), tr2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func simSetup(t *testing.T, hosts int) (*grid.Cluster, *SimDriver) {
+	t.Helper()
+	g := grid.NewGrid()
+	if _, err := g.AddSite("s", 1e15); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddHosts("s", "h", hosts, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := grid.NewCluster(g, grid.NewSim(7))
+	return c, NewSimDriver(c)
+}
+
+func fixedAssign(work float64) func(*dag.Node) (Placement, error) {
+	return func(*dag.Node) (Placement, error) {
+		return Placement{Site: "s", Work: work}, nil
+	}
+}
+
+func TestRunDiamondOnSim(t *testing.T) {
+	_, drv := simSetup(t, 2)
+	ex := &Executor{Driver: drv, Assign: fixedAssign(10)}
+	rep, err := ex.Run(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() || rep.Completed != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// b and c run in parallel (2 hosts), then d: 10 + 10 = 20.
+	if rep.Makespan != 20 {
+		t.Errorf("makespan: %g", rep.Makespan)
+	}
+	// One host: serialize b,c then d: 30.
+	_, drv1 := simSetup(t, 1)
+	ex1 := &Executor{Driver: drv1, Assign: fixedAssign(10)}
+	rep1, err := ex1.Run(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Makespan != 30 {
+		t.Errorf("single-host makespan: %g", rep1.Makespan)
+	}
+}
+
+func TestDependencyOrderRespected(t *testing.T) {
+	_, drv := simSetup(t, 8)
+	var mu sync.Mutex
+	finished := make(map[string]float64)
+	ex := &Executor{Driver: drv, Assign: fixedAssign(5), OnEvent: func(ev Event) {
+		if ev.Kind == "done" {
+			mu.Lock()
+			finished[ev.Node] = ev.Result.End
+			mu.Unlock()
+		}
+	}}
+	g := diamondGraph(t)
+	if _, err := ex.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		for _, p := range n.Preds() {
+			if finished[p.ID] > finished[n.ID] {
+				t.Errorf("node %s finished before predecessor %s", n.ID, p.ID)
+			}
+		}
+	}
+}
+
+func TestInvocationAndReplicaRecording(t *testing.T) {
+	cat := catalog.New(nil)
+	if err := cat.AddTransformation(tr1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTransformation(tr2()); err != nil {
+		t.Fatal(err)
+	}
+	var dvs []schema.Derivation
+	for _, d := range []schema.Derivation{dv1("a", "b"), dv1("a", "c"), dv2("b", "c", "d")} {
+		stored, err := cat.AddDerivation(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dvs = append(dvs, stored)
+	}
+	g, err := dag.Build(dvs, cat.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, drv := simSetup(t, 2)
+	ex := &Executor{Driver: drv, Catalog: cat, Assign: func(n *dag.Node) (Placement, error) {
+		out := map[string]int64{}
+		for _, o := range n.Outputs {
+			out[o] = 500
+		}
+		return Placement{Site: "s", Work: 10, OutputBytes: out}, nil
+	}}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got := len(cat.Invocations()); got != 3 {
+		t.Errorf("invocations: %d", got)
+	}
+	for _, ds := range []string{"b", "c", "d"} {
+		if !cat.Materialized(ds) {
+			t.Errorf("dataset %s not materialized", ds)
+		}
+		reps := cat.ReplicasOf(ds)
+		if len(reps) != 1 || reps[0].Size != 500 || reps[0].Site != "s" {
+			t.Errorf("replica of %s: %+v", ds, reps)
+		}
+	}
+	// Invocation timings are consistent with sim.
+	for _, iv := range cat.Invocations() {
+		if !iv.Succeeded() || iv.End.Before(iv.Start) {
+			t.Errorf("bad invocation: %+v", iv)
+		}
+	}
+}
+
+func TestRetriesAndPermanentFailure(t *testing.T) {
+	// FailProb 1: everything fails, retries exhausted, descendants blocked.
+	_, drv := simSetup(t, 2)
+	drv.FailProb = 1.0
+	ex := &Executor{Driver: drv, Assign: fixedAssign(1), MaxRetries: 2}
+	rep, err := ex.Run(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded() {
+		t.Fatal("all-fail run reported success")
+	}
+	if rep.Failed != 2 || rep.Blocked != 1 {
+		t.Errorf("failed=%d blocked=%d", rep.Failed, rep.Blocked)
+	}
+	// 2 roots × 3 attempts each = 6 results.
+	if len(rep.Results) != 6 || rep.Retries != 4 {
+		t.Errorf("results=%d retries=%d", len(rep.Results), rep.Retries)
+	}
+
+	// Moderate failure rate with retries: eventually completes.
+	_, drv2 := simSetup(t, 2)
+	drv2.FailProb = 0.3
+	ex2 := &Executor{Driver: drv2, Assign: fixedAssign(1), MaxRetries: 50}
+	rep2, err := ex2.Run(diamondGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Succeeded() {
+		t.Errorf("retrying run did not succeed: %+v", rep2)
+	}
+}
+
+func TestStageInTransfers(t *testing.T) {
+	g := grid.NewGrid()
+	g.AddSite("s", 1e15)
+	g.AddSite("remote", 1e15)
+	g.AddHosts("s", "h", 1, 1.0, 1)
+	g.AddHosts("remote", "r", 1, 1.0, 1)
+	g.Connect("s", "remote", 100, 0, 1) // 100 B/s, 1 stream
+	cl := grid.NewCluster(g, grid.NewSim(7))
+	drv := NewSimDriver(cl)
+	ex := &Executor{Driver: drv, Assign: func(n *dag.Node) (Placement, error) {
+		return Placement{Site: "s", Work: 10, Transfers: []StageIn{
+			{Dataset: "a", FromSite: "remote", Bytes: 1000},
+		}}, nil
+	}}
+	graph, err := dag.Build([]schema.Derivation{dv1("a", "b")}, schema.MapResolver(tr1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ex.Run(graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer 1000B at 100B/s (1 stream) = 10s, then 10s of work.
+	if rep.Makespan != 20 {
+		t.Errorf("makespan with staging: %g", rep.Makespan)
+	}
+	if rep.BytesStagedIn != 1000 {
+		t.Errorf("staged bytes: %d", rep.BytesStagedIn)
+	}
+	if cl.TransferredBytes != 1000 {
+		t.Errorf("wan bytes: %d", cl.TransferredBytes)
+	}
+}
+
+func TestAssignErrorsSurface(t *testing.T) {
+	_, drv := simSetup(t, 1)
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) {
+		return Placement{}, fmt.Errorf("no site available")
+	}}
+	if _, err := ex.Run(diamondGraph(t)); err == nil {
+		t.Error("assign error swallowed")
+	}
+	ex2 := &Executor{Driver: drv, Assign: fixedAssign(1)}
+	ex2.Driver = nil
+	if _, err := ex2.Run(diamondGraph(t)); err == nil {
+		t.Error("missing driver accepted")
+	}
+	// Unknown site from assign.
+	_, drv3 := simSetup(t, 1)
+	ex3 := &Executor{Driver: drv3, Assign: func(*dag.Node) (Placement, error) {
+		return Placement{Site: "nowhere", Work: 1}, nil
+	}}
+	if _, err := ex3.Run(diamondGraph(t)); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestLocalDriverRealFiles(t *testing.T) {
+	ws := t.TempDir()
+	drv := NewLocalDriver(ws)
+	res := schema.MapResolver(tr1(), tr2())
+	drv.Resolve = res
+
+	// t: copy input to output, uppercased. m: concatenate inputs.
+	drv.Register("t", func(task Task) error {
+		in := task.Node.Inputs[0]
+		out := task.Node.Outputs[0]
+		data, err := os.ReadFile(filepath.Join(task.Workspace, in))
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(task.Workspace, out), []byte(strings.ToUpper(string(data))), 0o644)
+	})
+	drv.Register("m", func(task Task) error {
+		var all []byte
+		for _, in := range task.Node.Inputs {
+			data, err := os.ReadFile(filepath.Join(task.Workspace, in))
+			if err != nil {
+				return err
+			}
+			all = append(all, data...)
+		}
+		return os.WriteFile(filepath.Join(task.Workspace, task.Node.Outputs[0]), all, 0o644)
+	})
+
+	if err := os.WriteFile(filepath.Join(ws, "a"), []byte("hi "), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(
+		[]schema.Derivation{dv1("a", "b"), dv1("a", "c"), dv2("b", "c", "d")},
+		res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("report: %+v", rep)
+	}
+	data, err := os.ReadFile(filepath.Join(ws, "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "HI HI " {
+		t.Errorf("pipeline output: %q", data)
+	}
+}
+
+func TestLocalDriverFailureAndMissingImpl(t *testing.T) {
+	drv := NewLocalDriver(t.TempDir())
+	drv.Register("t", func(Task) error { return fmt.Errorf("boom") })
+	g, _ := dag.Build([]schema.Derivation{dv1("a", "b")}, schema.MapResolver(tr1()))
+	ex := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("failing impl: %+v", rep)
+	}
+
+	g2, _ := dag.Build([]schema.Derivation{dv2("a", "b", "c")}, schema.MapResolver(tr2()))
+	ex2 := &Executor{Driver: drv, Assign: func(*dag.Node) (Placement, error) { return Placement{}, nil }}
+	if _, err := ex2.Run(g2); err == nil {
+		t.Error("missing implementation accepted")
+	}
+}
+
+func TestBuildCommandPaperExample(t *testing.T) {
+	tr := schema.Transformation{
+		Name: "t1", Kind: schema.Simple, Exec: "/usr/bin/app3",
+		Args: []schema.FormalArg{
+			{Name: "a2", Direction: schema.Out},
+			{Name: "a1", Direction: schema.In},
+			{Name: "env", Direction: schema.None, Default: actualPtr(schema.StringActual("100000"))},
+			{Name: "pa", Direction: schema.None, Default: actualPtr(schema.StringActual("500"))},
+		},
+		ArgTemplates: []schema.ArgTemplate{
+			{Name: "parg", Parts: []schema.TemplatePart{{Literal: "-p "}, {Ref: "pa"}}},
+			{Name: "farg", Parts: []schema.TemplatePart{{Literal: "-f "}, {Ref: "a1"}}},
+			{Name: "xarg", Parts: []schema.TemplatePart{{Literal: "-x -y "}}},
+			{Name: "stdout", Parts: []schema.TemplatePart{{Ref: "a2"}}},
+		},
+		Env: map[string][]schema.TemplatePart{"MAXMEM": {{Ref: "env"}}},
+	}
+	dv := schema.Derivation{
+		Name: "d1", TR: "t1",
+		Params: map[string]schema.Actual{
+			"a2":  schema.DatasetActual("output", "run1.exp15.T1932.summary"),
+			"a1":  schema.DatasetActual("input", "run1.exp15.T1932.raw"),
+			"env": schema.StringActual("20000"),
+			"pa":  schema.StringActual("600"),
+		},
+	}
+	cmd, err := BuildCommand(tr, dv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Exec != "/usr/bin/app3" {
+		t.Errorf("exec: %s", cmd.Exec)
+	}
+	wantArgs := []string{"-p 600", "-f run1.exp15.T1932.raw", "-x -y "}
+	if strings.Join(cmd.Args, "|") != strings.Join(wantArgs, "|") {
+		t.Errorf("args: %v", cmd.Args)
+	}
+	if cmd.Stdout != "run1.exp15.T1932.summary" || cmd.Stdin != "" {
+		t.Errorf("stdio: %+v", cmd)
+	}
+	if cmd.Env["MAXMEM"] != "20000" {
+		t.Errorf("env: %v", cmd.Env)
+	}
+
+	// Defaults apply when unbound.
+	delete(dv.Params, "pa")
+	cmd, err = BuildCommand(tr, dv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Args[0] != "-p 500" {
+		t.Errorf("default arg: %v", cmd.Args)
+	}
+
+	// Unbound without default is an error.
+	trNoDefault := tr
+	trNoDefault.Args = append([]schema.FormalArg{}, tr.Args...)
+	trNoDefault.Args[3].Default = nil
+	if _, err := BuildCommand(trNoDefault, dv); err == nil {
+		t.Error("unbound formal accepted")
+	}
+
+	// Compound rejected.
+	comp := schema.Transformation{Name: "c", Kind: schema.Compound}
+	if _, err := BuildCommand(comp, dv); err == nil {
+		t.Error("compound accepted")
+	}
+
+	// Derivation env overrides TR env template.
+	dv.Env = map[string]string{"MAXMEM": "1", "EXTRA": "2"}
+	cmd, _ = BuildCommand(tr, dv)
+	if cmd.Env["MAXMEM"] != "1" || cmd.Env["EXTRA"] != "2" {
+		t.Errorf("env override: %v", cmd.Env)
+	}
+
+	// List actuals join with spaces; pfnHint used when exec empty.
+	trList := schema.Transformation{
+		Name: "lt", Kind: schema.Simple,
+		Profile: map[string]string{"hints.pfnHint": "/bin/lt"},
+		Args:    []schema.FormalArg{{Name: "files", Direction: schema.In}},
+		ArgTemplates: []schema.ArgTemplate{
+			{Name: "f", Parts: []schema.TemplatePart{{Literal: "-f "}, {Ref: "files"}}},
+		},
+	}
+	dvList := schema.Derivation{TR: "lt", Params: map[string]schema.Actual{
+		"files": schema.ListActual(schema.DatasetActual("input", "x"), schema.DatasetActual("input", "y")),
+	}}
+	cmd, err = BuildCommand(trList, dvList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Exec != "/bin/lt" || cmd.Args[0] != "-f x y" {
+		t.Errorf("list command: %+v", cmd)
+	}
+}
+
+func actualPtr(a schema.Actual) *schema.Actual { return &a }
+
+func TestWideFanHostScaling(t *testing.T) {
+	// 120 independent jobs; makespan should scale ~1/hosts (E3's shape).
+	build := func() *dag.Graph {
+		var dvs []schema.Derivation
+		for i := 0; i < 120; i++ {
+			dvs = append(dvs, dv1("src", fmt.Sprintf("out%d", i)))
+		}
+		g, err := dag.Build(dvs, schema.MapResolver(tr1()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	var prev float64 = 1e18
+	for _, hosts := range []int{1, 10, 60, 120} {
+		_, drv := simSetup(t, hosts)
+		ex := &Executor{Driver: drv, Assign: fixedAssign(100)}
+		rep, err := ex.Run(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 100.0 * float64((120+hosts-1)/hosts)
+		if rep.Makespan != want {
+			t.Errorf("hosts=%d makespan=%g want=%g", hosts, rep.Makespan, want)
+		}
+		if rep.Makespan > prev {
+			t.Errorf("makespan grew with hosts")
+		}
+		prev = rep.Makespan
+	}
+}

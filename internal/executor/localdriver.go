@@ -1,0 +1,185 @@
+package executor
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"chimera/internal/dag"
+	"chimera/internal/schema"
+)
+
+// Task is what a locally executed transformation function receives: the
+// node being run, its resolved command line under the POSIX model, and
+// a workspace directory for dataset files.
+type Task struct {
+	Node *dag.Node
+	// Exec is the resolved executable pathname.
+	Exec string
+	// Args is the command line built from the transformation's
+	// argument templates (excluding stdio redirections).
+	Args []string
+	// Stdin, Stdout, Stderr are the resolved redirection values ("" if
+	// not redirected).
+	Stdin, Stdout, Stderr string
+	// Env is the resolved environment.
+	Env map[string]string
+	// Workspace is the driver's scratch directory.
+	Workspace string
+}
+
+// TransformFunc executes one derivation locally. A non-nil error marks
+// the attempt failed.
+type TransformFunc func(Task) error
+
+// LocalDriver executes workflow nodes as registered Go functions on the
+// local machine in real time — the "interactive analysis" execution
+// mode, and the way examples exercise real files end to end.
+type LocalDriver struct {
+	// Registry maps transformation names (bare name, or full canonical
+	// ref for versioned lookups) to implementations.
+	Registry map[string]TransformFunc
+	// Resolve provides transformation definitions for command-line
+	// construction. Optional; without it tasks carry only the node.
+	Resolve schema.Resolver
+	// Workspace is the scratch directory handed to tasks.
+	Workspace string
+	// ExecFallback runs unregistered transformations as real processes
+	// under the POSIX model: the resolved Exec path is invoked with the
+	// template-built argument vector (whitespace-split per template),
+	// stdio redirected to workspace files, and the resolved environment
+	// appended. This is the Chimera-0/1 execution semantics and
+	// requires Resolve to be set.
+	ExecFallback bool
+
+	base time.Time
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+}
+
+// NewLocalDriver returns a driver with an empty registry rooted at dir.
+func NewLocalDriver(dir string) *LocalDriver {
+	return &LocalDriver{
+		Registry:  make(map[string]TransformFunc),
+		Workspace: dir,
+		base:      time.Now(),
+	}
+}
+
+// Register installs an implementation for a transformation name.
+func (d *LocalDriver) Register(name string, fn TransformFunc) { d.Registry[name] = fn }
+
+// Now returns seconds since the driver was created.
+func (d *LocalDriver) Now() float64 { return time.Since(d.base).Seconds() }
+
+// Drain waits for all running tasks (and tasks they transitively
+// unlock) to finish.
+func (d *LocalDriver) Drain() { d.wg.Wait() }
+
+// Start implements Driver: the node runs on its own goroutine; the done
+// callback fires before the task is accounted finished, so successor
+// dispatches keep Drain from returning early.
+func (d *LocalDriver) Start(n *dag.Node, p Placement, attempt int, done func(Result)) error {
+	fn := d.lookup(n.Derivation.TR)
+	if fn == nil && d.ExecFallback && d.Resolve != nil {
+		fn = d.runProcess
+	}
+	if fn == nil {
+		return fmt.Errorf("executor: no local implementation registered for %q", n.Derivation.TR)
+	}
+	task := Task{Node: n, Workspace: d.Workspace, Env: n.Derivation.Env}
+	if d.Resolve != nil {
+		tr, err := d.Resolve(n.Derivation.TR)
+		if err != nil {
+			return err
+		}
+		cmd, err := BuildCommand(tr, n.Derivation)
+		if err != nil {
+			return err
+		}
+		task.Exec = cmd.Exec
+		task.Args = cmd.Args
+		task.Stdin, task.Stdout, task.Stderr = cmd.Stdin, cmd.Stdout, cmd.Stderr
+		task.Env = cmd.Env
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		start := d.Now()
+		err := fn(task)
+		exit := 0
+		if err != nil {
+			exit = 1
+		}
+		host, _ := os.Hostname()
+		done(Result{
+			Node: n.ID, Attempt: attempt, ExitCode: exit,
+			Site: "local", Host: host,
+			Start: start, End: d.Now(),
+		})
+	}()
+	return nil
+}
+
+// runProcess executes a task as a real process under the POSIX model:
+// argv from the argument templates (whitespace-split), stdio redirected
+// to workspace files named by the bound datasets, environment appended
+// to the parent's.
+func (d *LocalDriver) runProcess(task Task) error {
+	if task.Exec == "" {
+		return fmt.Errorf("executor: transformation %q has no executable", task.Node.Derivation.TR)
+	}
+	var argv []string
+	for _, a := range task.Args {
+		argv = append(argv, strings.Fields(a)...)
+	}
+	cmd := exec.Command(task.Exec, argv...)
+	cmd.Dir = task.Workspace
+	if len(task.Env) > 0 {
+		cmd.Env = os.Environ()
+		for k, v := range task.Env {
+			cmd.Env = append(cmd.Env, k+"="+v)
+		}
+	}
+	if task.Stdin != "" {
+		f, err := os.Open(filepath.Join(task.Workspace, task.Stdin))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cmd.Stdin = f
+	}
+	if task.Stdout != "" {
+		f, err := os.Create(filepath.Join(task.Workspace, task.Stdout))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cmd.Stdout = f
+	}
+	if task.Stderr != "" {
+		f, err := os.Create(filepath.Join(task.Workspace, task.Stderr))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cmd.Stderr = f
+	}
+	return cmd.Run()
+}
+
+// lookup resolves an implementation by full ref, then by bare name.
+func (d *LocalDriver) lookup(ref string) TransformFunc {
+	if fn, ok := d.Registry[ref]; ok {
+		return fn
+	}
+	_, name, _, err := schema.ParseTRRef(ref)
+	if err != nil {
+		return nil
+	}
+	return d.Registry[name]
+}

@@ -1,0 +1,308 @@
+// Package federation integrates virtual data catalog information from
+// multiple services, as sketched in Figures 3 and 4 of the paper:
+// federated indexes that answer discovery queries over many catalogs
+// without touching each one per query, and distributed lineage that
+// stitches provenance chains spanning personal, group and
+// collaboration catalogs linked by vdp:// references.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/query"
+
+	"chimera/internal/vds"
+)
+
+// Entry is one indexed object with its home authority.
+type Entry struct {
+	// Kind is "dataset", "transformation" or "derivation".
+	Kind string
+	// Name is the object's name in its home catalog.
+	Name string
+	// Authority operates the home catalog.
+	Authority string
+	// Ref is the vdp:// reference for retrieval.
+	Ref string
+}
+
+// Index is a federated index over member catalogs. Each Crawl pulls
+// member exports into a shadow catalog, against which discovery queries
+// run locally; results carry home-authority attribution. Indexes are
+// differentiated by scope and by an optional admission filter (e.g. an
+// "official collaboration index" admitting only approved entries).
+type Index struct {
+	// Name labels the index (e.g. "collaboration-wide").
+	Name string
+	// Scope is free-form ("personal", "group", "collaboration").
+	Scope string
+	// Filter, when non-empty, admits only datasets matching this
+	// discovery query (evaluated on the member's exported state).
+	Filter string
+
+	mu      sync.RWMutex
+	members map[string]*vds.Client
+	shadow  *catalog.Catalog
+	origin  map[string]string // kind/name -> authority
+	crawls  int
+	stale   map[string]error // per-member last crawl error
+}
+
+// NewIndex returns an empty index.
+func NewIndex(name, scope string) *Index {
+	return &Index{
+		Name: name, Scope: scope,
+		members: make(map[string]*vds.Client),
+		shadow:  catalog.New(nil),
+		origin:  make(map[string]string),
+		stale:   make(map[string]error),
+	}
+}
+
+// AddMember registers a member catalog under its authority name.
+func (ix *Index) AddMember(authority string, client *vds.Client) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.members[authority] = client
+}
+
+// RemoveMember drops a member; its entries disappear at the next crawl.
+func (ix *Index) RemoveMember(authority string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	delete(ix.members, authority)
+}
+
+// Members lists member authorities, sorted.
+func (ix *Index) Members() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.members))
+	for a := range ix.members {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Crawls reports how many crawl passes have completed.
+func (ix *Index) Crawls() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.crawls
+}
+
+// MemberError returns the error from the last crawl of a member, nil if
+// it succeeded.
+func (ix *Index) MemberError(authority string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.stale[authority]
+}
+
+// Crawl rebuilds the index from current member state. Unreachable
+// members are skipped (recorded in MemberError) so one dead catalog
+// does not take the federation down.
+func (ix *Index) Crawl() error {
+	ix.mu.Lock()
+	members := make(map[string]*vds.Client, len(ix.members))
+	for a, c := range ix.members {
+		members[a] = c
+	}
+	filter := ix.Filter
+	ix.mu.Unlock()
+
+	shadow := catalog.New(nil)
+	origin := make(map[string]string)
+	stale := make(map[string]error)
+
+	authorities := make([]string, 0, len(members))
+	for a := range members {
+		authorities = append(authorities, a)
+	}
+	sort.Strings(authorities)
+
+	for _, a := range authorities {
+		exp, err := members[a].Export()
+		if err != nil {
+			stale[a] = err
+			continue
+		}
+		admitted, err := admit(exp, filter)
+		if err != nil {
+			stale[a] = err
+			continue
+		}
+		// Overlapping definitions across members (e.g. one catalog
+		// re-exporting a transformation it imported from another) skip
+		// only the overlapping objects, keeping first-crawled copies.
+		if skipped := shadow.ImportTolerant(admitted); skipped > 0 {
+			stale[a] = fmt.Errorf("federation: %d objects of %s overlapped existing index entries", skipped, a)
+		}
+		for _, ds := range admitted.Datasets {
+			key := "dataset/" + ds.Name
+			if _, taken := origin[key]; !taken {
+				origin[key] = a
+			}
+		}
+		for _, tr := range admitted.Transformations {
+			key := "transformation/" + tr.Ref()
+			if _, taken := origin[key]; !taken {
+				origin[key] = a
+			}
+		}
+		for _, dv := range admitted.Derivations {
+			key := "derivation/" + dv.ID
+			if _, taken := origin[key]; !taken {
+				origin[key] = a
+			}
+		}
+	}
+
+	ix.mu.Lock()
+	ix.shadow = shadow
+	ix.origin = origin
+	ix.stale = stale
+	ix.crawls++
+	ix.mu.Unlock()
+	return nil
+}
+
+// admit filters an export down to the entries the index accepts.
+func admit(exp catalog.Export, filter string) (catalog.Export, error) {
+	if filter == "" {
+		return exp, nil
+	}
+	// Evaluate the filter on a temporary catalog of the member state.
+	tmp := catalog.New(nil)
+	if err := tmp.Import(exp); err != nil {
+		return catalog.Export{}, err
+	}
+	res, err := query.Search(tmp, query.KDataset, filter)
+	if err != nil {
+		return catalog.Export{}, err
+	}
+	keep := make(map[string]bool, len(res.Datasets))
+	for _, ds := range res.Datasets {
+		keep[ds.Name] = true
+	}
+	out := exp
+	out.Datasets = nil
+	for _, ds := range exp.Datasets {
+		if keep[ds.Name] {
+			out.Datasets = append(out.Datasets, ds)
+		}
+	}
+	// Keep only derivations whose outputs are all admitted, so the
+	// filtered view stays provenance-consistent.
+	tmp2 := catalog.New(nil)
+	for _, tr := range exp.Transformations {
+		if err := tmp2.AddTransformation(tr); err != nil {
+			return catalog.Export{}, err
+		}
+	}
+	out.Derivations = nil
+	for _, dv := range exp.Derivations {
+		tr, err := tmp2.Transformation(dv.TR)
+		if err != nil {
+			continue
+		}
+		ok := true
+		for _, o := range dv.Outputs(tr) {
+			if !keep[o] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Derivations = append(out.Derivations, dv)
+		}
+	}
+	out.Replicas = nil
+	for _, r := range exp.Replicas {
+		if keep[r.Dataset] {
+			out.Replicas = append(out.Replicas, r)
+		}
+	}
+	out.Invocations = nil
+	admittedDVs := make(map[string]bool, len(out.Derivations))
+	for _, dv := range out.Derivations {
+		admittedDVs[dv.ID] = true
+	}
+	for _, iv := range exp.Invocations {
+		if admittedDVs[iv.Derivation] {
+			out.Invocations = append(out.Invocations, iv)
+		}
+	}
+	return out, nil
+}
+
+// SearchDatasets runs a discovery query against the index and returns
+// attributed entries.
+func (ix *Index) SearchDatasets(q string) ([]Entry, error) {
+	ix.mu.RLock()
+	shadow := ix.shadow
+	ix.mu.RUnlock()
+	res, err := query.Search(shadow, query.KDataset, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(res.Datasets))
+	for _, ds := range res.Datasets {
+		out = append(out, ix.entryFor("dataset", ds.Name))
+	}
+	return out, nil
+}
+
+// SearchTransformations runs a discovery query for transformations.
+func (ix *Index) SearchTransformations(q string) ([]Entry, error) {
+	ix.mu.RLock()
+	shadow := ix.shadow
+	ix.mu.RUnlock()
+	res, err := query.Search(shadow, query.KTransformation, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(res.Transformations))
+	for _, tr := range res.Transformations {
+		out = append(out, ix.entryFor("transformation", tr.Ref()))
+	}
+	return out, nil
+}
+
+// Lookup finds the home of a specific object.
+func (ix *Index) Lookup(kind, name string) (Entry, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	a, ok := ix.origin[kind+"/"+name]
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Kind: kind, Name: name, Authority: a,
+		Ref: vds.Name{Authority: a, Object: name}.String()}, true
+}
+
+// Types exposes the shadow registry for type-aware queries.
+func (ix *Index) Types() *dtype.Registry { return ix.shadow.Types() }
+
+// Stats reports the size of the indexed view.
+func (ix *Index) Stats() catalog.Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.shadow.Stats()
+}
+
+func (ix *Index) entryFor(kind, name string) Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	a := ix.origin[kind+"/"+name]
+	e := Entry{Kind: kind, Name: name, Authority: a}
+	if a != "" {
+		e.Ref = vds.Name{Authority: a, Object: name}.String()
+	}
+	return e
+}

@@ -1,0 +1,232 @@
+package federation
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/schema"
+	"chimera/internal/vds"
+)
+
+func twoArg(name string) schema.Transformation {
+	return schema.Transformation{Name: name, Kind: schema.Simple, Exec: "/usr/bin/" + name,
+		Args: []schema.FormalArg{
+			{Name: "a2", Direction: schema.Out},
+			{Name: "a1", Direction: schema.In},
+		}}
+}
+
+func chainDV(tr, in, out string) schema.Derivation {
+	return schema.Derivation{TR: tr, Params: map[string]schema.Actual{
+		"a2": schema.DatasetActual("output", out),
+		"a1": schema.DatasetActual("input", in),
+	}}
+}
+
+// site spins up one catalog service.
+func site(t *testing.T, name string) (*catalog.Catalog, *vds.Client, func()) {
+	t.Helper()
+	cat := catalog.New(nil)
+	hs := httptest.NewServer(vds.NewServer(name, cat))
+	t.Cleanup(hs.Close)
+	return cat, vds.NewClient(hs.URL), hs.Close
+}
+
+func TestIndexCrawlAndSearch(t *testing.T) {
+	catA, clientA, _ := site(t, "groupA")
+	catB, clientB, _ := site(t, "groupB")
+
+	catA.AddTransformation(twoArg("simA"))
+	catA.AddDataset(schema.Dataset{Name: "rawA", Attrs: schema.Attributes{"owner": "alice"}})
+	catB.AddTransformation(twoArg("simB"))
+	catB.AddDataset(schema.Dataset{Name: "rawB", Attrs: schema.Attributes{"owner": "bob"}})
+	if _, err := catB.AddDerivation(chainDV("simB", "rawB", "derivedB")); err != nil {
+		t.Fatal(err)
+	}
+
+	ix := NewIndex("collab", "collaboration")
+	ix.AddMember("groupA", clientA)
+	ix.AddMember("groupB", clientB)
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Crawls() != 1 {
+		t.Error("crawl count")
+	}
+	if got := ix.Members(); strings.Join(got, ",") != "groupA,groupB" {
+		t.Errorf("members: %v", got)
+	}
+
+	// Search spans both members, with attribution.
+	res, err := ix.SearchDatasets(`attr.owner = alice`)
+	if err != nil || len(res) != 1 || res[0].Authority != "groupA" {
+		t.Fatalf("search A: %+v %v", res, err)
+	}
+	if res[0].Ref != "vdp://groupA/rawA" {
+		t.Errorf("ref: %s", res[0].Ref)
+	}
+	res, err = ix.SearchDatasets(`derived`)
+	if err != nil || len(res) != 1 || res[0].Name != "derivedB" || res[0].Authority != "groupB" {
+		t.Fatalf("derived search: %+v %v", res, err)
+	}
+	trs, err := ix.SearchTransformations(`name ~ "sim*"`)
+	if err != nil || len(trs) != 2 {
+		t.Fatalf("tr search: %+v %v", trs, err)
+	}
+
+	// Lookup.
+	e, ok := ix.Lookup("dataset", "rawB")
+	if !ok || e.Authority != "groupB" {
+		t.Errorf("lookup: %+v %v", e, ok)
+	}
+	if _, ok := ix.Lookup("dataset", "ghost"); ok {
+		t.Error("ghost lookup")
+	}
+
+	// New data appears after recrawl, not before.
+	catA.AddDataset(schema.Dataset{Name: "lateA"})
+	if _, ok := ix.Lookup("dataset", "lateA"); ok {
+		t.Error("index saw data without crawl")
+	}
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("dataset", "lateA"); !ok {
+		t.Error("recrawl missed new data")
+	}
+
+	// Removing a member drops its entries at next crawl.
+	ix.RemoveMember("groupB")
+	ix.Crawl()
+	if _, ok := ix.Lookup("dataset", "rawB"); ok {
+		t.Error("removed member entries persisted")
+	}
+}
+
+func TestIndexFilterAdmission(t *testing.T) {
+	cat, client, _ := site(t, "g")
+	cat.AddTransformation(twoArg("t"))
+	cat.AddDataset(schema.Dataset{Name: "approved1", Attrs: schema.Attributes{"quality": "approved"}})
+	cat.AddDataset(schema.Dataset{Name: "draft1", Attrs: schema.Attributes{"quality": "draft"}})
+	if _, err := cat.AddDerivation(chainDV("t", "approved1", "out1")); err != nil {
+		t.Fatal(err)
+	}
+
+	official := NewIndex("official", "collaboration")
+	official.Filter = `attr.quality = approved`
+	official.AddMember("g", client)
+	if err := official.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := official.Lookup("dataset", "approved1"); !ok {
+		t.Error("approved entry missing")
+	}
+	if _, ok := official.Lookup("dataset", "draft1"); ok {
+		t.Error("draft entry admitted")
+	}
+	// out1 lacks the quality attr, so the derivation is filtered too.
+	if st := official.Stats(); st.Derivations != 0 {
+		t.Errorf("filtered derivations: %d", st.Derivations)
+	}
+}
+
+func TestCrawlSurvivesDeadMember(t *testing.T) {
+	catA, clientA, _ := site(t, "alive")
+	catA.AddDataset(schema.Dataset{Name: "d"})
+	_, clientB, closeB := site(t, "dead")
+	ix := NewIndex("x", "group")
+	ix.AddMember("alive", clientA)
+	ix.AddMember("dead", clientB)
+	closeB() // kill the member before crawling
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("dataset", "d"); !ok {
+		t.Error("live member not indexed")
+	}
+	if ix.MemberError("dead") == nil {
+		t.Error("dead member error not recorded")
+	}
+	if ix.MemberError("alive") != nil {
+		t.Errorf("live member error: %v", ix.MemberError("alive"))
+	}
+}
+
+// TestFigure3DistributedLineage builds the paper's three-tier chain:
+// collaboration produces official data from raw; group refines it via a
+// vdp link; personal analyzes the group product via another vdp link.
+func TestFigure3DistributedLineage(t *testing.T) {
+	catC, clientC, _ := site(t, "collab")
+	catG, clientG, _ := site(t, "group")
+	catP, clientP, _ := site(t, "personal")
+	reg2 := vds.NewRegistry()
+	reg2.Register("collab", clientC.Base)
+	reg2.Register("group", clientG.Base)
+	reg2.Register("personal", clientP.Base)
+
+	catC.AddTransformation(twoArg("reconstruct"))
+	if _, err := catC.AddDerivation(chainDV("reconstruct", "raw", "official")); err != nil {
+		t.Fatal(err)
+	}
+
+	catG.AddTransformation(twoArg("skim"))
+	if _, err := catG.AddDerivation(chainDV("skim", "vdp://collab/official", "group-skim")); err != nil {
+		t.Fatal(err)
+	}
+
+	catP.AddTransformation(twoArg("plot"))
+	if _, err := catP.AddDerivation(chainDV("plot", "vdp://group/group-skim", "my-histogram")); err != nil {
+		t.Fatal(err)
+	}
+
+	lin, err := Lineage(reg2, "personal", "my-histogram", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Steps) != 3 {
+		t.Fatalf("steps: %d (%+v)", len(lin.Steps), lin)
+	}
+	byAuthority := map[string]int{}
+	for _, s := range lin.Steps {
+		byAuthority[s.Authority]++
+	}
+	if byAuthority["personal"] != 1 || byAuthority["group"] != 1 || byAuthority["collab"] != 1 {
+		t.Errorf("authorities: %v", byAuthority)
+	}
+	if len(lin.PrimarySources) != 1 || lin.PrimarySources[0] != "collab:raw" {
+		t.Errorf("primaries: %v", lin.PrimarySources)
+	}
+	if len(lin.Unresolved) != 0 {
+		t.Errorf("unresolved: %v", lin.Unresolved)
+	}
+
+	// Hop limit stops the walk.
+	lin, err = Lineage(reg2, "personal", "my-histogram", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Steps) != 2 { // personal + group, collab not followed
+		t.Errorf("hop-limited steps: %d", len(lin.Steps))
+	}
+
+	// Unknown authority lands in Unresolved, not error.
+	catP.AddTransformation(twoArg("t2"))
+	if _, err := catP.AddDerivation(chainDV("t2", "vdp://mars/data", "weird")); err != nil {
+		t.Fatal(err)
+	}
+	lin, err = Lineage(reg2, "personal", "weird", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Unresolved) != 1 {
+		t.Errorf("unresolved: %v", lin.Unresolved)
+	}
+
+	// Unknown dataset at the start.
+	lin, err = Lineage(reg2, "personal", "ghost", 5)
+	if err != nil || len(lin.Unresolved) != 1 {
+		t.Errorf("missing start: %+v %v", lin, err)
+	}
+}

@@ -1,0 +1,87 @@
+package federation
+
+import (
+	"fmt"
+
+	"chimera/internal/catalog"
+	"chimera/internal/vds"
+)
+
+// Distributed lineage stitches provenance chains that hyperlink across
+// catalogs (Figure 3): a personal catalog's derivation may consume a
+// dataset named "vdp://group.example/official-skim", whose own lineage
+// lives in the group catalog, which in turn may reference the
+// collaboration catalog.
+
+// DistStep is one lineage step attributed to its home catalog.
+type DistStep struct {
+	// Authority is the catalog that recorded the step.
+	Authority string
+	// Step is the derivation-level lineage entry.
+	Step catalog.LineageStep
+	// Hop is the number of catalog boundaries crossed to reach it.
+	Hop int
+}
+
+// DistLineage is a cross-catalog audit trail.
+type DistLineage struct {
+	// Dataset is the queried name at the starting authority.
+	Dataset string
+	// Steps in breadth-first order across catalogs.
+	Steps []DistStep
+	// PrimarySources are the underived roots, qualified as
+	// authority:name.
+	PrimarySources []string
+	// Unresolved lists vdp references whose authorities could not be
+	// reached.
+	Unresolved []string
+}
+
+// Lineage walks provenance starting from dataset at authority,
+// following vdp:// dataset names into their home catalogs, up to
+// maxHops catalog boundaries.
+func Lineage(reg *vds.Registry, authority, dataset string, maxHops int) (DistLineage, error) {
+	out := DistLineage{Dataset: dataset}
+	type item struct {
+		authority, dataset string
+		hop                int
+	}
+	queue := []item{{authority, dataset, 0}}
+	seen := map[string]bool{authority + "/" + dataset: true}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		client, err := reg.ClientFor(cur.authority)
+		if err != nil {
+			out.Unresolved = append(out.Unresolved, cur.authority+"/"+cur.dataset)
+			continue
+		}
+		rep, err := client.Lineage(cur.dataset)
+		if err != nil {
+			if vds.NotFound(err) {
+				out.Unresolved = append(out.Unresolved, cur.authority+"/"+cur.dataset)
+				continue
+			}
+			return DistLineage{}, fmt.Errorf("federation: lineage at %s: %w", cur.authority, err)
+		}
+		for _, step := range rep.Steps {
+			out.Steps = append(out.Steps, DistStep{Authority: cur.authority, Step: step, Hop: cur.hop})
+		}
+		for _, primary := range rep.PrimarySources {
+			if vds.IsVDP(primary) && cur.hop < maxHops {
+				name, err := vds.ParseName(primary)
+				if err == nil {
+					key := name.Authority + "/" + name.Object
+					if !seen[key] {
+						seen[key] = true
+						queue = append(queue, item{name.Authority, name.Object, cur.hop + 1})
+					}
+					continue
+				}
+			}
+			out.PrimarySources = append(out.PrimarySources, cur.authority+":"+primary)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,466 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim(1)
+	var order []int
+	s.At(5, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(5, func() { order = append(order, 3) }) // same time: FIFO by insertion
+	s.After(10, func() { order = append(order, 4) })
+	end := s.Run()
+	if end != 10 {
+		t.Errorf("end time %g", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(1)
+	var times []float64
+	s.At(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times %v", times)
+	}
+}
+
+func TestSimPastEventClamped(t *testing.T) {
+	s := NewSim(1)
+	s.At(5, func() {
+		s.At(1, func() {
+			if s.Now() != 5 {
+				t.Errorf("past event ran at %g", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim(1)
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(10, func() { ran++ })
+	s.RunUntil(5)
+	if ran != 1 || s.Now() != 5 || s.Pending() != 1 {
+		t.Errorf("ran=%d now=%g pending=%d", ran, s.Now(), s.Pending())
+	}
+	s.Run()
+	if ran != 2 {
+		t.Errorf("final ran=%d", ran)
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	a, b := NewSim(42), NewSim(42)
+	for i := 0; i < 100; i++ {
+		na, nb := a.Noise(0.2), b.Noise(0.2)
+		if na != nb {
+			t.Fatal("noise not deterministic across same-seed sims")
+		}
+		if na < 0.8 || na > 1.2 {
+			t.Fatalf("noise out of bounds: %g", na)
+		}
+	}
+	if a.Noise(0) != 1 {
+		t.Error("zero amplitude should be exactly 1")
+	}
+}
+
+func buildSmallGrid(t *testing.T) *Grid {
+	t.Helper()
+	g := NewGrid()
+	if _, err := g.AddSite("a", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddSite("b", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddHosts("a", "a", 2, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddHost("b", "b-0", 2.0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("a", "b", 100, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTopologyValidation(t *testing.T) {
+	g := buildSmallGrid(t)
+	if _, err := g.AddSite("a", 1); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if _, err := g.AddSite("", 1); err == nil {
+		t.Error("empty site accepted")
+	}
+	if _, err := g.AddHost("ghost", "h", 1, 1); err == nil {
+		t.Error("host at unknown site accepted")
+	}
+	if _, err := g.AddHost("a", "a-0", 1, 1); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if _, err := g.AddHost("a", "x", 0, 1); err == nil {
+		t.Error("zero-speed host accepted")
+	}
+	if err := g.Connect("a", "ghost", 1, 0, 1); err == nil {
+		t.Error("link to unknown site accepted")
+	}
+	if err := g.Connect("a", "a", 1, 0, 1); err == nil {
+		t.Error("self link accepted")
+	}
+	if err := g.Connect("a", "b", 0, 0, 1); err == nil {
+		t.Error("zero-bandwidth link accepted")
+	}
+	if got := g.Sites(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("sites: %v", got)
+	}
+	if got := g.HostNames("a"); len(got) != 2 {
+		t.Errorf("hosts at a: %v", got)
+	}
+	if g.TotalHosts() != 3 {
+		t.Errorf("total hosts: %d", g.TotalHosts())
+	}
+	if _, ok := g.Link("b", "a"); !ok {
+		t.Error("link lookup not order-insensitive")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	se := &StorageElement{Site: "a", Capacity: 100}
+	if err := se.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Alloc(50); err == nil {
+		t.Error("overflow accepted")
+	}
+	if se.Used() != 60 || se.Free() != 40 {
+		t.Errorf("used=%d free=%d", se.Used(), se.Free())
+	}
+	se.Release(100)
+	if se.Used() != 0 {
+		t.Errorf("release floor: %d", se.Used())
+	}
+	if err := se.Alloc(-1); err == nil {
+		t.Error("negative alloc accepted")
+	}
+}
+
+func TestJobExecutionTiming(t *testing.T) {
+	g := buildSmallGrid(t)
+	s := NewSim(1)
+	c := NewCluster(g, s)
+
+	var done []string
+	submit := func(host, id string, work float64) {
+		err := c.Submit(host, &Job{ID: id, Work: work, OnDone: func(start, elapsed float64) {
+			done = append(done, fmt.Sprintf("%s@%g+%g", id, start, elapsed))
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Host a-0: speed 1, one core. Two jobs serialize.
+	submit("a-0", "j1", 10)
+	submit("a-0", "j2", 10)
+	// Host b-0: speed 2, two cores. Two jobs in parallel, each 5s.
+	submit("b-0", "j3", 10)
+	submit("b-0", "j4", 10)
+	end := s.Run()
+	if end != 20 {
+		t.Errorf("makespan %g, want 20", end)
+	}
+	sort.Strings(done)
+	want := []string{"j1@0+10", "j2@10+10", "j3@0+5", "j4@0+5"}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done=%v", done)
+		}
+	}
+	if c.Completed != 4 {
+		t.Errorf("completed=%d", c.Completed)
+	}
+	if math.Abs(c.BusyTime-30) > 1e-9 {
+		t.Errorf("busy time %g", c.BusyTime)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	g := buildSmallGrid(t)
+	c := NewCluster(g, NewSim(1))
+	if err := c.Submit("ghost", &Job{Work: 1}); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if err := c.Submit("a-0", &Job{Work: -1}); err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	g := buildSmallGrid(t) // link a<->b: bw 100 B/s, 0.5s latency, 2 streams → 50 B/s per stream
+	s := NewSim(1)
+	c := NewCluster(g, s)
+
+	var ends []float64
+	record := func(start, elapsed float64) { ends = append(ends, start+elapsed) }
+
+	// One transfer of 100 bytes: 0.5 + 100/50 = 2.5s.
+	if err := c.TransferData(&Transfer{ID: "t1", From: "a", To: "b", Bytes: 100, OnDone: record}); err != nil {
+		t.Fatal(err)
+	}
+	// Two more saturate the 2 streams; the third queues until t=2.5.
+	c.TransferData(&Transfer{ID: "t2", From: "a", To: "b", Bytes: 100, OnDone: record})
+	c.TransferData(&Transfer{ID: "t3", From: "a", To: "b", Bytes: 100, OnDone: record})
+	s.Run()
+	if len(ends) != 3 || ends[0] != 2.5 || ends[1] != 2.5 || ends[2] != 5.0 {
+		t.Errorf("transfer ends: %v", ends)
+	}
+	if c.TransferredBytes != 300 {
+		t.Errorf("wan bytes: %d", c.TransferredBytes)
+	}
+
+	// Intra-site: LAN with no latency; 1e9 B/s default → ~0s here.
+	s2 := NewSim(1)
+	c2 := NewCluster(g, s2)
+	var lanEnd float64
+	c2.TransferData(&Transfer{From: "a", To: "a", Bytes: 1000, OnDone: func(st, el float64) { lanEnd = st + el }})
+	s2.Run()
+	if lanEnd > 1e-5 {
+		t.Errorf("lan transfer too slow: %g", lanEnd)
+	}
+	if c2.LocalBytes != 1000 {
+		t.Errorf("lan bytes: %d", c2.LocalBytes)
+	}
+
+	if err := c2.TransferData(&Transfer{From: "a", To: "ghost", Bytes: 1}); err == nil {
+		t.Error("transfer to unknown site accepted")
+	}
+	if err := c2.TransferData(&Transfer{From: "a", To: "b", Bytes: -1}); err == nil {
+		t.Error("negative transfer accepted")
+	}
+}
+
+func TestTransferTimePrediction(t *testing.T) {
+	g := buildSmallGrid(t)
+	d, err := g.TransferTime("a", "b", 100)
+	if err != nil || d != 2.5 {
+		t.Errorf("wan predict: %g %v", d, err)
+	}
+	d, err = g.TransferTime("a", "a", 1e9)
+	if err != nil || d != 1.0 {
+		t.Errorf("lan predict: %g %v", d, err)
+	}
+	if _, err := g.TransferTime("a", "ghost", 1); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestLoadMetricsAndLeastLoaded(t *testing.T) {
+	g := buildSmallGrid(t)
+	s := NewSim(1)
+	c := NewCluster(g, s)
+	// Load a-0 with 3 jobs, a-1 with 1.
+	for i := 0; i < 3; i++ {
+		c.Submit("a-0", &Job{ID: fmt.Sprintf("x%d", i), Work: 100})
+	}
+	c.Submit("a-1", &Job{ID: "y", Work: 100})
+	if got := c.LeastLoadedHost("a"); got != "a-1" {
+		t.Errorf("least loaded: %s", got)
+	}
+	if got := g.QueueDepth("a"); got != 2 {
+		t.Errorf("queue depth: %d", got)
+	}
+	if got := g.BusyCores("a"); got != 2 {
+		t.Errorf("busy cores: %d", got)
+	}
+	if got := g.FreeCores("a"); got != 0 {
+		t.Errorf("free cores: %d", got)
+	}
+	if load := c.SiteLoad("a"); load != 2.0 {
+		t.Errorf("site load: %g", load)
+	}
+	if c.LeastLoadedHost("ghost") != "" {
+		t.Error("least loaded at unknown site")
+	}
+	s.Run()
+	if g.BusyCores("a") != 0 || g.QueueDepth("a") != 0 {
+		t.Error("load not drained")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (float64, int64) {
+		g, err := FourSiteTestbed([4]int{10, 5, 3, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSim(99)
+		c := NewCluster(g, s)
+		hosts := g.HostNames("uchicago")
+		for i := 0; i < 50; i++ {
+			h := hosts[i%len(hosts)]
+			c.Submit(h, &Job{ID: fmt.Sprintf("j%d", i), Work: float64(10 + i), NoiseAmp: 0.3})
+			if i%5 == 0 {
+				c.TransferData(&Transfer{From: "uchicago", To: "fnal", Bytes: int64(1e6 * float64(i+1))})
+			}
+		}
+		return s.Run(), c.TransferredBytes
+	}
+	m1, b1 := run()
+	m2, b2 := run()
+	if m1 != m2 || b1 != b2 {
+		t.Errorf("nondeterministic: %g/%d vs %g/%d", m1, b1, m2, b2)
+	}
+}
+
+func TestFourSiteTestbed(t *testing.T) {
+	g, err := FourSiteTestbed([4]int{400, 200, 120, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalHosts() != 800 {
+		t.Errorf("hosts: %d", g.TotalHosts())
+	}
+	if len(g.Sites()) != 4 {
+		t.Errorf("sites: %v", g.Sites())
+	}
+	for _, a := range g.Sites() {
+		for _, b := range g.Sites() {
+			if a != b {
+				if _, ok := g.Link(a, b); !ok {
+					t.Errorf("missing link %s-%s", a, b)
+				}
+			}
+		}
+	}
+}
+
+// Property: with N identical single-core hosts and M identical jobs,
+// makespan = ceil(M/N) * jobtime — the linear host-scaling shape that
+// E3 relies on.
+func TestHostScalingShape(t *testing.T) {
+	const jobs = 120
+	const work = 100.0
+	prev := math.Inf(1)
+	for _, hosts := range []int{1, 2, 4, 8, 30, 60, 120} {
+		g := NewGrid()
+		g.AddSite("s", 1e15)
+		g.AddHosts("s", "h", hosts, 1.0, 1)
+		s := NewSim(1)
+		c := NewCluster(g, s)
+		for i := 0; i < jobs; i++ {
+			c.Submit(fmt.Sprintf("h-%d", i%hosts), &Job{ID: fmt.Sprintf("j%d", i), Work: work})
+		}
+		makespan := s.Run()
+		want := math.Ceil(float64(jobs)/float64(hosts)) * work
+		if math.Abs(makespan-want) > 1e-6 {
+			t.Errorf("hosts=%d makespan=%g want %g", hosts, makespan, want)
+		}
+		if makespan > prev {
+			t.Errorf("makespan increased with more hosts: %g > %g", makespan, prev)
+		}
+		prev = makespan
+	}
+}
+
+func TestFailHostSemantics(t *testing.T) {
+	g := buildSmallGrid(t)
+	s := NewSim(1)
+	c := NewCluster(g, s)
+
+	var results []string
+	mk := func(id string, work float64) *Job {
+		var j *Job
+		j = &Job{ID: id, Work: work, OnDone: func(start, elapsed float64) {
+			state := "ok"
+			if j.Failed {
+				state = "failed"
+			}
+			results = append(results, fmt.Sprintf("%s:%s@%g", id, state, s.Now()))
+		}}
+		return j
+	}
+	// Three jobs on a-0 (1 core): one running, two queued.
+	c.Submit("a-0", mk("running", 100))
+	c.Submit("a-0", mk("queued1", 100))
+	c.Submit("a-0", mk("queued2", 100))
+
+	// Fail the host at t=10: all three report failure at t=10.
+	s.After(10, func() {
+		if err := c.FailHost("a-0"); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	if len(results) != 3 {
+		t.Fatalf("results: %v", results)
+	}
+	for _, r := range results {
+		if !strings.Contains(r, "failed@10") {
+			t.Errorf("unexpected result %q", r)
+		}
+	}
+	// Down host rejects submissions, is skipped by load metrics, and
+	// double-fail is a no-op.
+	if err := c.Submit("a-0", mk("late", 1)); err == nil {
+		t.Error("submit to down host accepted")
+	}
+	if err := c.FailHost("a-0"); err != nil {
+		t.Error(err)
+	}
+	if got := c.LeastLoadedHost("a"); got != "a-1" {
+		t.Errorf("least loaded with a-0 down: %s", got)
+	}
+	if g.FreeCores("a") != 1 {
+		t.Errorf("free cores with a-0 down: %d", g.FreeCores("a"))
+	}
+	if err := c.FailHost("ghost"); err == nil {
+		t.Error("failing unknown host accepted")
+	}
+
+	// Repair restores service.
+	if err := c.RepairHost("a-0"); err != nil {
+		t.Fatal(err)
+	}
+	results = nil
+	if err := c.Submit("a-0", mk("revived", 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(results) != 1 || !strings.Contains(results[0], "revived:ok") {
+		t.Errorf("after repair: %v", results)
+	}
+	if err := c.RepairHost("ghost"); err == nil {
+		t.Error("repairing unknown host accepted")
+	}
+}
+
+func TestWholeSiteDownLoad(t *testing.T) {
+	g := buildSmallGrid(t)
+	c := NewCluster(g, NewSim(1))
+	c.FailHost("b-0")
+	if load := c.SiteLoad("b"); load < 1e8 {
+		t.Errorf("dead site load should be huge: %g", load)
+	}
+	if c.LeastLoadedHost("b") != "" {
+		t.Error("dead site offered a host")
+	}
+}

@@ -1,0 +1,138 @@
+// Package grid is the Grid substrate of the virtual data grid: a
+// deterministic discrete-event simulator of compute sites, hosts,
+// storage elements and wide-area network links, with a GRAM-like job
+// submission interface and explicit data transfers.
+//
+// It replaces the physical testbed of the paper's experiments (four
+// sites, ~800 hosts) with a model that exercises the same decisions —
+// where to run, what to move, how long things take — reproducibly:
+// given one seed and one submission sequence, every run produces the
+// same trajectory.
+package grid
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Sim is the discrete-event engine. Time is simulated seconds from 0.
+// Sim is not safe for concurrent use: the executor drives it from one
+// goroutine, as all concurrency is simulated.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventQueue
+	rng    *rand.Rand
+}
+
+// NewSim returns a simulator seeded for reproducibility.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Rand exposes the simulation's seeded random source (for workload
+// generators that want reproducible noise).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute simulated time t (>= now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event; it reports false when no events remain.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// Run drains the event queue and returns the final simulated time.
+func (s *Sim) Run() float64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil processes events until the given time; pending later events
+// remain queued.
+func (s *Sim) RunUntil(t float64) {
+	for s.events.Len() > 0 && s.events[0].time <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+type event struct {
+	time  float64
+	seq   int64 // FIFO tie-break for simultaneous events
+	index int
+	fn    func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Noise returns a deterministic multiplicative jitter factor in
+// [1-amp, 1+amp]; amp 0 disables noise.
+func (s *Sim) Noise(amp float64) float64 {
+	if amp <= 0 {
+		return 1
+	}
+	return 1 + amp*(2*s.rng.Float64()-1)
+}
+
+func checkPositive(name string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("grid: %s must be positive, got %g", name, v)
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Host is one compute element: a worker node at a site.
+type Host struct {
+	// Name is unique across the grid.
+	Name string
+	// Site is the owning site.
+	Site string
+	// Speed is the relative CPU speed (1.0 = reference host); a job of
+	// W reference-seconds takes W/Speed simulated seconds here.
+	Speed float64
+	// Cores is the number of jobs the host runs concurrently.
+	Cores int
+
+	busy    int
+	queue   []*Job
+	running []*Job
+	down    bool
+}
+
+// Down reports whether the host has been failed.
+func (h *Host) Down() bool { return h.down }
+
+// StorageElement is a site's storage system.
+type StorageElement struct {
+	Site     string
+	Capacity int64
+	used     int64
+}
+
+// Used returns the bytes currently allocated.
+func (se *StorageElement) Used() int64 { return se.used }
+
+// Free returns the bytes available.
+func (se *StorageElement) Free() int64 { return se.Capacity - se.used }
+
+// Alloc reserves space, failing when the element is full.
+func (se *StorageElement) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("grid: negative allocation")
+	}
+	if se.used+bytes > se.Capacity {
+		return fmt.Errorf("grid: storage at %s full (%d used, %d requested, %d capacity)",
+			se.Site, se.used, bytes, se.Capacity)
+	}
+	se.used += bytes
+	return nil
+}
+
+// Release frees previously allocated space.
+func (se *StorageElement) Release(bytes int64) {
+	se.used -= bytes
+	if se.used < 0 {
+		se.used = 0
+	}
+}
+
+// Site groups hosts and a storage element.
+type Site struct {
+	Name    string
+	Hosts   []*Host
+	Storage *StorageElement
+}
+
+// Link models the WAN path between two sites.
+type Link struct {
+	From, To string
+	// Bandwidth in bytes per simulated second, shared among Streams
+	// parallel channels.
+	Bandwidth float64
+	// LatencySec is the per-transfer startup latency in seconds.
+	LatencySec float64
+	// Streams is the number of concurrent transfers served at full
+	// per-stream rate; additional transfers queue. Default 4.
+	Streams int
+
+	active  int
+	waiting []*Transfer
+}
+
+func (l *Link) streamBandwidth() float64 {
+	streams := l.Streams
+	if streams <= 0 {
+		streams = 4
+	}
+	return l.Bandwidth / float64(streams)
+}
+
+// Grid is the static topology plus dynamic host/link state.
+type Grid struct {
+	sites map[string]*Site
+	hosts map[string]*Host
+	links map[[2]string]*Link
+	// LocalBandwidth is the intra-site (LAN) transfer rate in bytes per
+	// second; intra-site transfers have no latency or stream limit.
+	LocalBandwidth float64
+}
+
+// NewGrid returns an empty topology with a 1 GB/s LAN.
+func NewGrid() *Grid {
+	return &Grid{
+		sites:          make(map[string]*Site),
+		hosts:          make(map[string]*Host),
+		links:          make(map[[2]string]*Link),
+		LocalBandwidth: 1e9,
+	}
+}
+
+// AddSite creates a site with the given storage capacity.
+func (g *Grid) AddSite(name string, storageCapacity int64) (*Site, error) {
+	if name == "" {
+		return nil, fmt.Errorf("grid: empty site name")
+	}
+	if _, ok := g.sites[name]; ok {
+		return nil, fmt.Errorf("grid: site %q already exists", name)
+	}
+	s := &Site{Name: name, Storage: &StorageElement{Site: name, Capacity: storageCapacity}}
+	g.sites[name] = s
+	return s, nil
+}
+
+// AddHost adds a worker node to an existing site.
+func (g *Grid) AddHost(site, name string, speed float64, cores int) (*Host, error) {
+	s, ok := g.sites[site]
+	if !ok {
+		return nil, fmt.Errorf("grid: unknown site %q", site)
+	}
+	if _, ok := g.hosts[name]; ok {
+		return nil, fmt.Errorf("grid: host %q already exists", name)
+	}
+	if err := checkPositive("host speed", speed); err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		cores = 1
+	}
+	h := &Host{Name: name, Site: site, Speed: speed, Cores: cores}
+	s.Hosts = append(s.Hosts, h)
+	g.hosts[name] = h
+	return h, nil
+}
+
+// AddHosts adds n uniform hosts named prefix-0..n-1.
+func (g *Grid) AddHosts(site, prefix string, n int, speed float64, cores int) error {
+	for i := 0; i < n; i++ {
+		if _, err := g.AddHost(site, fmt.Sprintf("%s-%d", prefix, i), speed, cores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Connect installs a bidirectional WAN link between two sites.
+func (g *Grid) Connect(a, b string, bandwidth, latencySec float64, streams int) error {
+	if _, ok := g.sites[a]; !ok {
+		return fmt.Errorf("grid: unknown site %q", a)
+	}
+	if _, ok := g.sites[b]; !ok {
+		return fmt.Errorf("grid: unknown site %q", b)
+	}
+	if a == b {
+		return fmt.Errorf("grid: cannot link site %q to itself", a)
+	}
+	if err := checkPositive("link bandwidth", bandwidth); err != nil {
+		return err
+	}
+	l := &Link{From: a, To: b, Bandwidth: bandwidth, LatencySec: latencySec, Streams: streams}
+	g.links[linkKey(a, b)] = l
+	return nil
+}
+
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Site returns a site by name.
+func (g *Grid) Site(name string) (*Site, bool) {
+	s, ok := g.sites[name]
+	return s, ok
+}
+
+// Host returns a host by name.
+func (g *Grid) Host(name string) (*Host, bool) {
+	h, ok := g.hosts[name]
+	return h, ok
+}
+
+// Link returns the link between two sites (order-insensitive).
+func (g *Grid) Link(a, b string) (*Link, bool) {
+	l, ok := g.links[linkKey(a, b)]
+	return l, ok
+}
+
+// Sites returns site names, sorted.
+func (g *Grid) Sites() []string {
+	out := make([]string, 0, len(g.sites))
+	for n := range g.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostNames returns all host names at a site, sorted.
+func (g *Grid) HostNames(site string) []string {
+	s, ok := g.sites[site]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(s.Hosts))
+	for _, h := range s.Hosts {
+		out = append(out, h.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalHosts returns the number of hosts in the grid.
+func (g *Grid) TotalHosts() int { return len(g.hosts) }
+
+// QueueDepth returns the number of queued (not yet running) jobs at a
+// site across all hosts.
+func (g *Grid) QueueDepth(site string) int {
+	s, ok := g.sites[site]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, h := range s.Hosts {
+		if !h.down {
+			n += len(h.queue)
+		}
+	}
+	return n
+}
+
+// BusyCores returns the number of occupied cores at a site.
+func (g *Grid) BusyCores(site string) int {
+	s, ok := g.sites[site]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, h := range s.Hosts {
+		if !h.down {
+			n += h.busy
+		}
+	}
+	return n
+}
+
+// FreeCores returns the number of idle cores at a site.
+func (g *Grid) FreeCores(site string) int {
+	s, ok := g.sites[site]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, h := range s.Hosts {
+		if !h.down {
+			n += h.Cores - h.busy
+		}
+	}
+	return n
+}
+
+// TransferTime predicts the unloaded duration of moving bytes between
+// sites (zero for same-site moves over an infinitely parallel LAN is
+// wrong; LAN time is bytes/LocalBandwidth).
+func (g *Grid) TransferTime(from, to string, bytes int64) (float64, error) {
+	if from == to {
+		return float64(bytes) / g.LocalBandwidth, nil
+	}
+	l, ok := g.Link(from, to)
+	if !ok {
+		return 0, fmt.Errorf("grid: no link between %q and %q", from, to)
+	}
+	return l.LatencySec + float64(bytes)/l.streamBandwidth(), nil
+}

@@ -1,0 +1,425 @@
+// Package planner implements the planning facet (§5.2): mapping
+// requests for virtual data products onto Grid resources. It decides
+// whether a request is satisfied by existing data (reuse) or by
+// computation, selects execution sites balancing queue load against
+// data movement, realizes the paper's four procedure/data shipping
+// patterns, and applies dynamic replication strategies (refs [18,19])
+// as data is accessed.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/estimator"
+	"chimera/internal/executor"
+	"chimera/internal/grid"
+	"chimera/internal/schema"
+)
+
+// Profile keys the planner interprets on transformations.
+const (
+	// ProfileHomeSites pins a procedure to a comma-separated site list
+	// (pattern 1/2: procedure collocated with its service sites).
+	ProfileHomeSites = "hints.homeSites"
+	// ProfileInstallSeconds is the cost of provisioning the procedure
+	// at a non-home site (§4.3 resource virtualization); unset means
+	// the procedure cannot leave its home sites.
+	ProfileInstallSeconds = "hints.installSeconds"
+)
+
+// Mode selects the placement policy.
+type Mode int
+
+const (
+	// Auto minimizes estimated completion time over all feasible sites.
+	Auto Mode = iota
+	// ShipDataToProcedure always runs at a procedure home site.
+	ShipDataToProcedure
+	// ShipProcedureToData always runs where most input bytes reside.
+	ShipProcedureToData
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ShipDataToProcedure:
+		return "ship-data"
+	case ShipProcedureToData:
+		return "ship-procedure"
+	default:
+		return "auto"
+	}
+}
+
+// Planner maps workflow nodes to grid placements.
+type Planner struct {
+	Cat     *catalog.Catalog
+	Est     *estimator.Estimator
+	Cluster *grid.Cluster
+	// Mode selects the shipping pattern policy.
+	Mode Mode
+	// Replication is applied on each cross-site access (nil = none).
+	Replication ReplicationPolicy
+	// DefaultSize is assumed for datasets of unknown size.
+	DefaultSize int64
+	// NoiseAmp passes runtime jitter into placements.
+	NoiseAmp float64
+	// DisablePendingLoad turns off the planner's tracking of
+	// assigned-but-unfinished work when estimating queue delay. With it
+	// disabled, bursts of ready nodes all see empty queues and pile
+	// onto the data's home site (the A2 ablation in the harness).
+	DisablePendingLoad bool
+
+	mu       sync.Mutex
+	accesses map[string]map[string]int // dataset -> site -> count
+	pending  map[string]int            // site -> assigned-but-unfinished jobs
+	repSeq   int
+}
+
+// New returns a planner over the given catalog, estimator and cluster.
+func New(cat *catalog.Catalog, est *estimator.Estimator, cl *grid.Cluster) *Planner {
+	return &Planner{
+		Cat: cat, Est: est, Cluster: cl,
+		DefaultSize: 1 << 20,
+		accesses:    make(map[string]map[string]int),
+		pending:     make(map[string]int),
+	}
+}
+
+// OnEvent lets the planner track in-flight assignments: wire it to the
+// executor's OnEvent so queue-pressure estimates see work that has been
+// placed but not yet reached a host queue (e.g. while staging).
+func (p *Planner) OnEvent(ev executor.Event) {
+	switch ev.Kind {
+	case "done", "fail", "retry":
+		p.mu.Lock()
+		if site := ev.Result.Site; site != "" && p.pending[site] > 0 {
+			p.pending[site]--
+		}
+		p.mu.Unlock()
+	}
+}
+
+// pendingLoad is the planner's own outstanding jobs per core at a site.
+func (p *Planner) pendingLoad(site string) float64 {
+	if p.DisablePendingLoad {
+		return 0
+	}
+	s, ok := p.Cluster.Grid.Site(site)
+	if !ok || len(s.Hosts) == 0 {
+		return 0
+	}
+	cores := 0
+	for _, h := range s.Hosts {
+		cores += h.Cores
+	}
+	p.mu.Lock()
+	n := p.pending[site]
+	p.mu.Unlock()
+	return float64(n) / float64(cores)
+}
+
+// meanSpeed averages the host speeds at a site (1.0 when unknown).
+func (p *Planner) meanSpeed(site string) float64 {
+	s, ok := p.Cluster.Grid.Site(site)
+	if !ok || len(s.Hosts) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, h := range s.Hosts {
+		sum += h.Speed
+	}
+	return sum / float64(len(s.Hosts))
+}
+
+// sizeOf estimates a dataset's size from its record or replicas.
+func (p *Planner) sizeOf(ds string) int64 {
+	if rec, err := p.Cat.Dataset(ds); err == nil && rec.Size > 0 {
+		return rec.Size
+	}
+	for _, r := range p.Cat.ReplicasOf(ds) {
+		if r.Size > 0 {
+			return r.Size
+		}
+	}
+	return p.DefaultSize
+}
+
+// replicaSites returns the sites holding a current-epoch replica.
+func (p *Planner) replicaSites(ds string) []string {
+	rec, err := p.Cat.Dataset(ds)
+	if err != nil {
+		return nil
+	}
+	var sites []string
+	seen := make(map[string]bool)
+	for _, r := range p.Cat.ReplicasOf(ds) {
+		if r.Epoch == rec.Epoch && !seen[r.Site] {
+			seen[r.Site] = true
+			sites = append(sites, r.Site)
+		}
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// bestSource returns the replica site with the cheapest transfer to
+// dst, with its predicted seconds; ok=false if no replica exists.
+func (p *Planner) bestSource(ds, dst string) (site string, seconds float64, ok bool) {
+	best := math.Inf(1)
+	for _, s := range p.replicaSites(ds) {
+		t, err := p.Cluster.Grid.TransferTime(s, dst, p.sizeOf(ds))
+		if err != nil {
+			continue
+		}
+		if t < best || (t == best && s < site) {
+			best, site, ok = t, s, true
+		}
+	}
+	return site, best, ok
+}
+
+// homeSites parses the procedure-pinning profile.
+func homeSites(tr schema.Transformation) []string {
+	raw := tr.Profile[ProfileHomeSites]
+	if raw == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(raw, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func installCost(tr schema.Transformation) (float64, bool) {
+	raw := tr.Profile[ProfileInstallSeconds]
+	if raw == "" {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(raw, "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// siteCost estimates completion seconds for running node n at site:
+// queue delay + input staging + procedure provisioning + execution.
+func (p *Planner) siteCost(n *dag.Node, tr schema.Transformation, site string) (float64, []executor.StageIn, error) {
+	if len(p.Cluster.Grid.HostNames(site)) == 0 {
+		return 0, nil, fmt.Errorf("planner: site %q has no compute hosts", site)
+	}
+	// Execution time scales inversely with the site's host speed.
+	refWork, _ := p.Est.Work(n.Derivation.TR)
+	work := refWork / p.meanSpeed(site)
+	var transfers []executor.StageIn
+	cost := 0.0
+
+	// Queue delay: jobs ahead of us (both in host queues and assigned
+	// by this planner but still staging), normalized by capacity.
+	cost += (p.Cluster.SiteLoad(site) + p.pendingLoad(site)) * work
+
+	// Input staging.
+	for _, in := range n.Inputs {
+		sites := p.replicaSites(in)
+		if containsStr(sites, site) {
+			continue
+		}
+		src, secs, ok := p.bestSource(in, site)
+		if !ok {
+			return 0, nil, fmt.Errorf("planner: no replica of %q reachable from %q", in, site)
+		}
+		cost += secs
+		transfers = append(transfers, executor.StageIn{Dataset: in, FromSite: src, Bytes: p.sizeOf(in)})
+	}
+
+	// Procedure provisioning.
+	homes := homeSites(tr)
+	if len(homes) > 0 && !containsStr(homes, site) {
+		ic, movable := installCost(tr)
+		if !movable {
+			return 0, nil, fmt.Errorf("planner: procedure %s unavailable at %q", tr.Ref(), site)
+		}
+		cost += ic
+	}
+
+	cost += work
+	return cost, transfers, nil
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateSites returns the feasible sites for a node under the
+// current mode.
+func (p *Planner) candidateSites(n *dag.Node, tr schema.Transformation) []string {
+	all := p.Cluster.Grid.Sites()
+	homes := homeSites(tr)
+	_, movable := installCost(tr)
+	switch p.Mode {
+	case ShipDataToProcedure:
+		if len(homes) > 0 {
+			return homes
+		}
+		return all
+	case ShipProcedureToData:
+		// Site holding the most input bytes.
+		byBytes := make(map[string]int64)
+		for _, in := range n.Inputs {
+			for _, s := range p.replicaSites(in) {
+				byBytes[s] += p.sizeOf(in)
+			}
+		}
+		best, bestBytes := "", int64(-1)
+		for _, s := range all {
+			if len(homes) > 0 && !movable && !containsStr(homes, s) {
+				continue
+			}
+			if byBytes[s] > bestBytes || (byBytes[s] == bestBytes && s < best) {
+				best, bestBytes = s, byBytes[s]
+			}
+		}
+		if best != "" {
+			return []string{best}
+		}
+		return all
+	default:
+		if len(homes) > 0 && !movable {
+			return homes
+		}
+		return all
+	}
+}
+
+// Assign implements the executor's placement callback: it is invoked as
+// each node becomes ready, so decisions see current queue state and the
+// replicas materialized by earlier nodes.
+func (p *Planner) Assign(n *dag.Node) (executor.Placement, error) {
+	tr, err := p.Cat.Transformation(n.Derivation.TR)
+	if err != nil {
+		return executor.Placement{}, err
+	}
+	var (
+		bestSite  string
+		bestCost  = math.Inf(1)
+		bestXfers []executor.StageIn
+		lastErr   error
+	)
+	for _, site := range p.candidateSites(n, tr) {
+		cost, xfers, err := p.siteCost(n, tr, site)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cost < bestCost || (cost == bestCost && site < bestSite) {
+			bestSite, bestCost, bestXfers = site, cost, xfers
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		if lastErr != nil {
+			return executor.Placement{}, lastErr
+		}
+		return executor.Placement{}, errors.New("planner: no feasible site")
+	}
+
+	work, _ := p.Est.Work(n.Derivation.TR)
+	outBytes := make(map[string]int64, len(n.Outputs))
+	for _, out := range n.Outputs {
+		outBytes[out] = p.sizeOf(out)
+	}
+	// Record accesses and apply the replication policy.
+	for _, x := range bestXfers {
+		p.noteAccess(x.Dataset, bestSite, x.Bytes)
+	}
+	p.mu.Lock()
+	p.pending[bestSite]++
+	p.mu.Unlock()
+	return executor.Placement{
+		Site:        bestSite,
+		Work:        work,
+		NoiseAmp:    p.NoiseAmp,
+		Transfers:   bestXfers,
+		OutputBytes: outBytes,
+	}, nil
+}
+
+// noteAccess bumps the access count for (dataset, site) and applies the
+// replication policy, registering any new replicas and issuing their
+// background transfers.
+func (p *Planner) noteAccess(ds, site string, bytes int64) {
+	p.mu.Lock()
+	m := p.accesses[ds]
+	if m == nil {
+		m = make(map[string]int)
+		p.accesses[ds] = m
+	}
+	m[site]++
+	snapshot := make(map[string]int, len(m))
+	for k, v := range m {
+		snapshot[k] = v
+	}
+	p.mu.Unlock()
+	m = snapshot
+	if p.Replication == nil {
+		return
+	}
+	src, _, ok := p.bestSource(ds, site)
+	if !ok {
+		return
+	}
+	for _, dst := range p.Replication.OnAccess(ds, bytes, src, site, m) {
+		if containsStr(p.replicaSites(ds), dst) {
+			continue
+		}
+		p.repSeq++
+		rec, err := p.Cat.Dataset(ds)
+		if err != nil {
+			continue
+		}
+		rep := schema.Replica{
+			ID:      fmt.Sprintf("cache-%s-%s-%d", ds, dst, p.repSeq),
+			Dataset: ds, Site: dst,
+			PFN:   fmt.Sprintf("/cache/%s/%s", dst, ds),
+			Size:  bytes,
+			Epoch: rec.Epoch,
+			Attrs: schema.Attributes{"replication": p.Replication.Name()},
+		}
+		if err := p.Cat.AddReplica(rep); err != nil {
+			continue
+		}
+		if dst != site {
+			// Push replicas move bytes in the background; cache-at-
+			// client replicas reuse the staging transfer already paid.
+			p.Cluster.TransferData(&grid.Transfer{
+				ID: rep.ID, From: src, To: dst, Bytes: bytes,
+			})
+		}
+	}
+}
+
+// AccessCount reports recorded accesses of a dataset by site.
+func (p *Planner) AccessCount(ds string) map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.accesses[ds]))
+	for s, n := range p.accesses[ds] {
+		out[s] = n
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"chimera/internal/schema"
+)
+
+// Storage reclamation (§2's planning duty: "reclamation of resources of
+// lesser value"). Because every derived dataset remains virtually
+// available through its recipe, evicting a replica loses capacity, not
+// data — the catalog can always re-derive it.
+
+// Evictable reports whether a replica may be reclaimed: cached and
+// derived copies are fair game; the last replica of *primary* data is
+// not (it has no recipe), and replicas pinned via attrs["pin"] are
+// never touched.
+func (p *Planner) evictable(r schema.Replica, copies int) bool {
+	if r.Attrs["pin"] == "true" {
+		return false
+	}
+	if copies > 1 {
+		return true
+	}
+	// Last copy: only evictable if the dataset is derivable.
+	rec, err := p.Cat.Dataset(r.Dataset)
+	return err == nil && rec.CreatedBy != ""
+}
+
+// value scores a replica for retention: more recently/frequently
+// accessed data is worth more. The score is the dataset's total
+// recorded accesses, weighted toward the replica's own site.
+func (p *Planner) value(r schema.Replica) float64 {
+	counts := p.AccessCount(r.Dataset)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return float64(total) + 2*float64(counts[r.Site])
+}
+
+// Reclaim frees at least the requested bytes at a site by removing the
+// least valuable evictable replicas. It returns the evicted replicas
+// (possibly fewer bytes than requested if nothing more is evictable).
+func (p *Planner) Reclaim(site string, bytes int64) ([]schema.Replica, error) {
+	type cand struct {
+		rep   schema.Replica
+		value float64
+	}
+	var cands []cand
+	seen := make(map[string]int) // dataset -> replica count (all sites)
+	var atSite []schema.Replica
+	for _, ds := range p.Cat.Datasets() {
+		reps := p.Cat.ReplicasOf(ds.Name)
+		seen[ds.Name] = len(reps)
+		for _, r := range reps {
+			if r.Site == site {
+				atSite = append(atSite, r)
+			}
+		}
+	}
+	for _, r := range atSite {
+		if p.evictable(r, seen[r.Dataset]) {
+			cands = append(cands, cand{rep: r, value: p.value(r)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].value != cands[j].value {
+			return cands[i].value < cands[j].value
+		}
+		if cands[i].rep.Size != cands[j].rep.Size {
+			return cands[i].rep.Size > cands[j].rep.Size // free big ones first
+		}
+		return cands[i].rep.ID < cands[j].rep.ID
+	})
+
+	var evicted []schema.Replica
+	var freed int64
+	for _, c := range cands {
+		if freed >= bytes {
+			break
+		}
+		if err := p.Cat.RemoveReplica(c.rep.ID); err != nil {
+			return evicted, fmt.Errorf("planner: reclaim: %w", err)
+		}
+		if s, ok := p.Cluster.Grid.Site(site); ok && s.Storage != nil {
+			s.Storage.Release(c.rep.Size)
+		}
+		evicted = append(evicted, c.rep)
+		freed += c.rep.Size
+	}
+	return evicted, nil
+}

@@ -1,0 +1,117 @@
+package planner
+
+// ReplicationPolicy decides, on each cross-site access of a dataset,
+// which sites should receive new replicas. These are the dynamic
+// replication strategies of the paper's references [18,19], adapted to
+// the flat multi-site mesh of the simulated testbed.
+type ReplicationPolicy interface {
+	// Name labels the policy in replica records and reports.
+	Name() string
+	// OnAccess is invoked after site `by` fetched dataset `ds` (size
+	// bytes) from `from`. accesses holds cumulative access counts per
+	// site, including this one. It returns the sites to replicate to.
+	OnAccess(ds string, size int64, from, by string, accesses map[string]int) []string
+}
+
+// NoReplication never replicates: every remote access re-transfers.
+type NoReplication struct{}
+
+// Name implements ReplicationPolicy.
+func (NoReplication) Name() string { return "none" }
+
+// OnAccess implements ReplicationPolicy.
+func (NoReplication) OnAccess(string, int64, string, string, map[string]int) []string { return nil }
+
+// CacheAtClient keeps a copy at every site that fetches the dataset
+// (plain caching: the bytes already moved, so the copy is free).
+type CacheAtClient struct{}
+
+// Name implements ReplicationPolicy.
+func (CacheAtClient) Name() string { return "cache" }
+
+// OnAccess implements ReplicationPolicy.
+func (CacheAtClient) OnAccess(_ string, _ int64, _, by string, _ map[string]int) []string {
+	return []string{by}
+}
+
+// BestClient pushes a replica to the single most-demanding site once
+// its accesses reach Threshold — ref [19]'s best-client strategy.
+type BestClient struct {
+	Threshold int
+}
+
+// Name implements ReplicationPolicy.
+func (BestClient) Name() string { return "best-client" }
+
+// OnAccess implements ReplicationPolicy.
+func (b BestClient) OnAccess(_ string, _ int64, _, _ string, accesses map[string]int) []string {
+	th := b.Threshold
+	if th <= 0 {
+		th = 3
+	}
+	best, bestN := "", 0
+	for s, n := range accesses {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	if bestN >= th {
+		return []string{best}
+	}
+	return nil
+}
+
+// CacheAndBestClient combines plain caching with best-client pushes.
+type CacheAndBestClient struct {
+	Threshold int
+}
+
+// Name implements ReplicationPolicy.
+func (CacheAndBestClient) Name() string { return "cache+best-client" }
+
+// OnAccess implements ReplicationPolicy.
+func (c CacheAndBestClient) OnAccess(ds string, size int64, from, by string, accesses map[string]int) []string {
+	out := CacheAtClient{}.OnAccess(ds, size, from, by, accesses)
+	out = append(out, BestClient{Threshold: c.Threshold}.OnAccess(ds, size, from, by, accesses)...)
+	return out
+}
+
+// Broadcast replicates to every requesting site once total accesses
+// reach Threshold — an aggressive pre-staging strategy.
+type Broadcast struct {
+	Threshold int
+}
+
+// Name implements ReplicationPolicy.
+func (Broadcast) Name() string { return "broadcast" }
+
+// OnAccess implements ReplicationPolicy.
+func (b Broadcast) OnAccess(_ string, _ int64, _, _ string, accesses map[string]int) []string {
+	th := b.Threshold
+	if th <= 0 {
+		th = 3
+	}
+	total := 0
+	for _, n := range accesses {
+		total += n
+	}
+	if total < th {
+		return nil
+	}
+	var out []string
+	for s := range accesses {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Policies returns the named built-in policies for sweeps.
+func Policies(threshold int) []ReplicationPolicy {
+	return []ReplicationPolicy{
+		NoReplication{},
+		CacheAtClient{},
+		BestClient{Threshold: threshold},
+		CacheAndBestClient{Threshold: threshold},
+		Broadcast{Threshold: threshold},
+	}
+}

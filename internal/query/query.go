@@ -1,0 +1,446 @@
+// Package query implements the discovery facet of the virtual data
+// grid: a small predicate language evaluated against a virtual data
+// catalog, covering conventional metadata search plus the paper's "added
+// wrinkle" that attributes of interest may refer to derivation
+// relationships (ancestry, consumption, production) and to whether data
+// exists as bytes or only as a recipe.
+//
+// Example queries:
+//
+//	type <= CMS and attr.owner = "annis" and not materialized
+//	name ~ "run1.*" and descendantof(raw07)
+//	kind = compound or output <= FITS-file
+//	tr = sdss::brgSearch and executed
+//
+// One grammar serves the three searchable object classes; predicates
+// that do not apply to a class simply evaluate false for it.
+package query
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// Kind selects the object class a query runs against.
+type Kind int
+
+const (
+	// KDataset searches datasets.
+	KDataset Kind = iota
+	// KTransformation searches transformations.
+	KTransformation
+	// KDerivation searches derivations.
+	KDerivation
+)
+
+// Expr is a parsed query expression.
+type Expr interface {
+	// eval evaluates the expression against one object in context.
+	eval(ctx *evalCtx, obj object) (bool, error)
+	// String renders the expression in re-parseable form.
+	String() string
+}
+
+// object is the uniform view of a searchable catalog object.
+type object struct {
+	kind Kind
+	ds   *schema.Dataset
+	tr   *schema.Transformation
+	dv   *schema.Derivation
+}
+
+func (o object) name() string {
+	switch o.kind {
+	case KDataset:
+		return o.ds.Name
+	case KTransformation:
+		return o.tr.Ref()
+	default:
+		if o.dv.Name != "" {
+			return o.dv.Name
+		}
+		return o.dv.ID
+	}
+}
+
+func (o object) attrs() schema.Attributes {
+	switch o.kind {
+	case KDataset:
+		return o.ds.Attrs
+	case KTransformation:
+		return o.tr.Attrs
+	default:
+		return o.dv.Attrs
+	}
+}
+
+// evalCtx caches catalog lookups during one query run.
+type evalCtx struct {
+	cat *catalog.Catalog
+	// descCache memoizes descendant closures keyed by dataset.
+	descCache map[string]map[string]bool
+	ancCache  map[string]map[string]bool
+}
+
+func (ctx *evalCtx) descendants(ds string) (map[string]bool, error) {
+	if m, ok := ctx.descCache[ds]; ok {
+		return m, nil
+	}
+	cl, err := ctx.cat.Descendants(ds)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]bool, len(cl.Datasets))
+	for _, d := range cl.Datasets {
+		m[d] = true
+	}
+	ctx.descCache[ds] = m
+	return m, nil
+}
+
+func (ctx *evalCtx) ancestors(ds string) (map[string]bool, error) {
+	if m, ok := ctx.ancCache[ds]; ok {
+		return m, nil
+	}
+	cl, err := ctx.cat.Ancestors(ds)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]bool, len(cl.Datasets))
+	for _, d := range cl.Datasets {
+		m[d] = true
+	}
+	ctx.ancCache[ds] = m
+	return m, nil
+}
+
+// Results of a query run.
+type Results struct {
+	Datasets        []schema.Dataset
+	Transformations []schema.Transformation
+	Derivations     []schema.Derivation
+}
+
+// Run evaluates the expression against every object of the given kind
+// in the catalog.
+func Run(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
+	ctx := &evalCtx{
+		cat:       c,
+		descCache: make(map[string]map[string]bool),
+		ancCache:  make(map[string]map[string]bool),
+	}
+	var res Results
+	switch kind {
+	case KDataset:
+		for _, ds := range c.Datasets() {
+			ds := ds
+			ok, err := e.eval(ctx, object{kind: KDataset, ds: &ds})
+			if err != nil {
+				return Results{}, err
+			}
+			if ok {
+				res.Datasets = append(res.Datasets, ds)
+			}
+		}
+	case KTransformation:
+		for _, tr := range c.Transformations() {
+			tr := tr
+			ok, err := e.eval(ctx, object{kind: KTransformation, tr: &tr})
+			if err != nil {
+				return Results{}, err
+			}
+			if ok {
+				res.Transformations = append(res.Transformations, tr)
+			}
+		}
+	case KDerivation:
+		for _, dv := range c.Derivations() {
+			dv := dv
+			ok, err := e.eval(ctx, object{kind: KDerivation, dv: &dv})
+			if err != nil {
+				return Results{}, err
+			}
+			if ok {
+				res.Derivations = append(res.Derivations, dv)
+			}
+		}
+	default:
+		return Results{}, fmt.Errorf("query: invalid kind %d", int(kind))
+	}
+	return res, nil
+}
+
+// Search parses and runs a query in one step.
+func Search(c *catalog.Catalog, kind Kind, src string) (Results, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return Results{}, err
+	}
+	return Run(c, kind, e)
+}
+
+// --- Expression nodes --------------------------------------------------
+
+type andExpr struct{ l, r Expr }
+
+func (e andExpr) eval(ctx *evalCtx, o object) (bool, error) {
+	ok, err := e.l.eval(ctx, o)
+	if err != nil || !ok {
+		return false, err
+	}
+	return e.r.eval(ctx, o)
+}
+
+func (e andExpr) String() string { return fmt.Sprintf("(%s and %s)", e.l, e.r) }
+
+type orExpr struct{ l, r Expr }
+
+func (e orExpr) eval(ctx *evalCtx, o object) (bool, error) {
+	ok, err := e.l.eval(ctx, o)
+	if err != nil || ok {
+		return ok, err
+	}
+	return e.r.eval(ctx, o)
+}
+
+func (e orExpr) String() string { return fmt.Sprintf("(%s or %s)", e.l, e.r) }
+
+type notExpr struct{ e Expr }
+
+func (e notExpr) eval(ctx *evalCtx, o object) (bool, error) {
+	ok, err := e.e.eval(ctx, o)
+	return !ok, err
+}
+
+func (e notExpr) String() string { return fmt.Sprintf("not %s", e.e) }
+
+// cmpOp is a comparison operator on strings.
+type cmpOp int
+
+const (
+	opEq cmpOp = iota
+	opNe
+	opMatch // glob pattern match (~)
+)
+
+func (op cmpOp) apply(lhs, rhs string) (bool, error) {
+	switch op {
+	case opEq:
+		return lhs == rhs, nil
+	case opNe:
+		return lhs != rhs, nil
+	case opMatch:
+		ok, err := path.Match(rhs, lhs)
+		if err != nil {
+			return false, fmt.Errorf("query: bad pattern %q: %w", rhs, err)
+		}
+		return ok, nil
+	}
+	return false, fmt.Errorf("query: bad operator")
+}
+
+func (op cmpOp) String() string {
+	switch op {
+	case opNe:
+		return "!="
+	case opMatch:
+		return "~"
+	default:
+		return "="
+	}
+}
+
+// namePred compares the object's name.
+type namePred struct {
+	op  cmpOp
+	val string
+}
+
+func (p namePred) eval(_ *evalCtx, o object) (bool, error) { return p.op.apply(o.name(), p.val) }
+func (p namePred) String() string                          { return fmt.Sprintf("name %s %q", p.op, p.val) }
+
+// attrPred compares a metadata attribute.
+type attrPred struct {
+	key string
+	op  cmpOp
+	val string
+}
+
+func (p attrPred) eval(_ *evalCtx, o object) (bool, error) {
+	v, ok := o.attrs()[p.key]
+	if !ok {
+		return false, nil
+	}
+	return p.op.apply(v, p.val)
+}
+
+func (p attrPred) String() string { return fmt.Sprintf("attr.%s %s %q", p.key, p.op, p.val) }
+
+// typePred tests dataset-type conformance: for datasets, the dataset's
+// own type; for transformations, whether any input (or output, when
+// output is set) formal accepts the type.
+type typePred struct {
+	t      dtype.Type
+	output bool // for transformations: match output formals instead
+	field  string
+}
+
+func (p typePred) eval(ctx *evalCtx, o object) (bool, error) {
+	reg := ctx.cat.Types()
+	switch o.kind {
+	case KDataset:
+		if p.field != "type" {
+			return false, nil
+		}
+		return reg.Conforms(o.ds.Type, p.t), nil
+	case KTransformation:
+		for _, f := range o.tr.Args {
+			if !f.IsDataset() {
+				continue
+			}
+			if p.output && !f.Direction.Writes() {
+				continue
+			}
+			if !p.output && p.field == "input" && !f.Direction.Reads() {
+				continue
+			}
+			if len(f.Types) == 0 {
+				if p.t.IsUniversal() {
+					return true, nil
+				}
+				continue
+			}
+			for _, ft := range f.Types {
+				if reg.Conforms(ft, p.t) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	default:
+		return false, nil
+	}
+}
+
+func (p typePred) String() string { return fmt.Sprintf("%s <= %q", p.field, p.t) }
+
+// flagPred tests boolean object properties.
+type flagPred struct{ flag string }
+
+func (p flagPred) eval(ctx *evalCtx, o object) (bool, error) {
+	switch p.flag {
+	case "derived":
+		return o.kind == KDataset && o.ds.CreatedBy != "", nil
+	case "materialized":
+		return o.kind == KDataset && ctx.cat.Materialized(o.ds.Name), nil
+	case "virtual":
+		// Exists only as a recipe: derived but not materialized.
+		return o.kind == KDataset && o.ds.CreatedBy != "" && !ctx.cat.Materialized(o.ds.Name), nil
+	case "executed":
+		return o.kind == KDerivation && len(ctx.cat.InvocationsOf(o.dv.ID)) > 0, nil
+	case "compound":
+		return o.kind == KTransformation && o.tr.Kind == schema.Compound, nil
+	case "simple":
+		return o.kind == KTransformation && o.tr.Kind == schema.Simple, nil
+	}
+	return false, fmt.Errorf("query: unknown flag %q", p.flag)
+}
+
+func (p flagPred) String() string { return p.flag }
+
+// trPred matches derivations of a transformation (exact ref, or any
+// version of ns::name when the ref is unversioned).
+type trPred struct{ ref string }
+
+func (p trPred) eval(_ *evalCtx, o object) (bool, error) {
+	if o.kind != KDerivation {
+		return false, nil
+	}
+	if o.dv.TR == p.ref {
+		return true, nil
+	}
+	ns1, n1, _, err1 := schema.ParseTRRef(o.dv.TR)
+	ns2, n2, v2, err2 := schema.ParseTRRef(p.ref)
+	if err1 != nil || err2 != nil {
+		return false, nil
+	}
+	return v2 == "" && ns1 == ns2 && n1 == n2, nil
+}
+
+func (p trPred) String() string { return fmt.Sprintf("tr = %s", p.ref) }
+
+// relPred tests derivation relationships.
+type relPred struct {
+	rel string // "descendantof", "ancestorof", "consumes", "produces"
+	ds  string
+}
+
+func (p relPred) eval(ctx *evalCtx, o object) (bool, error) {
+	switch p.rel {
+	case "descendantof":
+		if o.kind != KDataset {
+			return false, nil
+		}
+		m, err := ctx.descendants(p.ds)
+		if err != nil {
+			return false, err
+		}
+		return m[o.ds.Name], nil
+	case "ancestorof":
+		if o.kind != KDataset {
+			return false, nil
+		}
+		m, err := ctx.ancestors(p.ds)
+		if err != nil {
+			return false, err
+		}
+		return m[o.ds.Name], nil
+	case "consumes":
+		if o.kind != KDerivation {
+			return false, nil
+		}
+		ins, _, err := ctx.cat.DerivationIO(o.dv.ID)
+		if err != nil {
+			return false, err
+		}
+		return contains(ins, p.ds), nil
+	case "produces":
+		if o.kind != KDerivation {
+			return false, nil
+		}
+		_, outs, err := ctx.cat.DerivationIO(o.dv.ID)
+		if err != nil {
+			return false, err
+		}
+		return contains(outs, p.ds), nil
+	}
+	return false, fmt.Errorf("query: unknown relationship %q", p.rel)
+}
+
+func (p relPred) String() string { return fmt.Sprintf("%s(%s)", p.rel, p.ds) }
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// truePred matches everything ("*").
+type truePred struct{}
+
+func (truePred) eval(*evalCtx, object) (bool, error) { return true, nil }
+func (truePred) String() string                      { return "*" }
+
+// All is the expression matching every object.
+var All Expr = truePred{}
+
+// Strings the rest of the package needs.
+var _ = strings.TrimSpace

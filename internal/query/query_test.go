@@ -1,0 +1,309 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// fixture builds a catalog with a small SDSS-flavoured world:
+//
+//	raw1, raw2 (primary, FITS-file, materialized)
+//	brg1 = brgSearch(raw1); brg2 = brgSearch(raw2)
+//	clusters = bcgSearch(brg1, brg2)   [executed]
+func fixture(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New(dtype.StandardRegistry())
+
+	brgSearch := schema.Transformation{
+		Namespace: "sdss", Name: "brgSearch", Kind: schema.Simple, Exec: "/bin/brg",
+		Args: []schema.FormalArg{
+			{Name: "out", Direction: schema.Out, Types: []dtype.Type{{Content: "Object-map"}}},
+			{Name: "in", Direction: schema.In, Types: []dtype.Type{{Content: "FITS-file"}}},
+		},
+		Attrs: schema.Attributes{"author": "annis"},
+	}
+	bcgSearch := schema.Transformation{
+		Namespace: "sdss", Name: "bcgSearch", Kind: schema.Simple, Exec: "/bin/bcg",
+		Args: []schema.FormalArg{
+			{Name: "out", Direction: schema.Out},
+			{Name: "in1", Direction: schema.In, Types: []dtype.Type{{Content: "Object-map"}}},
+			{Name: "in2", Direction: schema.In, Types: []dtype.Type{{Content: "Object-map"}}},
+		},
+	}
+	pipeline := schema.Transformation{
+		Namespace: "sdss", Name: "pipeline", Kind: schema.Compound,
+		Args: []schema.FormalArg{
+			{Name: "in", Direction: schema.In},
+			{Name: "out", Direction: schema.Out},
+		},
+		Calls: []schema.Call{{TR: "sdss::brgSearch", Bindings: map[string]schema.Actual{
+			"out": schema.FormalRefActual("out"), "in": schema.FormalRefActual("in"),
+		}}},
+	}
+	for _, tr := range []schema.Transformation{brgSearch, bcgSearch, pipeline} {
+		if err := c.AddTransformation(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, name := range []string{"raw1", "raw2"} {
+		if err := c.AddDataset(schema.Dataset{
+			Name: name, Type: dtype.Type{Content: "FITS-file", Format: "Simple"},
+			Descriptor: schema.FileDescriptor{Path: "/sdss/" + name},
+			Attrs:      schema.Attributes{"owner": "annis", "stripe": []string{"10", "82"}[i]},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddReplica(schema.Replica{ID: "r-" + name, Dataset: name, Site: "fnal", PFN: "/store/" + name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]string{{"raw1", "brg1"}, {"raw2", "brg2"}} {
+		c.AddDataset(schema.Dataset{Name: pair[1], Type: dtype.Type{Content: "Object-map"}})
+		if _, err := c.AddDerivation(schema.Derivation{TR: "sdss::brgSearch", Params: map[string]schema.Actual{
+			"out": schema.DatasetActual("output", pair[1]),
+			"in":  schema.DatasetActual("input", pair[0]),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := c.AddDerivation(schema.Derivation{TR: "sdss::bcgSearch", Params: map[string]schema.Actual{
+		"out": schema.DatasetActual("output", "clusters"),
+		"in1": schema.DatasetActual("input", "brg1"),
+		"in2": schema.DatasetActual("input", "brg2"),
+	}, Attrs: schema.Attributes{"campaign": "dr1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInvocation(schema.Invocation{
+		ID: "iv-final", Derivation: final.ID,
+		Start: time.Unix(0, 0), End: time.Unix(60, 0), Site: "anl",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func names(res Results) string {
+	var out []string
+	for _, d := range res.Datasets {
+		out = append(out, d.Name)
+	}
+	for _, tr := range res.Transformations {
+		out = append(out, tr.Ref())
+	}
+	for _, dv := range res.Derivations {
+		out = append(out, dv.TR)
+	}
+	return strings.Join(out, ",")
+}
+
+func search(t testing.TB, c *catalog.Catalog, kind Kind, q string) Results {
+	t.Helper()
+	res, err := Search(c, kind, q)
+	if err != nil {
+		t.Fatalf("Search(%q): %v", q, err)
+	}
+	return res
+}
+
+func TestDatasetQueries(t *testing.T) {
+	c := fixture(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`*`, "brg1,brg2,clusters,raw1,raw2"},
+		{`name = raw1`, "raw1"},
+		{`name ~ "raw*"`, "raw1,raw2"},
+		{`name != raw1 and name ~ "raw*"`, "raw2"},
+		{`attr.owner = annis`, "raw1,raw2"},
+		{`attr.owner = "annis" and attr.stripe = "82"`, "raw2"},
+		{`attr.missing = x`, ""},
+		{`type <= FITS-file`, "raw1,raw2"},
+		{`type <= SDSS`, "brg1,brg2,raw1,raw2"}, // Object-map and FITS-file are both SDSS
+		{`type <= "SDSS;Fileset"`, "raw1,raw2"}, // format narrows to Simple⊂Fileset
+		{`derived`, "brg1,brg2,clusters"},
+		{`not derived`, "raw1,raw2"},
+		{`materialized`, "raw1,raw2"},
+		{`virtual`, "brg1,brg2,clusters"}, // derived, no replicas yet
+		{`descendantof(raw1)`, "brg1,clusters"},
+		{`ancestorof(clusters)`, "brg1,brg2,raw1,raw2"},
+		{`descendantof(raw1) and descendantof(raw2)`, "clusters"},
+		{`derived or name = raw1`, "brg1,brg2,clusters,raw1"},
+		{`not (derived or name = raw1)`, "raw2"},
+	}
+	for _, tc := range cases {
+		if got := names(search(t, c, KDataset, tc.q)); got != tc.want {
+			t.Errorf("%q:\n got %q\nwant %q", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestTransformationQueries(t *testing.T) {
+	c := fixture(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`input <= FITS-file`, "sdss::brgSearch"},
+		{`input <= Object-map`, "sdss::bcgSearch"},
+		{`output <= Object-map`, "sdss::brgSearch"},
+		{`compound`, "sdss::pipeline"},
+		{`simple`, "sdss::bcgSearch,sdss::brgSearch"},
+		{`attr.author = annis`, "sdss::brgSearch"},
+		{`name ~ "sdss::b*"`, "sdss::bcgSearch,sdss::brgSearch"},
+		// Untyped formals accept the universal type.
+		{`input <= Dataset`, "sdss::bcgSearch,sdss::brgSearch,sdss::pipeline"},
+	}
+	for _, tc := range cases {
+		if got := names(search(t, c, KTransformation, tc.q)); got != tc.want {
+			t.Errorf("%q:\n got %q\nwant %q", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestDerivationQueries(t *testing.T) {
+	c := fixture(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`tr = sdss::brgSearch`, 2},
+		{`tr = sdss::bcgSearch`, 1},
+		{`consumes(raw1)`, 1},
+		{`produces(clusters)`, 1},
+		{`executed`, 1},
+		{`not executed`, 2},
+		{`attr.campaign = dr1`, 1},
+		{`consumes(brg1) and consumes(brg2)`, 1},
+	}
+	for _, tc := range cases {
+		res := search(t, c, KDerivation, tc.q)
+		if len(res.Derivations) != tc.want {
+			t.Errorf("%q: got %d derivations, want %d", tc.q, len(res.Derivations), tc.want)
+		}
+	}
+}
+
+func TestTRVersionlessMatch(t *testing.T) {
+	c := catalog.New(nil)
+	tr := schema.Transformation{Name: "sim", Version: "1.3", Kind: schema.Simple, Exec: "/bin/sim",
+		Args: []schema.FormalArg{{Name: "o", Direction: schema.Out}, {Name: "i", Direction: schema.In}}}
+	if err := c.AddTransformation(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddDerivation(schema.Derivation{TR: "sim:1.3", Params: map[string]schema.Actual{
+		"o": schema.DatasetActual("output", "o1"), "i": schema.DatasetActual("input", "i1"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res := search(t, c, KDerivation, `tr = sim`)
+	if len(res.Derivations) != 1 {
+		t.Errorf("versionless tr match: %d", len(res.Derivations))
+	}
+	res = search(t, c, KDerivation, `tr = sim:1.4`)
+	if len(res.Derivations) != 0 {
+		t.Errorf("wrong version matched: %d", len(res.Derivations))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`name`,
+		`name =`,
+		`name >> x`,
+		`attr. = x`,
+		`(name = x`,
+		`name = x )`,
+		`bogus = 3`,
+		`type <=`,
+		`descendantof raw1`,
+		`descendantof(raw1`,
+		`"quoted head"`,
+		`tr sim`,
+		`not`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted invalid query %q", q)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c := fixture(t)
+	// Relationship against unknown dataset surfaces the catalog error.
+	if _, err := Search(c, KDataset, `descendantof(ghost)`); err == nil {
+		t.Error("unknown dataset in relationship accepted")
+	}
+	// Bad glob pattern surfaces at eval time.
+	if _, err := Search(c, KDataset, `name ~ "[unclosed"`); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := Run(c, Kind(42), All); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestExprStringReparses(t *testing.T) {
+	queries := []string{
+		`name = raw1`,
+		`name ~ "raw*" and not derived`,
+		`(attr.owner = annis or materialized) and type <= SDSS`,
+		`descendantof(raw1) or ancestorof(clusters)`,
+		`tr = sdss::brgSearch`,
+		`executed`,
+	}
+	c := fixture(t)
+	for _, q := range queries {
+		e, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", e.String(), q, err)
+		}
+		// Semantic check: both run to the same result.
+		r1, err := Run(c, KDataset, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(c, KDataset, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names(r1) != names(r2) {
+			t.Errorf("%q: round-tripped expression differs: %q vs %q", q, names(r1), names(r2))
+		}
+	}
+}
+
+func TestVirtualVsMaterializedSearch(t *testing.T) {
+	// The paper: "users may wish to search for data that may exist as
+	// data and/or in terms of recipes for generating that data."
+	c := fixture(t)
+	// clusters exists only as a recipe.
+	res := search(t, c, KDataset, `name = clusters and virtual`)
+	if len(res.Datasets) != 1 {
+		t.Fatal("clusters should be virtual")
+	}
+	// Materialize it; it is no longer virtual.
+	if err := c.AddReplica(schema.Replica{ID: "r-cl", Dataset: "clusters", Site: "anl", PFN: "/c"}); err != nil {
+		t.Fatal(err)
+	}
+	res = search(t, c, KDataset, `name = clusters and virtual`)
+	if len(res.Datasets) != 0 {
+		t.Error("materialized dataset still reported virtual")
+	}
+	res = search(t, c, KDataset, `name = clusters and materialized and derived`)
+	if len(res.Datasets) != 1 {
+		t.Error("materialized derived search failed")
+	}
+}

@@ -1,0 +1,92 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics and, when it accepts an input, the
+// parsed expression's String() form re-parses to an expression with
+// identical evaluation behaviour on a fixed fixture.
+func TestParseTotalQuick(t *testing.T) {
+	c := fixture(t)
+	f := func(src string) bool {
+		e, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Logf("unparseable round trip: %q -> %q", src, e.String())
+			return false
+		}
+		r1, err1 := Run(c, KDataset, e)
+		r2, err2 := Run(c, KDataset, e2)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return names(r1) == names(r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: boolean algebra holds — for random pairs of valid
+// predicates p, q: "p and q" ⊆ "p" ⊆ "p or q", and "not (not p)" = p.
+func TestBooleanAlgebraProperty(t *testing.T) {
+	c := fixture(t)
+	preds := []string{
+		`derived`, `materialized`, `virtual`,
+		`name ~ "raw*"`, `name ~ "brg*"`, `type <= SDSS`,
+		`attr.owner = annis`, `descendantof(raw1)`, `ancestorof(clusters)`,
+	}
+	members := func(q string) map[string]bool {
+		res := search(t, c, KDataset, q)
+		m := make(map[string]bool)
+		for _, d := range res.Datasets {
+			m[d.Name] = true
+		}
+		return m
+	}
+	for _, p := range preds {
+		for _, q := range preds {
+			both := members("(" + p + ") and (" + q + ")")
+			either := members("(" + p + ") or (" + q + ")")
+			pm := members(p)
+			for name := range both {
+				if !pm[name] {
+					t.Fatalf("AND not subset: %q with %q yields %s not in %q", p, q, name, p)
+				}
+			}
+			for name := range pm {
+				if !either[name] {
+					t.Fatalf("OR not superset: %s in %q missing from union with %q", name, p, q)
+				}
+			}
+		}
+		doubleNeg := members("not (not (" + p + "))")
+		pm := members(p)
+		if len(doubleNeg) != len(pm) {
+			t.Fatalf("double negation changed %q: %d vs %d", p, len(doubleNeg), len(pm))
+		}
+	}
+}
+
+func BenchmarkSearchDatasets(b *testing.B) {
+	c := fixture(b)
+	e, err := Parse(`derived and descendantof(raw1) and type <= SDSS`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, KDataset, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package replica implements a replica location service in the style
+// the paper's Grid infrastructure assumes (Globus RLS): per-site local
+// replica catalogs mapping logical dataset names to physical file
+// names, and a soft-state replica location index mapping logical names
+// to the sites that hold them. Index entries expire unless refreshed,
+// so sites that crash or depart silently age out.
+//
+// This complements the catalog package's Replica objects: the catalog
+// records replicas as provenance-bearing schema objects; this package
+// is the lookup-optimized location fabric planners consult.
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LocalCatalog is one site's logical-to-physical mapping (LRC).
+type LocalCatalog struct {
+	// Site names the owning storage site.
+	Site string
+
+	mu sync.RWMutex
+	m  map[string][]string // lfn -> pfns
+}
+
+// NewLocalCatalog returns an empty LRC for a site.
+func NewLocalCatalog(site string) *LocalCatalog {
+	return &LocalCatalog{Site: site, m: make(map[string][]string)}
+}
+
+// Add registers a physical copy of a logical name. Duplicate pfns are
+// ignored.
+func (l *LocalCatalog) Add(lfn, pfn string) error {
+	if lfn == "" || pfn == "" {
+		return fmt.Errorf("replica: empty lfn or pfn")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range l.m[lfn] {
+		if p == pfn {
+			return nil
+		}
+	}
+	l.m[lfn] = append(l.m[lfn], pfn)
+	return nil
+}
+
+// Remove drops one physical copy; removing the last copy forgets the
+// logical name.
+func (l *LocalCatalog) Remove(lfn, pfn string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pfns := l.m[lfn]
+	for i, p := range pfns {
+		if p == pfn {
+			pfns = append(pfns[:i:i], pfns[i+1:]...)
+			break
+		}
+	}
+	if len(pfns) == 0 {
+		delete(l.m, lfn)
+	} else {
+		l.m[lfn] = pfns
+	}
+}
+
+// Lookup returns the physical names of a logical name at this site.
+func (l *LocalCatalog) Lookup(lfn string) []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]string(nil), l.m[lfn]...)
+}
+
+// Has reports whether the site holds the logical name.
+func (l *LocalCatalog) Has(lfn string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.m[lfn]) > 0
+}
+
+// LFNs lists the logical names held, sorted.
+func (l *LocalCatalog) LFNs() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.m))
+	for lfn := range l.m {
+		out = append(out, lfn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of logical names held.
+func (l *LocalCatalog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.m)
+}
+
+// Index is the replica location index (RLI): logical name to holding
+// sites with soft-state expiry. Time is caller-supplied (simulated or
+// wall seconds), keeping the index deterministic under test.
+type Index struct {
+	// TTL is the seconds an update stays valid; <= 0 means never
+	// expires.
+	TTL float64
+
+	mu sync.RWMutex
+	m  map[string]map[string]float64 // lfn -> site -> expiry time
+}
+
+// NewIndex returns an index with the given TTL.
+func NewIndex(ttl float64) *Index {
+	return &Index{TTL: ttl, m: make(map[string]map[string]float64)}
+}
+
+// Update ingests a full-state report from a site's LRC at time now:
+// the site holds exactly these lfns. Previous entries for the site are
+// replaced (full-state semantics, as in RLS soft-state updates).
+func (ix *Index) Update(site string, lfns []string, now float64) {
+	expiry := now + ix.TTL
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// Drop the site's previous claims.
+	for lfn, sites := range ix.m {
+		if _, ok := sites[site]; ok {
+			delete(sites, site)
+			if len(sites) == 0 {
+				delete(ix.m, lfn)
+			}
+		}
+	}
+	for _, lfn := range lfns {
+		sites := ix.m[lfn]
+		if sites == nil {
+			sites = make(map[string]float64)
+			ix.m[lfn] = sites
+		}
+		sites[site] = expiry
+	}
+}
+
+// Sites returns the sites believed to hold lfn at time now, sorted.
+func (ix *Index) Sites(lfn string, now float64) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []string
+	for site, expiry := range ix.m[lfn] {
+		if ix.TTL <= 0 || expiry > now {
+			out = append(out, site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expire removes entries older than now; callers may run it
+// periodically to bound memory.
+func (ix *Index) Expire(now float64) int {
+	if ix.TTL <= 0 {
+		return 0
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	removed := 0
+	for lfn, sites := range ix.m {
+		for site, expiry := range sites {
+			if expiry <= now {
+				delete(sites, site)
+				removed++
+			}
+		}
+		if len(sites) == 0 {
+			delete(ix.m, lfn)
+		}
+	}
+	return removed
+}
+
+// Len returns the number of logical names currently indexed (including
+// possibly expired entries not yet swept).
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.m)
+}
+
+// Service couples LRCs with an index for convenience: registration
+// writes through to the local catalog, and Refresh pushes full-state
+// updates for all registered sites.
+type Service struct {
+	Index *Index
+
+	mu   sync.RWMutex
+	lrcs map[string]*LocalCatalog
+}
+
+// NewService returns a service with the given index TTL.
+func NewService(ttl float64) *Service {
+	return &Service{Index: NewIndex(ttl), lrcs: make(map[string]*LocalCatalog)}
+}
+
+// Site returns (creating if needed) the LRC for a site.
+func (s *Service) Site(site string) *LocalCatalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lrc, ok := s.lrcs[site]
+	if !ok {
+		lrc = NewLocalCatalog(site)
+		s.lrcs[site] = lrc
+	}
+	return lrc
+}
+
+// Register adds a physical copy and immediately reflects it in the
+// index (valid until the next full-state refresh window closes).
+func (s *Service) Register(site, lfn, pfn string, now float64) error {
+	lrc := s.Site(site)
+	if err := lrc.Add(lfn, pfn); err != nil {
+		return err
+	}
+	s.Index.Update(site, lrc.LFNs(), now)
+	return nil
+}
+
+// Refresh pushes full-state updates from every LRC at time now.
+func (s *Service) Refresh(now float64) {
+	s.mu.RLock()
+	sites := make([]*LocalCatalog, 0, len(s.lrcs))
+	for _, lrc := range s.lrcs {
+		sites = append(sites, lrc)
+	}
+	s.mu.RUnlock()
+	for _, lrc := range sites {
+		s.Index.Update(lrc.Site, lrc.LFNs(), now)
+	}
+}
+
+// Locate returns the sites holding lfn according to the index.
+func (s *Service) Locate(lfn string, now float64) []string {
+	return s.Index.Sites(lfn, now)
+}

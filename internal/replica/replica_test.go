@@ -1,0 +1,147 @@
+package replica
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestLocalCatalogBasics(t *testing.T) {
+	l := NewLocalCatalog("anl")
+	if err := l.Add("", "/p"); err == nil {
+		t.Error("empty lfn accepted")
+	}
+	if err := l.Add("d1", ""); err == nil {
+		t.Error("empty pfn accepted")
+	}
+	if err := l.Add("d1", "/store/d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("d1", "/store/d1"); err != nil {
+		t.Fatal("duplicate add should be a no-op")
+	}
+	l.Add("d1", "/tape/d1")
+	l.Add("d2", "/store/d2")
+	if got := l.Lookup("d1"); len(got) != 2 {
+		t.Errorf("lookup: %v", got)
+	}
+	if !l.Has("d1") || l.Has("ghost") {
+		t.Error("has")
+	}
+	if got := l.LFNs(); !reflect.DeepEqual(got, []string{"d1", "d2"}) {
+		t.Errorf("lfns: %v", got)
+	}
+	if l.Len() != 2 {
+		t.Errorf("len: %d", l.Len())
+	}
+	l.Remove("d1", "/store/d1")
+	if got := l.Lookup("d1"); len(got) != 1 || got[0] != "/tape/d1" {
+		t.Errorf("after remove: %v", got)
+	}
+	l.Remove("d1", "/tape/d1")
+	if l.Has("d1") || l.Len() != 1 {
+		t.Error("last copy removal should forget the lfn")
+	}
+	l.Remove("ghost", "/x") // no-op
+}
+
+func TestIndexSoftState(t *testing.T) {
+	ix := NewIndex(10)
+	ix.Update("anl", []string{"d1", "d2"}, 0)
+	ix.Update("fnal", []string{"d1"}, 5)
+
+	if got := ix.Sites("d1", 6); !reflect.DeepEqual(got, []string{"anl", "fnal"}) {
+		t.Errorf("d1 at t6: %v", got)
+	}
+	// anl's update expires at t=10.
+	if got := ix.Sites("d1", 11); !reflect.DeepEqual(got, []string{"fnal"}) {
+		t.Errorf("d1 at t11: %v", got)
+	}
+	if got := ix.Sites("d1", 16); len(got) != 0 {
+		t.Errorf("d1 at t16: %v", got)
+	}
+	// Refresh renews.
+	ix.Update("anl", []string{"d1"}, 12)
+	if got := ix.Sites("d1", 20); !reflect.DeepEqual(got, []string{"anl"}) {
+		t.Errorf("after refresh: %v", got)
+	}
+	// Full-state semantics: d2 no longer claimed by anl.
+	if got := ix.Sites("d2", 13); len(got) != 0 {
+		t.Errorf("d2 after full-state update: %v", got)
+	}
+}
+
+func TestIndexNoTTL(t *testing.T) {
+	ix := NewIndex(0)
+	ix.Update("anl", []string{"d"}, 0)
+	if got := ix.Sites("d", 1e12); len(got) != 1 {
+		t.Errorf("no-ttl expiry: %v", got)
+	}
+	if ix.Expire(1e12) != 0 {
+		t.Error("no-ttl expire removed entries")
+	}
+}
+
+func TestExpireSweep(t *testing.T) {
+	ix := NewIndex(10)
+	ix.Update("a", []string{"d1", "d2"}, 0)
+	ix.Update("b", []string{"d1"}, 8)
+	if n := ix.Expire(11); n != 2 { // a's two entries
+		t.Errorf("expired: %d", n)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("len after sweep: %d", ix.Len())
+	}
+	if got := ix.Sites("d1", 11); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("survivors: %v", got)
+	}
+}
+
+func TestServiceFlow(t *testing.T) {
+	s := NewService(100)
+	if err := s.Register("anl", "d1", "/store/d1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("fnal", "d1", "/dcache/d1", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Register("anl", "d2", "/store/d2", 1)
+	if got := s.Locate("d1", 50); !reflect.DeepEqual(got, []string{"anl", "fnal"}) {
+		t.Errorf("locate: %v", got)
+	}
+	// Site removes a file locally; index is stale until refresh.
+	s.Site("fnal").Remove("d1", "/dcache/d1")
+	if got := s.Locate("d1", 50); len(got) != 2 {
+		t.Errorf("stale view expected: %v", got)
+	}
+	s.Refresh(60)
+	if got := s.Locate("d1", 61); !reflect.DeepEqual(got, []string{"anl"}) {
+		t.Errorf("after refresh: %v", got)
+	}
+	if err := s.Register("anl", "", "/x", 0); err == nil {
+		t.Error("bad register accepted")
+	}
+}
+
+func TestConcurrentServiceUse(t *testing.T) {
+	s := NewService(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := fmt.Sprintf("site%d", w%3)
+			for i := 0; i < 100; i++ {
+				lfn := fmt.Sprintf("d%d", i%17)
+				s.Register(site, lfn, fmt.Sprintf("/s%d/%s/%d", w, lfn, i), float64(i))
+				s.Locate(lfn, float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Refresh(101)
+	if got := s.Locate("d0", 102); len(got) != 3 {
+		t.Errorf("after concurrent load: %v", got)
+	}
+}

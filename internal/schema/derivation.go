@@ -1,0 +1,390 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ActualKind discriminates the value expressions that can be bound to
+// formal arguments in derivations and compound-transformation calls.
+type ActualKind int
+
+const (
+	// AString is a literal string, passed by value.
+	AString ActualKind = iota
+	// ADataset is a dataset anchor @{direction:"lfn"}, passed by
+	// reference to the logical dataset name.
+	ADataset
+	// AFormalRef is a reference ${formal} to an enclosing compound
+	// transformation's formal argument; it never appears in a
+	// fully-resolved derivation.
+	AFormalRef
+	// AList is an ordered list of actuals.
+	AList
+)
+
+// String names the kind for diagnostics.
+func (k ActualKind) String() string {
+	switch k {
+	case AString:
+		return "string"
+	case ADataset:
+		return "dataset"
+	case AFormalRef:
+		return "formalref"
+	case AList:
+		return "list"
+	default:
+		return fmt.Sprintf("ActualKind(%d)", int(k))
+	}
+}
+
+// Actual is one actual-argument value expression.
+type Actual struct {
+	Kind ActualKind `json:"kind"`
+	// Value is the literal (AString), the logical dataset name
+	// (ADataset), or the referenced formal name (AFormalRef).
+	Value string `json:"value,omitempty"`
+	// Direction annotates dataset anchors with the direction written
+	// in VDL; it must agree with the formal at bind time.
+	Direction string `json:"direction,omitempty"`
+	// List holds the elements of an AList.
+	List []Actual `json:"list,omitempty"`
+}
+
+// StringActual returns a literal string actual.
+func StringActual(v string) Actual { return Actual{Kind: AString, Value: v} }
+
+// DatasetActual returns a dataset-anchor actual.
+func DatasetActual(direction, lfn string) Actual {
+	return Actual{Kind: ADataset, Value: lfn, Direction: direction}
+}
+
+// FormalRefActual returns a ${formal} reference actual.
+func FormalRefActual(name string) Actual { return Actual{Kind: AFormalRef, Value: name} }
+
+// ListActual returns a list actual.
+func ListActual(items ...Actual) Actual { return Actual{Kind: AList, List: items} }
+
+// Validate checks structural well-formedness.
+func (a Actual) Validate() error {
+	switch a.Kind {
+	case AString:
+		return nil
+	case ADataset:
+		if err := checkLogicalName(a.Value); err != nil {
+			return fmt.Errorf("schema: dataset actual: %w", err)
+		}
+		return nil
+	case AFormalRef:
+		if a.Value == "" {
+			return fmt.Errorf("schema: empty formal reference")
+		}
+		return nil
+	case AList:
+		for i, e := range a.List {
+			if e.Kind == AList {
+				return fmt.Errorf("schema: nested list actual at index %d", i)
+			}
+			if err := e.Validate(); err != nil {
+				return fmt.Errorf("schema: list element %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("schema: invalid actual kind %d", int(a.Kind))
+	}
+}
+
+// Datasets returns the logical dataset names referenced by the actual.
+func (a Actual) Datasets() []string {
+	switch a.Kind {
+	case ADataset:
+		return []string{a.Value}
+	case AList:
+		var out []string
+		for _, e := range a.List {
+			out = append(out, e.Datasets()...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// FormalRefs returns the formal names referenced by the actual.
+func (a Actual) FormalRefs() []string {
+	switch a.Kind {
+	case AFormalRef:
+		return []string{a.Value}
+	case AList:
+		var out []string
+		for _, e := range a.List {
+			out = append(out, e.FormalRefs()...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// canonical renders the actual deterministically for signature hashing.
+func (a Actual) canonical(b *strings.Builder) {
+	switch a.Kind {
+	case AString:
+		fmt.Fprintf(b, "s(%q)", a.Value)
+	case ADataset:
+		fmt.Fprintf(b, "d(%q)", a.Value)
+	case AFormalRef:
+		fmt.Fprintf(b, "r(%q)", a.Value)
+	case AList:
+		b.WriteString("l(")
+		for _, e := range a.List {
+			e.canonical(b)
+		}
+		b.WriteString(")")
+	}
+}
+
+// Derivation specializes a transformation with actual arguments. It is
+// both a historical record of what was done and a recipe for future
+// executions.
+type Derivation struct {
+	// ID is the canonical signature (see Signature) or, before
+	// canonicalization, empty.
+	ID string `json:"id"`
+	// Name is an optional user-visible handle (VDL's "d1").
+	Name string `json:"name,omitempty"`
+	// TR references the transformation being specialized.
+	TR string `json:"tr"`
+	// Params binds formal argument names to actuals.
+	Params map[string]Actual `json:"params"`
+	// Env carries environment variable overrides for the execution.
+	Env map[string]string `json:"env,omitempty"`
+	// Parent names the compound derivation that expanded into this one,
+	// "" for top-level derivations.
+	Parent string `json:"parent,omitempty"`
+	// Attrs carries user-defined metadata.
+	Attrs Attributes `json:"attrs,omitempty"`
+}
+
+// Signature computes the canonical derivation signature: a SHA-256 over
+// the transformation reference and the canonicalized actual arguments
+// and environment. Two derivations with equal signatures request the
+// same computation — this identity is what makes "has this already been
+// computed?" an O(1) catalog lookup.
+func (d Derivation) Signature() string {
+	var b strings.Builder
+	b.WriteString("tr=")
+	b.WriteString(d.TR)
+	names := make([]string, 0, len(d.Params))
+	for n := range d.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, ";%s=", n)
+		a := d.Params[n]
+		a.canonical(&b)
+	}
+	if len(d.Env) > 0 {
+		keys := make([]string, 0, len(d.Env))
+		for k := range d.Env {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ";env.%s=%q", k, d.Env[k])
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return "dv-" + hex.EncodeToString(sum[:16])
+}
+
+// Canonicalize fills in the ID from the signature if unset and returns
+// the derivation.
+func (d Derivation) Canonicalize() Derivation {
+	if d.ID == "" {
+		d.ID = d.Signature()
+	}
+	return d
+}
+
+// Validate checks structural well-formedness (not type conformance,
+// which needs the transformation and lives in the catalog).
+func (d Derivation) Validate() error {
+	if d.TR == "" {
+		return fmt.Errorf("schema: derivation %q has empty transformation ref", d.Name)
+	}
+	if _, _, _, err := ParseTRRef(d.TR); err != nil {
+		return err
+	}
+	for name, a := range d.Params {
+		if name == "" {
+			return fmt.Errorf("schema: derivation %q binds an unnamed formal", d.Name)
+		}
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("schema: derivation %q param %q: %w", d.Name, name, err)
+		}
+		if len(a.FormalRefs()) > 0 {
+			return fmt.Errorf("schema: derivation %q param %q contains unresolved formal references", d.Name, name)
+		}
+	}
+	return nil
+}
+
+// Inputs returns the dataset names the derivation consumes, resolved
+// against the transformation's formal directions.
+func (d Derivation) Inputs(tr Transformation) []string {
+	return d.datasetsWhere(tr, Direction.Reads)
+}
+
+// Outputs returns the dataset names the derivation produces.
+func (d Derivation) Outputs(tr Transformation) []string {
+	return d.datasetsWhere(tr, Direction.Writes)
+}
+
+func (d Derivation) datasetsWhere(tr Transformation, pred func(Direction) bool) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, f := range tr.Args {
+		if !f.IsDataset() || !pred(f.Direction) {
+			continue
+		}
+		a, ok := d.Params[f.Name]
+		if !ok && f.Default != nil {
+			a = *f.Default
+		}
+		for _, ds := range a.Datasets() {
+			if !seen[ds] {
+				seen[ds] = true
+				out = append(out, ds)
+			}
+		}
+	}
+	return out
+}
+
+// BindingError describes a failed formal/actual binding.
+type BindingError struct {
+	Derivation string
+	Formal     string
+	Reason     string
+}
+
+func (e *BindingError) Error() string {
+	return fmt.Sprintf("schema: derivation %q formal %q: %s", e.Derivation, e.Formal, e.Reason)
+}
+
+// CheckBinding verifies that the derivation's actuals agree with the
+// transformation's signature: every non-defaulted formal bound, no
+// unknown names, string/dataset kinds matching, and dataset anchor
+// directions consistent with formal directions. Type conformance is
+// checked separately by the catalog, which knows dataset types.
+func (d Derivation) CheckBinding(tr Transformation) error {
+	formals := make(map[string]FormalArg, len(tr.Args))
+	for _, f := range tr.Args {
+		formals[f.Name] = f
+	}
+	for name := range d.Params {
+		if _, ok := formals[name]; !ok {
+			return &BindingError{d.Name, name, "not a formal of " + tr.Ref()}
+		}
+	}
+	for _, f := range tr.Args {
+		a, bound := d.Params[f.Name]
+		if !bound {
+			if f.Default == nil {
+				return &BindingError{d.Name, f.Name, "unbound and has no default"}
+			}
+			continue
+		}
+		if err := checkActualKind(f, a); err != nil {
+			return &BindingError{d.Name, f.Name, err.Error()}
+		}
+	}
+	return nil
+}
+
+func checkActualKind(f FormalArg, a Actual) error {
+	switch a.Kind {
+	case AString:
+		if f.IsDataset() {
+			return fmt.Errorf("string bound to dataset formal")
+		}
+	case ADataset:
+		if !f.IsDataset() {
+			return fmt.Errorf("dataset bound to string formal")
+		}
+		if a.Direction != "" {
+			ad, err := ParseDirection(a.Direction)
+			if err != nil {
+				return err
+			}
+			if ad != f.Direction && !(f.Direction == InOut && (ad == In || ad == Out)) {
+				return fmt.Errorf("anchor direction %s conflicts with formal direction %s", ad, f.Direction)
+			}
+		}
+	case AList:
+		for _, e := range a.List {
+			if err := checkActualKind(f, e); err != nil {
+				return err
+			}
+		}
+	case AFormalRef:
+		return fmt.Errorf("unresolved formal reference %q", a.Value)
+	}
+	return nil
+}
+
+// CompatMode classifies a version-compatibility assertion (§3.2's open
+// issue; we implement the mechanism).
+type CompatMode string
+
+const (
+	// Equivalent asserts the two versions produce interchangeable
+	// results: derivations under one satisfy requests under the other.
+	Equivalent CompatMode = "equivalent"
+	// Supersedes asserts the newer version should be preferred but old
+	// products remain valid.
+	Supersedes CompatMode = "supersedes"
+	// Incompatible explicitly revokes any assumed compatibility.
+	Incompatible CompatMode = "incompatible"
+)
+
+// CompatibilityAssertion records a community judgement about two
+// versions of one transformation.
+type CompatibilityAssertion struct {
+	Namespace string     `json:"namespace,omitempty"`
+	Name      string     `json:"name"`
+	V1        string     `json:"v1"`
+	V2        string     `json:"v2"`
+	Mode      CompatMode `json:"mode"`
+	// AssertedBy identifies the authority making the claim.
+	AssertedBy string `json:"assertedBy,omitempty"`
+}
+
+// Validate checks the assertion.
+func (c CompatibilityAssertion) Validate() error {
+	if c.Name == "" || c.V1 == "" || c.V2 == "" {
+		return fmt.Errorf("schema: compatibility assertion needs name and both versions")
+	}
+	switch c.Mode {
+	case Equivalent, Supersedes, Incompatible:
+		return nil
+	default:
+		return fmt.Errorf("schema: unknown compatibility mode %q", c.Mode)
+	}
+}
+
+// CanonicalBytes returns the deterministic encoding of any schema
+// object, used for signing and content addressing. encoding/json
+// marshals struct fields in declaration order and map keys sorted, so
+// the output is stable.
+func CanonicalBytes(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

@@ -1,0 +1,324 @@
+// Package schema defines the five object classes of the Chimera virtual
+// data schema — Dataset, Replica, Transformation, Derivation and
+// Invocation — together with dataset descriptors, formal/actual
+// argument structures, canonical derivation signatures, and
+// transformation version-compatibility assertions.
+//
+// Objects are plain data: all behaviour that spans objects (provenance
+// navigation, duplicate detection, discovery) lives in the catalog.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Descriptor provides the information needed to access and manipulate a
+// dataset's contents. The paper deliberately leaves descriptor schemas
+// community-defined; we provide the spectrum it enumerates in §3.1 as a
+// closed set of kinds, each self-validating, serialized behind a kind
+// tag so catalogs can store them uniformly.
+type Descriptor interface {
+	// Kind returns the descriptor's registered kind tag.
+	Kind() string
+	// Validate reports whether the descriptor is internally consistent.
+	Validate() error
+}
+
+// Descriptor kind tags.
+const (
+	KindFile        = "file"
+	KindFileSet     = "fileset"
+	KindFileSlice   = "fileslice"
+	KindArchive     = "archive"
+	KindIndexed     = "indexed"
+	KindTableRows   = "tablerows"
+	KindObjectSet   = "objectset"
+	KindSpreadsheet = "spreadsheet"
+	KindVirtual     = "virtual"
+	KindOpaque      = "opaque"
+)
+
+// FileDescriptor locates a dataset stored in a single file.
+type FileDescriptor struct {
+	Path string `json:"path"`
+}
+
+func (d FileDescriptor) Kind() string { return KindFile }
+
+func (d FileDescriptor) Validate() error {
+	if d.Path == "" {
+		return fmt.Errorf("schema: file descriptor with empty path")
+	}
+	return nil
+}
+
+// FileSetDescriptor locates a dataset that is a set of files viewed as
+// one logical entity.
+type FileSetDescriptor struct {
+	Paths []string `json:"paths"`
+}
+
+func (d FileSetDescriptor) Kind() string { return KindFileSet }
+
+func (d FileSetDescriptor) Validate() error {
+	if len(d.Paths) == 0 {
+		return fmt.Errorf("schema: fileset descriptor with no paths")
+	}
+	for _, p := range d.Paths {
+		if p == "" {
+			return fmt.Errorf("schema: fileset descriptor with empty path")
+		}
+	}
+	return nil
+}
+
+// FileSlice is one (file, offset, length) extraction.
+type FileSlice struct {
+	Path   string `json:"path"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+}
+
+// FileSliceDescriptor locates data extracted from regions of files.
+type FileSliceDescriptor struct {
+	Slices []FileSlice `json:"slices"`
+}
+
+func (d FileSliceDescriptor) Kind() string { return KindFileSlice }
+
+func (d FileSliceDescriptor) Validate() error {
+	if len(d.Slices) == 0 {
+		return fmt.Errorf("schema: fileslice descriptor with no slices")
+	}
+	for _, s := range d.Slices {
+		if s.Path == "" {
+			return fmt.Errorf("schema: fileslice with empty path")
+		}
+		if s.Offset < 0 || s.Length <= 0 {
+			return fmt.Errorf("schema: fileslice %s has invalid range [%d,+%d)", s.Path, s.Offset, s.Length)
+		}
+	}
+	return nil
+}
+
+// ArchiveDescriptor locates a dataset packed inside an archive file.
+type ArchiveDescriptor struct {
+	Path    string   `json:"path"`
+	Format  string   `json:"format"` // e.g. "tar", "zip"
+	Members []string `json:"members,omitempty"`
+}
+
+func (d ArchiveDescriptor) Kind() string { return KindArchive }
+
+func (d ArchiveDescriptor) Validate() error {
+	if d.Path == "" {
+		return fmt.Errorf("schema: archive descriptor with empty path")
+	}
+	if d.Format == "" {
+		return fmt.Errorf("schema: archive descriptor with empty format")
+	}
+	return nil
+}
+
+// IndexedFilesDescriptor locates a dataset stored as an index file plus
+// data files (the paper's gdbm example).
+type IndexedFilesDescriptor struct {
+	Index string   `json:"index"`
+	Data  []string `json:"data"`
+}
+
+func (d IndexedFilesDescriptor) Kind() string { return KindIndexed }
+
+func (d IndexedFilesDescriptor) Validate() error {
+	if d.Index == "" {
+		return fmt.Errorf("schema: indexed descriptor with empty index")
+	}
+	if len(d.Data) == 0 {
+		return fmt.Errorf("schema: indexed descriptor with no data files")
+	}
+	return nil
+}
+
+// TableRowsDescriptor locates a dataset that is a set of rows selected
+// by primary key from tables of a SQL database.
+type TableRowsDescriptor struct {
+	Database string    `json:"database"`
+	Table    string    `json:"table"`
+	Keys     []string  `json:"keys,omitempty"`
+	KeyRange [2]string `json:"keyRange,omitempty"`
+}
+
+func (d TableRowsDescriptor) Kind() string { return KindTableRows }
+
+func (d TableRowsDescriptor) Validate() error {
+	if d.Database == "" || d.Table == "" {
+		return fmt.Errorf("schema: tablerows descriptor needs database and table")
+	}
+	if len(d.Keys) == 0 && d.KeyRange == [2]string{} {
+		return fmt.Errorf("schema: tablerows descriptor needs keys or a key range")
+	}
+	return nil
+}
+
+// ObjectSetDescriptor locates a closure of object references in a
+// persistent object database.
+type ObjectSetDescriptor struct {
+	Store string   `json:"store"`
+	Roots []string `json:"roots"`
+}
+
+func (d ObjectSetDescriptor) Kind() string { return KindObjectSet }
+
+func (d ObjectSetDescriptor) Validate() error {
+	if d.Store == "" {
+		return fmt.Errorf("schema: objectset descriptor with empty store")
+	}
+	if len(d.Roots) == 0 {
+		return fmt.Errorf("schema: objectset descriptor with no roots")
+	}
+	return nil
+}
+
+// SpreadsheetDescriptor locates a set of cell regions in a spreadsheet.
+type SpreadsheetDescriptor struct {
+	Path    string   `json:"path"`
+	Sheet   string   `json:"sheet,omitempty"`
+	Regions []string `json:"regions"` // e.g. "A1:C20"
+}
+
+func (d SpreadsheetDescriptor) Kind() string { return KindSpreadsheet }
+
+func (d SpreadsheetDescriptor) Validate() error {
+	if d.Path == "" {
+		return fmt.Errorf("schema: spreadsheet descriptor with empty path")
+	}
+	if len(d.Regions) == 0 {
+		return fmt.Errorf("schema: spreadsheet descriptor with no regions")
+	}
+	return nil
+}
+
+// VirtualDescriptor denotes a "virtual dataset" (§8): an overlaid
+// subset of another dataset's physical storage, selected by a
+// community-interpreted expression.
+type VirtualDescriptor struct {
+	Of   string `json:"of"`   // logical name of the backing dataset
+	Expr string `json:"expr"` // selection expression
+}
+
+func (d VirtualDescriptor) Kind() string { return KindVirtual }
+
+func (d VirtualDescriptor) Validate() error {
+	if d.Of == "" {
+		return fmt.Errorf("schema: virtual descriptor with empty backing dataset")
+	}
+	return nil
+}
+
+// OpaqueDescriptor carries a community-defined descriptor the core
+// system does not interpret, preserving the paper's "a particular
+// collaboration must define descriptor schemas" escape hatch.
+type OpaqueDescriptor struct {
+	Schema string          `json:"schema"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+func (d OpaqueDescriptor) Kind() string { return KindOpaque }
+
+func (d OpaqueDescriptor) Validate() error {
+	if d.Schema == "" {
+		return fmt.Errorf("schema: opaque descriptor with empty schema name")
+	}
+	return nil
+}
+
+// descriptorEnvelope is the tagged wire form of a Descriptor.
+type descriptorEnvelope struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// MarshalDescriptor serializes d behind its kind tag. A nil descriptor
+// marshals as JSON null.
+func MarshalDescriptor(d Descriptor) ([]byte, error) {
+	if d == nil {
+		return []byte("null"), nil
+	}
+	body, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(descriptorEnvelope{Kind: d.Kind(), Body: body})
+}
+
+// UnmarshalDescriptor reverses MarshalDescriptor. JSON null yields a
+// nil descriptor.
+func UnmarshalDescriptor(data []byte) (Descriptor, error) {
+	if strings.TrimSpace(string(data)) == "null" {
+		return nil, nil
+	}
+	var env descriptorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("schema: descriptor envelope: %w", err)
+	}
+	var d Descriptor
+	switch env.Kind {
+	case KindFile:
+		d = &FileDescriptor{}
+	case KindFileSet:
+		d = &FileSetDescriptor{}
+	case KindFileSlice:
+		d = &FileSliceDescriptor{}
+	case KindArchive:
+		d = &ArchiveDescriptor{}
+	case KindIndexed:
+		d = &IndexedFilesDescriptor{}
+	case KindTableRows:
+		d = &TableRowsDescriptor{}
+	case KindObjectSet:
+		d = &ObjectSetDescriptor{}
+	case KindSpreadsheet:
+		d = &SpreadsheetDescriptor{}
+	case KindVirtual:
+		d = &VirtualDescriptor{}
+	case KindOpaque:
+		d = &OpaqueDescriptor{}
+	default:
+		return nil, fmt.Errorf("schema: unknown descriptor kind %q", env.Kind)
+	}
+	if err := json.Unmarshal(env.Body, d); err != nil {
+		return nil, fmt.Errorf("schema: %s descriptor body: %w", env.Kind, err)
+	}
+	return deref(d), nil
+}
+
+// deref converts the pointer used for unmarshaling back to the value
+// form used throughout the package.
+func deref(d Descriptor) Descriptor {
+	switch v := d.(type) {
+	case *FileDescriptor:
+		return *v
+	case *FileSetDescriptor:
+		return *v
+	case *FileSliceDescriptor:
+		return *v
+	case *ArchiveDescriptor:
+		return *v
+	case *IndexedFilesDescriptor:
+		return *v
+	case *TableRowsDescriptor:
+		return *v
+	case *ObjectSetDescriptor:
+		return *v
+	case *SpreadsheetDescriptor:
+		return *v
+	case *VirtualDescriptor:
+		return *v
+	case *OpaqueDescriptor:
+		return *v
+	default:
+		return d
+	}
+}

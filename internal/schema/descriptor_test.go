@@ -1,0 +1,118 @@
+package schema
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func allValidDescriptors() []Descriptor {
+	return []Descriptor{
+		FileDescriptor{Path: "/data/run1.raw"},
+		FileSetDescriptor{Paths: []string{"/a", "/b"}},
+		FileSliceDescriptor{Slices: []FileSlice{{Path: "/a", Offset: 10, Length: 100}}},
+		ArchiveDescriptor{Path: "/x.tar", Format: "tar", Members: []string{"m1"}},
+		IndexedFilesDescriptor{Index: "/idx", Data: []string{"/d1", "/d2"}},
+		TableRowsDescriptor{Database: "sdss", Table: "fields", Keys: []string{"k1"}},
+		TableRowsDescriptor{Database: "sdss", Table: "fields", KeyRange: [2]string{"a", "m"}},
+		ObjectSetDescriptor{Store: "oodb", Roots: []string{"oid1"}},
+		SpreadsheetDescriptor{Path: "/s.xls", Sheet: "S1", Regions: []string{"A1:C9"}},
+		VirtualDescriptor{Of: "bigset", Expr: "rows 1-100"},
+		OpaqueDescriptor{Schema: "cms-custom", Body: json.RawMessage(`{"x":1}`)},
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	for _, d := range allValidDescriptors() {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: valid descriptor rejected: %v", d.Kind(), err)
+		}
+		data, err := MarshalDescriptor(d)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", d.Kind(), err)
+		}
+		got, err := UnmarshalDescriptor(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", d.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("%s: round trip %#v -> %#v", d.Kind(), d, got)
+		}
+	}
+}
+
+func TestDescriptorNil(t *testing.T) {
+	data, err := MarshalDescriptor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDescriptor(data)
+	if err != nil || got != nil {
+		t.Errorf("nil round trip: %v, %v", got, err)
+	}
+}
+
+func TestDescriptorUnknownKind(t *testing.T) {
+	if _, err := UnmarshalDescriptor([]byte(`{"kind":"alien","body":{}}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := UnmarshalDescriptor([]byte(`{{`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	bad := []Descriptor{
+		FileDescriptor{},
+		FileSetDescriptor{},
+		FileSetDescriptor{Paths: []string{""}},
+		FileSliceDescriptor{},
+		FileSliceDescriptor{Slices: []FileSlice{{Path: "/a", Offset: -1, Length: 5}}},
+		FileSliceDescriptor{Slices: []FileSlice{{Path: "/a", Offset: 0, Length: 0}}},
+		ArchiveDescriptor{Path: "/x"},
+		ArchiveDescriptor{Format: "tar"},
+		IndexedFilesDescriptor{Index: "/i"},
+		TableRowsDescriptor{Database: "d"},
+		TableRowsDescriptor{Database: "d", Table: "t"},
+		ObjectSetDescriptor{Store: "s"},
+		SpreadsheetDescriptor{Path: "/s"},
+		VirtualDescriptor{},
+		OpaqueDescriptor{},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d (%T): invalid descriptor accepted", i, d)
+		}
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	for _, desc := range append(allValidDescriptors(), nil) {
+		d := Dataset{
+			Name:       "run1.exp15",
+			Descriptor: desc,
+			CreatedBy:  "dv-abc",
+			Epoch:      2,
+			Size:       1 << 30,
+			Attrs:      Attributes{"owner": "annis"},
+		}
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Dataset
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("dataset round trip with %v descriptor: %#v -> %#v", descKind(desc), d, got)
+		}
+	}
+}
+
+func descKind(d Descriptor) string {
+	if d == nil {
+		return "nil"
+	}
+	return d.Kind()
+}

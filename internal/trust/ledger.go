@@ -1,0 +1,171 @@
+package trust
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry kinds used when signing catalog objects.
+const (
+	KindDataset        = "dataset"
+	KindTransformation = "transformation"
+	KindDerivation     = "derivation"
+	KindInvocation     = "invocation"
+	KindReplica        = "replica"
+	KindAnnotation     = "annotation"
+)
+
+// Annotation is a signed attribute assertion about a catalog entry —
+// the mechanism behind community "quality" processes: curation status,
+// audit approval, ad-hoc endorsements.
+type Annotation struct {
+	// TargetKind/TargetID identify the annotated entry.
+	TargetKind string `json:"targetKind"`
+	TargetID   string `json:"targetId"`
+	// Key/Value is the asserted attribute, e.g. quality=approved.
+	Key   string `json:"key"`
+	Value string `json:"value"`
+	// Sig signs the assertion.
+	Sig Signature `json:"sig"`
+}
+
+// annotationPayload is the byte string an annotation signature covers.
+func annotationPayload(targetKind, targetID, key, value string) []byte {
+	return []byte("k=" + key + ";v=" + value + ";t=" + targetKind + "/" + targetID)
+}
+
+// Annotate creates a signed annotation.
+func (k *Keypair) Annotate(targetKind, targetID, key, value string) Annotation {
+	payload := annotationPayload(targetKind, targetID, key, value)
+	return Annotation{
+		TargetKind: targetKind, TargetID: targetID,
+		Key: key, Value: value,
+		Sig: k.SignEntry(KindAnnotation, targetID, payload),
+	}
+}
+
+// VerifyAnnotation checks an annotation against a trust store.
+func (s *Store) VerifyAnnotation(a Annotation) error {
+	payload := annotationPayload(a.TargetKind, a.TargetID, a.Key, a.Value)
+	return s.Verify(KindAnnotation, a.TargetID, payload, a.Sig)
+}
+
+type entryKey struct {
+	kind, id string
+}
+
+// Ledger accumulates the signatures and annotations attached to catalog
+// entries. It is storage only — verification happens against a Store —
+// so untrusted signatures can be carried and re-evaluated as trust
+// changes. A Ledger is safe for concurrent use.
+type Ledger struct {
+	mu          sync.RWMutex
+	sigs        map[entryKey][]Signature
+	annotations map[entryKey][]Annotation
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		sigs:        make(map[entryKey][]Signature),
+		annotations: make(map[entryKey][]Annotation),
+	}
+}
+
+// Attach records a signature on an entry. Duplicate (key, sig) pairs
+// are ignored.
+func (l *Ledger) Attach(kind, id string, sig Signature) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := entryKey{kind, id}
+	for _, s := range l.sigs[k] {
+		if s.Key == sig.Key && string(s.Sig) == string(sig.Sig) {
+			return
+		}
+	}
+	l.sigs[k] = append(l.sigs[k], sig)
+}
+
+// Signatures returns the signatures recorded for an entry.
+func (l *Ledger) Signatures(kind, id string) []Signature {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Signature(nil), l.sigs[entryKey{kind, id}]...)
+}
+
+// AddAnnotation records an annotation.
+func (l *Ledger) AddAnnotation(a Annotation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := entryKey{a.TargetKind, a.TargetID}
+	l.annotations[k] = append(l.annotations[k], a)
+}
+
+// Annotations returns the annotations recorded for an entry.
+func (l *Ledger) Annotations(kind, id string) []Annotation {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Annotation(nil), l.annotations[entryKey{kind, id}]...)
+}
+
+// Vouchers returns the names of trusted authorities whose signatures on
+// the entry verify against the payload, sorted.
+func (l *Ledger) Vouchers(s *Store, kind, id string, payload []byte) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, sig := range l.Signatures(kind, id) {
+		if err := s.Verify(kind, id, payload, sig); err != nil {
+			continue
+		}
+		a, _ := s.AuthorityByKey(sig.Key)
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			out = append(out, a.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QualityOf evaluates the verified annotations with the given key on an
+// entry and returns the asserted values with the count of distinct
+// trusted authorities asserting each.
+func (l *Ledger) QualityOf(s *Store, kind, id, key string) map[string]int {
+	counts := make(map[string]int)
+	perValue := make(map[string]map[KeyID]bool)
+	for _, a := range l.Annotations(kind, id) {
+		if a.Key != key {
+			continue
+		}
+		if err := s.VerifyAnnotation(a); err != nil {
+			continue
+		}
+		if perValue[a.Value] == nil {
+			perValue[a.Value] = make(map[KeyID]bool)
+		}
+		perValue[a.Value][a.Sig.Key] = true
+	}
+	for v, keys := range perValue {
+		counts[v] = len(keys)
+	}
+	return counts
+}
+
+// Policy decides whether an entry (with payload) is acceptable.
+type Policy func(kind, id string, payload []byte) bool
+
+// RequireSigners builds a policy accepting entries carrying valid
+// signatures from at least n distinct trusted authorities.
+func RequireSigners(l *Ledger, s *Store, n int) Policy {
+	return func(kind, id string, payload []byte) bool {
+		return len(l.Vouchers(s, kind, id, payload)) >= n
+	}
+}
+
+// RequireQuality builds a policy accepting entries for which at least n
+// trusted authorities assert the given quality key/value.
+func RequireQuality(l *Ledger, s *Store, key, value string, n int) Policy {
+	return func(kind, id string, _ []byte) bool {
+		return l.QualityOf(s, kind, id, key)[value] >= n
+	}
+}

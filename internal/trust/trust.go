@@ -1,0 +1,223 @@
+// Package trust implements the quality and security machinery of §4.2:
+// cryptographic signatures on virtual data catalog entries and
+// attributes, identity via named authorities, root-anchored delegation
+// chains, and policy-driven views that filter catalog contents by who
+// vouches for them.
+//
+// The mechanism is deliberately policy-neutral, as in the paper: the
+// package provides signing, chain validation and annotation primitives;
+// communities compose them into curation processes.
+package trust
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors reported by trust operations.
+var (
+	// ErrBadSignature reports a signature that does not verify.
+	ErrBadSignature = errors.New("trust: signature verification failed")
+	// ErrUnknownKey reports a signature by a key the verifier does not
+	// know or trust.
+	ErrUnknownKey = errors.New("trust: unknown or untrusted key")
+)
+
+// KeyID is the fingerprint of a public key: the first 16 hex-encoded
+// bytes of its SHA-256.
+type KeyID string
+
+// Fingerprint computes the KeyID of a public key.
+func Fingerprint(pub ed25519.PublicKey) KeyID {
+	sum := sha256.Sum256(pub)
+	return KeyID(hex.EncodeToString(sum[:8]))
+}
+
+// Authority is a named signing identity (an individual, group or
+// collaboration office).
+type Authority struct {
+	// Name is the human-readable identity.
+	Name string `json:"name"`
+	// PublicKey verifies the authority's signatures.
+	PublicKey ed25519.PublicKey `json:"publicKey"`
+}
+
+// ID returns the authority's key fingerprint.
+func (a Authority) ID() KeyID { return Fingerprint(a.PublicKey) }
+
+// Keypair is an authority together with its private key.
+type Keypair struct {
+	Authority
+	priv ed25519.PrivateKey
+}
+
+// NewAuthority generates a fresh keypair for the named authority.
+func NewAuthority(name string) (*Keypair, error) {
+	if name == "" {
+		return nil, fmt.Errorf("trust: authority needs a name")
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("trust: keygen: %w", err)
+	}
+	return &Keypair{Authority: Authority{Name: name, PublicKey: pub}, priv: priv}, nil
+}
+
+// Signature is a detached signature over one catalog entry (or one
+// attribute assertion).
+type Signature struct {
+	// Authority is the signer's claimed name (informational; identity
+	// is established by Key).
+	Authority string `json:"authority"`
+	// Key is the signer's key fingerprint.
+	Key KeyID `json:"key"`
+	// Sig is the Ed25519 signature bytes.
+	Sig []byte `json:"sig"`
+}
+
+// digest computes the signing digest of an entry: domain-separated over
+// its kind, identity and canonical payload, so a signature on one
+// entry cannot be replayed onto another.
+func digest(kind, id string, payload []byte) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "chimera-entry/%s/%s/%d:", kind, id, len(payload))
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// SignEntry signs a catalog entry identified by (kind, id) with the
+// given canonical payload bytes.
+func (k *Keypair) SignEntry(kind, id string, payload []byte) Signature {
+	return Signature{
+		Authority: k.Name,
+		Key:       k.ID(),
+		Sig:       ed25519.Sign(k.priv, digest(kind, id, payload)),
+	}
+}
+
+// VerifyEntry checks a signature against a public key.
+func VerifyEntry(pub ed25519.PublicKey, kind, id string, payload []byte, sig Signature) error {
+	if Fingerprint(pub) != sig.Key {
+		return fmt.Errorf("%w: fingerprint mismatch", ErrUnknownKey)
+	}
+	if !ed25519.Verify(pub, digest(kind, id, payload), sig.Sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Delegation is a signed statement by an issuer that a subject
+// authority's key is to be trusted. Chains of delegations anchor at
+// root authorities.
+type Delegation struct {
+	// Issuer is the key fingerprint of the delegating authority.
+	Issuer KeyID `json:"issuer"`
+	// Subject is the authority being vouched for.
+	Subject Authority `json:"subject"`
+	// Sig signs the subject's name and key under the issuer's key.
+	Sig []byte `json:"sig"`
+}
+
+func delegationDigest(subject Authority) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "chimera-delegation/%s/", subject.Name)
+	h.Write(subject.PublicKey)
+	return h.Sum(nil)
+}
+
+// Delegate issues a delegation for subject signed by k.
+func (k *Keypair) Delegate(subject Authority) Delegation {
+	return Delegation{
+		Issuer:  k.ID(),
+		Subject: subject,
+		Sig:     ed25519.Sign(k.priv, delegationDigest(subject)),
+	}
+}
+
+// Store holds the trust anchor state of one participant: its root
+// authorities and every authority reachable from them through valid
+// delegations. A Store is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	trusted map[KeyID]Authority
+	roots   map[KeyID]bool
+	revoked map[KeyID]bool
+}
+
+// NewStore returns an empty trust store.
+func NewStore() *Store {
+	return &Store{
+		trusted: make(map[KeyID]Authority),
+		roots:   make(map[KeyID]bool),
+		revoked: make(map[KeyID]bool),
+	}
+}
+
+// AddRoot installs an authority as a trust anchor.
+func (s *Store) AddRoot(a Authority) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := a.ID()
+	s.trusted[id] = a
+	s.roots[id] = true
+}
+
+// AddDelegation extends trust to the delegation's subject, provided the
+// issuer is already trusted (and not revoked) and the delegation
+// signature verifies.
+func (s *Store) AddDelegation(d Delegation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	issuer, ok := s.trusted[d.Issuer]
+	if !ok || s.revoked[d.Issuer] {
+		return fmt.Errorf("%w: issuer %s", ErrUnknownKey, d.Issuer)
+	}
+	if !ed25519.Verify(issuer.PublicKey, delegationDigest(d.Subject), d.Sig) {
+		return fmt.Errorf("%w: delegation for %q", ErrBadSignature, d.Subject.Name)
+	}
+	s.trusted[d.Subject.ID()] = d.Subject
+	return nil
+}
+
+// Revoke withdraws trust from a key. Roots can be revoked too;
+// delegations already accepted from the key remain (revocation is not
+// retroactive), matching certificate-style semantics.
+func (s *Store) Revoke(id KeyID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revoked[id] = true
+}
+
+// Trusted reports whether the key is currently trusted.
+func (s *Store) Trusted(id KeyID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.trusted[id]
+	return ok && !s.revoked[id]
+}
+
+// AuthorityByKey returns the trusted authority with the given key.
+func (s *Store) AuthorityByKey(id KeyID) (Authority, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.trusted[id]
+	if !ok || s.revoked[id] {
+		return Authority{}, false
+	}
+	return a, true
+}
+
+// Verify checks an entry signature against the store: the signing key
+// must be trusted and the signature must verify.
+func (s *Store) Verify(kind, id string, payload []byte, sig Signature) error {
+	a, ok := s.AuthorityByKey(sig.Key)
+	if !ok {
+		return fmt.Errorf("%w: %s (claimed %q)", ErrUnknownKey, sig.Key, sig.Authority)
+	}
+	return VerifyEntry(a.PublicKey, kind, id, payload, sig)
+}

@@ -1,0 +1,255 @@
+package trust
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"chimera/internal/schema"
+)
+
+func mustAuthority(t *testing.T, name string) *Keypair {
+	t.Helper()
+	k, err := NewAuthority(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSignVerifyEntry(t *testing.T) {
+	k := mustAuthority(t, "collab-office")
+	payload := []byte(`{"name":"foo"}`)
+	sig := k.SignEntry(KindDataset, "foo", payload)
+	if sig.Authority != "collab-office" || sig.Key != k.ID() {
+		t.Errorf("signature metadata: %+v", sig)
+	}
+	if err := VerifyEntry(k.PublicKey, KindDataset, "foo", payload, sig); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered payload rejected.
+	if err := VerifyEntry(k.PublicKey, KindDataset, "foo", []byte(`{"name":"bar"}`), sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered payload: %v", err)
+	}
+	// Replay onto another entry rejected (domain separation).
+	if err := VerifyEntry(k.PublicKey, KindDataset, "other", payload, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("replayed id: %v", err)
+	}
+	if err := VerifyEntry(k.PublicKey, KindReplica, "foo", payload, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("replayed kind: %v", err)
+	}
+	// Wrong key rejected before verification.
+	other := mustAuthority(t, "other")
+	if err := VerifyEntry(other.PublicKey, KindDataset, "foo", payload, sig); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("wrong key: %v", err)
+	}
+}
+
+func TestNewAuthorityValidation(t *testing.T) {
+	if _, err := NewAuthority(""); err == nil {
+		t.Error("unnamed authority accepted")
+	}
+	a := mustAuthority(t, "x")
+	b := mustAuthority(t, "x")
+	if a.ID() == b.ID() {
+		t.Error("distinct keypairs share a fingerprint")
+	}
+}
+
+func TestDelegationChain(t *testing.T) {
+	root := mustAuthority(t, "collaboration")
+	group := mustAuthority(t, "group-lead")
+	personal := mustAuthority(t, "grad-student")
+
+	s := NewStore()
+	s.AddRoot(root.Authority)
+	if !s.Trusted(root.ID()) {
+		t.Fatal("root not trusted")
+	}
+	if s.Trusted(group.ID()) {
+		t.Fatal("undelegated key trusted")
+	}
+
+	// collaboration -> group -> personal.
+	if err := s.AddDelegation(root.Delegate(group.Authority)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDelegation(group.Delegate(personal.Authority)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Trusted(personal.ID()) {
+		t.Error("two-level chain not trusted")
+	}
+
+	// Delegation from an untrusted issuer rejected.
+	outsider := mustAuthority(t, "outsider")
+	mallory := mustAuthority(t, "mallory")
+	if err := s.AddDelegation(outsider.Delegate(mallory.Authority)); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("untrusted issuer: %v", err)
+	}
+
+	// Forged delegation rejected.
+	forged := root.Delegate(mallory.Authority)
+	forged.Sig[0] ^= 0xff
+	if err := s.AddDelegation(forged); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged delegation: %v", err)
+	}
+
+	// Entry verification through the store.
+	payload := []byte("data")
+	sig := personal.SignEntry(KindDerivation, "dv-1", payload)
+	if err := s.Verify(KindDerivation, "dv-1", payload, sig); err != nil {
+		t.Fatal(err)
+	}
+	msig := mallory.SignEntry(KindDerivation, "dv-1", payload)
+	if err := s.Verify(KindDerivation, "dv-1", payload, msig); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("untrusted signer: %v", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	root := mustAuthority(t, "root")
+	sub := mustAuthority(t, "sub")
+	s := NewStore()
+	s.AddRoot(root.Authority)
+	if err := s.AddDelegation(root.Delegate(sub.Authority)); err != nil {
+		t.Fatal(err)
+	}
+	s.Revoke(sub.ID())
+	if s.Trusted(sub.ID()) {
+		t.Error("revoked key trusted")
+	}
+	sig := sub.SignEntry(KindDataset, "d", []byte("x"))
+	if err := s.Verify(KindDataset, "d", []byte("x"), sig); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("revoked signer: %v", err)
+	}
+	// A revoked key cannot extend trust.
+	late := mustAuthority(t, "late")
+	if err := s.AddDelegation(sub.Delegate(late.Authority)); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("delegation by revoked issuer: %v", err)
+	}
+}
+
+func TestLedgerVouchers(t *testing.T) {
+	a := mustAuthority(t, "alice")
+	b := mustAuthority(t, "bob")
+	m := mustAuthority(t, "mallory")
+	s := NewStore()
+	s.AddRoot(a.Authority)
+	s.AddRoot(b.Authority)
+
+	payload := []byte(`{"id":"dv-1"}`)
+	l := NewLedger()
+	l.Attach(KindDerivation, "dv-1", a.SignEntry(KindDerivation, "dv-1", payload))
+	l.Attach(KindDerivation, "dv-1", b.SignEntry(KindDerivation, "dv-1", payload))
+	l.Attach(KindDerivation, "dv-1", m.SignEntry(KindDerivation, "dv-1", payload)) // untrusted
+	bad := a.SignEntry(KindDerivation, "dv-1", []byte("other"))                    // wrong payload
+	l.Attach(KindDerivation, "dv-1", bad)
+	// Duplicate attach ignored.
+	l.Attach(KindDerivation, "dv-1", l.Signatures(KindDerivation, "dv-1")[0])
+	if n := len(l.Signatures(KindDerivation, "dv-1")); n != 4 {
+		t.Errorf("signature count: %d", n)
+	}
+
+	got := l.Vouchers(s, KindDerivation, "dv-1", payload)
+	if !reflect.DeepEqual(got, []string{"alice", "bob"}) {
+		t.Errorf("vouchers: %v", got)
+	}
+
+	// Policies.
+	if !RequireSigners(l, s, 2)(KindDerivation, "dv-1", payload) {
+		t.Error("2-signer policy should pass")
+	}
+	if RequireSigners(l, s, 3)(KindDerivation, "dv-1", payload) {
+		t.Error("3-signer policy should fail")
+	}
+}
+
+func TestAnnotationsAndQuality(t *testing.T) {
+	curator1 := mustAuthority(t, "curator1")
+	curator2 := mustAuthority(t, "curator2")
+	rando := mustAuthority(t, "rando")
+	s := NewStore()
+	s.AddRoot(curator1.Authority)
+	s.AddRoot(curator2.Authority)
+
+	l := NewLedger()
+	l.AddAnnotation(curator1.Annotate(KindDataset, "run1", "quality", "approved"))
+	l.AddAnnotation(curator2.Annotate(KindDataset, "run1", "quality", "approved"))
+	l.AddAnnotation(rando.Annotate(KindDataset, "run1", "quality", "approved")) // untrusted
+	l.AddAnnotation(curator1.Annotate(KindDataset, "run1", "quality", "draft"))
+	l.AddAnnotation(curator1.Annotate(KindDataset, "run1", "note", "check calibration"))
+
+	q := l.QualityOf(s, KindDataset, "run1", "quality")
+	if q["approved"] != 2 || q["draft"] != 1 {
+		t.Errorf("quality counts: %v", q)
+	}
+
+	// Tampered annotation does not verify.
+	tampered := curator1.Annotate(KindDataset, "run1", "quality", "approved")
+	tampered.Value = "rejected"
+	if err := s.VerifyAnnotation(tampered); err == nil {
+		t.Error("tampered annotation verified")
+	}
+	l.AddAnnotation(tampered)
+	if l.QualityOf(s, KindDataset, "run1", "quality")["rejected"] != 0 {
+		t.Error("tampered annotation counted")
+	}
+
+	if !RequireQuality(l, s, "quality", "approved", 2)(KindDataset, "run1", nil) {
+		t.Error("quality policy should pass")
+	}
+	if RequireQuality(l, s, "quality", "draft", 2)(KindDataset, "run1", nil) {
+		t.Error("single-assertion draft should fail 2-count policy")
+	}
+	if n := len(l.Annotations(KindDataset, "run1")); n != 6 {
+		t.Errorf("annotation count: %d", n)
+	}
+}
+
+func TestSignCatalogObjects(t *testing.T) {
+	// End-to-end shape: canonical bytes of a schema object are what get
+	// signed; any change to the object invalidates the signature.
+	k := mustAuthority(t, "signer")
+	s := NewStore()
+	s.AddRoot(k.Authority)
+
+	dv := schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+		"a": schema.StringActual("1"),
+	}}.Canonicalize()
+	payload, err := schema.CanonicalBytes(dv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := k.SignEntry(KindDerivation, dv.ID, payload)
+	if err := s.Verify(KindDerivation, dv.ID, payload, sig); err != nil {
+		t.Fatal(err)
+	}
+
+	dv.Params["a"] = schema.StringActual("2")
+	payload2, _ := schema.CanonicalBytes(dv)
+	if err := s.Verify(KindDerivation, dv.ID, payload2, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("modified object still verifies: %v", err)
+	}
+}
+
+func BenchmarkSignEntry(b *testing.B) {
+	k, _ := NewAuthority("bench")
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.SignEntry(KindDerivation, "dv-x", payload)
+	}
+}
+
+func BenchmarkVerifyEntry(b *testing.B) {
+	k, _ := NewAuthority("bench")
+	payload := make([]byte, 512)
+	sig := k.SignEntry(KindDerivation, "dv-x", payload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyEntry(k.PublicKey, KindDerivation, "dv-x", payload, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

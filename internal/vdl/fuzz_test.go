@@ -1,0 +1,52 @@
+package vdl
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics, and that anything it
+// accepts survives a print/parse round trip (run with `go test -fuzz
+// FuzzParse ./internal/vdl` for a longer campaign; `go test` exercises
+// the seed corpus).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		paperT1,
+		paperD1,
+		paperChain,
+		paperCompound,
+		`TYPE content CMS; DS d<CMS> file "/x" size "5" with a="b";`,
+		`TR t( output o, input i, none p="1" ) { argument = "-x "${none:p}; exec = "/b"; env.A = "z"; profile h.k = "v"; attr x = "y"; }`,
+		`DV d->ns::t:1.0( o=@{output:"a"}, i=[@{input:"b"}, @{input:"c"}], p="q", env.H="1" ) with k="v";`,
+		"TR t( ) { exec = \"/b\"; }",
+		"# comment only",
+		"/* unterminated",
+		`DV d->t( a=${ref} );`,
+		"TR t( input a<C1:F1:E1|C2> ) { exec = \"/b\"; }",
+		"\x00\x01\x02",
+		`TR "quoted" ( ) { }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Print(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed output unparseable: %v\ninput: %q\nprinted: %q", err, src, text)
+		}
+		if len(prog2.Transformations) != len(prog.Transformations) ||
+			len(prog2.Derivations) != len(prog.Derivations) ||
+			len(prog2.Datasets) != len(prog.Datasets) ||
+			len(prog2.Types) != len(prog.Types) {
+			t.Fatalf("round trip changed cardinality\ninput: %q", src)
+		}
+		// Print must be a fixpoint after one round.
+		if text2 := Print(prog2); text2 != text {
+			t.Fatalf("printer not idempotent\nfirst: %q\nsecond: %q", text, text2)
+		}
+	})
+}

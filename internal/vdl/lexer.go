@@ -1,0 +1,300 @@
+// Package vdl implements the Chimera Virtual Data Language: a lexer and
+// recursive-descent parser producing virtual data schema objects, a
+// printer that renders schema objects back to canonical VDL text, and
+// an XML form for machine-to-machine interchange.
+//
+// The textual grammar follows Appendix A of the paper, with three
+// extensions the schema requires: TYPE declarations that populate the
+// dataset-type hierarchy, DS declarations that define typed datasets
+// with descriptors, and optional <...> type annotations on formal
+// arguments.
+package vdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+const (
+	tEOF TokenKind = iota
+	tIdent
+	tString
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tLAngle
+	tRAngle
+	tComma
+	tSemi
+	tEq
+	tColon
+	tDColon
+	tArrow
+	tPipe
+	tAtBrace  // @{
+	tDolBrace // ${
+)
+
+var tokenNames = map[TokenKind]string{
+	tEOF: "end of input", tIdent: "identifier", tString: "string",
+	tLParen: "'('", tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'",
+	tLBracket: "'['", tRBracket: "']'", tLAngle: "'<'", tRAngle: "'>'",
+	tComma: "','", tSemi: "';'", tEq: "'='", tColon: "':'",
+	tDColon: "'::'", tArrow: "'->'", tPipe: "'|'",
+	tAtBrace: "'@{'", tDolBrace: "'${'",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Position locates a token in the source.
+type Position struct {
+	Line, Col int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier text or decoded string value
+	Pos  Position
+}
+
+// SyntaxError reports a lexical or syntactic error with position.
+type SyntaxError struct {
+	Pos Position
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("vdl: %s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(pos Position, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(i int) byte {
+	if l.off+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+i]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) pos() Position { return Position{Line: l.line, Col: l.col} }
+
+// skipSpace consumes whitespace and comments: both // line comments and
+// # line comments, plus /* block */ comments.
+func (l *lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return l.errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// isIdentStart accepts digits too: there is no numeric token class, so
+// version strings like "1.2" lex as identifiers.
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: tEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for l.off < len(l.src) {
+			c := l.peek()
+			if isIdentCont(c) {
+				b.WriteByte(l.advance())
+				continue
+			}
+			// A hyphen continues the identifier only when followed by
+			// an identifier character, so "d1->t" lexes as d1, ->, t
+			// while "Zebra-file" stays one identifier.
+			if c == '-' && isIdentCont(l.peekAt(1)) {
+				b.WriteByte(l.advance())
+				continue
+			}
+			break
+		}
+		return Token{Kind: tIdent, Text: b.String(), Pos: pos}, nil
+	case c == '"':
+		// Scan to the closing quote, then decode with the full Go
+		// escape syntax (the printer emits strconv.Quote output).
+		start := l.off
+		l.advance()
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, l.errf(pos, "unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, l.errf(pos, "unterminated string escape")
+				}
+				l.advance()
+			}
+			if c == '\n' {
+				return Token{}, l.errf(pos, "newline in string")
+			}
+		}
+		text, err := strconv.Unquote(l.src[start:l.off])
+		if err != nil {
+			return Token{}, l.errf(pos, "invalid string literal: %v", err)
+		}
+		return Token{Kind: tString, Text: text, Pos: pos}, nil
+	}
+	// Punctuation.
+	l.advance()
+	switch c {
+	case '(':
+		return Token{Kind: tLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: tRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: tLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: tRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: tLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: tRBracket, Pos: pos}, nil
+	case '<':
+		return Token{Kind: tLAngle, Pos: pos}, nil
+	case '>':
+		return Token{Kind: tRAngle, Pos: pos}, nil
+	case ',':
+		return Token{Kind: tComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: tSemi, Pos: pos}, nil
+	case '=':
+		return Token{Kind: tEq, Pos: pos}, nil
+	case '|':
+		return Token{Kind: tPipe, Pos: pos}, nil
+	case ':':
+		if l.peek() == ':' {
+			l.advance()
+			return Token{Kind: tDColon, Pos: pos}, nil
+		}
+		return Token{Kind: tColon, Pos: pos}, nil
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: tArrow, Pos: pos}, nil
+		}
+		return Token{}, l.errf(pos, "unexpected '-'")
+	case '@':
+		if l.peek() == '{' {
+			l.advance()
+			return Token{Kind: tAtBrace, Pos: pos}, nil
+		}
+		return Token{}, l.errf(pos, "unexpected '@'")
+	case '$':
+		if l.peek() == '{' {
+			l.advance()
+			return Token{Kind: tDolBrace, Pos: pos}, nil
+		}
+		return Token{}, l.errf(pos, "unexpected '$'")
+	}
+	return Token{}, l.errf(pos, "unexpected character %q", string(rune(c)))
+}
+
+// lexAll tokenizes the whole input (testing helper).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == tEOF {
+			return out, nil
+		}
+	}
+}

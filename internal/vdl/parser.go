@@ -1,0 +1,841 @@
+package vdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// TypeDecl is a dataset-type declaration ("TYPE content Simulation
+// extends CMS;") that populates a type registry dimension.
+type TypeDecl struct {
+	Dim    dtype.Dimension
+	Name   string
+	Parent string
+}
+
+// Program is the result of parsing a VDL source: the declared types,
+// datasets, transformations and derivations in source order.
+type Program struct {
+	Types           []TypeDecl
+	Datasets        []schema.Dataset
+	Transformations []schema.Transformation
+	Derivations     []schema.Derivation
+}
+
+// Merge appends the declarations of other to p.
+func (p *Program) Merge(other Program) {
+	p.Types = append(p.Types, other.Types...)
+	p.Datasets = append(p.Datasets, other.Datasets...)
+	p.Transformations = append(p.Transformations, other.Transformations...)
+	p.Derivations = append(p.Derivations, other.Derivations...)
+}
+
+// Parse parses VDL source text into a Program. Every derivation is
+// canonicalized (its ID set from its signature) and every object is
+// structurally validated.
+func Parse(src string) (Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return Program{}, err
+	}
+	var prog Program
+	for p.tok.Kind != tEOF {
+		if p.tok.Kind != tIdent {
+			return Program{}, p.errf("expected declaration keyword, found %s", p.tok.Kind)
+		}
+		switch p.tok.Text {
+		case "TR":
+			tr, err := p.parseTR()
+			if err != nil {
+				return Program{}, err
+			}
+			if err := tr.Validate(); err != nil {
+				return Program{}, err
+			}
+			prog.Transformations = append(prog.Transformations, tr)
+		case "DV":
+			dv, err := p.parseDV()
+			if err != nil {
+				return Program{}, err
+			}
+			if err := dv.Validate(); err != nil {
+				return Program{}, err
+			}
+			prog.Derivations = append(prog.Derivations, dv.Canonicalize())
+		case "DS":
+			ds, err := p.parseDS()
+			if err != nil {
+				return Program{}, err
+			}
+			if err := ds.Validate(); err != nil {
+				return Program{}, err
+			}
+			prog.Datasets = append(prog.Datasets, ds)
+		case "TYPE":
+			td, err := p.parseType()
+			if err != nil {
+				return Program{}, err
+			}
+			prog.Types = append(prog.Types, td)
+		default:
+			return Program{}, p.errf("expected TR, DV, DS or TYPE, found %q", p.tok.Text)
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind and returns its text.
+func (p *parser) expect(k TokenKind) (string, error) {
+	if p.tok.Kind != k {
+		return "", p.errf("expected %s, found %s%s", k, p.tok.Kind, textSuffix(p.tok))
+	}
+	text := p.tok.Text
+	return text, p.advance()
+}
+
+func textSuffix(t Token) string {
+	if t.Kind == tIdent || t.Kind == tString {
+		return fmt.Sprintf(" %q", t.Text)
+	}
+	return ""
+}
+
+// accept consumes the token if it has the given kind.
+func (p *parser) accept(k TokenKind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// acceptKeyword consumes an identifier with the given text.
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if p.tok.Kind != tIdent || p.tok.Text != kw {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// parseTRName parses [ns::]name[:ver].
+func (p *parser) parseTRName() (ns, name, ver string, err error) {
+	first, err := p.expect(tIdent)
+	if err != nil {
+		return "", "", "", err
+	}
+	if ok, err := p.accept(tDColon); err != nil {
+		return "", "", "", err
+	} else if ok {
+		ns = first
+		name, err = p.expect(tIdent)
+		if err != nil {
+			return "", "", "", err
+		}
+	} else {
+		name = first
+	}
+	if ok, err := p.accept(tColon); err != nil {
+		return "", "", "", err
+	} else if ok {
+		ver, err = p.expect(tIdent)
+		if err != nil {
+			return "", "", "", err
+		}
+	}
+	return ns, name, ver, nil
+}
+
+// parseTR parses a TR declaration.
+func (p *parser) parseTR() (schema.Transformation, error) {
+	var tr schema.Transformation
+	if err := p.advance(); err != nil { // consume "TR"
+		return tr, err
+	}
+	var err error
+	tr.Namespace, tr.Name, tr.Version, err = p.parseTRName()
+	if err != nil {
+		return tr, err
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return tr, err
+	}
+	for p.tok.Kind != tRParen {
+		f, err := p.parseFormal()
+		if err != nil {
+			return tr, err
+		}
+		tr.Args = append(tr.Args, f)
+		if ok, err := p.accept(tComma); err != nil {
+			return tr, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return tr, err
+	}
+	if _, err := p.expect(tLBrace); err != nil {
+		return tr, err
+	}
+	if err := p.parseTRBody(&tr); err != nil {
+		return tr, err
+	}
+	if _, err := p.expect(tRBrace); err != nil {
+		return tr, err
+	}
+	if len(tr.Calls) > 0 {
+		tr.Kind = schema.Compound
+	}
+	return tr, nil
+}
+
+// parseFormal parses: direction IDENT [<typeUnion>] [= actual].
+func (p *parser) parseFormal() (schema.FormalArg, error) {
+	var f schema.FormalArg
+	dirText, err := p.expect(tIdent)
+	if err != nil {
+		return f, err
+	}
+	dir, err := schema.ParseDirection(dirText)
+	if err != nil {
+		return f, p.errf("%v", err)
+	}
+	f.Direction = dir
+	f.Name, err = p.expect(tIdent)
+	if err != nil {
+		return f, err
+	}
+	if ok, err := p.accept(tLAngle); err != nil {
+		return f, err
+	} else if ok {
+		f.Types, err = p.parseTypeUnion()
+		if err != nil {
+			return f, err
+		}
+		if _, err := p.expect(tRAngle); err != nil {
+			return f, err
+		}
+	}
+	if ok, err := p.accept(tEq); err != nil {
+		return f, err
+	} else if ok {
+		def, err := p.parseActual(true)
+		if err != nil {
+			return f, err
+		}
+		f.Default = &def
+	}
+	return f, nil
+}
+
+// parseTypeUnion parses typeExpr (| typeExpr)*.
+func (p *parser) parseTypeUnion() ([]dtype.Type, error) {
+	var union []dtype.Type
+	for {
+		t, err := p.parseTypeExpr()
+		if err != nil {
+			return nil, err
+		}
+		union = append(union, t)
+		if ok, err := p.accept(tPipe); err != nil {
+			return nil, err
+		} else if !ok {
+			return union, nil
+		}
+	}
+}
+
+// parseTypeExpr parses content[:format[:encoding]] with "_" denoting an
+// unspecified dimension.
+func (p *parser) parseTypeExpr() (dtype.Type, error) {
+	var t dtype.Type
+	for i, d := range dtype.Dimensions() {
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return t, err
+		}
+		if name != "_" {
+			t = t.With(d, name)
+		}
+		if i == len(dtype.Dimensions())-1 {
+			break
+		}
+		if ok, err := p.accept(tColon); err != nil {
+			return t, err
+		} else if !ok {
+			break
+		}
+	}
+	return t, nil
+}
+
+// parseTRBody parses the statements inside a TR { ... } block.
+func (p *parser) parseTRBody(tr *schema.Transformation) error {
+	for p.tok.Kind != tRBrace && p.tok.Kind != tEOF {
+		if p.tok.Kind != tIdent {
+			return p.errf("expected statement, found %s", p.tok.Kind)
+		}
+		kw := p.tok.Text
+		switch {
+		case kw == "argument":
+			if err := p.parseArgumentStmt(tr); err != nil {
+				return err
+			}
+		case kw == "exec":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if _, err := p.expect(tEq); err != nil {
+				return err
+			}
+			path, err := p.expect(tString)
+			if err != nil {
+				return err
+			}
+			tr.Exec = path
+			if _, err := p.expect(tSemi); err != nil {
+				return err
+			}
+		case kw == "profile":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			key, err := p.expect(tIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tEq); err != nil {
+				return err
+			}
+			val, err := p.expect(tString)
+			if err != nil {
+				return err
+			}
+			if tr.Profile == nil {
+				tr.Profile = make(map[string]string)
+			}
+			tr.Profile[key] = val
+			if _, err := p.expect(tSemi); err != nil {
+				return err
+			}
+		case kw == "attr":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			key, err := p.expect(tIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tEq); err != nil {
+				return err
+			}
+			val, err := p.expect(tString)
+			if err != nil {
+				return err
+			}
+			if tr.Attrs == nil {
+				tr.Attrs = make(schema.Attributes)
+			}
+			tr.Attrs[key] = val
+			if _, err := p.expect(tSemi); err != nil {
+				return err
+			}
+		case strings.HasPrefix(kw, "env."):
+			name := strings.TrimPrefix(kw, "env.")
+			if name == "" {
+				return p.errf("empty environment variable name")
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if _, err := p.expect(tEq); err != nil {
+				return err
+			}
+			parts, err := p.parseTemplate()
+			if err != nil {
+				return err
+			}
+			if tr.Env == nil {
+				tr.Env = make(map[string][]schema.TemplatePart)
+			}
+			tr.Env[name] = parts
+			if _, err := p.expect(tSemi); err != nil {
+				return err
+			}
+		default:
+			// A call to another transformation (compound body).
+			call, err := p.parseCall()
+			if err != nil {
+				return err
+			}
+			tr.Calls = append(tr.Calls, call)
+		}
+	}
+	return nil
+}
+
+// parseArgumentStmt parses: argument [name] = template ;
+func (p *parser) parseArgumentStmt(tr *schema.Transformation) error {
+	if err := p.advance(); err != nil { // consume "argument"
+		return err
+	}
+	var at schema.ArgTemplate
+	if p.tok.Kind == tIdent {
+		at.Name = p.tok.Text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tEq); err != nil {
+		return err
+	}
+	parts, err := p.parseTemplate()
+	if err != nil {
+		return err
+	}
+	at.Parts = parts
+	tr.ArgTemplates = append(tr.ArgTemplates, at)
+	_, err = p.expect(tSemi)
+	return err
+}
+
+// parseTemplate parses a concatenation of strings and ${...} refs.
+func (p *parser) parseTemplate() ([]schema.TemplatePart, error) {
+	var parts []schema.TemplatePart
+	for {
+		switch p.tok.Kind {
+		case tString:
+			parts = append(parts, schema.TemplatePart{Literal: p.tok.Text})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tDolBrace:
+			dir, name, err := p.parseRefBody()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, schema.TemplatePart{Ref: name, RefDirection: dir})
+		default:
+			if len(parts) == 0 {
+				return nil, p.errf("expected string or ${...} reference, found %s", p.tok.Kind)
+			}
+			return parts, nil
+		}
+	}
+}
+
+// parseRefBody parses the remainder of ${[dir:]name}.
+func (p *parser) parseRefBody() (dir, name string, err error) {
+	if err := p.advance(); err != nil { // consume ${
+		return "", "", err
+	}
+	first, err := p.expect(tIdent)
+	if err != nil {
+		return "", "", err
+	}
+	if ok, err := p.accept(tColon); err != nil {
+		return "", "", err
+	} else if ok {
+		dir = first
+		name, err = p.expect(tIdent)
+		if err != nil {
+			return "", "", err
+		}
+	} else {
+		name = first
+	}
+	_, err = p.expect(tRBrace)
+	return dir, name, err
+}
+
+// parseCall parses: trref ( bindings ) ;
+func (p *parser) parseCall() (schema.Call, error) {
+	var c schema.Call
+	ns, name, ver, err := p.parseTRName()
+	if err != nil {
+		return c, err
+	}
+	c.TR = schema.FormatTRRef(ns, name, ver)
+	c.Bindings, err = p.parseBindings()
+	if err != nil {
+		return c, err
+	}
+	_, err = p.expect(tSemi)
+	return c, err
+}
+
+// parseBindings parses: ( name = value , ... ).
+func (p *parser) parseBindings() (map[string]schema.Actual, error) {
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	bindings := make(map[string]schema.Actual)
+	for p.tok.Kind != tRParen {
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := bindings[name]; dup {
+			return nil, p.errf("duplicate binding for %q", name)
+		}
+		if _, err := p.expect(tEq); err != nil {
+			return nil, err
+		}
+		v, err := p.parseActual(true)
+		if err != nil {
+			return nil, err
+		}
+		bindings[name] = v
+		if ok, err := p.accept(tComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	return bindings, nil
+}
+
+// parseActual parses a value expression: string, @{...} anchor, ${...}
+// formal reference (when allowRefs), or a [ ... ] list.
+func (p *parser) parseActual(allowRefs bool) (schema.Actual, error) {
+	switch p.tok.Kind {
+	case tString:
+		v := p.tok.Text
+		if err := p.advance(); err != nil {
+			return schema.Actual{}, err
+		}
+		return schema.StringActual(v), nil
+	case tAtBrace:
+		return p.parseAnchor()
+	case tDolBrace:
+		if !allowRefs {
+			return schema.Actual{}, p.errf("${...} references are not allowed here")
+		}
+		dir, name, err := p.parseRefBody()
+		if err != nil {
+			return schema.Actual{}, err
+		}
+		a := schema.FormalRefActual(name)
+		a.Direction = dir
+		return a, nil
+	case tLBracket:
+		if err := p.advance(); err != nil {
+			return schema.Actual{}, err
+		}
+		var list []schema.Actual
+		for p.tok.Kind != tRBracket {
+			e, err := p.parseActual(allowRefs)
+			if err != nil {
+				return schema.Actual{}, err
+			}
+			if e.Kind == schema.AList {
+				return schema.Actual{}, p.errf("nested lists are not allowed")
+			}
+			list = append(list, e)
+			if ok, err := p.accept(tComma); err != nil {
+				return schema.Actual{}, err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(tRBracket); err != nil {
+			return schema.Actual{}, err
+		}
+		return schema.ListActual(list...), nil
+	default:
+		return schema.Actual{}, p.errf("expected value, found %s", p.tok.Kind)
+	}
+}
+
+// parseAnchor parses the remainder of @{dir:"lfn"[:"hint"]}.
+func (p *parser) parseAnchor() (schema.Actual, error) {
+	if err := p.advance(); err != nil { // consume @{
+		return schema.Actual{}, err
+	}
+	dirText, err := p.expect(tIdent)
+	if err != nil {
+		return schema.Actual{}, err
+	}
+	if _, err := schema.ParseDirection(dirText); err != nil {
+		return schema.Actual{}, p.errf("%v", err)
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return schema.Actual{}, err
+	}
+	lfn, err := p.expect(tString)
+	if err != nil {
+		return schema.Actual{}, err
+	}
+	if ok, err := p.accept(tColon); err != nil {
+		return schema.Actual{}, err
+	} else if ok {
+		// Optional temporary-name hint; accepted and discarded, as in
+		// the paper's @{inout:"anywhere":""}.
+		if _, err := p.expect(tString); err != nil {
+			return schema.Actual{}, err
+		}
+	}
+	if _, err := p.expect(tRBrace); err != nil {
+		return schema.Actual{}, err
+	}
+	return schema.DatasetActual(dirText, lfn), nil
+}
+
+// parseDV parses: DV [name ->] trref ( bindings ) [with attrs] ;
+func (p *parser) parseDV() (schema.Derivation, error) {
+	var dv schema.Derivation
+	if err := p.advance(); err != nil { // consume "DV"
+		return dv, err
+	}
+	ns, name, ver, err := p.parseTRName()
+	if err != nil {
+		return dv, err
+	}
+	if ok, err := p.accept(tArrow); err != nil {
+		return dv, err
+	} else if ok {
+		if ns != "" || ver != "" {
+			return dv, p.errf("derivation name %q cannot carry namespace or version", name)
+		}
+		dv.Name = name
+		ns, name, ver, err = p.parseTRName()
+		if err != nil {
+			return dv, err
+		}
+	}
+	dv.TR = schema.FormatTRRef(ns, name, ver)
+	dv.Params, err = p.parseBindings()
+	if err != nil {
+		return dv, err
+	}
+	// Environment overrides arrive as params named env.X; lift them.
+	for k, v := range dv.Params {
+		if strings.HasPrefix(k, "env.") && v.Kind == schema.AString {
+			if dv.Env == nil {
+				dv.Env = make(map[string]string)
+			}
+			dv.Env[strings.TrimPrefix(k, "env.")] = v.Value
+			delete(dv.Params, k)
+		}
+	}
+	dv.Attrs, err = p.parseWithAttrs()
+	if err != nil {
+		return dv, err
+	}
+	_, err = p.expect(tSemi)
+	return dv, err
+}
+
+// parseWithAttrs parses an optional: with k="v" [, k="v"]* clause.
+func (p *parser) parseWithAttrs() (schema.Attributes, error) {
+	ok, err := p.acceptKeyword("with")
+	if err != nil || !ok {
+		return nil, err
+	}
+	attrs := make(schema.Attributes)
+	for {
+		k, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tEq); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tString)
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = v
+		if ok, err := p.accept(tComma); err != nil {
+			return nil, err
+		} else if !ok {
+			return attrs, nil
+		}
+	}
+}
+
+// parseDS parses:
+//
+//	DS name [<typeExpr>] [descriptor] [size "N"] [with attrs] ;
+//
+// descriptor := file "path" | fileset ["p1","p2",...]
+//
+//	| virtual of name expr "..." | opaque schema "body"
+func (p *parser) parseDS() (schema.Dataset, error) {
+	var ds schema.Dataset
+	if err := p.advance(); err != nil { // consume "DS"
+		return ds, err
+	}
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return ds, err
+	}
+	ds.Name = name
+	if ok, err := p.accept(tLAngle); err != nil {
+		return ds, err
+	} else if ok {
+		ds.Type, err = p.parseTypeExpr()
+		if err != nil {
+			return ds, err
+		}
+		if _, err := p.expect(tRAngle); err != nil {
+			return ds, err
+		}
+	}
+	if p.tok.Kind == tIdent {
+		switch p.tok.Text {
+		case "file":
+			if err := p.advance(); err != nil {
+				return ds, err
+			}
+			path, err := p.expect(tString)
+			if err != nil {
+				return ds, err
+			}
+			ds.Descriptor = schema.FileDescriptor{Path: path}
+		case "fileset":
+			if err := p.advance(); err != nil {
+				return ds, err
+			}
+			if _, err := p.expect(tLBracket); err != nil {
+				return ds, err
+			}
+			var paths []string
+			for p.tok.Kind != tRBracket {
+				s, err := p.expect(tString)
+				if err != nil {
+					return ds, err
+				}
+				paths = append(paths, s)
+				if ok, err := p.accept(tComma); err != nil {
+					return ds, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(tRBracket); err != nil {
+				return ds, err
+			}
+			ds.Descriptor = schema.FileSetDescriptor{Paths: paths}
+		case "virtual":
+			if err := p.advance(); err != nil {
+				return ds, err
+			}
+			if ok, err := p.acceptKeyword("of"); err != nil {
+				return ds, err
+			} else if !ok {
+				return ds, p.errf("expected 'of' after 'virtual'")
+			}
+			of, err := p.expect(tIdent)
+			if err != nil {
+				return ds, err
+			}
+			if ok, err := p.acceptKeyword("expr"); err != nil {
+				return ds, err
+			} else if !ok {
+				return ds, p.errf("expected 'expr' in virtual descriptor")
+			}
+			expr, err := p.expect(tString)
+			if err != nil {
+				return ds, err
+			}
+			ds.Descriptor = schema.VirtualDescriptor{Of: of, Expr: expr}
+		case "opaque":
+			if err := p.advance(); err != nil {
+				return ds, err
+			}
+			sch, err := p.expect(tIdent)
+			if err != nil {
+				return ds, err
+			}
+			body, err := p.expect(tString)
+			if err != nil {
+				return ds, err
+			}
+			d := schema.OpaqueDescriptor{Schema: sch}
+			if body != "" {
+				d.Body = []byte(body)
+			}
+			ds.Descriptor = d
+		}
+	}
+	if ok, err := p.acceptKeyword("size"); err != nil {
+		return ds, err
+	} else if ok {
+		s, err := p.expect(tString)
+		if err != nil {
+			return ds, err
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return ds, p.errf("invalid size %q: %v", s, err)
+		}
+		ds.Size = n
+	}
+	ds.Attrs, err = p.parseWithAttrs()
+	if err != nil {
+		return ds, err
+	}
+	_, err = p.expect(tSemi)
+	return ds, err
+}
+
+// parseType parses: TYPE dimension name [extends parent] ;
+func (p *parser) parseType() (TypeDecl, error) {
+	var td TypeDecl
+	if err := p.advance(); err != nil { // consume "TYPE"
+		return td, err
+	}
+	dimText, err := p.expect(tIdent)
+	if err != nil {
+		return td, err
+	}
+	switch strings.ToLower(dimText) {
+	case "content":
+		td.Dim = dtype.Content
+	case "format":
+		td.Dim = dtype.Format
+	case "encoding":
+		td.Dim = dtype.Encoding
+	default:
+		return td, p.errf("unknown type dimension %q (want content, format or encoding)", dimText)
+	}
+	td.Name, err = p.expect(tIdent)
+	if err != nil {
+		return td, err
+	}
+	if ok, err := p.acceptKeyword("extends"); err != nil {
+		return td, err
+	} else if ok {
+		td.Parent, err = p.expect(tIdent)
+		if err != nil {
+			return td, err
+		}
+	}
+	_, err = p.expect(tSemi)
+	return td, err
+}

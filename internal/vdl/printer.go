@@ -1,0 +1,240 @@
+package vdl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// Print renders a Program as canonical VDL text. Parsing the output
+// yields a Program equal to the input (modulo canonical ordering of
+// attribute maps, which print sorted).
+func Print(p Program) string {
+	var b strings.Builder
+	for _, td := range p.Types {
+		printTypeDecl(&b, td)
+	}
+	for _, ds := range p.Datasets {
+		printDataset(&b, ds)
+	}
+	for _, tr := range p.Transformations {
+		PrintTransformation(&b, tr)
+	}
+	for _, dv := range p.Derivations {
+		PrintDerivation(&b, dv)
+	}
+	return b.String()
+}
+
+func printTypeDecl(b *strings.Builder, td TypeDecl) {
+	dim := map[dtype.Dimension]string{dtype.Content: "content", dtype.Format: "format", dtype.Encoding: "encoding"}[td.Dim]
+	fmt.Fprintf(b, "TYPE %s %s", dim, td.Name)
+	if td.Parent != "" {
+		fmt.Fprintf(b, " extends %s", td.Parent)
+	}
+	b.WriteString(";\n")
+}
+
+func printDataset(b *strings.Builder, ds schema.Dataset) {
+	fmt.Fprintf(b, "DS %s", ds.Name)
+	if !ds.Type.IsUniversal() {
+		fmt.Fprintf(b, "<%s>", typeExprString(ds.Type))
+	}
+	switch d := ds.Descriptor.(type) {
+	case schema.FileDescriptor:
+		fmt.Fprintf(b, " file %s", strconv.Quote(d.Path))
+	case schema.FileSetDescriptor:
+		b.WriteString(" fileset [")
+		for i, p := range d.Paths {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.Quote(p))
+		}
+		b.WriteString("]")
+	case schema.VirtualDescriptor:
+		fmt.Fprintf(b, " virtual of %s expr %s", d.Of, strconv.Quote(d.Expr))
+	case schema.OpaqueDescriptor:
+		fmt.Fprintf(b, " opaque %s %s", d.Schema, strconv.Quote(string(d.Body)))
+	}
+	if ds.Size > 0 {
+		fmt.Fprintf(b, " size %q", strconv.FormatInt(ds.Size, 10))
+	}
+	printWithAttrs(b, ds.Attrs)
+	b.WriteString(";\n")
+}
+
+// typeExprString renders a dtype.Type in VDL's colon-separated form
+// with "_" for unspecified dimensions, trailing blanks trimmed.
+func typeExprString(t dtype.Type) string {
+	parts := []string{t.Content, t.Format, t.Encoding}
+	last := 0
+	for i, p := range parts {
+		if p != "" {
+			last = i
+		}
+	}
+	out := make([]string, 0, last+1)
+	for i := 0; i <= last; i++ {
+		if parts[i] == "" {
+			out = append(out, "_")
+		} else {
+			out = append(out, parts[i])
+		}
+	}
+	return strings.Join(out, ":")
+}
+
+// PrintTransformation renders one TR declaration.
+func PrintTransformation(b *strings.Builder, tr schema.Transformation) {
+	fmt.Fprintf(b, "TR %s(", tr.Ref())
+	for i, f := range tr.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", f.Direction, f.Name)
+		if len(f.Types) > 0 {
+			b.WriteString("<")
+			for j, t := range f.Types {
+				if j > 0 {
+					b.WriteString("|")
+				}
+				b.WriteString(typeExprString(t))
+			}
+			b.WriteString(">")
+		}
+		if f.Default != nil {
+			b.WriteString("=")
+			printActual(b, *f.Default)
+		}
+	}
+	b.WriteString(" ) {\n")
+	for _, at := range tr.ArgTemplates {
+		b.WriteString("  argument")
+		if at.Name != "" {
+			b.WriteString(" " + at.Name)
+		}
+		b.WriteString(" = ")
+		printTemplate(b, at.Parts)
+		b.WriteString(";\n")
+	}
+	if tr.Exec != "" {
+		fmt.Fprintf(b, "  exec = %s;\n", strconv.Quote(tr.Exec))
+	}
+	for _, k := range sortedKeys(tr.Profile) {
+		fmt.Fprintf(b, "  profile %s = %s;\n", k, strconv.Quote(tr.Profile[k]))
+	}
+	for _, k := range sortedKeys(tr.Env) {
+		fmt.Fprintf(b, "  env.%s = ", k)
+		printTemplate(b, tr.Env[k])
+		b.WriteString(";\n")
+	}
+	for _, k := range sortedKeys(tr.Attrs) {
+		fmt.Fprintf(b, "  attr %s = %s;\n", k, strconv.Quote(tr.Attrs[k]))
+	}
+	for _, c := range tr.Calls {
+		fmt.Fprintf(b, "  %s(", c.TR)
+		printBindings(b, c.Bindings)
+		b.WriteString(" );\n")
+	}
+	b.WriteString("}\n")
+}
+
+// PrintDerivation renders one DV declaration.
+func PrintDerivation(b *strings.Builder, dv schema.Derivation) {
+	b.WriteString("DV ")
+	if dv.Name != "" {
+		fmt.Fprintf(b, "%s->", dv.Name)
+	}
+	fmt.Fprintf(b, "%s(", dv.TR)
+	// Env overrides print as env.X bindings so they round-trip.
+	bindings := make(map[string]schema.Actual, len(dv.Params)+len(dv.Env))
+	for k, v := range dv.Params {
+		bindings[k] = v
+	}
+	for k, v := range dv.Env {
+		bindings["env."+k] = schema.StringActual(v)
+	}
+	printBindings(b, bindings)
+	b.WriteString(" )")
+	printWithAttrs(b, dv.Attrs)
+	b.WriteString(";\n")
+}
+
+func printBindings(b *strings.Builder, bindings map[string]schema.Actual) {
+	for i, k := range sortedKeys(bindings) {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(b, " %s=", k)
+		printActual(b, bindings[k])
+	}
+}
+
+func printActual(b *strings.Builder, a schema.Actual) {
+	switch a.Kind {
+	case schema.AString:
+		b.WriteString(strconv.Quote(a.Value))
+	case schema.ADataset:
+		dir := a.Direction
+		if dir == "" {
+			dir = "inout"
+		}
+		fmt.Fprintf(b, "@{%s:%s}", dir, strconv.Quote(a.Value))
+	case schema.AFormalRef:
+		if a.Direction != "" {
+			fmt.Fprintf(b, "${%s:%s}", a.Direction, a.Value)
+		} else {
+			fmt.Fprintf(b, "${%s}", a.Value)
+		}
+	case schema.AList:
+		b.WriteString("[")
+		for i, e := range a.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printActual(b, e)
+		}
+		b.WriteString("]")
+	}
+}
+
+func printTemplate(b *strings.Builder, parts []schema.TemplatePart) {
+	for _, p := range parts {
+		if p.Ref != "" {
+			if p.RefDirection != "" {
+				fmt.Fprintf(b, "${%s:%s}", p.RefDirection, p.Ref)
+			} else {
+				fmt.Fprintf(b, "${%s}", p.Ref)
+			}
+		} else {
+			b.WriteString(strconv.Quote(p.Literal))
+		}
+	}
+}
+
+func printWithAttrs(b *strings.Builder, attrs schema.Attributes) {
+	if len(attrs) == 0 {
+		return
+	}
+	b.WriteString(" with ")
+	for i, k := range sortedKeys(attrs) {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s=%s", k, strconv.Quote(attrs[k]))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

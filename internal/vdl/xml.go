@@ -1,0 +1,383 @@
+package vdl
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// The XML form of VDL serves machine-to-machine interfaces, as in the
+// paper ("an XML version is also implemented for machine-to-machine
+// interfaces"). It is a faithful structural mapping of Program.
+
+type xmlProgram struct {
+	XMLName         xml.Name            `xml:"vdl"`
+	Types           []xmlTypeDecl       `xml:"type"`
+	Datasets        []xmlDataset        `xml:"dataset"`
+	Transformations []xmlTransformation `xml:"transformation"`
+	Derivations     []xmlDerivation     `xml:"derivation"`
+}
+
+type xmlTypeDecl struct {
+	Dim    string `xml:"dim,attr"`
+	Name   string `xml:"name,attr"`
+	Parent string `xml:"parent,attr,omitempty"`
+}
+
+type xmlType struct {
+	Content  string `xml:"content,attr,omitempty"`
+	Format   string `xml:"format,attr,omitempty"`
+	Encoding string `xml:"encoding,attr,omitempty"`
+}
+
+type xmlDataset struct {
+	Name       string    `xml:"name,attr"`
+	Type       *xmlType  `xml:"type,omitempty"`
+	Descriptor *xmlDesc  `xml:"descriptor,omitempty"`
+	Size       int64     `xml:"size,attr,omitempty"`
+	CreatedBy  string    `xml:"createdBy,attr,omitempty"`
+	Epoch      int       `xml:"epoch,attr,omitempty"`
+	Attrs      []xmlAttr `xml:"attr"`
+}
+
+type xmlDesc struct {
+	Kind string `xml:"kind,attr"`
+	Body string `xml:",cdata"` // JSON envelope body
+}
+
+type xmlAttr struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlTransformation struct {
+	Namespace string     `xml:"namespace,attr,omitempty"`
+	Name      string     `xml:"name,attr"`
+	Version   string     `xml:"version,attr,omitempty"`
+	Kind      string     `xml:"kind,attr"`
+	Args      []xmlArg   `xml:"arg"`
+	Exec      string     `xml:"exec,omitempty"`
+	Templates []xmlTempl `xml:"argument"`
+	Env       []xmlEnv   `xml:"env"`
+	Profile   []xmlAttr  `xml:"profile"`
+	Calls     []xmlCall  `xml:"call"`
+	Attrs     []xmlAttr  `xml:"attr"`
+}
+
+type xmlArg struct {
+	Name      string     `xml:"name,attr"`
+	Direction string     `xml:"direction,attr"`
+	Types     []xmlType  `xml:"type"`
+	Default   *xmlActual `xml:"default,omitempty"`
+}
+
+type xmlTempl struct {
+	Name  string    `xml:"name,attr,omitempty"`
+	Parts []xmlPart `xml:"part"`
+}
+
+type xmlEnv struct {
+	Name  string    `xml:"name,attr"`
+	Parts []xmlPart `xml:"part"`
+}
+
+type xmlPart struct {
+	Literal string `xml:"literal,attr,omitempty"`
+	Ref     string `xml:"ref,attr,omitempty"`
+	RefDir  string `xml:"refDirection,attr,omitempty"`
+}
+
+type xmlCall struct {
+	TR       string       `xml:"tr,attr"`
+	Bindings []xmlBinding `xml:"bind"`
+}
+
+type xmlBinding struct {
+	Name  string    `xml:"name,attr"`
+	Value xmlActual `xml:"value"`
+}
+
+type xmlActual struct {
+	Kind      string      `xml:"kind,attr"`
+	Value     string      `xml:"value,attr,omitempty"`
+	Direction string      `xml:"direction,attr,omitempty"`
+	List      []xmlActual `xml:"item"`
+}
+
+type xmlDerivation struct {
+	ID     string       `xml:"id,attr,omitempty"`
+	Name   string       `xml:"name,attr,omitempty"`
+	TR     string       `xml:"tr,attr"`
+	Params []xmlBinding `xml:"param"`
+	Env    []xmlAttr    `xml:"env"`
+	Parent string       `xml:"parent,attr,omitempty"`
+	Attrs  []xmlAttr    `xml:"attr"`
+}
+
+// MarshalXML serializes a Program to the XML interchange form.
+func MarshalXML(p Program) ([]byte, error) {
+	xp := xmlProgram{}
+	for _, td := range p.Types {
+		xp.Types = append(xp.Types, xmlTypeDecl{Dim: dimName(td.Dim), Name: td.Name, Parent: td.Parent})
+	}
+	for _, ds := range p.Datasets {
+		xd := xmlDataset{
+			Name: ds.Name, Size: ds.Size, CreatedBy: ds.CreatedBy,
+			Epoch: ds.Epoch, Attrs: attrsToXML(ds.Attrs),
+		}
+		if !ds.Type.IsUniversal() {
+			xd.Type = &xmlType{Content: ds.Type.Content, Format: ds.Type.Format, Encoding: ds.Type.Encoding}
+		}
+		if ds.Descriptor != nil {
+			body, err := schema.MarshalDescriptor(ds.Descriptor)
+			if err != nil {
+				return nil, err
+			}
+			xd.Descriptor = &xmlDesc{Kind: ds.Descriptor.Kind(), Body: string(body)}
+		}
+		xp.Datasets = append(xp.Datasets, xd)
+	}
+	for _, tr := range p.Transformations {
+		xt := xmlTransformation{
+			Namespace: tr.Namespace, Name: tr.Name, Version: tr.Version,
+			Kind: tr.Kind.String(), Exec: tr.Exec,
+			Profile: attrsToXML(tr.Profile), Attrs: attrsToXML(tr.Attrs),
+		}
+		for _, f := range tr.Args {
+			xa := xmlArg{Name: f.Name, Direction: f.Direction.String()}
+			for _, t := range f.Types {
+				xa.Types = append(xa.Types, xmlType{Content: t.Content, Format: t.Format, Encoding: t.Encoding})
+			}
+			if f.Default != nil {
+				v := actualToXML(*f.Default)
+				xa.Default = &v
+			}
+			xt.Args = append(xt.Args, xa)
+		}
+		for _, at := range tr.ArgTemplates {
+			xt.Templates = append(xt.Templates, xmlTempl{Name: at.Name, Parts: partsToXML(at.Parts)})
+		}
+		for _, k := range sortedKeys(tr.Env) {
+			xt.Env = append(xt.Env, xmlEnv{Name: k, Parts: partsToXML(tr.Env[k])})
+		}
+		for _, c := range tr.Calls {
+			xc := xmlCall{TR: c.TR}
+			for _, k := range sortedKeys(c.Bindings) {
+				xc.Bindings = append(xc.Bindings, xmlBinding{Name: k, Value: actualToXML(c.Bindings[k])})
+			}
+			xt.Calls = append(xt.Calls, xc)
+		}
+		xp.Transformations = append(xp.Transformations, xt)
+	}
+	for _, dv := range p.Derivations {
+		xd := xmlDerivation{
+			ID: dv.ID, Name: dv.Name, TR: dv.TR, Parent: dv.Parent,
+			Env: attrsToXML(dv.Env), Attrs: attrsToXML(dv.Attrs),
+		}
+		for _, k := range sortedKeys(dv.Params) {
+			xd.Params = append(xd.Params, xmlBinding{Name: k, Value: actualToXML(dv.Params[k])})
+		}
+		xp.Derivations = append(xp.Derivations, xd)
+	}
+	return xml.MarshalIndent(xp, "", "  ")
+}
+
+// UnmarshalXML parses the XML interchange form back to a Program.
+func UnmarshalXML(data []byte) (Program, error) {
+	var xp xmlProgram
+	if err := xml.Unmarshal(data, &xp); err != nil {
+		return Program{}, fmt.Errorf("vdl: xml: %w", err)
+	}
+	var p Program
+	for _, td := range xp.Types {
+		d, err := parseDim(td.Dim)
+		if err != nil {
+			return Program{}, err
+		}
+		p.Types = append(p.Types, TypeDecl{Dim: d, Name: td.Name, Parent: td.Parent})
+	}
+	for _, xd := range xp.Datasets {
+		ds := schema.Dataset{
+			Name: xd.Name, Size: xd.Size, CreatedBy: xd.CreatedBy,
+			Epoch: xd.Epoch, Attrs: attrsFromXML(xd.Attrs),
+		}
+		if xd.Type != nil {
+			ds.Type = dtype.Type{Content: xd.Type.Content, Format: xd.Type.Format, Encoding: xd.Type.Encoding}
+		}
+		if xd.Descriptor != nil {
+			d, err := schema.UnmarshalDescriptor([]byte(xd.Descriptor.Body))
+			if err != nil {
+				return Program{}, err
+			}
+			ds.Descriptor = d
+		}
+		if err := ds.Validate(); err != nil {
+			return Program{}, err
+		}
+		p.Datasets = append(p.Datasets, ds)
+	}
+	for _, xt := range xp.Transformations {
+		tr := schema.Transformation{
+			Namespace: xt.Namespace, Name: xt.Name, Version: xt.Version,
+			Exec: xt.Exec, Profile: attrsFromXML(xt.Profile), Attrs: attrsFromXML(xt.Attrs),
+		}
+		if xt.Kind == "compound" {
+			tr.Kind = schema.Compound
+		}
+		for _, xa := range xt.Args {
+			dir, err := schema.ParseDirection(xa.Direction)
+			if err != nil {
+				return Program{}, err
+			}
+			f := schema.FormalArg{Name: xa.Name, Direction: dir}
+			for _, t := range xa.Types {
+				f.Types = append(f.Types, dtype.Type{Content: t.Content, Format: t.Format, Encoding: t.Encoding})
+			}
+			if xa.Default != nil {
+				a, err := actualFromXML(*xa.Default)
+				if err != nil {
+					return Program{}, err
+				}
+				f.Default = &a
+			}
+			tr.Args = append(tr.Args, f)
+		}
+		for _, xat := range xt.Templates {
+			tr.ArgTemplates = append(tr.ArgTemplates, schema.ArgTemplate{Name: xat.Name, Parts: partsFromXML(xat.Parts)})
+		}
+		if len(xt.Env) > 0 {
+			tr.Env = make(map[string][]schema.TemplatePart, len(xt.Env))
+			for _, xe := range xt.Env {
+				tr.Env[xe.Name] = partsFromXML(xe.Parts)
+			}
+		}
+		for _, xc := range xt.Calls {
+			c := schema.Call{TR: xc.TR, Bindings: make(map[string]schema.Actual, len(xc.Bindings))}
+			for _, xb := range xc.Bindings {
+				a, err := actualFromXML(xb.Value)
+				if err != nil {
+					return Program{}, err
+				}
+				c.Bindings[xb.Name] = a
+			}
+			tr.Calls = append(tr.Calls, c)
+		}
+		if err := tr.Validate(); err != nil {
+			return Program{}, err
+		}
+		p.Transformations = append(p.Transformations, tr)
+	}
+	for _, xd := range xp.Derivations {
+		dv := schema.Derivation{
+			ID: xd.ID, Name: xd.Name, TR: xd.TR, Parent: xd.Parent,
+			Env: attrsFromXML(xd.Env), Attrs: attrsFromXML(xd.Attrs),
+			Params: make(map[string]schema.Actual, len(xd.Params)),
+		}
+		for _, xb := range xd.Params {
+			a, err := actualFromXML(xb.Value)
+			if err != nil {
+				return Program{}, err
+			}
+			dv.Params[xb.Name] = a
+		}
+		if err := dv.Validate(); err != nil {
+			return Program{}, err
+		}
+		p.Derivations = append(p.Derivations, dv.Canonicalize())
+	}
+	return p, nil
+}
+
+func dimName(d dtype.Dimension) string {
+	switch d {
+	case dtype.Content:
+		return "content"
+	case dtype.Format:
+		return "format"
+	default:
+		return "encoding"
+	}
+}
+
+func parseDim(s string) (dtype.Dimension, error) {
+	switch s {
+	case "content":
+		return dtype.Content, nil
+	case "format":
+		return dtype.Format, nil
+	case "encoding":
+		return dtype.Encoding, nil
+	}
+	return 0, fmt.Errorf("vdl: unknown dimension %q", s)
+}
+
+func attrsToXML(a map[string]string) []xmlAttr {
+	var out []xmlAttr
+	for _, k := range sortedKeys(a) {
+		out = append(out, xmlAttr{Key: k, Value: a[k]})
+	}
+	return out
+}
+
+func attrsFromXML(xs []xmlAttr) schema.Attributes {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make(schema.Attributes, len(xs))
+	for _, x := range xs {
+		out[x.Key] = x.Value
+	}
+	return out
+}
+
+func partsToXML(parts []schema.TemplatePart) []xmlPart {
+	out := make([]xmlPart, len(parts))
+	for i, p := range parts {
+		out[i] = xmlPart{Literal: p.Literal, Ref: p.Ref, RefDir: p.RefDirection}
+	}
+	return out
+}
+
+func partsFromXML(xs []xmlPart) []schema.TemplatePart {
+	out := make([]schema.TemplatePart, len(xs))
+	for i, x := range xs {
+		out[i] = schema.TemplatePart{Literal: x.Literal, Ref: x.Ref, RefDirection: x.RefDir}
+	}
+	return out
+}
+
+func actualToXML(a schema.Actual) xmlActual {
+	x := xmlActual{Kind: a.Kind.String(), Value: a.Value, Direction: a.Direction}
+	for _, e := range a.List {
+		x.List = append(x.List, actualToXML(e))
+	}
+	return x
+}
+
+func actualFromXML(x xmlActual) (schema.Actual, error) {
+	var a schema.Actual
+	switch x.Kind {
+	case "string":
+		a.Kind = schema.AString
+	case "dataset":
+		a.Kind = schema.ADataset
+	case "formalref":
+		a.Kind = schema.AFormalRef
+	case "list":
+		a.Kind = schema.AList
+	default:
+		return a, fmt.Errorf("vdl: unknown actual kind %q", x.Kind)
+	}
+	a.Value = x.Value
+	a.Direction = x.Direction
+	for _, e := range x.List {
+		c, err := actualFromXML(e)
+		if err != nil {
+			return a, err
+		}
+		a.List = append(a.List, c)
+	}
+	return a, nil
+}

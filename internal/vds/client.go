@@ -1,0 +1,283 @@
+package vds
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+	"chimera/internal/trust"
+)
+
+// Client talks to a remote virtual data service.
+type Client struct {
+	// Base is the service root, e.g. "http://host:port".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the service at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RemoteError is a non-2xx response from a catalog service.
+type RemoteError struct {
+	Status  int
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("vds: remote error %d: %s", e.Status, e.Message)
+}
+
+// NotFound reports whether the error is a remote 404.
+func NotFound(err error) bool {
+	var re *RemoteError
+	return errorsAs(err, &re) && re.Status == http.StatusNotFound
+}
+
+func errorsAs(err error, target **RemoteError) bool {
+	for err != nil {
+		if re, ok := err.(*RemoteError); ok {
+			*target = re
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("vds: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &RemoteError{Status: resp.StatusCode, Message: eb.Error}
+		}
+		return &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Info fetches service identity and stats.
+func (c *Client) Info() (Info, error) {
+	var out Info
+	err := c.do("GET", "/v1/info", nil, &out)
+	return out, err
+}
+
+// Export fetches the catalog's full state.
+func (c *Client) Export() (catalog.Export, error) {
+	var out catalog.Export
+	err := c.do("GET", "/v1/export", nil, &out)
+	return out, err
+}
+
+// Types fetches the catalog's dataset-type registry.
+func (c *Client) Types() (*dtype.Registry, error) {
+	out := dtype.NewRegistry()
+	err := c.do("GET", "/v1/types", nil, out)
+	return out, err
+}
+
+// Dataset fetches one dataset.
+func (c *Client) Dataset(name string) (schema.Dataset, error) {
+	var out schema.Dataset
+	err := c.do("GET", "/v1/datasets/"+escapePath(name), nil, &out)
+	return out, err
+}
+
+// Transformation fetches one transformation by reference.
+func (c *Client) Transformation(ref string) (schema.Transformation, error) {
+	var out schema.Transformation
+	err := c.do("GET", "/v1/transformations/"+escapePath(ref), nil, &out)
+	return out, err
+}
+
+// Derivation fetches one derivation by ID.
+func (c *Client) Derivation(id string) (schema.Derivation, error) {
+	var out schema.Derivation
+	err := c.do("GET", "/v1/derivations/"+escapePath(id), nil, &out)
+	return out, err
+}
+
+// Invocation fetches one invocation by ID.
+func (c *Client) Invocation(id string) (schema.Invocation, error) {
+	var out schema.Invocation
+	err := c.do("GET", "/v1/invocations/"+escapePath(id), nil, &out)
+	return out, err
+}
+
+// Replicas lists replicas of a dataset.
+func (c *Client) Replicas(dataset string) ([]schema.Replica, error) {
+	var out []schema.Replica
+	err := c.do("GET", "/v1/replicas?dataset="+url.QueryEscape(dataset), nil, &out)
+	return out, err
+}
+
+// Lineage fetches a dataset's audit trail.
+func (c *Client) Lineage(name string) (catalog.LineageReport, error) {
+	var out catalog.LineageReport
+	err := c.do("GET", "/v1/lineage/"+escapePath(name), nil, &out)
+	return out, err
+}
+
+// Ancestors fetches a dataset's upward provenance closure.
+func (c *Client) Ancestors(name string) (catalog.Closure, error) {
+	var out catalog.Closure
+	err := c.do("GET", "/v1/ancestors/"+escapePath(name), nil, &out)
+	return out, err
+}
+
+// Descendants fetches a dataset's downward closure.
+func (c *Client) Descendants(name string) (catalog.Closure, error) {
+	var out catalog.Closure
+	err := c.do("GET", "/v1/descendants/"+escapePath(name), nil, &out)
+	return out, err
+}
+
+// SearchDatasets runs a discovery query remotely.
+func (c *Client) SearchDatasets(q string) ([]schema.Dataset, error) {
+	var out []schema.Dataset
+	err := c.do("GET", "/v1/datasets?query="+url.QueryEscape(q), nil, &out)
+	return out, err
+}
+
+// SearchTransformations runs a discovery query remotely.
+func (c *Client) SearchTransformations(q string) ([]schema.Transformation, error) {
+	var out []schema.Transformation
+	err := c.do("GET", "/v1/transformations?query="+url.QueryEscape(q), nil, &out)
+	return out, err
+}
+
+// SearchDerivations runs a discovery query remotely.
+func (c *Client) SearchDerivations(q string) ([]schema.Derivation, error) {
+	var out []schema.Derivation
+	err := c.do("GET", "/v1/derivations?query="+url.QueryEscape(q), nil, &out)
+	return out, err
+}
+
+// PutDataset registers a dataset.
+func (c *Client) PutDataset(ds schema.Dataset) error {
+	return c.do("PUT", "/v1/datasets", ds, nil)
+}
+
+// PutTransformation registers a transformation.
+func (c *Client) PutTransformation(tr schema.Transformation) error {
+	return c.do("PUT", "/v1/transformations", tr, nil)
+}
+
+// PutDerivation registers a derivation, reporting reuse.
+func (c *Client) PutDerivation(dv schema.Derivation) (PutDerivationResponse, error) {
+	var out PutDerivationResponse
+	err := c.do("PUT", "/v1/derivations", dv, &out)
+	return out, err
+}
+
+// PutInvocation records an invocation.
+func (c *Client) PutInvocation(iv schema.Invocation) error {
+	return c.do("PUT", "/v1/invocations", iv, nil)
+}
+
+// PutReplica registers a replica.
+func (c *Client) PutReplica(r schema.Replica) error {
+	return c.do("PUT", "/v1/replicas", r, nil)
+}
+
+// PostVDL inserts VDL source text.
+func (c *Client) PostVDL(src string) error {
+	req, err := http.NewRequest("POST", c.Base+"/v1/vdl", strings.NewReader(src))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return nil
+}
+
+// Signatures fetches the signature records of an entry.
+func (c *Client) Signatures(kind, id string) ([]trust.Signature, error) {
+	var out []trust.Signature
+	err := c.do("GET", "/v1/signatures/"+kind+"/"+escapePath(id), nil, &out)
+	return out, err
+}
+
+// PutSignature attaches a signature to an entry.
+func (c *Client) PutSignature(kind, id string, sig trust.Signature) error {
+	return c.do("PUT", "/v1/signatures/"+kind+"/"+escapePath(id), sig, nil)
+}
+
+// Annotations fetches the annotations on an entry.
+func (c *Client) Annotations(kind, id string) ([]trust.Annotation, error) {
+	var out []trust.Annotation
+	err := c.do("GET", "/v1/annotations/"+kind+"/"+escapePath(id), nil, &out)
+	return out, err
+}
+
+// PutAnnotation records a quality annotation.
+func (c *Client) PutAnnotation(a trust.Annotation) error {
+	return c.do("PUT", "/v1/annotations", a, nil)
+}
+
+// escapePath escapes a logical name for use in a URL path while
+// keeping path separators (names may be vdp:// URLs routed through
+// {name...} wildcards).
+func escapePath(s string) string {
+	parts := strings.Split(s, "/")
+	for i, p := range parts {
+		parts[i] = url.PathEscape(p)
+	}
+	return strings.Join(parts, "/")
+}

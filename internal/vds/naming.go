@@ -1,0 +1,241 @@
+package vds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// The vdp:// scheme names objects in other virtual data catalogs,
+// giving the inter-catalog hyperlinks of Figures 2 and 3:
+//
+//	vdp://physics.wisconsin.edu/srch
+//
+// names the object "srch" in the catalog operated by the authority
+// "physics.wisconsin.edu". Object names may themselves contain slashes.
+
+// Scheme is the inter-catalog reference scheme.
+const Scheme = "vdp://"
+
+// Name is a parsed vdp reference.
+type Name struct {
+	// Authority identifies the catalog service.
+	Authority string
+	// Object is the name/ref/id within that catalog.
+	Object string
+}
+
+// String re-renders the reference.
+func (n Name) String() string { return Scheme + n.Authority + "/" + n.Object }
+
+// IsVDP reports whether s is a vdp:// reference.
+func IsVDP(s string) bool { return strings.HasPrefix(s, Scheme) }
+
+// ParseName splits a vdp:// reference.
+func ParseName(s string) (Name, error) {
+	if !IsVDP(s) {
+		return Name{}, fmt.Errorf("vds: %q is not a vdp:// reference", s)
+	}
+	rest := strings.TrimPrefix(s, Scheme)
+	i := strings.Index(rest, "/")
+	if i <= 0 || i == len(rest)-1 {
+		return Name{}, fmt.Errorf("vds: malformed vdp reference %q", s)
+	}
+	return Name{Authority: rest[:i], Object: rest[i+1:]}, nil
+}
+
+// Registry maps catalog authorities to service base URLs. In
+// production an authority would resolve through service discovery; in
+// tests it maps to httptest servers.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Client
+}
+
+// NewRegistry returns an empty authority registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Client)} }
+
+// Register binds an authority to a service base URL.
+func (r *Registry) Register(authority, baseURL string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[authority] = NewClient(baseURL)
+}
+
+// ClientFor returns the client for an authority.
+func (r *Registry) ClientFor(authority string) (*Client, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.m[authority]
+	if !ok {
+		return nil, fmt.Errorf("vds: unknown catalog authority %q", authority)
+	}
+	return c, nil
+}
+
+// Authorities lists registered authorities.
+func (r *Registry) Authorities() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for a := range r.m {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ImportTransformation resolves a vdp:// transformation reference:
+// fetch the definition from the remote catalog, register it locally
+// (tagged with its origin), and return it. Compound transformations
+// pull their callees recursively, so a compound defined at Wisconsin
+// over Illinois transformations (Figure 2) becomes locally executable.
+func ImportTransformation(local *catalog.Catalog, reg *Registry, ref string) (schema.Transformation, error) {
+	return importTR(local, reg, ref, 0)
+}
+
+func importTR(local *catalog.Catalog, reg *Registry, ref string, depth int) (schema.Transformation, error) {
+	if depth > 16 {
+		return schema.Transformation{}, errors.New("vds: transformation import chain too deep")
+	}
+	if !IsVDP(ref) {
+		return local.Transformation(ref)
+	}
+	name, err := ParseName(ref)
+	if err != nil {
+		return schema.Transformation{}, err
+	}
+	client, err := reg.ClientFor(name.Authority)
+	if err != nil {
+		return schema.Transformation{}, err
+	}
+	tr, err := client.Transformation(name.Object)
+	if err != nil {
+		return schema.Transformation{}, fmt.Errorf("vds: import %s: %w", ref, err)
+	}
+	if tr.Attrs == nil {
+		tr.Attrs = schema.Attributes{}
+	}
+	tr.Attrs["importedFrom"] = ref
+	// The signature may reference the remote community's type
+	// vocabulary; pull any unknown names before registering.
+	if err := importTypesFor(local, client, tr); err != nil {
+		return schema.Transformation{}, err
+	}
+	if err := local.AddTransformation(tr); err != nil && !errors.Is(err, catalog.ErrExists) {
+		return schema.Transformation{}, err
+	}
+	// Recursively import callees of compounds: they may be names local
+	// to the remote catalog or further vdp references.
+	for _, call := range tr.Calls {
+		callee := call.TR
+		if !IsVDP(callee) {
+			if _, err := local.Transformation(callee); err == nil {
+				continue
+			}
+			callee = (Name{Authority: name.Authority, Object: call.TR}).String()
+		}
+		if _, err := importTR(local, reg, callee, depth+1); err != nil {
+			return schema.Transformation{}, err
+		}
+	}
+	return tr, nil
+}
+
+// importTypesFor merges the remote type vocabulary needed by a
+// transformation's signature into the local catalog. The remote
+// registry is fetched only when an unknown name appears.
+func importTypesFor(local *catalog.Catalog, client *Client, tr schema.Transformation) error {
+	needed := false
+	for _, f := range tr.Args {
+		for _, t := range f.Types {
+			if local.Types().CheckType(t) != nil {
+				needed = true
+			}
+		}
+	}
+	if !needed {
+		return nil
+	}
+	remote, err := client.Types()
+	if err != nil {
+		return fmt.Errorf("vds: import types: %w", err)
+	}
+	for _, d := range dtype.Dimensions() {
+		for _, name := range sortedByDepth(remote, d) {
+			parent := ""
+			if anc := remote.Ancestors(d, name); len(anc) > 0 {
+				parent = anc[0]
+			}
+			if err := local.DefineType(d, name, parent); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortedByDepth lists a dimension's names parents-first.
+func sortedByDepth(r *dtype.Registry, d dtype.Dimension) []string {
+	names := r.Names(d)
+	sort.Slice(names, func(i, j int) bool {
+		di, dj := r.Depth(d, names[i]), r.Depth(d, names[j])
+		if di != dj {
+			return di < dj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Resolver returns a schema.Resolver that answers from the local
+// catalog and imports vdp:// references on demand.
+func Resolver(local *catalog.Catalog, reg *Registry) schema.Resolver {
+	return func(ref string) (schema.Transformation, error) {
+		if IsVDP(ref) {
+			return ImportTransformation(local, reg, ref)
+		}
+		return local.Transformation(ref)
+	}
+}
+
+// ImportDerivation fetches a remote derivation record (e.g. the
+// Illinois "srch-muon" of Figure 2) and registers it locally together
+// with its transformation.
+func ImportDerivation(local *catalog.Catalog, reg *Registry, ref string) (schema.Derivation, error) {
+	name, err := ParseName(ref)
+	if err != nil {
+		return schema.Derivation{}, err
+	}
+	client, err := reg.ClientFor(name.Authority)
+	if err != nil {
+		return schema.Derivation{}, err
+	}
+	dv, err := client.Derivation(name.Object)
+	if err != nil {
+		return schema.Derivation{}, fmt.Errorf("vds: import %s: %w", ref, err)
+	}
+	trRef := dv.TR
+	if !IsVDP(trRef) {
+		if _, err := local.Transformation(trRef); err != nil {
+			trRef = (Name{Authority: name.Authority, Object: dv.TR}).String()
+		}
+	}
+	if _, err := importTR(local, reg, trRef, 0); err != nil {
+		return schema.Derivation{}, err
+	}
+	if dv.Attrs == nil {
+		dv.Attrs = schema.Attributes{}
+	}
+	dv.Attrs["importedFrom"] = ref
+	stored, err := local.AddDerivation(dv)
+	if err != nil && !errors.Is(err, catalog.ErrDuplicate) {
+		return schema.Derivation{}, err
+	}
+	return stored, nil
+}

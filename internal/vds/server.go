@@ -1,0 +1,313 @@
+// Package vds exposes a virtual data catalog as a network service and
+// provides the client side: JSON over HTTP, vdp:// names for
+// inter-catalog references, and remote-object import so that
+// transformation and derivation records can hyperlink across servers as
+// in Figures 2 and 3 of the paper.
+package vds
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"chimera/internal/catalog"
+	"chimera/internal/query"
+	"chimera/internal/schema"
+	"chimera/internal/trust"
+	"chimera/internal/vdl"
+)
+
+// Server serves one catalog over HTTP.
+type Server struct {
+	// Name identifies the catalog (e.g. "physics.wisconsin.edu").
+	Name string
+	// Cat is the served catalog.
+	Cat *catalog.Catalog
+	// Ledger optionally carries signatures/annotations for entries.
+	Ledger *trust.Ledger
+	// ReadOnly rejects mutations when set.
+	ReadOnly bool
+
+	mux *http.ServeMux
+}
+
+// NewServer builds a server for the catalog.
+func NewServer(name string, cat *catalog.Catalog) *Server {
+	s := &Server{Name: name, Cat: cat, Ledger: trust.NewLedger()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Info summarizes a catalog service.
+type Info struct {
+	Name  string        `json:"name"`
+	Stats catalog.Stats `json:"stats"`
+}
+
+// PutDerivationResponse reports the outcome of registering a derivation.
+type PutDerivationResponse struct {
+	Derivation schema.Derivation `json:"derivation"`
+	// Reused is true when an identical derivation already existed.
+	Reused bool `json:"reused"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	m := http.NewServeMux()
+	s.mux = m
+
+	m.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Info{Name: s.Name, Stats: s.Cat.Stats()})
+	})
+
+	m.HandleFunc("GET /v1/export", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Cat.Export())
+	})
+
+	m.HandleFunc("GET /v1/types", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Cat.Types())
+	})
+
+	m.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		s.search(w, r, query.KDataset)
+	})
+	m.HandleFunc("GET /v1/transformations", func(w http.ResponseWriter, r *http.Request) {
+		s.search(w, r, query.KTransformation)
+	})
+	m.HandleFunc("GET /v1/derivations", func(w http.ResponseWriter, r *http.Request) {
+		s.search(w, r, query.KDerivation)
+	})
+
+	m.HandleFunc("GET /v1/datasets/{name...}", func(w http.ResponseWriter, r *http.Request) {
+		ds, err := s.Cat.Dataset(r.PathValue("name"))
+		s.reply(w, ds, err)
+	})
+	m.HandleFunc("GET /v1/transformations/{ref...}", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := s.Cat.Transformation(r.PathValue("ref"))
+		s.reply(w, tr, err)
+	})
+	m.HandleFunc("GET /v1/derivations/{id...}", func(w http.ResponseWriter, r *http.Request) {
+		dv, err := s.Cat.Derivation(r.PathValue("id"))
+		s.reply(w, dv, err)
+	})
+	m.HandleFunc("GET /v1/invocations/{id...}", func(w http.ResponseWriter, r *http.Request) {
+		iv, err := s.Cat.Invocation(r.PathValue("id"))
+		s.reply(w, iv, err)
+	})
+	m.HandleFunc("GET /v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+		ds := r.URL.Query().Get("dataset")
+		if ds == "" {
+			writeJSON(w, http.StatusBadRequest, errorBody{"missing dataset parameter"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Cat.ReplicasOf(ds))
+	})
+
+	m.HandleFunc("GET /v1/lineage/{name...}", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := s.Cat.Lineage(r.PathValue("name"))
+		s.reply(w, rep, err)
+	})
+	m.HandleFunc("GET /v1/ancestors/{name...}", func(w http.ResponseWriter, r *http.Request) {
+		cl, err := s.Cat.Ancestors(r.PathValue("name"))
+		s.reply(w, cl, err)
+	})
+	m.HandleFunc("GET /v1/descendants/{name...}", func(w http.ResponseWriter, r *http.Request) {
+		cl, err := s.Cat.Descendants(r.PathValue("name"))
+		s.reply(w, cl, err)
+	})
+
+	m.HandleFunc("PUT /v1/datasets", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var ds schema.Dataset
+		if !decode(w, r, &ds) {
+			return
+		}
+		s.replyErr(w, s.Cat.AddDataset(ds))
+	}))
+	m.HandleFunc("PUT /v1/transformations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var tr schema.Transformation
+		if !decode(w, r, &tr) {
+			return
+		}
+		s.replyErr(w, s.Cat.AddTransformation(tr))
+	}))
+	m.HandleFunc("PUT /v1/derivations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var dv schema.Derivation
+		if !decode(w, r, &dv) {
+			return
+		}
+		stored, err := s.Cat.AddDerivation(dv)
+		if errors.Is(err, catalog.ErrDuplicate) {
+			writeJSON(w, http.StatusOK, PutDerivationResponse{Derivation: stored, Reused: true})
+			return
+		}
+		if err != nil {
+			s.replyErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PutDerivationResponse{Derivation: stored})
+	}))
+	m.HandleFunc("PUT /v1/invocations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var iv schema.Invocation
+		if !decode(w, r, &iv) {
+			return
+		}
+		s.replyErr(w, s.Cat.AddInvocation(iv))
+	}))
+	m.HandleFunc("PUT /v1/replicas", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var rep schema.Replica
+		if !decode(w, r, &rep) {
+			return
+		}
+		s.replyErr(w, s.Cat.AddReplica(rep))
+	}))
+
+	m.HandleFunc("POST /v1/vdl", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		prog, err := vdl.Parse(string(src))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		if err := ApplyProgram(s.Cat, prog); err != nil {
+			s.replyErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Cat.Stats())
+	}))
+
+	m.HandleFunc("GET /v1/signatures/{kind}/{id...}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Ledger.Signatures(r.PathValue("kind"), r.PathValue("id")))
+	})
+	m.HandleFunc("PUT /v1/signatures/{kind}/{id...}", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var sig trust.Signature
+		if !decode(w, r, &sig) {
+			return
+		}
+		s.Ledger.Attach(r.PathValue("kind"), r.PathValue("id"), sig)
+		writeJSON(w, http.StatusOK, struct{}{})
+	}))
+	m.HandleFunc("GET /v1/annotations/{kind}/{id...}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Ledger.Annotations(r.PathValue("kind"), r.PathValue("id")))
+	})
+	m.HandleFunc("PUT /v1/annotations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+		var a trust.Annotation
+		if !decode(w, r, &a) {
+			return
+		}
+		s.Ledger.AddAnnotation(a)
+		writeJSON(w, http.StatusOK, struct{}{})
+	}))
+}
+
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.ReadOnly {
+			writeJSON(w, http.StatusForbidden, errorBody{"catalog is read-only"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) search(w http.ResponseWriter, r *http.Request, kind query.Kind) {
+	q := r.URL.Query().Get("query")
+	if q == "" {
+		q = "*"
+	}
+	res, err := query.Search(s.Cat, kind, q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	switch kind {
+	case query.KDataset:
+		writeJSON(w, http.StatusOK, orEmpty(res.Datasets))
+	case query.KTransformation:
+		writeJSON(w, http.StatusOK, orEmpty(res.Transformations))
+	default:
+		writeJSON(w, http.StatusOK, orEmpty(res.Derivations))
+	}
+}
+
+func orEmpty[T any](xs []T) []T {
+	if xs == nil {
+		return []T{}
+	}
+	return xs
+}
+
+func (s *Server) reply(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		s.replyErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) replyErr(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, struct{}{})
+	case errors.Is(err, catalog.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+	case errors.Is(err, catalog.ErrExists), errors.Is(err, catalog.ErrConflict):
+		writeJSON(w, http.StatusConflict, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("decode: %v", err)})
+		return false
+	}
+	return true
+}
+
+// ApplyProgram loads a parsed VDL program into a catalog: types first,
+// then datasets, transformations, and derivations. Duplicate
+// derivations are tolerated (that is reuse, not error).
+func ApplyProgram(c *catalog.Catalog, prog vdl.Program) error {
+	for _, td := range prog.Types {
+		if err := c.DefineType(td.Dim, td.Name, td.Parent); err != nil {
+			return err
+		}
+	}
+	for _, ds := range prog.Datasets {
+		if err := c.AddDataset(ds); err != nil && !errors.Is(err, catalog.ErrExists) {
+			return err
+		}
+	}
+	for _, tr := range prog.Transformations {
+		if err := c.AddTransformation(tr); err != nil {
+			return err
+		}
+	}
+	for _, dv := range prog.Derivations {
+		if _, err := c.AddDerivation(dv); err != nil && !errors.Is(err, catalog.ErrDuplicate) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chimera/internal/schema"
+)
+
+// CanonicalParams sizes the synthetic "canonical applications" of §6:
+// programs that mimic arbitrary argument-passing conventions and file
+// I/O behaviour, arranged into large random dependency graphs used to
+// validate provenance tracking.
+type CanonicalParams struct {
+	// Layers is the DAG depth (>= 2: primaries + one derived layer).
+	Layers int
+	// Width is the number of datasets per layer.
+	Width int
+	// MaxFanIn bounds how many prior-layer datasets a derivation reads.
+	MaxFanIn int
+	// Seed drives the random wiring.
+	Seed int64
+	// Styles is the number of distinct transformation "argument-passing
+	// conventions" to generate (each with a different signature shape).
+	Styles int
+}
+
+// Canonical builds a random layered dependency graph.
+func Canonical(p CanonicalParams) Workload {
+	if p.Layers < 2 {
+		p.Layers = 2
+	}
+	if p.Width <= 0 {
+		p.Width = 4
+	}
+	if p.MaxFanIn <= 0 {
+		p.MaxFanIn = 3
+	}
+	if p.Styles <= 0 {
+		p.Styles = 3
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 7))
+
+	w := Workload{
+		Name:     fmt.Sprintf("canonical-%dx%d", p.Layers, p.Width),
+		Work:     make(map[string]float64),
+		OutBytes: make(map[string]int64),
+	}
+
+	// Styles vary signature shape: different numbers of string
+	// parameters and whether inputs arrive as a list or as separate
+	// formals — the "arbitrary argument passing conventions".
+	styles := make([]schema.Transformation, p.Styles)
+	for s := range styles {
+		name := fmt.Sprintf("canon%d", s)
+		tr := schema.Transformation{Name: name, Kind: schema.Simple, Exec: "/canon/bin/" + name}
+		tr.Args = append(tr.Args, schema.FormalArg{Name: "out", Direction: schema.Out})
+		tr.Args = append(tr.Args, schema.FormalArg{Name: "ins", Direction: schema.In})
+		for k := 0; k <= s%3; k++ {
+			tr.Args = append(tr.Args, schema.FormalArg{
+				Name: fmt.Sprintf("p%d", k), Direction: schema.None,
+				Default: defaultStr(fmt.Sprint(k * 10)),
+			})
+		}
+		styles[s] = tr
+		w.Transformations = append(w.Transformations, tr)
+		w.Work[tr.Ref()] = 20 + float64(s*15)
+		w.OutBytes[tr.Ref()] = int64(1e6 * (s + 1))
+	}
+
+	name := func(l, i int) string { return fmt.Sprintf("c%02d_%03d", l, i) }
+	for i := 0; i < p.Width; i++ {
+		w.Primary = append(w.Primary, schema.Dataset{Name: name(0, i), Size: 1e6})
+	}
+	for l := 1; l < p.Layers; l++ {
+		for i := 0; i < p.Width; i++ {
+			tr := styles[rng.Intn(len(styles))]
+			fanin := 1 + rng.Intn(p.MaxFanIn)
+			var ins []schema.Actual
+			seen := make(map[int]bool)
+			for k := 0; k < fanin; k++ {
+				j := rng.Intn(p.Width)
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				ins = append(ins, inArg(name(l-1, j)))
+			}
+			dv := schema.Derivation{TR: tr.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(name(l, i)),
+				"ins": schema.ListActual(ins...),
+			}}
+			w.Derivations = append(w.Derivations, dv)
+			if l == p.Layers-1 {
+				w.Targets = append(w.Targets, name(l, i))
+			}
+		}
+	}
+	return w
+}
+
+func defaultStr(v string) *schema.Actual {
+	a := schema.StringActual(v)
+	return &a
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"chimera/internal/schema"
+)
+
+// CMSParams sizes the high-energy-physics pipeline of §6: the
+// four-stage CMS event simulation chain (generation, detector
+// simulation, reconstruction, analysis) that Chimera-0 was first
+// validated on, with intermediate and final results passing between
+// stages as files and a final analysis combining all runs.
+type CMSParams struct {
+	// Runs is the number of independent event-generation runs.
+	Runs int
+	// EventsPerRun scales per-stage cost.
+	EventsPerRun int
+	// Merge adds a final histogram merge over all runs' ntuples.
+	Merge bool
+}
+
+// CMS builds the four-stage pipeline workload:
+//
+//	cmkin(run) -> kin.i -> cmsim -> fz.i -> oorec -> hits.i -> analyze -> ntuple.i
+//	[ + combine(ntuple.*) -> histograms ]
+func CMS(p CMSParams) Workload {
+	if p.Runs <= 0 {
+		p.Runs = 1
+	}
+	if p.EventsPerRun <= 0 {
+		p.EventsPerRun = 500
+	}
+	scale := float64(p.EventsPerRun) / 500.0
+
+	cmkin := simpleTR("cms", "cmkin", "/cms/bin/cmkin", []string{"out"}, nil, []string{"run", "nevents"})
+	cmsim := simpleTR("cms", "cmsim", "/cms/bin/cmsim", []string{"out"}, []string{"in"}, nil)
+	oorec := simpleTR("cms", "oorec", "/cms/bin/writeHits", []string{"out"}, []string{"in"}, nil)
+	analyze := simpleTR("cms", "analyze", "/cms/bin/analyze", []string{"out"}, []string{"in"}, nil)
+	combine := simpleTR("cms", "combine", "/cms/bin/combine", []string{"out"}, []string{"ins"}, nil)
+
+	w := Workload{
+		Name:            fmt.Sprintf("cms-%d-runs", p.Runs),
+		Transformations: []schema.Transformation{cmkin, cmsim, oorec, analyze, combine},
+		Work: map[string]float64{
+			cmkin.Ref():   60 * scale,
+			cmsim.Ref():   500 * scale, // detector simulation dominates
+			oorec.Ref():   150 * scale,
+			analyze.Ref(): 40 * scale,
+			combine.Ref(): 20 + float64(p.Runs),
+		},
+		OutBytes: map[string]int64{
+			cmkin.Ref():   int64(2e6 * scale),
+			cmsim.Ref():   int64(200e6 * scale),
+			oorec.Ref():   int64(100e6 * scale),
+			analyze.Ref(): int64(5e6 * scale),
+			combine.Ref(): 1e6,
+		},
+	}
+
+	var ntuples []schema.Actual
+	for i := 0; i < p.Runs; i++ {
+		kin := fmt.Sprintf("kin.run%d", i)
+		fz := fmt.Sprintf("fz.run%d", i)
+		hits := fmt.Sprintf("hits.run%d", i)
+		ntuple := fmt.Sprintf("ntuple.run%d", i)
+		w.Derivations = append(w.Derivations,
+			schema.Derivation{TR: cmkin.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(kin), "run": strArg(fmt.Sprint(i)), "nevents": strArg(fmt.Sprint(p.EventsPerRun)),
+			}},
+			schema.Derivation{TR: cmsim.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(fz), "in": inArg(kin),
+			}},
+			schema.Derivation{TR: oorec.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(hits), "in": inArg(fz),
+			}},
+			schema.Derivation{TR: analyze.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(ntuple), "in": inArg(hits),
+			}},
+		)
+		if p.Merge {
+			ntuples = append(ntuples, inArg(ntuple))
+		} else {
+			w.Targets = append(w.Targets, ntuple)
+		}
+	}
+	if p.Merge {
+		w.Derivations = append(w.Derivations, schema.Derivation{
+			TR: combine.Ref(), Params: map[string]schema.Actual{
+				"out": outArg("histograms"),
+				"ins": schema.ListActual(ntuples...),
+			}})
+		w.Targets = []string{"histograms"}
+	}
+	return w
+}

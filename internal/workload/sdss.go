@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chimera/internal/schema"
+)
+
+// SDSSParams sizes the Sloan Digital Sky Survey galaxy-cluster-finding
+// campaign of §6 and the SC'02 companion paper: the MaxBCG algorithm
+// applied over a sky of survey fields. Per field the pipeline runs
+// brgSearch (find bright red galaxies) and bcgSearch (find brightest
+// cluster galaxies, needing the brg catalogs of a window of neighboring
+// fields), then getClusters per field, with per-stripe merges producing
+// the final cluster catalogs.
+type SDSSParams struct {
+	// Fields is the number of survey fields processed.
+	Fields int
+	// Window is the neighbor half-width bcgSearch consumes.
+	Window int
+	// StripeSize groups fields into stripes merged together (also the
+	// per-workflow DAG granularity in the campaign).
+	StripeSize int
+	// Seed drives per-field cost variation.
+	Seed int64
+}
+
+// SDSS builds the cluster-finding campaign. With the defaults matching
+// the paper's report (≈1200 fields, stripes of ≈300) it creates about
+// 5000 derivations in workflow DAGs of several hundred nodes each.
+func SDSS(p SDSSParams) Workload {
+	if p.Fields <= 0 {
+		p.Fields = 1200
+	}
+	if p.Window <= 0 {
+		p.Window = 2
+	}
+	if p.StripeSize <= 0 {
+		p.StripeSize = 300
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+
+	brg := simpleTR("sdss", "brgSearch", "/sdss/bin/brgSearch", []string{"out"}, []string{"field"}, nil)
+	bcg := simpleTR("sdss", "bcgSearch", "/sdss/bin/bcgSearch", []string{"out"}, []string{"brgs"}, nil)
+	getCl := simpleTR("sdss", "getClusters", "/sdss/bin/getClusters", []string{"out"}, []string{"bcg"}, nil)
+	merge := simpleTR("sdss", "mergeClusters", "/sdss/bin/mergeClusters", []string{"out"}, []string{"clusters"}, nil)
+
+	w := Workload{
+		Name:            fmt.Sprintf("sdss-%d-fields", p.Fields),
+		Transformations: []schema.Transformation{brg, bcg, getCl, merge},
+		Work: map[string]float64{
+			brg.Ref():   100,
+			bcg.Ref():   180,
+			getCl.Ref(): 40,
+			merge.Ref(): 60,
+		},
+		OutBytes: map[string]int64{
+			brg.Ref():   8e6,
+			bcg.Ref():   4e6,
+			getCl.Ref(): 1e6,
+			merge.Ref(): 20e6,
+		},
+	}
+
+	field := func(i int) string { return fmt.Sprintf("field.%04d", i) }
+	brgOf := func(i int) string { return fmt.Sprintf("brg.%04d", i) }
+	bcgOf := func(i int) string { return fmt.Sprintf("bcg.%04d", i) }
+	clOf := func(i int) string { return fmt.Sprintf("clusters.%04d", i) }
+
+	for i := 0; i < p.Fields; i++ {
+		// Raw field imagery: ~50-150 MB, varying across the sky.
+		size := int64(50e6 + rng.Float64()*100e6)
+		w.Primary = append(w.Primary, schema.Dataset{Name: field(i), Size: size})
+
+		w.Derivations = append(w.Derivations, schema.Derivation{
+			TR: brg.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(brgOf(i)), "field": inArg(field(i)),
+			}})
+
+		var neighborBRGs []schema.Actual
+		for j := i - p.Window; j <= i+p.Window; j++ {
+			if j >= 0 && j < p.Fields {
+				neighborBRGs = append(neighborBRGs, inArg(brgOf(j)))
+			}
+		}
+		w.Derivations = append(w.Derivations, schema.Derivation{
+			TR: bcg.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(bcgOf(i)), "brgs": schema.ListActual(neighborBRGs...),
+			}})
+		w.Derivations = append(w.Derivations, schema.Derivation{
+			TR: getCl.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(clOf(i)), "bcg": inArg(bcgOf(i)),
+			}})
+	}
+
+	for s := 0; s*p.StripeSize < p.Fields; s++ {
+		lo := s * p.StripeSize
+		hi := lo + p.StripeSize
+		if hi > p.Fields {
+			hi = p.Fields
+		}
+		var clusters []schema.Actual
+		for i := lo; i < hi; i++ {
+			clusters = append(clusters, inArg(clOf(i)))
+		}
+		target := fmt.Sprintf("catalog.stripe%02d", s)
+		w.Derivations = append(w.Derivations, schema.Derivation{
+			TR: merge.Ref(), Params: map[string]schema.Actual{
+				"out": outArg(target), "clusters": schema.ListActual(clusters...),
+			}})
+		w.Targets = append(w.Targets, target)
+	}
+	return w
+}

@@ -1,0 +1,137 @@
+// Package workload generates the study workloads of the paper's
+// evaluation (§6) as virtual data schema objects: the CMS high-energy-
+// physics multi-stage event simulation pipeline, the SDSS MaxBCG
+// galaxy-cluster search campaign, and the synthetic "canonical
+// applications" used to validate provenance tracking at scale. It also
+// provides the Zipf-popularity access traces driving the replication-
+// strategy experiments.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chimera/internal/catalog"
+	"chimera/internal/estimator"
+	"chimera/internal/schema"
+)
+
+// Workload is a self-contained bundle of schema objects plus the ground
+// truth needed to execute it in simulation.
+type Workload struct {
+	// Name labels the workload.
+	Name string
+	// Transformations used by the derivations.
+	Transformations []schema.Transformation
+	// Derivations in a valid registration order.
+	Derivations []schema.Derivation
+	// Primary datasets (no producer) with sizes; these must be given
+	// replicas before execution.
+	Primary []schema.Dataset
+	// Targets are the final datasets the campaign requests.
+	Targets []string
+	// Work maps transformation refs to true runtimes in reference-CPU
+	// seconds (the simulator's ground truth).
+	Work map[string]float64
+	// OutBytes maps transformation refs to the size of each dataset
+	// they produce.
+	OutBytes map[string]int64
+}
+
+// Install registers the workload's objects in a catalog. Duplicate
+// derivations are tolerated.
+func (w Workload) Install(c *catalog.Catalog) error {
+	for _, tr := range w.Transformations {
+		if err := c.AddTransformation(tr); err != nil {
+			return err
+		}
+	}
+	for _, ds := range w.Primary {
+		if err := c.AddDataset(ds); err != nil {
+			return err
+		}
+	}
+	for _, dv := range w.Derivations {
+		if _, err := c.AddDerivation(dv); err != nil && !errors.Is(err, catalog.ErrDuplicate) {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlacePrimary registers one replica of every primary dataset,
+// round-robin across the given sites.
+func (w Workload) PlacePrimary(c *catalog.Catalog, sites []string) error {
+	if len(sites) == 0 {
+		return fmt.Errorf("workload: no sites")
+	}
+	for i, ds := range w.Primary {
+		site := sites[i%len(sites)]
+		rep := schema.Replica{
+			ID:      fmt.Sprintf("primary-%s-%s", ds.Name, site),
+			Dataset: ds.Name,
+			Site:    site,
+			PFN:     fmt.Sprintf("/archive/%s/%s", site, ds.Name),
+			Size:    ds.Size,
+		}
+		if err := c.AddReplica(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedEstimator teaches an estimator the workload's true costs, as if
+// history had been accumulated.
+func (w Workload) SeedEstimator(est *estimator.Estimator, samples int) {
+	if samples <= 0 {
+		samples = 3
+	}
+	for tr, work := range w.Work {
+		out := w.OutBytes[tr]
+		for i := 0; i < samples; i++ {
+			est.Observe(tr, work, 0, out, true)
+		}
+	}
+}
+
+// NodeWork returns the true work of a derivation by transformation ref,
+// for driving the simulator directly.
+func (w Workload) NodeWork(trRef string) float64 {
+	if v, ok := w.Work[trRef]; ok {
+		return v
+	}
+	return 60
+}
+
+// out/in helpers.
+func outArg(name string) schema.Actual  { return schema.DatasetActual("output", name) }
+func inArg(name string) schema.Actual   { return schema.DatasetActual("input", name) }
+func strArg(value string) schema.Actual { return schema.StringActual(value) }
+
+func simpleTR(ns, name, exec string, outs, ins, strs []string) schema.Transformation {
+	tr := schema.Transformation{Namespace: ns, Name: name, Kind: schema.Simple, Exec: exec}
+	for _, o := range outs {
+		tr.Args = append(tr.Args, schema.FormalArg{Name: o, Direction: schema.Out})
+	}
+	for _, i := range ins {
+		tr.Args = append(tr.Args, schema.FormalArg{Name: i, Direction: schema.In})
+	}
+	for _, s := range strs {
+		tr.Args = append(tr.Args, schema.FormalArg{Name: s, Direction: schema.None})
+	}
+	return tr
+}
+
+// Zipf returns a deterministic Zipf-distributed access trace over n
+// items: length draws with skew s > 1.
+func Zipf(seed int64, n int, s float64, length int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	out := make([]int, length)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/estimator"
+)
+
+func TestCMSShape(t *testing.T) {
+	w := CMS(CMSParams{Runs: 5, EventsPerRun: 500, Merge: true})
+	if len(w.Derivations) != 5*4+1 {
+		t.Errorf("derivations: %d", len(w.Derivations))
+	}
+	if len(w.Targets) != 1 || w.Targets[0] != "histograms" {
+		t.Errorf("targets: %v", w.Targets)
+	}
+	c := catalog.New(nil)
+	if err := w.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	// The full chain is recorded: ancestors of histograms span all runs.
+	anc, err := c.Ancestors("histograms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc.Derivations) != 21 {
+		t.Errorf("ancestor derivations: %d", len(anc.Derivations))
+	}
+	// 4 stages deep + merge.
+	g, err := dag.Build(w.Derivations, c.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Depth != 5 || st.Width != 5 {
+		t.Errorf("dag stats: %+v", st)
+	}
+	// cmkin roots have no inputs (pure generators).
+	if len(g.ExternalInputs) != 0 {
+		t.Errorf("external inputs: %v", g.ExternalInputs)
+	}
+	// Defaults.
+	if w2 := CMS(CMSParams{}); len(w2.Derivations) != 4 || len(w2.Targets) != 1 {
+		t.Errorf("default CMS: %d derivations", len(w2.Derivations))
+	}
+}
+
+func TestSDSSShape(t *testing.T) {
+	p := SDSSParams{Fields: 100, Window: 2, StripeSize: 50, Seed: 1}
+	w := SDSS(p)
+	// 3 per field + 2 merges.
+	if len(w.Derivations) != 302 {
+		t.Errorf("derivations: %d", len(w.Derivations))
+	}
+	if len(w.Primary) != 100 || len(w.Targets) != 2 {
+		t.Errorf("primary=%d targets=%v", len(w.Primary), w.Targets)
+	}
+	c := catalog.New(nil)
+	if err := w.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(w.Derivations, c.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Nodes != 302 || st.Depth != 4 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Neighbor window creates cross-links: bcg.0005 depends on brg.0003..0007.
+	anc, err := c.Ancestors("bcg.0005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brgs := 0
+	for _, d := range anc.Datasets {
+		if len(d) > 3 && d[:3] == "brg" {
+			brgs++
+		}
+	}
+	if brgs != 5 {
+		t.Errorf("neighbor brg ancestors: %d", brgs)
+	}
+	// Paper-scale default: ~5000 derivations.
+	big := SDSS(SDSSParams{})
+	if n := len(big.Derivations); n < 3600 || n > 5500 {
+		t.Errorf("paper-scale derivations: %d", n)
+	}
+}
+
+func TestCanonicalShape(t *testing.T) {
+	w := Canonical(CanonicalParams{Layers: 6, Width: 10, MaxFanIn: 3, Seed: 9, Styles: 4})
+	if len(w.Derivations) != 50 {
+		t.Errorf("derivations: %d", len(w.Derivations))
+	}
+	c := catalog.New(nil)
+	if err := w.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(w.Derivations, c.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Depth != 5 || st.Width != 10 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Deterministic for a fixed seed.
+	w2 := Canonical(CanonicalParams{Layers: 6, Width: 10, MaxFanIn: 3, Seed: 9, Styles: 4})
+	if len(w2.Derivations) != len(w.Derivations) {
+		t.Error("nondeterministic generation")
+	}
+	for i := range w.Derivations {
+		if w.Derivations[i].Signature() != w2.Derivations[i].Signature() {
+			t.Fatalf("derivation %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestInstallIdempotent(t *testing.T) {
+	w := CMS(CMSParams{Runs: 2})
+	c := catalog.New(nil)
+	if err := w.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(c); err != nil {
+		t.Fatalf("re-install: %v", err)
+	}
+}
+
+func TestPlacePrimaryAndSeedEstimator(t *testing.T) {
+	w := SDSS(SDSSParams{Fields: 10, Window: 1, StripeSize: 5, Seed: 2})
+	c := catalog.New(nil)
+	if err := w.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PlacePrimary(c, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range w.Primary {
+		if !c.Materialized(ds.Name) {
+			t.Errorf("%s not placed", ds.Name)
+		}
+	}
+	if err := w.PlacePrimary(c, nil); err == nil {
+		t.Error("no-sites accepted")
+	}
+
+	est := estimator.New(1)
+	w.SeedEstimator(est, 5)
+	work, confident := est.Work("sdss::brgSearch")
+	if !confident || work != 100 {
+		t.Errorf("seeded work: %g %v", work, confident)
+	}
+	if w.NodeWork("sdss::brgSearch") != 100 || w.NodeWork("unknown") != 60 {
+		t.Error("NodeWork")
+	}
+}
+
+func TestZipfTrace(t *testing.T) {
+	tr := Zipf(1, 100, 1.5, 10000)
+	if len(tr) != 10000 {
+		t.Fatal("length")
+	}
+	counts := make(map[int]int)
+	for _, v := range tr {
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Skewed: the most popular item dominates.
+	if counts[0] < counts[50]*2 {
+		t.Errorf("not skewed: c0=%d c50=%d", counts[0], counts[50])
+	}
+	// Deterministic.
+	tr2 := Zipf(1, 100, 1.5, 10000)
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatal("nondeterministic trace")
+		}
+	}
+}
