@@ -30,17 +30,26 @@ import (
 	"chimera/internal/dtype"
 	"chimera/internal/estimator"
 	"chimera/internal/executor"
+	"chimera/internal/obs"
 	"chimera/internal/query"
 	"chimera/internal/schema"
 	"chimera/internal/vdl"
 	"chimera/internal/vds"
 )
 
+// tracer is non-nil when -trace is set; run() hands it to the executor
+// and main writes the Chrome trace file on exit.
+var tracer *obs.Tracer
+
 func main() {
 	catDir := flag.String("catalog", "", "durable catalog directory (created if missing)")
 	server := flag.String("server", "", "remote catalog service URL (alternative to -catalog)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of executed work to this file (run command)")
 	flag.Usage = usage
 	flag.Parse()
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -97,6 +106,12 @@ func main() {
 	default:
 		fail("unknown command %q", cmd)
 	}
+	if tracer != nil {
+		if werr := tracer.WriteChromeTraceFile(*tracePath); werr != nil {
+			fail("write trace: %v", werr)
+		}
+		fmt.Printf("wrote trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
 	if err != nil {
 		fail("%v", err)
 	}
@@ -111,7 +126,7 @@ func usage() {
   chimera -catalog DIR invalidate DATASET
   chimera -catalog DIR plan TARGET
   chimera -catalog DIR estimate [-hosts N] TARGET
-  chimera -catalog DIR run [-workspace DIR] [-retries N] TARGET...
+  chimera [-trace out.json] -catalog DIR run [-workspace DIR] [-retries N] TARGET...
   chimera -catalog DIR annotate DATASET KEY=VALUE
   chimera -catalog DIR stats
   chimera xml FILE.vdl
@@ -371,6 +386,7 @@ func run(cat *catalog.Catalog, args []string) error {
 	ex := &executor.Executor{
 		Driver:     drv,
 		Catalog:    cat,
+		Trace:      tracer,
 		MaxRetries: *retries,
 		Epoch:      time.Now().UTC(),
 		Assign: func(*dag.Node) (executor.Placement, error) {

@@ -4,19 +4,31 @@
 // crawl it, and the chimera CLI (or any HTTP client) composes and
 // queries it remotely.
 //
+// Operational endpoints: GET /metrics exposes the process metrics in
+// Prometheus text format; GET /healthz reports liveness plus catalog
+// stats. SIGINT/SIGTERM trigger a graceful drain: in-flight requests
+// finish, the catalog is snapshotted, and the WAL is flushed closed.
+//
 // Usage:
 //
 //	vdcd -addr :8844 -dir /var/lib/vdc -name physics.example.edu [-readonly]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
+	"chimera/internal/obs"
 	"chimera/internal/vds"
 )
 
@@ -27,28 +39,79 @@ func main() {
 	readonly := flag.Bool("readonly", false, "reject mutations")
 	syncWAL := flag.Bool("sync", false, "fsync the write-ahead log on every mutation")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
 
 	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{Sync: *syncWAL})
 	if err != nil {
 		log.Fatalf("vdcd: %v", err)
 	}
-	defer cat.Close()
 
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
 	if *snapshotEvery > 0 {
+		ticker := time.NewTicker(*snapshotEvery)
 		go func() {
-			for range time.Tick(*snapshotEvery) {
-				if err := cat.Snapshot(); err != nil {
-					log.Printf("vdcd: snapshot: %v", err)
+			defer close(snapDone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := cat.Snapshot(); err != nil {
+						log.Printf("vdcd: snapshot: %v", err)
+					}
+				case <-stop:
+					return
 				}
 			}
 		}()
+	} else {
+		close(snapDone)
 	}
 
 	srv := vds.NewServer(*name, cat)
 	srv.ReadOnly = *readonly
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
 	st := cat.Stats()
-	log.Printf("vdcd: serving catalog %q (%d datasets, %d derivations) on %s",
+	log.Printf("vdcd: serving catalog %q (%d datasets, %d derivations) on %s (metrics at /metrics)",
 		*name, st.Datasets, st.Derivations, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal; still close the catalog.
+		cat.Close()
+		log.Fatalf("vdcd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("vdcd: shutting down")
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("vdcd: drain: %v", err)
+	}
+	close(stop)
+	<-snapDone
+
+	// Compact and flush durable state, then log the final counters so
+	// the last scrape isn't the only record of the run.
+	if err := cat.Snapshot(); err != nil {
+		log.Printf("vdcd: final snapshot: %v", err)
+	}
+	if err := cat.Close(); err != nil && !errors.Is(err, os.ErrClosed) {
+		log.Printf("vdcd: wal close: %v", err)
+	}
+	var metrics strings.Builder
+	if err := obs.Default.WritePrometheus(&metrics); err == nil {
+		log.Printf("vdcd: final metrics:\n%s", metrics.String())
+	}
+	st = cat.Stats()
+	log.Printf("vdcd: shutdown complete (%d datasets, %d derivations, %d invocations)",
+		st.Datasets, st.Derivations, st.Invocations)
 }

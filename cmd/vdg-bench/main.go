@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	vdg-bench [-run E3] [-scale small|paper] [-markdown]
+//	vdg-bench [-run E3] [-scale small|paper] [-markdown] [-trace out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"chimera/internal/bench"
+	"chimera/internal/obs"
 )
 
 type experiment struct {
@@ -71,7 +73,14 @@ func main() {
 	run := flag.String("run", "all", "experiment to run (E1..E10 or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	ctx := obs.WithTracer(context.Background(), tracer)
 
 	any := false
 	for _, ex := range experiments() {
@@ -84,7 +93,10 @@ func main() {
 			f = ex.small
 		}
 		start := time.Now()
+		_, span := obs.StartSpan(ctx, ex.id)
+		span.SetAttr("scale", *scale)
 		tab, err := f()
+		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.id, err)
 			os.Exit(1)
@@ -99,5 +111,12 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace to %s\n", *tracePath)
 	}
 }

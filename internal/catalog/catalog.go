@@ -94,7 +94,9 @@ func (c *Catalog) Types() *dtype.Registry { return c.types }
 
 // DefineType registers a dataset type in the catalog's registry and
 // logs it for durability.
-func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) error {
+func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) (err error) {
+	opDefineType.Inc()
+	defer func() { err = countErr("define_type", err) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.types.Register(d, name, parent); err != nil {
@@ -107,7 +109,9 @@ func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) error {
 
 // AddDataset registers a dataset. Re-adding a byte-identical dataset is
 // a no-op; redefining an existing name differently is ErrExists.
-func (c *Catalog) AddDataset(ds schema.Dataset) error {
+func (c *Catalog) AddDataset(ds schema.Dataset) (err error) {
+	opAddDataset.Inc()
+	defer func() { err = countErr("add_dataset", err) }()
 	if err := ds.Validate(); err != nil {
 		return err
 	}
@@ -133,7 +137,9 @@ func (c *Catalog) AddDataset(ds schema.Dataset) error {
 
 // UpdateDataset replaces an existing dataset record (e.g. to attach a
 // descriptor once the data is materialized, or bump the epoch).
-func (c *Catalog) UpdateDataset(ds schema.Dataset) error {
+func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
+	opUpdate.Inc()
+	defer func() { err = countErr("update_dataset", err) }()
 	if err := ds.Validate(); err != nil {
 		return err
 	}
@@ -156,7 +162,9 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) error {
 // are re-stamped to the new epoch — the caller asserts the physical
 // copies were corrected in place; when false they become stale and the
 // dataset must be re-materialized.
-func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (int, error) {
+func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error) {
+	opBumpEpoch.Inc()
+	defer func() { err = countErr("bump_epoch", err) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, ok := c.datasets[name]
@@ -208,7 +216,9 @@ func (c *Catalog) Datasets() []schema.Dataset {
 
 // AddTransformation registers a transformation under its canonical
 // reference. Identical re-registration is a no-op.
-func (c *Catalog) AddTransformation(tr schema.Transformation) error {
+func (c *Catalog) AddTransformation(tr schema.Transformation) (err error) {
+	opAddTR.Inc()
+	defer func() { err = countErr("add_transformation", err) }()
 	if err := tr.Validate(); err != nil {
 		return err
 	}
@@ -303,7 +313,9 @@ func (c *Catalog) Resolver() schema.Resolver {
 // --- Compatibility assertions ------------------------------------------
 
 // AssertCompatibility records a version-compatibility assertion.
-func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) error {
+func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) (err error) {
+	opAssertCompat.Inc()
+	defer func() { err = countErr("assert_compat", err) }()
 	if err := a.Validate(); err != nil {
 		return err
 	}
@@ -382,7 +394,17 @@ func (c *Catalog) Compatible(namespace, name, v1, v2 string) bool {
 //     derivation.
 //   - Type checking: every bound dataset with a declared type must
 //     conform to the formal's type union.
-func (c *Catalog) AddDerivation(dv schema.Derivation) (schema.Derivation, error) {
+func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err error) {
+	opAddDV.Inc()
+	defer func() {
+		// Duplicate detection is success-and-reuse, not failure: count
+		// it separately so the paper's dedup rate is observable.
+		if errors.Is(err, ErrDuplicate) {
+			dedupHits.Inc()
+			return
+		}
+		err = countErr("add_derivation", err)
+	}()
 	dv = dv.Canonicalize()
 	if err := dv.Validate(); err != nil {
 		return schema.Derivation{}, err
@@ -546,7 +568,9 @@ func (c *Catalog) Derivations() []schema.Derivation {
 
 // AddInvocation records an execution of a registered derivation,
 // registering any produced replicas it cites.
-func (c *Catalog) AddInvocation(iv schema.Invocation) error {
+func (c *Catalog) AddInvocation(iv schema.Invocation) (err error) {
+	opAddIV.Inc()
+	defer func() { err = countErr("add_invocation", err) }()
 	if err := iv.Validate(); err != nil {
 		return err
 	}
@@ -602,7 +626,9 @@ func (c *Catalog) Invocations() []schema.Invocation {
 // --- Replicas ----------------------------------------------------------
 
 // AddReplica registers a physical replica of a known dataset.
-func (c *Catalog) AddReplica(r schema.Replica) error {
+func (c *Catalog) AddReplica(r schema.Replica) (err error) {
+	opAddReplica.Inc()
+	defer func() { err = countErr("add_replica", err) }()
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -621,7 +647,9 @@ func (c *Catalog) AddReplica(r schema.Replica) error {
 
 // RemoveReplica deletes a replica record (e.g. when a planner reclaims
 // storage).
-func (c *Catalog) RemoveReplica(id string) error {
+func (c *Catalog) RemoveReplica(id string) (err error) {
+	opRmReplica.Inc()
+	defer func() { err = countErr("remove_replica", err) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r, ok := c.replicas[id]

@@ -1,0 +1,46 @@
+package catalog
+
+import "chimera/internal/obs"
+
+// Catalog metrics. Series are resolved once at init so the mutation
+// paths pay a single atomic add; WAL and snapshot latencies go to
+// fixed-bucket histograms (seconds).
+var (
+	metricOps = obs.Default.CounterVec("vdc_catalog_ops_total",
+		"Catalog mutations by operation.", "op")
+	metricOpErrors = obs.Default.CounterVec("vdc_catalog_op_errors_total",
+		"Catalog mutations that returned an error, by operation.", "op")
+
+	metricWALAppend = obs.Default.Histogram("vdc_wal_append_seconds",
+		"Latency of one WAL record append (encode + write + flush).", obs.TimeBuckets)
+	metricWALFsync = obs.Default.Histogram("vdc_wal_fsync_seconds",
+		"Latency of the per-record fsync (only with Options.Sync).", obs.TimeBuckets)
+	metricSnapshot = obs.Default.Histogram("vdc_catalog_snapshot_seconds",
+		"Latency of snapshot compaction (export + write + WAL truncate).", obs.TimeBuckets)
+
+	opDefineType   = metricOps.With("define_type")
+	opAddDataset   = metricOps.With("add_dataset")
+	opUpdate       = metricOps.With("update_dataset")
+	opBumpEpoch    = metricOps.With("bump_epoch")
+	opAddTR        = metricOps.With("add_transformation")
+	opAddDV        = metricOps.With("add_derivation")
+	opAddIV        = metricOps.With("add_invocation")
+	opAddReplica   = metricOps.With("add_replica")
+	opRmReplica    = metricOps.With("remove_replica")
+	opAssertCompat = metricOps.With("assert_compat")
+	opSnapshot     = metricOps.With("snapshot")
+
+	// dedupHits counts derivation registrations answered by an existing
+	// canonical signature — the paper's "computation already performed".
+	dedupHits = obs.Default.Counter("vdc_catalog_derivation_dedup_total",
+		"Derivation registrations that matched an existing canonical signature.")
+)
+
+// countErr bumps the per-op error counter on failure and passes the
+// error through, so call sites stay one-liners.
+func countErr(op string, err error) error {
+	if err != nil {
+		metricOpErrors.With(op).Inc()
+	}
+	return err
+}

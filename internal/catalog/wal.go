@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"chimera/internal/dtype"
 	"chimera/internal/schema"
@@ -131,6 +132,7 @@ func (c *Catalog) logOp(op opKind, v any) error {
 	if c.wal == nil {
 		return nil
 	}
+	start := time.Now()
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("catalog: wal encode: %w", err)
@@ -145,10 +147,13 @@ func (c *Catalog) logOp(op opKind, v any) error {
 	if err := c.wal.bw.Flush(); err != nil {
 		return fmt.Errorf("catalog: wal flush: %w", err)
 	}
+	metricWALAppend.ObserveSince(start)
 	if c.wal.sync {
+		fsyncStart := time.Now()
 		if err := c.wal.f.Sync(); err != nil {
 			return fmt.Errorf("catalog: wal sync: %w", err)
 		}
+		metricWALFsync.ObserveSince(fsyncStart)
 	}
 	return nil
 }
@@ -489,6 +494,8 @@ func (c *Catalog) Snapshot() error {
 	if c.wal == nil {
 		return nil
 	}
+	opSnapshot.Inc()
+	defer metricSnapshot.ObserveSince(time.Now())
 	exp := c.exportLocked()
 	data, err := json.Marshal(exp)
 	if err != nil {

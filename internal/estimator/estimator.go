@@ -16,7 +16,22 @@ import (
 
 	"chimera/internal/catalog"
 	"chimera/internal/dag"
+	"chimera/internal/obs"
 	"chimera/internal/schema"
+)
+
+// Estimator metrics: sample volume and prediction error. The error
+// histogram records |observed - predicted| seconds for samples where a
+// history-backed prediction existed, so operators can watch the cost
+// model converge.
+var (
+	metricObservations = obs.Default.CounterVec("vdc_estimator_observations_total",
+		"Execution samples folded into the cost model, by outcome.", "outcome")
+	obsSuccess = metricObservations.With("success")
+	obsFailure = metricObservations.With("failure")
+
+	metricEstimateError = obs.Default.Histogram("vdc_estimator_error_seconds",
+		"Absolute error of the runtime prediction vs the observed sample.", nil)
 )
 
 // trStats accumulates Welford-style running statistics for one
@@ -63,7 +78,12 @@ func (e *Estimator) Observe(tr string, seconds float64, bytesIn, bytesOut int64,
 	s.samples++
 	if !succeeded {
 		s.failures++
+		obsFailure.Inc()
 		return
+	}
+	obsSuccess.Inc()
+	if s.n > 0 {
+		metricEstimateError.Observe(math.Abs(seconds - s.meanDur))
 	}
 	s.n++
 	d := seconds - s.meanDur

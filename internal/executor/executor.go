@@ -18,7 +18,24 @@ import (
 
 	"chimera/internal/catalog"
 	"chimera/internal/dag"
+	"chimera/internal/obs"
 	"chimera/internal/schema"
+)
+
+// Executor metrics: lifecycle event counters and an in-flight gauge.
+// Series are resolved at init; the dispatch/complete paths (which run
+// under e.mu on the scheduling hot path) pay only atomic adds.
+var (
+	metricEvents = obs.Default.CounterVec("vdc_executor_events_total",
+		"Executor lifecycle events by kind.", "kind")
+	evDispatch   = metricEvents.With("dispatch")
+	evRedispatch = metricEvents.With("redispatch")
+	evDone       = metricEvents.With("done")
+	evRetry      = metricEvents.With("retry")
+	evFail       = metricEvents.With("fail")
+
+	gaugeInflight = obs.Default.Gauge("vdc_executor_inflight",
+		"Nodes dispatched but not yet terminally done or failed.")
 )
 
 // StageIn describes one input transfer a placement requires.
@@ -74,10 +91,15 @@ type Driver interface {
 
 // Event describes executor progress for observers.
 type Event struct {
-	// Kind is "dispatch", "done", "retry", "fail".
-	Kind   string
-	Node   string
-	Result Result
+	// Kind is "dispatch" (first attempt), "redispatch" (a retry
+	// attempt entering the driver), "done", "retry" (decision to retry
+	// after a failure), or "fail".
+	Kind string
+	Node string
+	// Attempt is the zero-based attempt number the event refers to;
+	// for "retry" it is the attempt that just failed.
+	Attempt int
+	Result  Result
 }
 
 // Executor drives a workflow graph to completion.
@@ -97,7 +119,11 @@ type Executor struct {
 	Epoch time.Time
 	// OnEvent observes progress (optional).
 	OnEvent func(Event)
+	// Trace, when set, records one span per attempt (plus a workflow
+	// root span) on the driver's timeline for Chrome-trace export.
+	Trace *obs.Tracer
 
+	traceRoot  int64
 	mu         sync.Mutex
 	done       map[string]bool
 	attempts   map[string]int
@@ -132,6 +158,9 @@ func (r Report) Succeeded() bool { return r.Failed == 0 && r.Blocked == 0 }
 func (e *Executor) Run(g *dag.Graph) (Report, error) {
 	if e.Driver == nil || e.Assign == nil {
 		return Report{}, errors.New("executor: Driver and Assign are required")
+	}
+	if e.Trace != nil {
+		e.traceRoot = e.Trace.NextID()
 	}
 	e.mu.Lock()
 	e.graph = g
@@ -170,7 +199,22 @@ func (e *Executor) Run(g *dag.Graph) (Report, error) {
 			rep.Retries++
 		}
 	}
+	if e.Trace != nil {
+		e.Trace.Record(obs.SpanRecord{
+			ID: e.traceRoot, Name: "workflow",
+			Start: 0, End: driverDur(rep.Makespan),
+			Attrs: map[string]string{
+				"nodes":   fmt.Sprint(g.Len()),
+				"retries": fmt.Sprint(rep.Retries),
+			},
+		})
+	}
 	return rep, nil
+}
+
+// driverDur converts driver seconds to a span offset.
+func driverDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
 }
 
 // dispatchReadyLocked starts every ready, not-yet-dispatched node.
@@ -195,7 +239,14 @@ func (e *Executor) startLocked(n *dag.Node, attempt int) {
 		return
 	}
 	e.dispatched[n.ID] = true
-	e.emit(Event{Kind: "dispatch", Node: n.ID})
+	if attempt == 0 {
+		evDispatch.Inc()
+		gaugeInflight.Inc()
+		e.emit(Event{Kind: "dispatch", Node: n.ID, Attempt: attempt})
+	} else {
+		evRedispatch.Inc()
+		e.emit(Event{Kind: "redispatch", Node: n.ID, Attempt: attempt})
+	}
 	err = e.Driver.Start(n, p, attempt, func(res Result) {
 		e.complete(n, p, res)
 	})
@@ -210,19 +261,45 @@ func (e *Executor) complete(n *dag.Node, p Placement, res Result) {
 	defer e.mu.Unlock()
 	e.results = append(e.results, res)
 	e.record(n, p, res)
+	e.traceAttempt(n, res)
 	if res.ExitCode == 0 {
 		e.done[n.ID] = true
-		e.emit(Event{Kind: "done", Node: n.ID, Result: res})
+		evDone.Inc()
+		gaugeInflight.Dec()
+		e.emit(Event{Kind: "done", Node: n.ID, Attempt: res.Attempt, Result: res})
 		e.dispatchReadyLocked()
 		return
 	}
 	if res.Attempt < e.MaxRetries {
-		e.emit(Event{Kind: "retry", Node: n.ID, Result: res})
+		evRetry.Inc()
+		e.emit(Event{Kind: "retry", Node: n.ID, Attempt: res.Attempt, Result: res})
 		e.startLocked(n, res.Attempt+1)
 		return
 	}
 	e.failed[n.ID] = true
-	e.emit(Event{Kind: "fail", Node: n.ID, Result: res})
+	evFail.Inc()
+	gaugeInflight.Dec()
+	e.emit(Event{Kind: "fail", Node: n.ID, Attempt: res.Attempt, Result: res})
+}
+
+// traceAttempt records one attempt span on the driver timeline,
+// parented under the workflow root. Callers hold e.mu.
+func (e *Executor) traceAttempt(n *dag.Node, res Result) {
+	if e.Trace == nil {
+		return
+	}
+	attrs := map[string]string{
+		"site":    res.Site,
+		"host":    res.Host,
+		"attempt": fmt.Sprint(res.Attempt),
+		"exit":    fmt.Sprint(res.ExitCode),
+		"tr":      n.Derivation.TR,
+	}
+	e.Trace.Record(obs.SpanRecord{
+		ID: e.Trace.NextID(), Parent: e.traceRoot, Name: n.ID,
+		Start: driverDur(res.Start), End: driverDur(res.End),
+		Attrs: attrs,
+	})
 }
 
 // record persists the attempt as an invocation (and, on success, the

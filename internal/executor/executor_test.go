@@ -11,6 +11,7 @@ import (
 	"chimera/internal/catalog"
 	"chimera/internal/dag"
 	"chimera/internal/grid"
+	"chimera/internal/obs"
 	"chimera/internal/schema"
 )
 
@@ -211,6 +212,65 @@ func TestRetriesAndPermanentFailure(t *testing.T) {
 	}
 	if !rep2.Succeeded() {
 		t.Errorf("retrying run did not succeed: %+v", rep2)
+	}
+}
+
+// TestRetryEventsAndTrace pins the event stream's attempt visibility
+// (satellite: retry dispatches must be distinguishable from first
+// runs) and the per-attempt span recording.
+func TestRetryEventsAndTrace(t *testing.T) {
+	_, drv := simSetup(t, 2)
+	drv.FailProb = 1.0
+	trace := obs.NewTracer()
+	var mu sync.Mutex
+	byKind := map[string]int{}
+	maxAttempt := 0
+	ex := &Executor{Driver: drv, Assign: fixedAssign(1), MaxRetries: 2, Trace: trace,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			byKind[ev.Kind]++
+			if ev.Kind == "redispatch" && ev.Attempt > maxAttempt {
+				maxAttempt = ev.Attempt
+			}
+			if ev.Kind == "dispatch" && ev.Attempt != 0 {
+				t.Errorf("first dispatch carries attempt %d", ev.Attempt)
+			}
+			mu.Unlock()
+		}}
+	if _, err := ex.Run(diamondGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	// 2 roots: dispatch once each, redispatch twice each, fail each.
+	if byKind["dispatch"] != 2 || byKind["redispatch"] != 4 || byKind["retry"] != 4 || byKind["fail"] != 2 {
+		t.Errorf("event counts: %v", byKind)
+	}
+	if maxAttempt != 2 {
+		t.Errorf("max redispatch attempt = %d, want 2", maxAttempt)
+	}
+
+	spans := trace.Spans()
+	if len(spans) != 7 { // 6 attempts + workflow root
+		t.Fatalf("spans: %d, want 7", len(spans))
+	}
+	var root obs.SpanRecord
+	for _, s := range spans {
+		if s.Name == "workflow" {
+			root = s
+		}
+	}
+	if root.ID == 0 {
+		t.Fatal("no workflow root span")
+	}
+	for _, s := range spans {
+		if s.Name == "workflow" {
+			continue
+		}
+		if s.Parent != root.ID {
+			t.Errorf("span %s not under root: parent=%d", s.Name, s.Parent)
+		}
+		if s.Attrs["attempt"] == "" || s.Attrs["exit"] != "1" {
+			t.Errorf("span %s attrs: %v", s.Name, s.Attrs)
+		}
 	}
 }
 

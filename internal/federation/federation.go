@@ -10,12 +10,28 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
+	"chimera/internal/obs"
 	"chimera/internal/query"
 
 	"chimera/internal/vds"
+)
+
+// Federation metrics: crawl activity and admission outcomes.
+var (
+	metricCrawls = obs.Default.Counter("vdc_federation_crawls_total",
+		"Completed crawl passes across all indexes.")
+	metricCrawlSeconds = obs.Default.Histogram("vdc_federation_crawl_seconds",
+		"Wall-clock latency of one full crawl pass.", nil)
+	metricMembers = obs.Default.CounterVec("vdc_federation_member_crawls_total",
+		"Per-member crawl outcomes.", "outcome")
+	memberOK       = metricMembers.With("ok")
+	memberError    = metricMembers.With("error")
+	metricAdmitted = obs.Default.Counter("vdc_federation_admitted_datasets_total",
+		"Datasets admitted into federated indexes across crawls.")
 )
 
 // Entry is one indexed object with its home authority.
@@ -108,6 +124,7 @@ func (ix *Index) MemberError(authority string) error {
 // members are skipped (recorded in MemberError) so one dead catalog
 // does not take the federation down.
 func (ix *Index) Crawl() error {
+	defer metricCrawlSeconds.ObserveSince(time.Now())
 	ix.mu.Lock()
 	members := make(map[string]*vds.Client, len(ix.members))
 	for a, c := range ix.members {
@@ -130,13 +147,17 @@ func (ix *Index) Crawl() error {
 		exp, err := members[a].Export()
 		if err != nil {
 			stale[a] = err
+			memberError.Inc()
 			continue
 		}
 		admitted, err := admit(exp, filter)
 		if err != nil {
 			stale[a] = err
+			memberError.Inc()
 			continue
 		}
+		memberOK.Inc()
+		metricAdmitted.Add(uint64(len(admitted.Datasets)))
 		// Overlapping definitions across members (e.g. one catalog
 		// re-exporting a transformation it imported from another) skip
 		// only the overlapping objects, keeping first-crawled copies.
@@ -169,6 +190,7 @@ func (ix *Index) Crawl() error {
 	ix.stale = stale
 	ix.crawls++
 	ix.mu.Unlock()
+	metricCrawls.Inc()
 	return nil
 }
 

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryRace hammers one counter family, one gauge and one
+// histogram from many goroutines; run under -race this is the
+// concurrency-safety test, and the totals check catches lost updates.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("race_ops_total", "ops", "op")
+	g := r.Gauge("race_gauge", "g")
+	h := r.Histogram("race_seconds", "h", []float64{0.5})
+
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := []string{"a", "b"}
+			for i := 0; i < per; i++ {
+				vec.With(ops[(w+i)%2]).Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) + 0.25) // alternates buckets
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := vec.With("a").Value() + vec.With("b").Value(); got != workers*per {
+		t.Fatalf("counter lost updates: got %d want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge lost updates: got %v want %v", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram lost samples: got %d want %d", got, workers*per)
+	}
+}
+
+// TestHistogramBuckets pins bucket boundary semantics: le is
+// inclusive, out-of-range samples land in +Inf, and exposition
+// cumulates.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	for _, v := range []float64{0.005, 0.01, 0.02, 0.1, 0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	// Direct (non-cumulative) bucket counts.
+	want := []uint64{2, 2, 2, 2} // (..0.01], (0.01..0.1], (0.1..1], (1..+Inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: got %d want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count: got %d want 8", h.Count())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 4`,
+		`lat_seconds_bucket{le="1"} 6`,
+		`lat_seconds_bucket{le="+Inf"} 8`,
+		`lat_seconds_count 8`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+// TestPrometheusExposition is the golden-output test for the text
+// format: families sorted by name, series sorted by labels, HELP/TYPE
+// headers, label quoting.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("zeta_total", "Last family.", "op")
+	c.With("write").Add(3)
+	c.With("read").Inc()
+	r.Gauge("alpha_inflight", "First family.").Set(2.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_inflight First family.
+# TYPE alpha_inflight gauge
+alpha_inflight 2.5
+# HELP zeta_total Last family.
+# TYPE zeta_total counter
+zeta_total{op="read"} 1
+zeta_total{op="write"} 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestHandler serves the registry over HTTP with the Prometheus
+// content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type: %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestGetOrCreate verifies registration is idempotent and kind
+// mismatches panic.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x")
+	b := r.Counter("same_total", "x")
+	if a != b {
+		t.Fatal("re-registration returned a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("same_total", "x")
+}

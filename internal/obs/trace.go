@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span on a tracer's timeline. Times are
+// offsets from the tracer's epoch, so spans sourced from real clocks
+// and from simulated (virtual-time) drivers share one timeline.
+type SpanRecord struct {
+	ID     int64             `json:"id"`
+	Parent int64             `json:"parent,omitempty"` // 0 = root
+	Name   string            `json:"name"`
+	Start  time.Duration     `json:"start"`
+	End    time.Duration     `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer collects spans for one run. It is safe for concurrent use; a
+// nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	epoch time.Time
+	seq   atomic.Int64
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer starts an empty trace whose epoch is now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// NextID reserves a span ID, for callers that record parents after
+// their children (e.g. a workflow root closed at completion).
+func (t *Tracer) NextID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Add(1)
+}
+
+// Since returns the offset of now from the tracer epoch.
+func (t *Tracer) Since() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// Record appends a finished span. A zero ID is assigned one.
+func (t *Tracer) Record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	if rec.ID == 0 {
+		rec.ID = t.NextID()
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the finished spans, in recording order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Span is an in-progress span started by StartSpan. A nil *Span is a
+// valid no-op, so instrumented code never checks for a tracer.
+type Span struct {
+	t     *Tracer
+	rec   SpanRecord
+	mu    sync.Mutex
+	ended bool
+}
+
+// ID returns the span's ID (0 for a no-op span).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string)
+	}
+	s.rec.Attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it; safe to call more than once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	done := s.ended
+	s.ended = true
+	s.mu.Unlock()
+	if done {
+		return
+	}
+	s.rec.End = s.t.Since()
+	s.t.Record(s.rec)
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer attaches a tracer to the context; StartSpan calls below
+// it record onto this tracer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span named name under the context's current span
+// (if any) and returns a derived context carrying it. Without a tracer
+// in ctx it returns ctx unchanged and a no-op span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := int64(0)
+	if p, _ := ctx.Value(spanKey{}).(*Span); p != nil {
+		parent = p.ID()
+	}
+	s := &Span{t: t, rec: SpanRecord{
+		ID:     t.NextID(),
+		Parent: parent,
+		Name:   name,
+		Start:  t.Since(),
+	}}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the finished spans in Chrome trace-event
+// format (load via chrome://tracing or https://ui.perfetto.dev). Spans
+// are packed onto lanes (tids) so that each lane is a properly nested
+// flame graph: a span lands on its parent's lane when containment
+// holds, and overflows to a fresh lane when siblings overlap in time
+// (parallel DAG branches). The parent link is also kept in args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	// Parents first at equal start times.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End > spans[j].End
+	})
+
+	type lane struct{ open []time.Duration } // stack of open span end-times
+	var lanes []*lane
+	laneOf := make(map[int64]int, len(spans))
+
+	place := func(s SpanRecord, li int) bool {
+		l := lanes[li]
+		for len(l.open) > 0 && l.open[len(l.open)-1] <= s.Start {
+			l.open = l.open[:len(l.open)-1]
+		}
+		if len(l.open) > 0 && l.open[len(l.open)-1] < s.End {
+			return false // would overlap, not nest
+		}
+		l.open = append(l.open, s.End)
+		return true
+	}
+
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		li := -1
+		if pl, ok := laneOf[s.Parent]; ok && place(s, pl) {
+			li = pl
+		} else {
+			for i := range lanes {
+				if ok && i == pl {
+					continue
+				}
+				if place(s, i) {
+					li = i
+					break
+				}
+			}
+		}
+		if li < 0 {
+			lanes = append(lanes, &lane{})
+			li = len(lanes) - 1
+			place(s, li)
+		}
+		laneOf[s.ID] = li
+
+		args := make(map[string]string, len(s.Attrs)+1)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatInt(s.Parent, 10)
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			TS:  float64(s.Start.Microseconds()),
+			Dur: float64((s.End - s.Start).Microseconds()),
+			PID: 1, TID: li,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestSpanNesting exercises StartSpan context propagation: children
+// link to parents, attributes stick, and a tracer-less context yields
+// safe no-op spans.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "workflow")
+	ctx2, child := StartSpan(ctx, "node-a")
+	child.SetAttr("site", "anl")
+	_, grand := StartSpan(ctx2, "stage-in")
+	grand.End()
+	child.End()
+	_, sib := StartSpan(ctx, "node-b")
+	sib.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["workflow"].Parent != 0 {
+		t.Errorf("root has parent %d", byName["workflow"].Parent)
+	}
+	if byName["node-a"].Parent != byName["workflow"].ID {
+		t.Errorf("node-a parent = %d, want root %d", byName["node-a"].Parent, byName["workflow"].ID)
+	}
+	if byName["stage-in"].Parent != byName["node-a"].ID {
+		t.Errorf("stage-in parent = %d, want node-a %d", byName["stage-in"].Parent, byName["node-a"].ID)
+	}
+	if byName["node-b"].Parent != byName["workflow"].ID {
+		t.Errorf("node-b parent = %d, want root %d", byName["node-b"].Parent, byName["workflow"].ID)
+	}
+	if byName["node-a"].Attrs["site"] != "anl" {
+		t.Errorf("attr lost: %v", byName["node-a"].Attrs)
+	}
+
+	// No tracer: everything is a no-op and must not panic.
+	ctx3, none := StartSpan(context.Background(), "nope")
+	none.SetAttr("k", "v")
+	none.End()
+	if TracerFrom(ctx3) != nil {
+		t.Error("no-op StartSpan attached a tracer")
+	}
+	var nilT *Tracer
+	nilT.Record(SpanRecord{Name: "x"}) // nil tracer is a valid sink
+	if nilT.Spans() != nil {
+		t.Error("nil tracer returned spans")
+	}
+}
+
+// TestChromeTraceRoundTrip exports a DAG-shaped trace (root, two
+// overlapping children, one grandchild) and re-parses the JSON,
+// checking event fields, parent links, and that each lane is properly
+// nested (children share the root's lane only when contained without
+// sibling overlap).
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	root := tr.NextID()
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Two children overlap in time (parallel branches).
+	a, b := tr.NextID(), tr.NextID()
+	tr.Record(SpanRecord{ID: a, Parent: root, Name: "gen", Start: ms(0), End: ms(60),
+		Attrs: map[string]string{"site": "anl"}})
+	tr.Record(SpanRecord{ID: b, Parent: root, Name: "sim", Start: ms(10), End: ms(50)})
+	tr.Record(SpanRecord{ID: tr.NextID(), Parent: a, Name: "xfer", Start: ms(5), End: ms(20)})
+	tr.Record(SpanRecord{ID: root, Name: "workflow", Start: ms(0), End: ms(100)})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("round-trip unmarshal: %v\n%s", err, buf.String())
+	}
+	if len(parsed.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(parsed.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("%s: ph=%q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = i
+	}
+	wf := parsed.TraceEvents[byName["workflow"]]
+	if wf.TS != 0 || wf.Dur != 100000 {
+		t.Errorf("workflow ts/dur = %v/%v, want 0/100000", wf.TS, wf.Dur)
+	}
+	gen := parsed.TraceEvents[byName["gen"]]
+	if gen.Args["parent"] != strconv.FormatInt(root, 10) {
+		t.Errorf("gen parent arg = %q, want %d", gen.Args["parent"], root)
+	}
+	if gen.Args["site"] != "anl" {
+		t.Errorf("gen attrs lost: %v", gen.Args)
+	}
+	// gen nests in the workflow lane; sim overlaps gen so it must be
+	// on a different lane; xfer nests inside gen.
+	sim := parsed.TraceEvents[byName["sim"]]
+	xfer := parsed.TraceEvents[byName["xfer"]]
+	if gen.TID != wf.TID {
+		t.Errorf("gen lane %d, want workflow lane %d", gen.TID, wf.TID)
+	}
+	if sim.TID == gen.TID {
+		t.Error("overlapping siblings share a lane")
+	}
+	if xfer.TID != gen.TID {
+		t.Errorf("xfer lane %d, want gen lane %d", xfer.TID, gen.TID)
+	}
+}

@@ -14,13 +14,27 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"chimera/internal/catalog"
 	"chimera/internal/dag"
 	"chimera/internal/estimator"
 	"chimera/internal/executor"
 	"chimera/internal/grid"
+	"chimera/internal/obs"
 	"chimera/internal/schema"
+)
+
+// Planner metrics: placement latency and outcome counters.
+var (
+	metricAssignSeconds = obs.Default.Histogram("vdc_planner_assign_seconds",
+		"Wall-clock latency of one placement decision.", obs.TimeBuckets)
+	metricAssignments = obs.Default.Counter("vdc_planner_assignments_total",
+		"Successful placement decisions.")
+	metricAssignErrors = obs.Default.Counter("vdc_planner_assign_errors_total",
+		"Placement decisions that found no feasible site.")
+	metricReplicas = obs.Default.Counter("vdc_planner_replications_total",
+		"Replicas created by the dynamic replication policy.")
 )
 
 // Profile keys the planner interprets on transformations.
@@ -311,8 +325,10 @@ func (p *Planner) candidateSites(n *dag.Node, tr schema.Transformation) []string
 // each node becomes ready, so decisions see current queue state and the
 // replicas materialized by earlier nodes.
 func (p *Planner) Assign(n *dag.Node) (executor.Placement, error) {
+	defer metricAssignSeconds.ObserveSince(time.Now())
 	tr, err := p.Cat.Transformation(n.Derivation.TR)
 	if err != nil {
+		metricAssignErrors.Inc()
 		return executor.Placement{}, err
 	}
 	var (
@@ -332,11 +348,13 @@ func (p *Planner) Assign(n *dag.Node) (executor.Placement, error) {
 		}
 	}
 	if math.IsInf(bestCost, 1) {
+		metricAssignErrors.Inc()
 		if lastErr != nil {
 			return executor.Placement{}, lastErr
 		}
 		return executor.Placement{}, errors.New("planner: no feasible site")
 	}
+	metricAssignments.Inc()
 
 	work, _ := p.Est.Work(n.Derivation.TR)
 	outBytes := make(map[string]int64, len(n.Outputs))
@@ -403,6 +421,7 @@ func (p *Planner) noteAccess(ds, site string, bytes int64) {
 		if err := p.Cat.AddReplica(rep); err != nil {
 			continue
 		}
+		metricReplicas.Inc()
 		if dst != site {
 			// Push replicas move bytes in the background; cache-at-
 			// client replicas reuse the staging transfer already paid.

@@ -1,0 +1,51 @@
+package vds
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"chimera/internal/obs"
+)
+
+// HTTP-face metrics: per-route request counts (with status code) and
+// latency histograms. The route label is the registered mux pattern,
+// so cardinality is bounded by the API surface, not by request paths.
+var (
+	metricHTTPRequests = obs.Default.CounterVec("vdc_http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "route", "code")
+	metricHTTPSeconds = obs.Default.HistogramVec("vdc_http_request_seconds",
+		"HTTP request latency by route pattern.", obs.TimeBuckets, "route")
+)
+
+// statusWriter captures the response code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation under the given route pattern. The histogram series is
+// resolved once at registration, off the request path.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := metricHTTPSeconds.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		lat.ObserveSince(start)
+		metricHTTPRequests.With(route, strconv.Itoa(sw.status)).Inc()
+	}
+}

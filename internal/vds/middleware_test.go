@@ -1,0 +1,76 @@
+package vds
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chimera/internal/catalog"
+)
+
+// TestMetricsEndpoint serves a request through the instrumented mux
+// and asserts /metrics reflects it: the route-labeled counter, the
+// latency histogram, and the healthz endpoint staying out of the
+// per-route series.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := NewServer("metrics.test", catalog.New(nil))
+
+	before := scrapeCount(t, srv, `vdc_http_requests_total{route="GET /v1/info",code="200"}`)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/info", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/v1/info: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("/healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	after := scrapeCount(t, srv, `vdc_http_requests_total{route="GET /v1/info",code="200"}`)
+	if after != before+1 {
+		t.Errorf("request counter went %d -> %d, want +1\n%s", before, after, body)
+	}
+	if !strings.Contains(body, `vdc_http_request_seconds_count{route="GET /v1/info"}`) {
+		t.Errorf("latency histogram missing from exposition:\n%s", body)
+	}
+	if strings.Contains(body, `route="GET /healthz"`) || strings.Contains(body, `route="GET /metrics"`) {
+		t.Errorf("operational endpoints leaked into per-route metrics:\n%s", body)
+	}
+
+	// A 404 on an instrumented route surfaces under its own code label.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/datasets/absent", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing dataset: %d", rec.Code)
+	}
+	if got := scrapeCount(t, srv, `vdc_http_requests_total{route="GET /v1/datasets/{name...}",code="404"}`); got < 1 {
+		t.Error("404 not counted under its route/code")
+	}
+}
+
+// scrapeCount reads one counter value out of the /metrics text.
+func scrapeCount(t *testing.T, srv *Server, series string) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return n
+		}
+	}
+	return 0
+}

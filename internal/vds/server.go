@@ -13,6 +13,7 @@ import (
 	"net/http"
 
 	"chimera/internal/catalog"
+	"chimera/internal/obs"
 	"chimera/internal/query"
 	"chimera/internal/schema"
 	"chimera/internal/trust"
@@ -64,46 +65,58 @@ type errorBody struct {
 func (s *Server) routes() {
 	m := http.NewServeMux()
 	s.mux = m
+	// Every API route goes through the metrics middleware; the route
+	// label is the mux pattern itself.
+	handle := func(pattern string, h http.HandlerFunc) {
+		m.HandleFunc(pattern, instrument(pattern, h))
+	}
 
-	m.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
+	// Operational endpoints, deliberately outside the middleware so
+	// scrapes don't inflate the API metrics.
+	m.Handle("GET /metrics", obs.Default.Handler())
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "name": s.Name, "stats": s.Cat.Stats()})
+	})
+
+	handle("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Info{Name: s.Name, Stats: s.Cat.Stats()})
 	})
 
-	m.HandleFunc("GET /v1/export", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/export", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Cat.Export())
 	})
 
-	m.HandleFunc("GET /v1/types", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/types", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Cat.Types())
 	})
 
-	m.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		s.search(w, r, query.KDataset)
 	})
-	m.HandleFunc("GET /v1/transformations", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/transformations", func(w http.ResponseWriter, r *http.Request) {
 		s.search(w, r, query.KTransformation)
 	})
-	m.HandleFunc("GET /v1/derivations", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/derivations", func(w http.ResponseWriter, r *http.Request) {
 		s.search(w, r, query.KDerivation)
 	})
 
-	m.HandleFunc("GET /v1/datasets/{name...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/datasets/{name...}", func(w http.ResponseWriter, r *http.Request) {
 		ds, err := s.Cat.Dataset(r.PathValue("name"))
 		s.reply(w, ds, err)
 	})
-	m.HandleFunc("GET /v1/transformations/{ref...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/transformations/{ref...}", func(w http.ResponseWriter, r *http.Request) {
 		tr, err := s.Cat.Transformation(r.PathValue("ref"))
 		s.reply(w, tr, err)
 	})
-	m.HandleFunc("GET /v1/derivations/{id...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/derivations/{id...}", func(w http.ResponseWriter, r *http.Request) {
 		dv, err := s.Cat.Derivation(r.PathValue("id"))
 		s.reply(w, dv, err)
 	})
-	m.HandleFunc("GET /v1/invocations/{id...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/invocations/{id...}", func(w http.ResponseWriter, r *http.Request) {
 		iv, err := s.Cat.Invocation(r.PathValue("id"))
 		s.reply(w, iv, err)
 	})
-	m.HandleFunc("GET /v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/replicas", func(w http.ResponseWriter, r *http.Request) {
 		ds := r.URL.Query().Get("dataset")
 		if ds == "" {
 			writeJSON(w, http.StatusBadRequest, errorBody{"missing dataset parameter"})
@@ -112,34 +125,34 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, s.Cat.ReplicasOf(ds))
 	})
 
-	m.HandleFunc("GET /v1/lineage/{name...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/lineage/{name...}", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := s.Cat.Lineage(r.PathValue("name"))
 		s.reply(w, rep, err)
 	})
-	m.HandleFunc("GET /v1/ancestors/{name...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/ancestors/{name...}", func(w http.ResponseWriter, r *http.Request) {
 		cl, err := s.Cat.Ancestors(r.PathValue("name"))
 		s.reply(w, cl, err)
 	})
-	m.HandleFunc("GET /v1/descendants/{name...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/descendants/{name...}", func(w http.ResponseWriter, r *http.Request) {
 		cl, err := s.Cat.Descendants(r.PathValue("name"))
 		s.reply(w, cl, err)
 	})
 
-	m.HandleFunc("PUT /v1/datasets", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/datasets", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var ds schema.Dataset
 		if !decode(w, r, &ds) {
 			return
 		}
 		s.replyErr(w, s.Cat.AddDataset(ds))
 	}))
-	m.HandleFunc("PUT /v1/transformations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/transformations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var tr schema.Transformation
 		if !decode(w, r, &tr) {
 			return
 		}
 		s.replyErr(w, s.Cat.AddTransformation(tr))
 	}))
-	m.HandleFunc("PUT /v1/derivations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/derivations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var dv schema.Derivation
 		if !decode(w, r, &dv) {
 			return
@@ -155,14 +168,14 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, PutDerivationResponse{Derivation: stored})
 	}))
-	m.HandleFunc("PUT /v1/invocations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/invocations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var iv schema.Invocation
 		if !decode(w, r, &iv) {
 			return
 		}
 		s.replyErr(w, s.Cat.AddInvocation(iv))
 	}))
-	m.HandleFunc("PUT /v1/replicas", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/replicas", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var rep schema.Replica
 		if !decode(w, r, &rep) {
 			return
@@ -170,7 +183,7 @@ func (s *Server) routes() {
 		s.replyErr(w, s.Cat.AddReplica(rep))
 	}))
 
-	m.HandleFunc("POST /v1/vdl", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/vdl", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
@@ -188,10 +201,10 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, s.Cat.Stats())
 	}))
 
-	m.HandleFunc("GET /v1/signatures/{kind}/{id...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/signatures/{kind}/{id...}", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Ledger.Signatures(r.PathValue("kind"), r.PathValue("id")))
 	})
-	m.HandleFunc("PUT /v1/signatures/{kind}/{id...}", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/signatures/{kind}/{id...}", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var sig trust.Signature
 		if !decode(w, r, &sig) {
 			return
@@ -199,10 +212,10 @@ func (s *Server) routes() {
 		s.Ledger.Attach(r.PathValue("kind"), r.PathValue("id"), sig)
 		writeJSON(w, http.StatusOK, struct{}{})
 	}))
-	m.HandleFunc("GET /v1/annotations/{kind}/{id...}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/annotations/{kind}/{id...}", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Ledger.Annotations(r.PathValue("kind"), r.PathValue("id")))
 	})
-	m.HandleFunc("PUT /v1/annotations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
+	handle("PUT /v1/annotations", s.mutating(func(w http.ResponseWriter, r *http.Request) {
 		var a trust.Annotation
 		if !decode(w, r, &a) {
 			return
