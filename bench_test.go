@@ -87,3 +87,11 @@ func BenchmarkE9Shipping(b *testing.B) {
 func BenchmarkE10VDL(b *testing.B) {
 	runTable(b, func() (bench.Table, error) { return bench.E10VDL([]int{1000}) })
 }
+
+// BenchmarkE11Ingest regenerates E11: concurrent catalog ingest
+// throughput, group-commit WAL vs per-op fsync (docs/PERF.md). Kept
+// small so the -race CI smoke run exercises every durability mode in
+// seconds.
+func BenchmarkE11Ingest(b *testing.B) {
+	runTable(b, func() (bench.Table, error) { return bench.E11Ingest([]int{1, 4, 16}, 50) })
+}

@@ -9,9 +9,13 @@
 // stats. SIGINT/SIGTERM trigger a graceful drain: in-flight requests
 // finish, the catalog is snapshotted, and the WAL is flushed closed.
 //
+// Durability is a group-commit WAL: mutations batch their log writes
+// and (with -sync) share one fsync per batch; see docs/PERF.md for the
+// -wal-batch / -wal-delay knobs.
+//
 // Usage:
 //
-//	vdcd -addr :8844 -dir /var/lib/vdc -name physics.example.edu [-readonly]
+//	vdcd -addr :8844 -dir /var/lib/vdc -name physics.example.edu [-readonly] [-sync]
 package main
 
 import (
@@ -37,12 +41,18 @@ func main() {
 	dir := flag.String("dir", "vdc-data", "catalog directory")
 	name := flag.String("name", "vdc", "catalog authority name")
 	readonly := flag.Bool("readonly", false, "reject mutations")
-	syncWAL := flag.Bool("sync", false, "fsync the write-ahead log on every mutation")
+	syncWAL := flag.Bool("sync", false, "fsync the write-ahead log before acknowledging mutations (one fsync per commit batch)")
+	walBatch := flag.Int("wal-batch", catalog.DefaultMaxBatch, "group-commit batch-size target; 1 disables group commit (inline per-op writes)")
+	walDelay := flag.Duration("wal-delay", catalog.DefaultMaxDelay, "how long a contended commit batch stays open for stragglers; <0 disables the window")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
 
-	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{Sync: *syncWAL})
+	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{
+		Sync:     *syncWAL,
+		MaxBatch: *walBatch,
+		MaxDelay: *walDelay,
+	})
 	if err != nil {
 		log.Fatalf("vdcd: %v", err)
 	}
@@ -100,7 +110,10 @@ func main() {
 	<-snapDone
 
 	// Compact and flush durable state, then log the final counters so
-	// the last scrape isn't the only record of the run.
+	// the last scrape isn't the only record of the run. Snapshot
+	// quiesces the group committer before truncating the WAL, and Close
+	// drains whatever was queued after it, so nothing acknowledged is
+	// lost between the last request and process exit.
 	if err := cat.Snapshot(); err != nil {
 		log.Printf("vdcd: final snapshot: %v", err)
 	}

@@ -1,5 +1,5 @@
 // Command vdg-bench runs the experiment harness at paper scale and
-// prints one results table per experiment (E1–E10 in DESIGN.md). The
+// prints one results table per experiment (E1–E11 in DESIGN.md). The
 // tables reproduce the shapes of the paper's evaluation claims; the
 // recorded outputs live in EXPERIMENTS.md.
 //
@@ -60,6 +60,9 @@ func experiments() []experiment {
 		{"E10",
 			func() (bench.Table, error) { return bench.E10VDL([]int{100, 1000}) },
 			func() (bench.Table, error) { return bench.E10VDL([]int{100, 1000, 10000}) }},
+		{"E11",
+			func() (bench.Table, error) { return bench.E11Ingest([]int{1, 4, 16}, 50) },
+			func() (bench.Table, error) { return bench.E11Ingest([]int{1, 4, 16, 64}, 200) }},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -70,7 +73,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E10 or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E11, A1, A2, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")

@@ -37,6 +37,11 @@ var (
 	ErrConflict = errors.New("catalog: provenance conflict")
 	// ErrType reports a dataset-type conformance failure.
 	ErrType = errors.New("catalog: type mismatch")
+	// ErrDurability reports that the write-ahead log failed: the
+	// mutation may have applied in memory, but the catalog can no
+	// longer guarantee it survives a restart. Servers should surface
+	// this as an availability (not a caller) error.
+	ErrDurability = errors.New("catalog: durability failure")
 )
 
 // Catalog is an in-memory VDC with optional write-ahead durability.
@@ -64,6 +69,11 @@ type Catalog struct {
 	versionsOf        map[string][]string // "ns::name" -> versions
 
 	wal *wal // nil for purely in-memory catalogs
+
+	// pendingSeq is the group-commit sequence of the last WAL record
+	// the current mutation enqueued; mutate() waits on it after
+	// releasing mu. Guarded by mu; always 0 between mutations.
+	pendingSeq uint64
 }
 
 // New returns an empty in-memory catalog using the given type registry
@@ -92,17 +102,47 @@ func New(types *dtype.Registry) *Catalog {
 // Types returns the catalog's dataset-type registry.
 func (c *Catalog) Types() *dtype.Registry { return c.types }
 
+// mutate runs fn inside the write lock, then — if fn enqueued WAL
+// records on the group committer — blocks *outside* the lock until the
+// batch holding them is durable. A mutation therefore never returns
+// success before its records are written (and fsynced when
+// Options.Sync is set), yet the fsync happens off-lock so concurrent
+// writers share it instead of serializing on it. In-memory and
+// inline-WAL catalogs return as soon as fn does.
+func (c *Catalog) mutate(fn func() error) error {
+	c.mu.Lock()
+	err := fn()
+	var com *committer
+	var seq uint64
+	if c.pendingSeq != 0 {
+		if c.wal != nil && c.wal.com != nil {
+			com, seq = c.wal.com, c.pendingSeq
+		}
+		c.pendingSeq = 0
+	}
+	c.mu.Unlock()
+	if err != nil {
+		// The operation failed after possibly enqueueing records (the
+		// seed's partial-log semantics); its error wins either way.
+		return err
+	}
+	if com != nil {
+		return com.wait(seq)
+	}
+	return nil
+}
+
 // DefineType registers a dataset type in the catalog's registry and
 // logs it for durability.
 func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) (err error) {
 	opDefineType.Inc()
 	defer func() { err = countErr("define_type", err) }()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.types.Register(d, name, parent); err != nil {
-		return err
-	}
-	return c.logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
+	return c.mutate(func() error {
+		if err := c.types.Register(d, name, parent); err != nil {
+			return err
+		}
+		return c.logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
+	})
 }
 
 // --- Datasets ---------------------------------------------------------
@@ -115,24 +155,24 @@ func (c *Catalog) AddDataset(ds schema.Dataset) (err error) {
 	if err := ds.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.types.CheckType(ds.Type); err != nil {
-		return fmt.Errorf("%w: dataset %q: %v", ErrType, ds.Name, err)
-	}
-	if old, ok := c.datasets[ds.Name]; ok {
-		if equalJSON(old, ds) {
-			return nil
+	return c.mutate(func() error {
+		if err := c.types.CheckType(ds.Type); err != nil {
+			return fmt.Errorf("%w: dataset %q: %v", ErrType, ds.Name, err)
 		}
-		return fmt.Errorf("%w: dataset %q", ErrExists, ds.Name)
-	}
-	if ds.CreatedBy != "" {
-		if _, ok := c.derivations[ds.CreatedBy]; !ok {
-			return fmt.Errorf("%w: dataset %q cites unknown derivation %q", ErrNotFound, ds.Name, ds.CreatedBy)
+		if old, ok := c.datasets[ds.Name]; ok {
+			if equalJSON(old, ds) {
+				return nil
+			}
+			return fmt.Errorf("%w: dataset %q", ErrExists, ds.Name)
 		}
-	}
-	c.datasets[ds.Name] = ds
-	return c.logOp(opDataset, ds)
+		if ds.CreatedBy != "" {
+			if _, ok := c.derivations[ds.CreatedBy]; !ok {
+				return fmt.Errorf("%w: dataset %q cites unknown derivation %q", ErrNotFound, ds.Name, ds.CreatedBy)
+			}
+		}
+		c.datasets[ds.Name] = ds
+		return c.logOp(opDataset, ds)
+	})
 }
 
 // UpdateDataset replaces an existing dataset record (e.g. to attach a
@@ -143,17 +183,17 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
 	if err := ds.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	old, ok := c.datasets[ds.Name]
-	if !ok {
-		return fmt.Errorf("%w: dataset %q", ErrNotFound, ds.Name)
-	}
-	if ds.Epoch < old.Epoch {
-		return fmt.Errorf("%w: dataset %q epoch moved backwards (%d -> %d)", ErrConflict, ds.Name, old.Epoch, ds.Epoch)
-	}
-	c.datasets[ds.Name] = ds
-	return c.logOp(opDataset, ds)
+	return c.mutate(func() error {
+		old, ok := c.datasets[ds.Name]
+		if !ok {
+			return fmt.Errorf("%w: dataset %q", ErrNotFound, ds.Name)
+		}
+		if ds.Epoch < old.Epoch {
+			return fmt.Errorf("%w: dataset %q epoch moved backwards (%d -> %d)", ErrConflict, ds.Name, old.Epoch, ds.Epoch)
+		}
+		c.datasets[ds.Name] = ds
+		return c.logOp(opDataset, ds)
+	})
 }
 
 // BumpEpoch records an in-place update of a dataset (§8's "update"
@@ -165,28 +205,34 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
 func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error) {
 	opBumpEpoch.Inc()
 	defer func() { err = countErr("bump_epoch", err) }()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ds, ok := c.datasets[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
-	}
-	ds.Epoch++
-	c.datasets[name] = ds
-	if err := c.logOp(opDataset, ds); err != nil {
-		return 0, err
-	}
-	if restampReplicas {
-		for _, id := range c.replicasByDataset[name] {
-			r := c.replicas[id]
-			r.Epoch = ds.Epoch
-			c.replicas[id] = r
-			if err := c.logOp(opReplica, r); err != nil {
-				return 0, err
+	epoch := 0
+	err = c.mutate(func() error {
+		ds, ok := c.datasets[name]
+		if !ok {
+			return fmt.Errorf("%w: dataset %q", ErrNotFound, name)
+		}
+		ds.Epoch++
+		c.datasets[name] = ds
+		if err := c.logOp(opDataset, ds); err != nil {
+			return err
+		}
+		if restampReplicas {
+			for _, id := range c.replicasByDataset[name] {
+				r := c.replicas[id]
+				r.Epoch = ds.Epoch
+				c.replicas[id] = r
+				if err := c.logOp(opReplica, r); err != nil {
+					return err
+				}
 			}
 		}
+		epoch = ds.Epoch
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return ds.Epoch, nil
+	return epoch, nil
 }
 
 // Dataset returns the dataset with the given logical name.
@@ -222,26 +268,26 @@ func (c *Catalog) AddTransformation(tr schema.Transformation) (err error) {
 	if err := tr.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, f := range tr.Args {
-		for _, t := range f.Types {
-			if err := c.types.CheckType(t); err != nil {
-				return fmt.Errorf("%w: transformation %q formal %q: %v", ErrType, tr.Ref(), f.Name, err)
+	return c.mutate(func() error {
+		for _, f := range tr.Args {
+			for _, t := range f.Types {
+				if err := c.types.CheckType(t); err != nil {
+					return fmt.Errorf("%w: transformation %q formal %q: %v", ErrType, tr.Ref(), f.Name, err)
+				}
 			}
 		}
-	}
-	ref := tr.Ref()
-	if old, ok := c.transformations[ref]; ok {
-		if equalJSON(old, tr) {
-			return nil
+		ref := tr.Ref()
+		if old, ok := c.transformations[ref]; ok {
+			if equalJSON(old, tr) {
+				return nil
+			}
+			return fmt.Errorf("%w: transformation %q", ErrExists, ref)
 		}
-		return fmt.Errorf("%w: transformation %q", ErrExists, ref)
-	}
-	c.transformations[ref] = tr
-	base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
-	c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
-	return c.logOp(opTransformation, tr)
+		c.transformations[ref] = tr
+		base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
+		c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+		return c.logOp(opTransformation, tr)
+	})
 }
 
 // Transformation resolves a canonical reference. A versionless
@@ -319,15 +365,15 @@ func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) (err erro
 	if err := a.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, old := range c.compat {
-		if old == a {
-			return nil
+	return c.mutate(func() error {
+		for _, old := range c.compat {
+			if old == a {
+				return nil
+			}
 		}
-	}
-	c.compat = append(c.compat, a)
-	return c.logOp(opCompat, a)
+		c.compat = append(c.compat, a)
+		return c.logOp(opCompat, a)
+	})
 }
 
 // Compatible reports whether products of version v1 of a transformation
@@ -409,98 +455,105 @@ func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err 
 	if err := dv.Validate(); err != nil {
 		return schema.Derivation{}, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if existing, ok := c.derivations[dv.ID]; ok {
-		return existing, ErrDuplicate
-	}
-	tr, err := c.transformationLocked(dv.TR)
-	if err != nil {
-		return schema.Derivation{}, err
-	}
-	if err := dv.CheckBinding(tr); err != nil {
-		return schema.Derivation{}, err
-	}
-
-	inputs := dv.Inputs(tr)
-	outputs := dv.Outputs(tr)
-
-	// Type conformance for bound datasets that exist with a type.
-	for _, f := range tr.Args {
-		if !f.IsDataset() || len(f.Types) == 0 {
-			continue
+	var stored schema.Derivation
+	err = c.mutate(func() error {
+		if existing, ok := c.derivations[dv.ID]; ok {
+			stored = existing
+			return ErrDuplicate
 		}
-		a, ok := dv.Params[f.Name]
-		if !ok && f.Default != nil {
-			a = *f.Default
+		tr, err := c.transformationLocked(dv.TR)
+		if err != nil {
+			return err
 		}
-		for _, name := range a.Datasets() {
-			if ds, ok := c.datasets[name]; ok && !ds.Type.IsUniversal() {
-				if !f.Accepts(c.types, ds.Type) {
-					return schema.Derivation{}, fmt.Errorf("%w: dataset %q (%s) does not conform to formal %q of %s",
-						ErrType, name, ds.Type, f.Name, tr.Ref())
+		if err := dv.CheckBinding(tr); err != nil {
+			return err
+		}
+
+		inputs := dv.Inputs(tr)
+		outputs := dv.Outputs(tr)
+
+		// Type conformance for bound datasets that exist with a type.
+		for _, f := range tr.Args {
+			if !f.IsDataset() || len(f.Types) == 0 {
+				continue
+			}
+			a, ok := dv.Params[f.Name]
+			if !ok && f.Default != nil {
+				a = *f.Default
+			}
+			for _, name := range a.Datasets() {
+				if ds, ok := c.datasets[name]; ok && !ds.Type.IsUniversal() {
+					if !f.Accepts(c.types, ds.Type) {
+						return fmt.Errorf("%w: dataset %q (%s) does not conform to formal %q of %s",
+							ErrType, name, ds.Type, f.Name, tr.Ref())
+					}
 				}
 			}
 		}
-	}
 
-	// A dataset has at most one producer, and cannot be both input and
-	// output of one derivation. Validate fully before mutating so a
-	// failed add leaves no partial state (or WAL records) behind.
-	inputSet := make(map[string]bool, len(inputs))
-	for _, in := range inputs {
-		inputSet[in] = true
-	}
-	for _, out := range outputs {
-		if prod, ok := c.producerOf[out]; ok && prod != dv.ID {
-			return schema.Derivation{}, fmt.Errorf("%w: dataset %q already produced by derivation %s", ErrConflict, out, prod)
+		// A dataset has at most one producer, and cannot be both input and
+		// output of one derivation. Validate fully before mutating so a
+		// failed add leaves no partial state (or WAL records) behind.
+		inputSet := make(map[string]bool, len(inputs))
+		for _, in := range inputs {
+			inputSet[in] = true
 		}
-		if inputSet[out] {
-			return schema.Derivation{}, fmt.Errorf("%w: dataset %q is both input and output of one derivation", ErrConflict, out)
-		}
-	}
-
-	// Auto-register datasets.
-	for _, in := range inputs {
-		if _, ok := c.datasets[in]; !ok {
-			ds := schema.Dataset{Name: in}
-			c.datasets[in] = ds
-			if err := c.logOp(opDataset, ds); err != nil {
-				return schema.Derivation{}, err
+		for _, out := range outputs {
+			if prod, ok := c.producerOf[out]; ok && prod != dv.ID {
+				return fmt.Errorf("%w: dataset %q already produced by derivation %s", ErrConflict, out, prod)
+			}
+			if inputSet[out] {
+				return fmt.Errorf("%w: dataset %q is both input and output of one derivation", ErrConflict, out)
 			}
 		}
-	}
-	for _, out := range outputs {
-		if ds, ok := c.datasets[out]; ok {
-			if ds.CreatedBy == "" {
-				ds.CreatedBy = dv.ID
+
+		// Auto-register datasets.
+		for _, in := range inputs {
+			if _, ok := c.datasets[in]; !ok {
+				ds := schema.Dataset{Name: in}
+				c.datasets[in] = ds
+				if err := c.logOp(opDataset, ds); err != nil {
+					return err
+				}
+			}
+		}
+		for _, out := range outputs {
+			if ds, ok := c.datasets[out]; ok {
+				if ds.CreatedBy == "" {
+					ds.CreatedBy = dv.ID
+					c.datasets[out] = ds
+					if err := c.logOp(opDataset, ds); err != nil {
+						return err
+					}
+				}
+			} else {
+				ds := schema.Dataset{Name: out, CreatedBy: dv.ID}
 				c.datasets[out] = ds
 				if err := c.logOp(opDataset, ds); err != nil {
-					return schema.Derivation{}, err
+					return err
 				}
 			}
-		} else {
-			ds := schema.Dataset{Name: out, CreatedBy: dv.ID}
-			c.datasets[out] = ds
-			if err := c.logOp(opDataset, ds); err != nil {
-				return schema.Derivation{}, err
-			}
 		}
-	}
 
-	c.derivations[dv.ID] = dv
-	c.inputsOf[dv.ID] = inputs
-	c.outputsOf[dv.ID] = outputs
-	for _, in := range inputs {
-		c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
-	}
-	for _, out := range outputs {
-		c.producerOf[out] = dv.ID
-	}
-	if err := c.logOp(opDerivation, dv); err != nil {
+		c.derivations[dv.ID] = dv
+		c.inputsOf[dv.ID] = inputs
+		c.outputsOf[dv.ID] = outputs
+		for _, in := range inputs {
+			c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
+		}
+		for _, out := range outputs {
+			c.producerOf[out] = dv.ID
+		}
+		if err := c.logOp(opDerivation, dv); err != nil {
+			return err
+		}
+		stored = dv
+		return nil
+	})
+	if err != nil && !errors.Is(err, ErrDuplicate) {
 		return schema.Derivation{}, err
 	}
-	return dv, nil
+	return stored, err
 }
 
 // Derivation returns the derivation with the given ID.
@@ -574,17 +627,17 @@ func (c *Catalog) AddInvocation(iv schema.Invocation) (err error) {
 	if err := iv.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.derivations[iv.Derivation]; !ok {
-		return fmt.Errorf("%w: invocation %q cites unknown derivation %q", ErrNotFound, iv.ID, iv.Derivation)
-	}
-	if _, ok := c.invocations[iv.ID]; ok {
-		return fmt.Errorf("%w: invocation %q", ErrExists, iv.ID)
-	}
-	c.invocations[iv.ID] = iv
-	c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
-	return c.logOp(opInvocation, iv)
+	return c.mutate(func() error {
+		if _, ok := c.derivations[iv.Derivation]; !ok {
+			return fmt.Errorf("%w: invocation %q cites unknown derivation %q", ErrNotFound, iv.ID, iv.Derivation)
+		}
+		if _, ok := c.invocations[iv.ID]; ok {
+			return fmt.Errorf("%w: invocation %q", ErrExists, iv.ID)
+		}
+		c.invocations[iv.ID] = iv
+		c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
+		return c.logOp(opInvocation, iv)
+	})
 }
 
 // Invocation returns the invocation with the given ID.
@@ -632,17 +685,17 @@ func (c *Catalog) AddReplica(r schema.Replica) (err error) {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.datasets[r.Dataset]; !ok {
-		return fmt.Errorf("%w: replica %q cites unknown dataset %q", ErrNotFound, r.ID, r.Dataset)
-	}
-	if _, ok := c.replicas[r.ID]; ok {
-		return fmt.Errorf("%w: replica %q", ErrExists, r.ID)
-	}
-	c.replicas[r.ID] = r
-	c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
-	return c.logOp(opReplica, r)
+	return c.mutate(func() error {
+		if _, ok := c.datasets[r.Dataset]; !ok {
+			return fmt.Errorf("%w: replica %q cites unknown dataset %q", ErrNotFound, r.ID, r.Dataset)
+		}
+		if _, ok := c.replicas[r.ID]; ok {
+			return fmt.Errorf("%w: replica %q", ErrExists, r.ID)
+		}
+		c.replicas[r.ID] = r
+		c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+		return c.logOp(opReplica, r)
+	})
 }
 
 // RemoveReplica deletes a replica record (e.g. when a planner reclaims
@@ -650,21 +703,21 @@ func (c *Catalog) AddReplica(r schema.Replica) (err error) {
 func (c *Catalog) RemoveReplica(id string) (err error) {
 	opRmReplica.Inc()
 	defer func() { err = countErr("remove_replica", err) }()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.replicas[id]
-	if !ok {
-		return fmt.Errorf("%w: replica %q", ErrNotFound, id)
-	}
-	delete(c.replicas, id)
-	ids := c.replicasByDataset[r.Dataset]
-	for i, x := range ids {
-		if x == id {
-			c.replicasByDataset[r.Dataset] = append(ids[:i:i], ids[i+1:]...)
-			break
+	return c.mutate(func() error {
+		r, ok := c.replicas[id]
+		if !ok {
+			return fmt.Errorf("%w: replica %q", ErrNotFound, id)
 		}
-	}
-	return c.logOp(opRemoveReplica, r.ID)
+		delete(c.replicas, id)
+		ids := c.replicasByDataset[r.Dataset]
+		for i, x := range ids {
+			if x == id {
+				c.replicasByDataset[r.Dataset] = append(ids[:i:i], ids[i+1:]...)
+				break
+			}
+		}
+		return c.logOp(opRemoveReplica, r.ID)
+	})
 }
 
 // Replica returns the replica with the given ID.

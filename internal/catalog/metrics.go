@@ -6,15 +6,30 @@ import "chimera/internal/obs"
 // paths pay a single atomic add; WAL and snapshot latencies go to
 // fixed-bucket histograms (seconds).
 var (
+	countBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+	byteBuckets  = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+)
+
+var (
 	metricOps = obs.Default.CounterVec("vdc_catalog_ops_total",
 		"Catalog mutations by operation.", "op")
 	metricOpErrors = obs.Default.CounterVec("vdc_catalog_op_errors_total",
 		"Catalog mutations that returned an error, by operation.", "op")
 
 	metricWALAppend = obs.Default.Histogram("vdc_wal_append_seconds",
-		"Latency of one WAL record append (encode + write + flush).", obs.TimeBuckets)
+		"Latency of encoding one WAL record (inline mode: encode + write; group mode: encode + enqueue).", obs.TimeBuckets)
 	metricWALFsync = obs.Default.Histogram("vdc_wal_fsync_seconds",
-		"Latency of the per-record fsync (only with Options.Sync).", obs.TimeBuckets)
+		"Latency of the per-record fsync on the inline path (Options.Sync with MaxBatch=1).", obs.TimeBuckets)
+
+	// Group-commit series; see docs/PERF.md.
+	metricWALBatchRecords = obs.Default.Histogram("vdc_wal_batch_records",
+		"Records per group-commit batch.", countBuckets)
+	metricWALBatchBytes = obs.Default.Histogram("vdc_wal_batch_bytes",
+		"Encoded bytes per group-commit batch.", byteBuckets)
+	metricWALBatchFsync = obs.Default.Histogram("vdc_wal_batch_fsync_seconds",
+		"Latency of the one fsync each group-commit batch issues (only with Options.Sync).", obs.TimeBuckets)
+	metricWALQueueDepth = obs.Default.Gauge("vdc_wal_queue_depth",
+		"Records currently waiting in the group-commit queue.")
 	metricSnapshot = obs.Default.Histogram("vdc_catalog_snapshot_seconds",
 		"Latency of snapshot compaction (export + write + WAL truncate).", obs.TimeBuckets)
 

@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +40,14 @@ type walRecord struct {
 	Data json.RawMessage `json:"data"`
 }
 
+// walEnvelope is the write-side shape of walRecord: Data holds the
+// value itself so a record encodes in one pass instead of marshal +
+// re-marshal through a RawMessage.
+type walEnvelope struct {
+	Op   opKind `json:"op"`
+	Data any    `json:"data"`
+}
+
 type typeRecord struct {
 	Dim    int    `json:"dim"`
 	Name   string `json:"name"`
@@ -48,8 +57,12 @@ type typeRecord struct {
 type wal struct {
 	dir  string
 	f    *os.File
-	bw   *bufio.Writer
 	sync bool
+	com  *committer // group-commit engine; nil in inline (MaxBatch=1) mode
+
+	// Inline-mode encode buffer, reused per record; guarded by c.mu.
+	scratch bytes.Buffer
+	enc     *json.Encoder
 }
 
 const (
@@ -57,11 +70,53 @@ const (
 	snapshotFile = "snapshot.json"
 )
 
+// Group-commit defaults; see docs/PERF.md.
+const (
+	// DefaultMaxBatch is the batch-size target that ends the
+	// accumulation window early.
+	DefaultMaxBatch = 1024
+	// DefaultMaxDelay is how long an already-contended batch stays open
+	// for stragglers before committing.
+	DefaultMaxDelay = 200 * time.Microsecond
+)
+
 // Options configure a durable catalog.
 type Options struct {
-	// Sync forces an fsync after every logged operation. Slower but
-	// survives OS crashes, not just process crashes.
+	// Sync forces an fsync before a mutation is acknowledged. Slower but
+	// survives OS crashes, not just process crashes. With group commit
+	// (the default) concurrent mutations share one fsync per batch.
 	Sync bool
+
+	// MaxBatch is the group-commit batch-size target: the accumulation
+	// window closes as soon as this many records are pending. A burst
+	// arriving while a commit is in flight can still exceed it — the
+	// committer always drains the whole queue, which is the batching
+	// that makes fsync amortize. 0 means DefaultMaxBatch.
+	//
+	// MaxBatch == 1 disables group commit entirely: records are written
+	// (and fsynced) inline under the catalog lock, the
+	// pre-group-commit behaviour. Single-writer deployments can use it
+	// to shave the last microseconds of commit latency.
+	MaxBatch int
+
+	// MaxDelay bounds how long the committer holds a batch open for
+	// stragglers once it has seen more than one record (a lone writer
+	// never waits). 0 means DefaultMaxDelay; negative disables the
+	// window so batches close as fast as the disk allows.
+	MaxDelay time.Duration
+}
+
+// normalize resolves zero values to defaults.
+func (o Options) normalize() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = DefaultMaxDelay
+	} else if o.MaxDelay < 0 {
+		o.MaxDelay = 0
+	}
+	return o
 }
 
 // Open loads (or creates) a durable catalog in dir. The registry seeds
@@ -106,12 +161,20 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("catalog: wal: %w", err)
 	}
-	c.wal = &wal{dir: dir, f: f, bw: bufio.NewWriter(f), sync: opts.Sync}
+	opts = opts.normalize()
+	w := &wal{dir: dir, f: f, sync: opts.Sync}
+	if opts.MaxBatch > 1 {
+		w.com = newCommitter(f, opts.Sync, opts.MaxBatch, opts.MaxDelay)
+	} else {
+		w.enc = json.NewEncoder(&w.scratch)
+	}
+	c.wal = w
 	return c, nil
 }
 
-// Close flushes and closes the write-ahead log. The catalog remains
-// usable in memory but further mutations are not persisted.
+// Close drains the group committer, makes the log durable, and closes
+// it. The catalog remains usable in memory but further mutations are
+// not persisted.
 func (c *Catalog) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -120,58 +183,104 @@ func (c *Catalog) Close() error {
 	}
 	w := c.wal
 	c.wal = nil
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return err
+	var firstErr error
+	if w.com != nil {
+		if err := w.com.close(); err != nil {
+			firstErr = err
+		}
 	}
-	return w.f.Close()
+	if w.sync && firstErr == nil {
+		// A clean shutdown must be as durable as every acknowledged
+		// mutation: fsync before the descriptor goes away.
+		if err := w.f.Sync(); err != nil {
+			firstErr = fmt.Errorf("catalog: wal close sync: %w", err)
+		}
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
-// logOp appends one operation to the WAL. Callers hold c.mu.
+// DurabilityErr reports the WAL's sticky failure, if any: non-nil once
+// a batch write or fsync has failed, after which every further
+// mutation is rejected. In-memory catalogs always return nil.
+func (c *Catalog) DurabilityErr() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.wal == nil || c.wal.com == nil {
+		return nil
+	}
+	return c.wal.com.failure()
+}
+
+// logOp records one operation in the WAL. Callers hold c.mu. With the
+// group committer the record is only enqueued here; Catalog.mutate
+// waits for its batch off-lock. In inline mode the record is written
+// (and fsynced) immediately, under the lock.
 func (c *Catalog) logOp(op opKind, v any) error {
 	if c.wal == nil {
 		return nil
 	}
+	if c.wal.com != nil {
+		seq, err := c.wal.com.enqueue(op, v)
+		if err != nil {
+			return err
+		}
+		c.pendingSeq = seq
+		return nil
+	}
+	return c.wal.append(op, v)
+}
+
+// append writes one record synchronously: the inline (MaxBatch=1)
+// path. The scratch buffer is reused across records, so the only
+// allocation is whatever the JSON encoder needs for the value itself.
+func (w *wal) append(op opKind, v any) error {
 	start := time.Now()
-	data, err := json.Marshal(v)
-	if err != nil {
+	w.scratch.Reset()
+	if err := w.enc.Encode(walEnvelope{Op: op, Data: v}); err != nil {
 		return fmt.Errorf("catalog: wal encode: %w", err)
 	}
-	rec, err := json.Marshal(walRecord{Op: op, Data: data})
-	if err != nil {
-		return err
-	}
-	if _, err := c.wal.bw.Write(append(rec, '\n')); err != nil {
-		return fmt.Errorf("catalog: wal append: %w", err)
-	}
-	if err := c.wal.bw.Flush(); err != nil {
-		return fmt.Errorf("catalog: wal flush: %w", err)
+	if _, err := w.f.Write(w.scratch.Bytes()); err != nil {
+		return fmt.Errorf("%w: wal append: %v", ErrDurability, err)
 	}
 	metricWALAppend.ObserveSince(start)
-	if c.wal.sync {
+	if w.sync {
 		fsyncStart := time.Now()
-		if err := c.wal.f.Sync(); err != nil {
-			return fmt.Errorf("catalog: wal sync: %w", err)
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("%w: wal sync: %v", ErrDurability, err)
 		}
 		metricWALFsync.ObserveSince(fsyncStart)
 	}
 	return nil
 }
 
-// replay applies WAL records to the in-memory state. A truncated final
-// line (torn write during a crash) is tolerated and ignored.
+// replay applies WAL records to the in-memory state. Only a truncated
+// *final* line (torn write during a crash) is tolerated; a corrupt
+// record followed by further records means the log itself is damaged,
+// and silently dropping the tail would lose acknowledged state.
 func (c *Catalog) replay(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var rec walRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// Torn tail record: stop replay here.
-			return nil
+			badLine := lineNo
+			for sc.Scan() {
+				lineNo++
+				if len(sc.Bytes()) != 0 {
+					return fmt.Errorf("catalog: replay: corrupt record at line %d (%v) followed by %d more line(s)", badLine, err, lineNo-badLine)
+				}
+			}
+			// Torn tail record: ignore it, the write was never acked.
+			return sc.Err()
 		}
 		if err := c.apply(rec); err != nil {
 			return fmt.Errorf("catalog: replay: %w", err)
@@ -508,9 +617,12 @@ func (c *Catalog) Snapshot() error {
 	if err := os.Rename(tmp, filepath.Join(c.wal.dir, snapshotFile)); err != nil {
 		return err
 	}
-	// Truncate the log now that the snapshot covers it.
-	if err := c.wal.bw.Flush(); err != nil {
-		return err
+	// Quiesce the committer (c.mu is held, so the queue cannot grow),
+	// then truncate the log now that the snapshot covers it.
+	if c.wal.com != nil {
+		if err := c.wal.com.flush(); err != nil {
+			return err
+		}
 	}
 	if err := c.wal.f.Truncate(0); err != nil {
 		return err
@@ -518,7 +630,6 @@ func (c *Catalog) Snapshot() error {
 	if _, err := c.wal.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	c.wal.bw.Reset(c.wal.f)
 	return nil
 }
 

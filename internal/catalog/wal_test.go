@@ -163,6 +163,57 @@ func TestTornTailTolerated(t *testing.T) {
 	}
 }
 
+func TestCorruptMidFileRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, c)
+	c.Close()
+
+	// Corrupt a record that is *followed* by a valid one: that is log
+	// damage, not a torn tail, and silently stopping there would drop
+	// acknowledged state.
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"op\":\"dataset\",\"data\":{\"name\":\"torn\n")
+	f.WriteString("{\"op\":\"dataset\",\"data\":{\"name\":\"after\"}}\n")
+	f.Close()
+
+	if _, err := Open(dir, nil, Options{}); err == nil {
+		t.Fatal("corrupt mid-file record silently tolerated")
+	}
+}
+
+func TestTornTailAfterBlankLinesTolerated(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, c)
+	c.Close()
+
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn record trailed only by empty lines is still a torn tail.
+	f.WriteString("{\"op\":\"dataset\",\"data\":{\"name\":\"torn\n\n")
+	f.Close()
+
+	c2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatalf("torn tail with trailing blank line should be tolerated: %v", err)
+	}
+	c2.Close()
+}
+
 func TestOpenWithSeedRegistry(t *testing.T) {
 	dir := t.TempDir()
 	c, err := Open(dir, dtype.StandardRegistry(), Options{})

@@ -75,6 +75,15 @@ func (s *Server) routes() {
 	// scrapes don't inflate the API metrics.
 	m.Handle("GET /metrics", obs.Default.Handler())
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Cat.DurabilityErr(); err != nil {
+			// The WAL is poisoned: the catalog still serves reads, but
+			// every mutation will fail. Report unhealthy so an operator
+			// (or orchestrator) replaces the node.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded", "name": s.Name, "stats": s.Cat.Stats(), "wal": err.Error(),
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "name": s.Name, "stats": s.Cat.Stats()})
 	})
 
@@ -278,6 +287,11 @@ func (s *Server) replyErr(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
 	case errors.Is(err, catalog.ErrExists), errors.Is(err, catalog.ErrConflict):
 		writeJSON(w, http.StatusConflict, errorBody{err.Error()})
+	case errors.Is(err, catalog.ErrDurability):
+		// The mutation validated but its group commit failed: this is an
+		// availability fault of the server, not a bad request, and the
+		// caller must not assume the write persisted.
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 	}
