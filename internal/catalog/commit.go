@@ -48,9 +48,10 @@ type committer struct {
 	waiters    int    // goroutines blocked in wait()
 	nextSeq    uint64 // sequence of the last enqueued record
 	durable    uint64 // sequence of the last record written (and fsynced)
-	committing bool   // a batch write is in flight
+	committing bool   // a batch write (or its accumulation window) is in flight
 	closing    bool
-	err        error // sticky: first write/fsync failure poisons the WAL
+	closeCh    chan struct{} // closed when closing begins; interrupts the delay window
+	err        error         // sticky: first write/fsync failure poisons the WAL
 
 	// fsyncEWMA smooths recent fsync latencies. The MaxDelay batch
 	// window only pays off when fsync costs much more than the window
@@ -68,6 +69,7 @@ func newCommitter(f *os.File, fsync bool, maxBatch int, maxDelay time.Duration) 
 		fsync:    fsync,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
+		closeCh:  make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	w.work = sync.NewCond(&w.mu)
@@ -138,7 +140,10 @@ func (w *committer) flush() error {
 // caller afterwards.
 func (w *committer) close() error {
 	w.mu.Lock()
-	w.closing = true
+	if !w.closing {
+		w.closing = true
+		close(w.closeCh)
+	}
 	w.work.Signal()
 	w.mu.Unlock()
 	<-w.done
@@ -188,10 +193,29 @@ func (w *committer) commitLocked() {
 		// cheaper than the window (fast SSDs, tmpfs) the in-flight
 		// commit itself is the accumulation window, so we skip straight
 		// to the write.
+		//
+		// The window is part of the commit: committing stays set across
+		// the sleep so no other goroutine starts a second commit and
+		// swaps pending into spare while this batch is still headed for
+		// the file. close() interrupts the window via closeCh so a batch
+		// opened just before shutdown does not hold Close for the full
+		// delay — it commits immediately, and the final drain proceeds.
+		w.committing = true
 		w.mu.Unlock()
-		time.Sleep(w.maxDelay)
+		t := time.NewTimer(w.maxDelay)
+		select {
+		case <-t.C:
+		case <-w.closeCh:
+			t.Stop()
+		}
 		w.mu.Lock()
+		w.committing = false
+		// While committing was held nothing else could commit, so err
+		// cannot have been set and the queue cannot have drained; checked
+		// anyway so an early return never strands a waiter.
 		if w.err != nil || w.count == 0 {
+			w.did.Broadcast()
+			w.work.Signal()
 			return
 		}
 	}

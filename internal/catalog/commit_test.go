@@ -1,6 +1,8 @@
 package catalog
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -131,6 +133,181 @@ func TestCommitterStickyFailure(t *testing.T) {
 	}
 	if com.failure() == nil {
 		t.Fatal("sticky failure not recorded")
+	}
+}
+
+// TestInlineStickyFailure poisons the inline (MaxBatch=1) WAL by
+// severing its file descriptor: the failing mutation reports
+// ErrDurability, and every later mutation must fail fast instead of
+// appending past the (possibly torn) record — which would produce the
+// corrupt-mid-file shape replay rejects.
+func TestInlineStickyFailure(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, nil, Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDataset(schema.Dataset{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.wal.f.Close(); err != nil { // writes will now fail
+		t.Fatal(err)
+	}
+	if err := c.AddDataset(schema.Dataset{Name: "broken"}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("want ErrDurability, got %v", err)
+	}
+	if err := c.AddDataset(schema.Dataset{Name: "later"}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("mutation after inline WAL failure must fail fast, got %v", err)
+	}
+	if c.DurabilityErr() == nil {
+		t.Fatal("inline sticky failure not reported by DurabilityErr")
+	}
+}
+
+// TestDelayWindowExclusiveCommit drives the committer hard with the
+// MaxDelay accumulation window forced open (fsyncEWMA pinned far above
+// the gate's threshold). The window is part of the commit: while the
+// leader sleeps off-lock, no other goroutine may start a second commit
+// and recycle the in-flight buffer. Under -race this catches the
+// pending/spare aliasing directly; the final scan catches any torn or
+// interleaved records on disk.
+func TestDelayWindowExclusiveCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	com := newCommitter(f, true, 1024, 200*time.Microsecond)
+
+	// Keep the gate open for the whole run: commits with fast fsyncs
+	// decay the EWMA, so a booster re-pins it until the writers finish.
+	pinEWMA := func() {
+		com.mu.Lock()
+		com.fsyncEWMA = 50 * time.Millisecond
+		com.mu.Unlock()
+	}
+	pinEWMA()
+	stopBoost := make(chan struct{})
+	var boostWG sync.WaitGroup
+	boostWG.Add(1)
+	go func() {
+		defer boostWG.Done()
+		for {
+			select {
+			case <-stopBoost:
+				return
+			case <-time.After(time.Millisecond):
+				pinEWMA()
+			}
+		}
+	}()
+
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seq, err := com.enqueue(opDataset, map[string]string{"name": fmt.Sprintf("w%d-%d", w, i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := com.wait(seq); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopBoost)
+	boostWG.Wait()
+	if err := com.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("corrupt WAL record %q: %v", line, err)
+		}
+		records++
+	}
+	if records != writers*perWriter {
+		t.Fatalf("WAL holds %d records, want %d", records, writers*perWriter)
+	}
+}
+
+// TestCloseInterruptsDelayWindow stages a contended batch whose leader
+// is inside a long accumulation window, then closes the committer: the
+// window must be cut short (the batch commits immediately) instead of
+// holding Close for the full MaxDelay.
+func TestCloseInterruptsDelayWindow(t *testing.T) {
+	const maxDelay = 3 * time.Second
+	path := filepath.Join(t.TempDir(), "wal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	com := newCommitter(f, false, 1024, maxDelay)
+
+	// Stage two pending records and fake the contention that opens the
+	// accumulation window, without signaling work — the test goroutine
+	// below plays the batch leader, exactly as an assisting waiter would.
+	com.mu.Lock()
+	com.fsyncEWMA = time.Minute
+	for _, name := range []string{"a", "b"} {
+		rec, err := json.Marshal(walEnvelope{Op: opDataset, Data: map[string]string{"name": name}})
+		if err != nil {
+			com.mu.Unlock()
+			t.Fatal(err)
+		}
+		com.pending = append(com.pending, rec...)
+		com.pending = append(com.pending, '\n')
+		com.count++
+		com.nextSeq++
+	}
+	com.waiters = 2
+	com.mu.Unlock()
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		com.mu.Lock()
+		com.commitLocked()
+		com.mu.Unlock()
+	}()
+
+	// Let the leader enter the window, then close underneath it.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	if err := com.close(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > maxDelay/2 {
+		t.Fatalf("close blocked %v; the delay window was not interrupted", took)
+	}
+	<-leaderDone
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != 2 {
+		t.Fatalf("WAL holds %d records after close, want 2", got)
 	}
 }
 

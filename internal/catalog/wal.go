@@ -63,6 +63,13 @@ type wal struct {
 	// Inline-mode encode buffer, reused per record; guarded by c.mu.
 	scratch bytes.Buffer
 	enc     *json.Encoder
+
+	// Inline-mode sticky durability error, guarded by c.mu. A failed
+	// write can leave a torn record mid-file; appending past it would
+	// produce exactly the corrupt-record-followed-by-valid-records shape
+	// replay rejects, so the first failure poisons the log — mirroring
+	// the group committer's sticky err.
+	err error
 }
 
 const (
@@ -203,15 +210,19 @@ func (c *Catalog) Close() error {
 }
 
 // DurabilityErr reports the WAL's sticky failure, if any: non-nil once
-// a batch write or fsync has failed, after which every further
-// mutation is rejected. In-memory catalogs always return nil.
+// a WAL write or fsync has failed (batched or inline), after which
+// every further mutation is rejected. In-memory catalogs always
+// return nil.
 func (c *Catalog) DurabilityErr() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if c.wal == nil || c.wal.com == nil {
+	if c.wal == nil {
 		return nil
 	}
-	return c.wal.com.failure()
+	if c.wal.com != nil {
+		return c.wal.com.failure()
+	}
+	return c.wal.err
 }
 
 // logOp records one operation in the WAL. Callers hold c.mu. With the
@@ -236,20 +247,27 @@ func (c *Catalog) logOp(op opKind, v any) error {
 // append writes one record synchronously: the inline (MaxBatch=1)
 // path. The scratch buffer is reused across records, so the only
 // allocation is whatever the JSON encoder needs for the value itself.
+// The first write/fsync failure poisons the log (see wal.err); encode
+// failures do not, since nothing reached the file.
 func (w *wal) append(op opKind, v any) error {
+	if w.err != nil {
+		return w.err
+	}
 	start := time.Now()
 	w.scratch.Reset()
 	if err := w.enc.Encode(walEnvelope{Op: op, Data: v}); err != nil {
 		return fmt.Errorf("catalog: wal encode: %w", err)
 	}
 	if _, err := w.f.Write(w.scratch.Bytes()); err != nil {
-		return fmt.Errorf("%w: wal append: %v", ErrDurability, err)
+		w.err = fmt.Errorf("%w: wal append: %v", ErrDurability, err)
+		return w.err
 	}
 	metricWALAppend.ObserveSince(start)
 	if w.sync {
 		fsyncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("%w: wal sync: %v", ErrDurability, err)
+			w.err = fmt.Errorf("%w: wal sync: %v", ErrDurability, err)
+			return w.err
 		}
 		metricWALFsync.ObserveSince(fsyncStart)
 	}
