@@ -95,3 +95,10 @@ func BenchmarkE10VDL(b *testing.B) {
 func BenchmarkE11Ingest(b *testing.B) {
 	runTable(b, func() (bench.Table, error) { return bench.E11Ingest([]int{1, 4, 16}, 50) })
 }
+
+// BenchmarkE12Query regenerates E12: indexed discovery vs full scan,
+// plus query throughput under concurrent ingest (docs/PERF.md). Kept
+// small so the -race CI smoke run finishes in seconds.
+func BenchmarkE12Query(b *testing.B) {
+	runTable(b, func() (bench.Table, error) { return bench.E12Query([]int{1000}, 5) })
+}

@@ -1,5 +1,5 @@
 // Command vdg-bench runs the experiment harness at paper scale and
-// prints one results table per experiment (E1–E11 in DESIGN.md). The
+// prints one results table per experiment (E1–E12 in DESIGN.md). The
 // tables reproduce the shapes of the paper's evaluation claims; the
 // recorded outputs live in EXPERIMENTS.md.
 //
@@ -63,17 +63,23 @@ func experiments() []experiment {
 		{"E11",
 			func() (bench.Table, error) { return bench.E11Ingest([]int{1, 4, 16}, 50) },
 			func() (bench.Table, error) { return bench.E11Ingest([]int{1, 4, 16, 64}, 200) }},
+		{"E12",
+			func() (bench.Table, error) { return bench.E12Query([]int{1000, 10000}, 20) },
+			func() (bench.Table, error) { return bench.E12Query([]int{1000, 10000, 100000}, 50) }},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
 		{"A2",
 			func() (bench.Table, error) { return bench.A2PendingLoad(100, 16) },
 			func() (bench.Table, error) { return bench.A2PendingLoad(600, 60) }},
+		{"A3",
+			func() (bench.Table, error) { return bench.A3PlannerOff(2000, 20) },
+			func() (bench.Table, error) { return bench.A3PlannerOff(10000, 50) }},
 	}
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E11, A1, A2, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E12, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")

@@ -201,6 +201,38 @@ func TestA1IndexBeatsScan(t *testing.T) {
 	}
 }
 
+func TestE12IndexedBeatsScan(t *testing.T) {
+	tab, err := E12Query([]int{10000}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(t, tab, 0, "agree") != "true" {
+		t.Errorf("indexed and scan paths disagree: %v", tab.Rows[0])
+	}
+	if ratio := cellF(t, tab, 0, "scan/indexed"); !(ratio > 10) {
+		t.Errorf("indexed not >=10x faster at 10k derivations: %v", tab.Rows[0])
+	}
+	if !(cellF(t, tab, 0, "qps-under-ingest") > 0) {
+		t.Errorf("no queries completed under ingest: %v", tab.Rows[0])
+	}
+}
+
+func TestA3PlannerNeverLoses(t *testing.T) {
+	tab, err := A3PlannerOff(2000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		if cell(t, tab, i, "agree") != "true" {
+			t.Errorf("row %d: planner and scan disagree: %v", i, tab.Rows[i])
+		}
+	}
+	// The point lookup (row 0) must be dramatically faster indexed.
+	if ratio := cellF(t, tab, 0, "scan/indexed"); !(ratio > 10) {
+		t.Errorf("point lookup not >=10x faster: %v", tab.Rows[0])
+	}
+}
+
 func TestA2TrackingWins(t *testing.T) {
 	tab, err := A2PendingLoad(60, 16)
 	if err != nil {

@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/query"
+	"chimera/internal/schema"
+)
+
+// E12Query measures discovery-query latency against catalog size, the
+// planner's indexed path versus a forced full scan (docs/PERF.md), plus
+// query throughput while an ingest storm mutates the same catalog.
+//
+// The timed queries are selective — the discovery patterns of §3.1
+// ("find the datasets derived from this input", "which derivation
+// produced this file") whose answer is a handful of objects out of
+// thousands. The indexed path resolves them through the catalog's
+// secondary indexes in time proportional to the answer; the scan path
+// evaluates the predicate against every object.
+func E12Query(sizes []int, reps int) (Table, error) {
+	t := Table{
+		Experiment: "E12",
+		Title:      fmt.Sprintf("indexed discovery vs full scan (%d reps per query)", reps),
+		Columns:    []string{"derivations", "indexed-ms", "scan-ms", "scan/indexed", "agree", "qps-under-ingest"},
+	}
+	for _, size := range sizes {
+		cat, err := e12Catalog(size)
+		if err != nil {
+			return t, err
+		}
+		qs, err := e12Queries(size)
+		if err != nil {
+			return t, err
+		}
+
+		agree := true
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			for _, q := range qs {
+				if _, err := query.Run(cat, q.kind, q.expr); err != nil {
+					return t, err
+				}
+			}
+		}
+		indexedMS := ms(start)
+
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			for _, q := range qs {
+				if _, err := query.RunScan(cat, q.kind, q.expr); err != nil {
+					return t, err
+				}
+			}
+		}
+		scanMS := ms(start)
+
+		for _, q := range qs {
+			ri, err := query.Run(cat, q.kind, q.expr)
+			if err != nil {
+				return t, err
+			}
+			rs, err := query.RunScan(cat, q.kind, q.expr)
+			if err != nil {
+				return t, err
+			}
+			if !sameResults(ri, rs) {
+				agree = false
+			}
+		}
+
+		qps, err := e12UnderIngest(cat, qs, size)
+		if err != nil {
+			return t, err
+		}
+
+		ratio := 0.0
+		if indexedMS > 0 {
+			ratio = scanMS / indexedMS
+		}
+		t.Add(size, indexedMS, scanMS, ratio, agree, qps)
+	}
+	t.Notes = append(t.Notes,
+		"scan cost grows with the catalog while indexed cost tracks the answer size, so the ratio widens with scale; queries keep their full rate during ingest because each takes one snapshot under a shared read lock")
+	return t, nil
+}
+
+// e12Query pairs a parsed expression with the kind it runs against.
+type e12Q struct {
+	kind query.Kind
+	expr query.Expr
+}
+
+// e12Queries builds the selective query mix for a catalog of the given
+// size: point lookups, attribute equality, provenance membership, and
+// an indexed conjunct with a residual.
+func e12Queries(size int) ([]e12Q, error) {
+	mid := size / 2
+	srcs := []struct {
+		kind query.Kind
+		q    string
+	}{
+		{query.KDataset, fmt.Sprintf("name = out%d and derived", mid)},
+		{query.KDataset, fmt.Sprintf("attr.owner = owner%d", mid%ownerGroups)},
+		{query.KDataset, fmt.Sprintf(`attr.owner = owner%d and name ~ "out*"`, mid%ownerGroups)},
+		{query.KDerivation, fmt.Sprintf("consumes(in%d)", mid)},
+		{query.KDerivation, fmt.Sprintf("produces(out%d) and executed", mid)},
+	}
+	qs := make([]e12Q, 0, len(srcs))
+	for _, s := range srcs {
+		e, err := query.Parse(s.q)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, e12Q{kind: s.kind, expr: e})
+	}
+	return qs, nil
+}
+
+// ownerGroups spreads dataset attributes over this many distinct owner
+// values, so attribute queries select ~size/ownerGroups objects.
+const ownerGroups = 100
+
+// e12Catalog ingests size derivation chains (inN -> outN through one
+// transformation), with owner attributes on the inputs and invocations
+// on every other derivation.
+func e12Catalog(size int) (*catalog.Catalog, error) {
+	cat := catalog.New(nil)
+	if err := cat.AddTransformation(ingestTR("gen")); err != nil {
+		return nil, err
+	}
+	for i := 0; i < size; i++ {
+		in := fmt.Sprintf("in%d", i)
+		if err := cat.AddDataset(schema.Dataset{
+			Name:  in,
+			Attrs: schema.Attributes{"owner": fmt.Sprintf("owner%d", i%ownerGroups)},
+		}); err != nil {
+			return nil, err
+		}
+		dv, err := cat.AddDerivation(ingestDV("gen", in, fmt.Sprintf("out%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		if i%2 == 0 {
+			if err := cat.AddInvocation(schema.Invocation{
+				ID: fmt.Sprintf("iv%d", i), Derivation: dv.ID,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cat, nil
+}
+
+// e12UnderIngest runs the query mix from 4 reader goroutines while one
+// writer ingests more derivation chains, and returns completed queries
+// per second over the ingest window. The writer ingests at least size/4
+// chains and keeps going until every reader has finished one full pass,
+// so the measured window always contains real query-under-write
+// contention.
+func e12UnderIngest(cat *catalog.Catalog, qs []e12Q, size int) (float64, error) {
+	const readers = 4
+	stop := make(chan struct{})
+	errs := make(chan error, readers+1)
+	counts := make([]atomic.Int64, readers)
+	var failed atomic.Bool
+
+	var readWG sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range qs {
+					if _, err := query.Run(cat, q.kind, q.expr); err != nil {
+						errs <- err
+						failed.Store(true)
+						return
+					}
+				}
+				counts[r].Add(int64(len(qs)))
+			}
+		}(r)
+	}
+
+	burst := size / 4
+	if burst < 1 {
+		burst = 1
+	}
+	allBusy := func() bool {
+		for r := range counts {
+			if counts[r].Load() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; (i < burst || !allBusy()) && !failed.Load(); i++ {
+		in := fmt.Sprintf("storm-in%d", i)
+		if _, err := cat.AddDerivation(ingestDV("gen", in, fmt.Sprintf("storm-out%d", i))); err != nil {
+			close(stop)
+			readWG.Wait()
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	readWG.Wait()
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	var total int64
+	for r := range counts {
+		total += counts[r].Load()
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// sameResults compares two query results by identity and order.
+func sameResults(a, b query.Results) bool {
+	if len(a.Datasets) != len(b.Datasets) ||
+		len(a.Transformations) != len(b.Transformations) ||
+		len(a.Derivations) != len(b.Derivations) {
+		return false
+	}
+	for i := range a.Datasets {
+		if a.Datasets[i].Name != b.Datasets[i].Name {
+			return false
+		}
+	}
+	for i := range a.Transformations {
+		if a.Transformations[i].Ref() != b.Transformations[i].Ref() {
+			return false
+		}
+	}
+	for i := range a.Derivations {
+		if a.Derivations[i].ID != b.Derivations[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// A3PlannerOff ablates the predicate planner (DESIGN.md: indexed
+// discovery): the same query answered through the index-intersection
+// plan and with the planner disabled (full-scan evaluation), per query
+// shape, on one catalog of the given size.
+func A3PlannerOff(size, reps int) (Table, error) {
+	t := Table{
+		Experiment: "A3",
+		Title:      fmt.Sprintf("ablation: predicate planner off -> full scan (%d derivations, %d reps)", size, reps),
+		Columns:    []string{"query", "kind", "indexed-ms", "scan-ms", "scan/indexed", "agree"},
+	}
+	cat, err := e12Catalog(size)
+	if err != nil {
+		return t, err
+	}
+	mid := size / 2
+	shapes := []struct {
+		kind query.Kind
+		q    string
+	}{
+		{query.KDataset, fmt.Sprintf("name = out%d", mid)},
+		{query.KDataset, fmt.Sprintf("attr.owner = owner%d", mid%ownerGroups)},
+		{query.KDataset, `derived and name ~ "out1*"`},
+		{query.KDerivation, fmt.Sprintf("consumes(in%d)", mid)},
+		{query.KDerivation, `executed`},
+		{query.KDataset, `name ~ "out*"`}, // no indexable conjunct: both paths scan
+	}
+	for _, s := range shapes {
+		e, err := query.Parse(s.q)
+		if err != nil {
+			return t, err
+		}
+		ri, err := query.Run(cat, s.kind, e)
+		if err != nil {
+			return t, err
+		}
+		rs, err := query.RunScan(cat, s.kind, e)
+		if err != nil {
+			return t, err
+		}
+		agree := sameResults(ri, rs)
+
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := query.Run(cat, s.kind, e); err != nil {
+				return t, err
+			}
+		}
+		indexedMS := ms(start)
+
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := query.RunScan(cat, s.kind, e); err != nil {
+				return t, err
+			}
+		}
+		scanMS := ms(start)
+
+		ratio := 0.0
+		if indexedMS > 0 {
+			ratio = scanMS / indexedMS
+		}
+		t.Add(s.q, kindName(s.kind), indexedMS, scanMS, ratio, agree)
+	}
+	t.Notes = append(t.Notes,
+		"selective point and membership queries collapse to candidate-set lookups; queries with no indexable conjunct fall back to the same scan, so the planner never loses")
+	return t, nil
+}
+
+func kindName(k query.Kind) string {
+	switch k {
+	case query.KDataset:
+		return "dataset"
+	case query.KTransformation:
+		return "transformation"
+	default:
+		return "derivation"
+	}
+}

@@ -68,6 +68,10 @@ type Catalog struct {
 	invocationsByDV   map[string][]string // derivation ID -> invocation IDs
 	versionsOf        map[string][]string // "ns::name" -> versions
 
+	// Discovery indexes (index.go), maintained incrementally by the
+	// put*/drop* helpers every mutation path funnels through.
+	idx indexes
+
 	wal *wal // nil for purely in-memory catalogs
 
 	// pendingSeq is the group-commit sequence of the last WAL record
@@ -96,6 +100,7 @@ func New(types *dtype.Registry) *Catalog {
 		replicasByDataset: make(map[string][]string),
 		invocationsByDV:   make(map[string][]string),
 		versionsOf:        make(map[string][]string),
+		idx:               newIndexes(),
 	}
 }
 
@@ -170,7 +175,7 @@ func (c *Catalog) AddDataset(ds schema.Dataset) (err error) {
 				return fmt.Errorf("%w: dataset %q cites unknown derivation %q", ErrNotFound, ds.Name, ds.CreatedBy)
 			}
 		}
-		c.datasets[ds.Name] = ds
+		c.putDataset(ds)
 		return c.logOp(opDataset, ds)
 	})
 }
@@ -191,7 +196,7 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
 		if ds.Epoch < old.Epoch {
 			return fmt.Errorf("%w: dataset %q epoch moved backwards (%d -> %d)", ErrConflict, ds.Name, old.Epoch, ds.Epoch)
 		}
-		c.datasets[ds.Name] = ds
+		c.putDataset(ds)
 		return c.logOp(opDataset, ds)
 	})
 }
@@ -212,7 +217,7 @@ func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error
 			return fmt.Errorf("%w: dataset %q", ErrNotFound, name)
 		}
 		ds.Epoch++
-		c.datasets[name] = ds
+		c.putDataset(ds)
 		if err := c.logOp(opDataset, ds); err != nil {
 			return err
 		}
@@ -220,7 +225,7 @@ func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error
 			for _, id := range c.replicasByDataset[name] {
 				r := c.replicas[id]
 				r.Epoch = ds.Epoch
-				c.replicas[id] = r
+				c.putReplica(r)
 				if err := c.logOp(opReplica, r); err != nil {
 					return err
 				}
@@ -283,9 +288,7 @@ func (c *Catalog) AddTransformation(tr schema.Transformation) (err error) {
 			}
 			return fmt.Errorf("%w: transformation %q", ErrExists, ref)
 		}
-		c.transformations[ref] = tr
-		base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
-		c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+		c.putTransformation(tr)
 		return c.logOp(opTransformation, tr)
 	})
 }
@@ -511,7 +514,7 @@ func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err 
 		for _, in := range inputs {
 			if _, ok := c.datasets[in]; !ok {
 				ds := schema.Dataset{Name: in}
-				c.datasets[in] = ds
+				c.putDataset(ds)
 				if err := c.logOp(opDataset, ds); err != nil {
 					return err
 				}
@@ -521,29 +524,21 @@ func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err 
 			if ds, ok := c.datasets[out]; ok {
 				if ds.CreatedBy == "" {
 					ds.CreatedBy = dv.ID
-					c.datasets[out] = ds
+					c.putDataset(ds)
 					if err := c.logOp(opDataset, ds); err != nil {
 						return err
 					}
 				}
 			} else {
 				ds := schema.Dataset{Name: out, CreatedBy: dv.ID}
-				c.datasets[out] = ds
+				c.putDataset(ds)
 				if err := c.logOp(opDataset, ds); err != nil {
 					return err
 				}
 			}
 		}
 
-		c.derivations[dv.ID] = dv
-		c.inputsOf[dv.ID] = inputs
-		c.outputsOf[dv.ID] = outputs
-		for _, in := range inputs {
-			c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
-		}
-		for _, out := range outputs {
-			c.producerOf[out] = dv.ID
-		}
+		c.indexDerivation(dv, tr)
 		if err := c.logOp(opDerivation, dv); err != nil {
 			return err
 		}
@@ -634,8 +629,7 @@ func (c *Catalog) AddInvocation(iv schema.Invocation) (err error) {
 		if _, ok := c.invocations[iv.ID]; ok {
 			return fmt.Errorf("%w: invocation %q", ErrExists, iv.ID)
 		}
-		c.invocations[iv.ID] = iv
-		c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
+		c.putInvocation(iv)
 		return c.logOp(opInvocation, iv)
 	})
 }
@@ -649,6 +643,23 @@ func (c *Catalog) Invocation(id string) (schema.Invocation, error) {
 		return schema.Invocation{}, fmt.Errorf("%w: invocation %q", ErrNotFound, id)
 	}
 	return iv, nil
+}
+
+// HasInvocations reports whether a derivation has recorded at least one
+// invocation, without copying them — the cheap emptiness test the
+// query layer's `executed` flag wants.
+func (c *Catalog) HasInvocations(derivation string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.executed.Has(derivation)
+}
+
+// InvocationCount returns the number of invocations recorded for a
+// derivation.
+func (c *Catalog) InvocationCount(derivation string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.invocationsByDV[derivation])
 }
 
 // InvocationsOf returns the invocations of one derivation, in insertion
@@ -692,8 +703,7 @@ func (c *Catalog) AddReplica(r schema.Replica) (err error) {
 		if _, ok := c.replicas[r.ID]; ok {
 			return fmt.Errorf("%w: replica %q", ErrExists, r.ID)
 		}
-		c.replicas[r.ID] = r
-		c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+		c.putReplica(r)
 		return c.logOp(opReplica, r)
 	})
 }
@@ -704,17 +714,9 @@ func (c *Catalog) RemoveReplica(id string) (err error) {
 	opRmReplica.Inc()
 	defer func() { err = countErr("remove_replica", err) }()
 	return c.mutate(func() error {
-		r, ok := c.replicas[id]
+		r, ok := c.dropReplica(id)
 		if !ok {
 			return fmt.Errorf("%w: replica %q", ErrNotFound, id)
-		}
-		delete(c.replicas, id)
-		ids := c.replicasByDataset[r.Dataset]
-		for i, x := range ids {
-			if x == id {
-				c.replicasByDataset[r.Dataset] = append(ids[:i:i], ids[i+1:]...)
-				break
-			}
 		}
 		return c.logOp(opRemoveReplica, r.ID)
 	})
@@ -752,16 +754,9 @@ func (c *Catalog) Materialized(dataset string) bool {
 }
 
 func (c *Catalog) materializedLocked(dataset string) bool {
-	ds, ok := c.datasets[dataset]
-	if !ok {
-		return false
-	}
-	for _, id := range c.replicasByDataset[dataset] {
-		if c.replicas[id].Epoch == ds.Epoch {
-			return true
-		}
-	}
-	return false
+	// The flag set is maintained by every mutation path (index.go), so
+	// membership is the answer — no replica scan.
+	return c.idx.materialized.Has(dataset)
 }
 
 // Stats summarizes catalog contents.

@@ -1,0 +1,353 @@
+package catalog
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// Secondary indexes for the discovery path. Every index is maintained
+// incrementally under the catalog write lock by the put*/drop* helpers
+// below, which are the single funnel for all mutation paths — public
+// mutators, WAL replay (apply), and snapshot load (applyExport) — so
+// the indexes can never drift from the primary maps regardless of how
+// state arrives. CheckIndexes verifies exactly that by rebuilding from
+// scratch and comparing.
+//
+// The read side is Catalog.View (view.go): queries resolve candidate
+// sets from these indexes and iterate one consistent snapshot instead
+// of copying and sorting the whole catalog per query.
+
+// IndexSet is a set of object identifiers (dataset names, canonical
+// transformation refs, or derivation IDs, depending on the index).
+// Sets handed out by a View are shared, not copied: callers must treat
+// them as read-only and must not retain them past View.Close.
+type IndexSet map[string]struct{}
+
+// Has reports membership.
+func (s IndexSet) Has(id string) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// indexes holds every secondary index. Empty sets are removed from
+// their parent maps (and empty value maps from attribute indexes) so a
+// populated-then-drained index compares equal to a freshly rebuilt one.
+type indexes struct {
+	// Attribute equality: key -> value -> members.
+	dsAttr map[string]map[string]IndexSet // dataset names
+	trAttr map[string]map[string]IndexSet // transformation refs
+	dvAttr map[string]map[string]IndexSet // derivation IDs
+
+	// Dataset exact type -> dataset names. Type conformance queries
+	// union the sets of every registered exact type that conforms to
+	// the queried type (the set of distinct exact types is small, so
+	// the subtype closure is recomputed per query against the live
+	// registry — no cache to invalidate on DefineType).
+	dsByType map[dtype.Type]IndexSet
+
+	// Flag sets.
+	derived      IndexSet // dataset names with CreatedBy linkage
+	materialized IndexSet // dataset names with >=1 replica at the current epoch
+	executed     IndexSet // derivation IDs with >=1 invocation
+
+	// Transformation-ref -> derivation IDs: by the exact TR string the
+	// derivation cites, and by the versionless "ns::name" base so
+	// `tr = ns::name` finds derivations citing any version.
+	dvByTR     map[string]IndexSet
+	dvByTRBase map[string]IndexSet
+
+	// Display name -> derivation IDs (a derivation's query name is its
+	// Name when set, otherwise its ID; names need not be unique).
+	dvByName map[string]IndexSet
+}
+
+func newIndexes() indexes {
+	return indexes{
+		dsAttr:       make(map[string]map[string]IndexSet),
+		trAttr:       make(map[string]map[string]IndexSet),
+		dvAttr:       make(map[string]map[string]IndexSet),
+		dsByType:     make(map[dtype.Type]IndexSet),
+		derived:      make(IndexSet),
+		materialized: make(IndexSet),
+		executed:     make(IndexSet),
+		dvByTR:       make(map[string]IndexSet),
+		dvByTRBase:   make(map[string]IndexSet),
+		dvByName:     make(map[string]IndexSet),
+	}
+}
+
+// --- low-level set maintenance ----------------------------------------
+
+func setAdd(m map[string]IndexSet, key, id string) {
+	s, ok := m[key]
+	if !ok {
+		s = make(IndexSet)
+		m[key] = s
+	}
+	s[id] = struct{}{}
+}
+
+func setRemove(m map[string]IndexSet, key, id string) {
+	if s, ok := m[key]; ok {
+		delete(s, id)
+		if len(s) == 0 {
+			delete(m, key)
+		}
+	}
+}
+
+func attrIndexAdd(idx map[string]map[string]IndexSet, attrs schema.Attributes, id string) {
+	for k, v := range attrs {
+		byVal, ok := idx[k]
+		if !ok {
+			byVal = make(map[string]IndexSet)
+			idx[k] = byVal
+		}
+		setAdd(byVal, v, id)
+	}
+}
+
+func attrIndexRemove(idx map[string]map[string]IndexSet, attrs schema.Attributes, id string) {
+	for k, v := range attrs {
+		if byVal, ok := idx[k]; ok {
+			setRemove(byVal, v, id)
+			if len(byVal) == 0 {
+				delete(idx, k)
+			}
+		}
+	}
+}
+
+// --- mutation funnel ---------------------------------------------------
+
+// putDataset installs or replaces a dataset record and all its index
+// entries. Callers hold c.mu.
+func (c *Catalog) putDataset(ds schema.Dataset) {
+	if old, ok := c.datasets[ds.Name]; ok {
+		attrIndexRemove(c.idx.dsAttr, old.Attrs, old.Name)
+		if old.Type != ds.Type {
+			setRemoveTyped(c.idx.dsByType, old.Type, old.Name)
+		}
+		if old.CreatedBy != "" && ds.CreatedBy == "" {
+			delete(c.idx.derived, old.Name)
+		}
+	}
+	c.datasets[ds.Name] = ds
+	attrIndexAdd(c.idx.dsAttr, ds.Attrs, ds.Name)
+	setAddTyped(c.idx.dsByType, ds.Type, ds.Name)
+	if ds.CreatedBy != "" {
+		c.idx.derived[ds.Name] = struct{}{}
+	}
+	// An epoch change can flip materialization either way.
+	c.reindexMaterialized(ds.Name)
+}
+
+func setAddTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
+	s, ok := m[t]
+	if !ok {
+		s = make(IndexSet)
+		m[t] = s
+	}
+	s[id] = struct{}{}
+}
+
+func setRemoveTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
+	if s, ok := m[t]; ok {
+		delete(s, id)
+		if len(s) == 0 {
+			delete(m, t)
+		}
+	}
+}
+
+// putTransformation installs a transformation, maintaining the version
+// and attribute indexes. Callers hold c.mu.
+func (c *Catalog) putTransformation(tr schema.Transformation) {
+	ref := tr.Ref()
+	if old, ok := c.transformations[ref]; ok {
+		attrIndexRemove(c.idx.trAttr, old.Attrs, ref)
+	} else {
+		base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
+		c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+	}
+	c.transformations[ref] = tr
+	attrIndexAdd(c.idx.trAttr, tr.Attrs, ref)
+}
+
+// indexDerivation installs a derivation with its provenance and
+// secondary indexes. Callers hold c.mu. No-op if the ID exists.
+func (c *Catalog) indexDerivation(dv schema.Derivation, tr schema.Transformation) {
+	if _, ok := c.derivations[dv.ID]; ok {
+		return
+	}
+	inputs := dv.Inputs(tr)
+	outputs := dv.Outputs(tr)
+	c.derivations[dv.ID] = dv
+	c.inputsOf[dv.ID] = inputs
+	c.outputsOf[dv.ID] = outputs
+	for _, in := range inputs {
+		c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
+	}
+	for _, out := range outputs {
+		c.producerOf[out] = dv.ID
+	}
+	attrIndexAdd(c.idx.dvAttr, dv.Attrs, dv.ID)
+	setAdd(c.idx.dvByTR, dv.TR, dv.ID)
+	if ns, name, _, err := schema.ParseTRRef(dv.TR); err == nil {
+		setAdd(c.idx.dvByTRBase, schema.FormatTRRef(ns, name, ""), dv.ID)
+	}
+	name := dv.Name
+	if name == "" {
+		name = dv.ID
+	}
+	setAdd(c.idx.dvByName, name, dv.ID)
+}
+
+// putInvocation installs an invocation. Callers hold c.mu. No-op if the
+// ID exists.
+func (c *Catalog) putInvocation(iv schema.Invocation) {
+	if _, ok := c.invocations[iv.ID]; ok {
+		return
+	}
+	c.invocations[iv.ID] = iv
+	c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
+	c.idx.executed[iv.Derivation] = struct{}{}
+}
+
+// putReplica installs a new replica or updates an existing one in place
+// (epoch re-stamp), keeping the materialized set current. Callers hold
+// c.mu.
+func (c *Catalog) putReplica(r schema.Replica) {
+	if _, ok := c.replicas[r.ID]; ok {
+		c.replicas[r.ID] = r
+	} else {
+		c.replicas[r.ID] = r
+		c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+	}
+	c.reindexMaterialized(r.Dataset)
+}
+
+// dropReplica removes a replica record, if present. Callers hold c.mu.
+func (c *Catalog) dropReplica(id string) (schema.Replica, bool) {
+	r, ok := c.replicas[id]
+	if !ok {
+		return schema.Replica{}, false
+	}
+	delete(c.replicas, id)
+	ids := c.replicasByDataset[r.Dataset]
+	for i, x := range ids {
+		if x == id {
+			ids = append(ids[:i:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(c.replicasByDataset, r.Dataset)
+	} else {
+		c.replicasByDataset[r.Dataset] = ids
+	}
+	c.reindexMaterialized(r.Dataset)
+	return r, true
+}
+
+// reindexMaterialized recomputes one dataset's membership in the
+// materialized set from its replicas and current epoch. Callers hold
+// c.mu.
+func (c *Catalog) reindexMaterialized(name string) {
+	ds, ok := c.datasets[name]
+	if !ok {
+		delete(c.idx.materialized, name)
+		return
+	}
+	for _, id := range c.replicasByDataset[name] {
+		if c.replicas[id].Epoch == ds.Epoch {
+			c.idx.materialized[name] = struct{}{}
+			return
+		}
+	}
+	delete(c.idx.materialized, name)
+}
+
+// --- verification ------------------------------------------------------
+
+// CheckIndexes rebuilds every secondary index from the primary maps and
+// compares with the incrementally maintained state. It returns nil when
+// they agree; tests call it after WAL replay, imports, and mutation
+// storms to prove the funnel covers every path.
+func (c *Catalog) CheckIndexes() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	want := c.rebuildIndexesLocked()
+	for _, f := range []struct {
+		name      string
+		got, want any
+	}{
+		{"dsAttr", c.idx.dsAttr, want.dsAttr},
+		{"trAttr", c.idx.trAttr, want.trAttr},
+		{"dvAttr", c.idx.dvAttr, want.dvAttr},
+		{"dsByType", c.idx.dsByType, want.dsByType},
+		{"derived", c.idx.derived, want.derived},
+		{"materialized", c.idx.materialized, want.materialized},
+		{"executed", c.idx.executed, want.executed},
+		{"dvByTR", c.idx.dvByTR, want.dvByTR},
+		{"dvByTRBase", c.idx.dvByTRBase, want.dvByTRBase},
+		{"dvByName", c.idx.dvByName, want.dvByName},
+	} {
+		if !reflect.DeepEqual(f.got, f.want) {
+			return fmt.Errorf("catalog: index %q diverged from rebuild:\n got: %v\nwant: %v", f.name, f.got, f.want)
+		}
+	}
+	return nil
+}
+
+// rebuildIndexesLocked computes the secondary indexes from scratch.
+func (c *Catalog) rebuildIndexesLocked() indexes {
+	idx := newIndexes()
+	for name, ds := range c.datasets {
+		attrIndexAdd(idx.dsAttr, ds.Attrs, name)
+		setAddTyped(idx.dsByType, ds.Type, name)
+		if ds.CreatedBy != "" {
+			idx.derived[name] = struct{}{}
+		}
+		for _, id := range c.replicasByDataset[name] {
+			if c.replicas[id].Epoch == ds.Epoch {
+				idx.materialized[name] = struct{}{}
+				break
+			}
+		}
+	}
+	for ref, tr := range c.transformations {
+		attrIndexAdd(idx.trAttr, tr.Attrs, ref)
+	}
+	for id, dv := range c.derivations {
+		attrIndexAdd(idx.dvAttr, dv.Attrs, id)
+		setAdd(idx.dvByTR, dv.TR, id)
+		if ns, name, _, err := schema.ParseTRRef(dv.TR); err == nil {
+			setAdd(idx.dvByTRBase, schema.FormatTRRef(ns, name, ""), id)
+		}
+		name := dv.Name
+		if name == "" {
+			name = id
+		}
+		setAdd(idx.dvByName, name, id)
+	}
+	for _, iv := range c.invocations {
+		idx.executed[iv.Derivation] = struct{}{}
+	}
+	return idx
+}
+
+// sortedKeys returns a sorted copy of a set's members — the helper the
+// query layer uses to keep result order deterministic.
+func sortedKeys(s IndexSet) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -63,6 +63,10 @@ type Closure struct {
 func (c *Catalog) Ancestors(dataset string) (Closure, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.ancestorsLocked(dataset)
+}
+
+func (c *Catalog) ancestorsLocked(dataset string) (Closure, error) {
 	if _, ok := c.datasets[dataset]; !ok {
 		return Closure{}, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
 	}
@@ -92,6 +96,10 @@ func (c *Catalog) Ancestors(dataset string) (Closure, error) {
 func (c *Catalog) Descendants(dataset string) (Closure, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.descendantsLocked(dataset)
+}
+
+func (c *Catalog) descendantsLocked(dataset string) (Closure, error) {
 	if _, ok := c.datasets[dataset]; !ok {
 		return Closure{}, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
 	}

@@ -323,18 +323,13 @@ func (c *Catalog) apply(rec walRecord) error {
 		if err := json.Unmarshal(rec.Data, &ds); err != nil {
 			return err
 		}
-		c.datasets[ds.Name] = ds
+		c.putDataset(ds)
 	case opTransformation:
 		var tr schema.Transformation
 		if err := json.Unmarshal(rec.Data, &tr); err != nil {
 			return err
 		}
-		ref := tr.Ref()
-		if _, ok := c.transformations[ref]; !ok {
-			base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
-			c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
-		}
-		c.transformations[ref] = tr
+		c.putTransformation(tr)
 	case opDerivation:
 		var dv schema.Derivation
 		if err := json.Unmarshal(rec.Data, &dv); err != nil {
@@ -350,37 +345,20 @@ func (c *Catalog) apply(rec walRecord) error {
 		if err := json.Unmarshal(rec.Data, &iv); err != nil {
 			return err
 		}
-		if _, ok := c.invocations[iv.ID]; !ok {
-			c.invocations[iv.ID] = iv
-			c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
-		}
+		c.putInvocation(iv)
 	case opReplica:
 		var r schema.Replica
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return err
 		}
-		if _, ok := c.replicas[r.ID]; ok {
-			// Re-logged replica (e.g. epoch re-stamp): update in place.
-			c.replicas[r.ID] = r
-		} else {
-			c.replicas[r.ID] = r
-			c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
-		}
+		// A re-logged replica (e.g. epoch re-stamp) updates in place.
+		c.putReplica(r)
 	case opRemoveReplica:
 		var id string
 		if err := json.Unmarshal(rec.Data, &id); err != nil {
 			return err
 		}
-		if r, ok := c.replicas[id]; ok {
-			delete(c.replicas, id)
-			ids := c.replicasByDataset[r.Dataset]
-			for i, x := range ids {
-				if x == id {
-					c.replicasByDataset[r.Dataset] = append(ids[:i:i], ids[i+1:]...)
-					break
-				}
-			}
-		}
+		c.dropReplica(id)
 	case opCompat:
 		var a schema.CompatibilityAssertion
 		if err := json.Unmarshal(rec.Data, &a); err != nil {
@@ -391,24 +369,6 @@ func (c *Catalog) apply(rec walRecord) error {
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}
 	return nil
-}
-
-// indexDerivation installs a derivation and its provenance indexes.
-func (c *Catalog) indexDerivation(dv schema.Derivation, tr schema.Transformation) {
-	if _, ok := c.derivations[dv.ID]; ok {
-		return
-	}
-	inputs := dv.Inputs(tr)
-	outputs := dv.Outputs(tr)
-	c.derivations[dv.ID] = dv
-	c.inputsOf[dv.ID] = inputs
-	c.outputsOf[dv.ID] = outputs
-	for _, in := range inputs {
-		c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
-	}
-	for _, out := range outputs {
-		c.producerOf[out] = dv.ID
-	}
 }
 
 // Export is the full-state serialization used for snapshots and for
@@ -469,15 +429,10 @@ func (c *Catalog) applyExport(exp Export) error {
 		}
 	}
 	for _, ds := range exp.Datasets {
-		c.datasets[ds.Name] = ds
+		c.putDataset(ds)
 	}
 	for _, tr := range exp.Transformations {
-		ref := tr.Ref()
-		if _, ok := c.transformations[ref]; !ok {
-			base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
-			c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
-		}
-		c.transformations[ref] = tr
+		c.putTransformation(tr)
 	}
 	for _, dv := range exp.Derivations {
 		tr, err := c.transformationLocked(dv.TR)
@@ -487,15 +442,11 @@ func (c *Catalog) applyExport(exp Export) error {
 		c.indexDerivation(dv, tr)
 	}
 	for _, iv := range exp.Invocations {
-		if _, ok := c.invocations[iv.ID]; !ok {
-			c.invocations[iv.ID] = iv
-			c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
-		}
+		c.putInvocation(iv)
 	}
 	for _, r := range exp.Replicas {
 		if _, ok := c.replicas[r.ID]; !ok {
-			c.replicas[r.ID] = r
-			c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+			c.putReplica(r)
 		}
 	}
 	c.compat = append(c.compat, exp.Compat...)

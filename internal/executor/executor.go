@@ -316,7 +316,7 @@ func (e *Executor) record(n *dag.Node, p Placement, res Result) {
 	iv := schema.Invocation{
 		// Sequence by prior recorded executions so re-running a
 		// derivation (retries, epoch recomputes) never collides.
-		ID:         fmt.Sprintf("iv-%s-%d", n.ID, len(e.Catalog.InvocationsOf(n.ID))),
+		ID:         fmt.Sprintf("iv-%s-%d", n.ID, e.Catalog.InvocationCount(n.ID)),
 		Derivation: n.ID,
 		Site:       res.Site,
 		Host:       res.Host,

@@ -137,6 +137,17 @@ func (ix *Index) Crawl() error {
 	origin := make(map[string]string)
 	stale := make(map[string]error)
 
+	// Parse the admission filter once per pass instead of once per
+	// member; each admit() then runs the planned query directly.
+	var filterExpr query.Expr
+	if filter != "" {
+		e, err := query.Parse(filter)
+		if err != nil {
+			return fmt.Errorf("federation: index %q filter: %w", ix.Name, err)
+		}
+		filterExpr = e
+	}
+
 	authorities := make([]string, 0, len(members))
 	for a := range members {
 		authorities = append(authorities, a)
@@ -150,7 +161,7 @@ func (ix *Index) Crawl() error {
 			memberError.Inc()
 			continue
 		}
-		admitted, err := admit(exp, filter)
+		admitted, err := admit(exp, filterExpr)
 		if err != nil {
 			stale[a] = err
 			memberError.Inc()
@@ -195,8 +206,8 @@ func (ix *Index) Crawl() error {
 }
 
 // admit filters an export down to the entries the index accepts.
-func admit(exp catalog.Export, filter string) (catalog.Export, error) {
-	if filter == "" {
+func admit(exp catalog.Export, filter query.Expr) (catalog.Export, error) {
+	if filter == nil {
 		return exp, nil
 	}
 	// Evaluate the filter on a temporary catalog of the member state.
@@ -204,7 +215,7 @@ func admit(exp catalog.Export, filter string) (catalog.Export, error) {
 	if err := tmp.Import(exp); err != nil {
 		return catalog.Export{}, err
 	}
-	res, err := query.Search(tmp, query.KDataset, filter)
+	res, err := query.Run(tmp, query.KDataset, filter)
 	if err != nil {
 		return catalog.Export{}, err
 	}

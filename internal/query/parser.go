@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"path"
 	"strings"
 	"unicode"
 
@@ -192,6 +193,19 @@ func (p *qparser) parseUnary() (Expr, error) {
 	return p.parsePred()
 }
 
+// checkPattern rejects malformed glob patterns at parse time, so a bad
+// pattern errors identically whether the planner later routes the
+// predicate through an index or a scan.
+func checkPattern(op cmpOp, val string) error {
+	if op != opMatch {
+		return nil
+	}
+	if _, err := path.Match(val, ""); err != nil {
+		return fmt.Errorf("query: bad pattern %q: %w", val, err)
+	}
+	return nil
+}
+
 func (p *qparser) cmp() (cmpOp, error) {
 	switch {
 	case p.accept("="):
@@ -226,6 +240,9 @@ func (p *qparser) parsePred() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkPattern(op, v); err != nil {
+			return nil, err
+		}
 		return namePred{op: op, val: v}, nil
 
 	case strings.HasPrefix(head.text, "attr."):
@@ -240,6 +257,9 @@ func (p *qparser) parsePred() (Expr, error) {
 		}
 		v, err := p.value()
 		if err != nil {
+			return nil, err
+		}
+		if err := checkPattern(op, v); err != nil {
 			return nil, err
 		}
 		return attrPred{key: key, op: op, val: v}, nil

@@ -1,0 +1,519 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/obs"
+	"chimera/internal/schema"
+)
+
+// The predicate planner. A query is planned by flattening its top-level
+// AND-conjuncts and pulling every *indexable* conjunct — one whose
+// exact matching set the catalog's secondary indexes can produce — into
+// a candidate-set intersection. The remaining (residual) conjuncts are
+// evaluated only over the candidates. A query with no indexable
+// conjunct falls back to scanning the snapshot, which is still one
+// lock acquisition and zero copies, versus the old path's full
+// copy+sort plus per-object lock traffic.
+//
+// Indexable conjuncts (per object kind):
+//
+//	name = v                 exact-name lookup
+//	attr.k = v               attribute index
+//	type <= T                exact-type sets unioned under conformance (datasets)
+//	derived | materialized | virtual | executed   flag sets
+//	tr = ref                 transformation-ref index (incl. versionless)
+//	consumes(ds) | produces(ds)                   provenance index
+//	descendantof(ds) | ancestorof(ds)             provenance closure (datasets)
+//
+// A predicate whose kind cannot match (e.g. `derived` against
+// derivations) is constant-false: it yields the empty candidate set.
+// Everything else — negations, OR subtrees, `!=`/`~` comparisons,
+// transformation type predicates — stays residual.
+
+// Query metrics: planner path counters, candidate-set sizes, and
+// end-to-end run latency by path.
+var (
+	queryCandBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+	metricQueryRuns = obs.Default.CounterVec("vdc_query_runs_total",
+		"Query executions by planner path (index = candidate intersection, scan = full snapshot scan).", "path")
+	metricQuerySeconds = obs.Default.HistogramVec("vdc_query_seconds",
+		"End-to-end query latency (plan + execute) by planner path.", obs.TimeBuckets, "path")
+	metricQueryCandidates = obs.Default.Histogram("vdc_query_candidates",
+		"Candidate-set size after index intersection (indexed path only).", queryCandBuckets)
+
+	queryRunsIndex = metricQueryRuns.With("index")
+	queryRunsScan  = metricQueryRuns.With("scan")
+	querySecsIndex = metricQuerySeconds.With("index")
+	querySecsScan  = metricQuerySeconds.With("scan")
+)
+
+// cset is a candidate set drawn from an index: either an IndexSet, a
+// closure map, or nil-nil for the constant-empty set.
+type cset struct {
+	set     catalog.IndexSet
+	boolSet map[string]bool
+}
+
+func (s cset) size() int {
+	if s.set != nil {
+		return len(s.set)
+	}
+	return len(s.boolSet)
+}
+
+func (s cset) has(id string) bool {
+	if s.set != nil {
+		return s.set.Has(id)
+	}
+	return s.boolSet[id]
+}
+
+func (s cset) each(fn func(string)) {
+	if s.set != nil {
+		for id := range s.set {
+			fn(id)
+		}
+		return
+	}
+	for id := range s.boolSet {
+		fn(id)
+	}
+}
+
+// planStep records one indexed conjunct for the explain string.
+type planStep struct {
+	pred string // the conjunct, in query syntax
+	size int    // its candidate-set size at plan time
+	set  cset
+}
+
+// queryPlan is the executable plan for one Run.
+type queryPlan struct {
+	kind       Kind
+	scan       bool
+	scanReason string
+	steps      []planStep // indexed conjuncts, when !scan
+	residual   Expr       // nil when every conjunct was indexed
+	candidates []string   // sorted intersection, when !scan
+}
+
+// String renders the plan in EXPLAIN style, e.g.
+//
+//	index derivations: [tr = sdss::brgSearch ->2] ∩ [executed ->1] => 1 candidate; residual: attr.campaign = "dr1"
+//	scan datasets: no indexable conjunct
+func (p *queryPlan) String() string {
+	var b strings.Builder
+	if p.scan {
+		fmt.Fprintf(&b, "scan %s: %s", kindNoun(p.kind), p.scanReason)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "index %s: ", kindNoun(p.kind))
+	for i, st := range p.steps {
+		if i > 0 {
+			b.WriteString(" ∩ ")
+		}
+		fmt.Fprintf(&b, "[%s ->%d]", st.pred, st.size)
+	}
+	noun := "candidates"
+	if len(p.candidates) == 1 {
+		noun = "candidate"
+	}
+	fmt.Fprintf(&b, " => %d %s", len(p.candidates), noun)
+	if p.residual != nil {
+		fmt.Fprintf(&b, "; residual: %s", p.residual)
+	}
+	return b.String()
+}
+
+func kindNoun(k Kind) string {
+	switch k {
+	case KDataset:
+		return "datasets"
+	case KTransformation:
+		return "transformations"
+	default:
+		return "derivations"
+	}
+}
+
+// flattenAnd appends the AND-conjuncts of e to out.
+func flattenAnd(e Expr, out []Expr) []Expr {
+	if a, ok := e.(andExpr); ok {
+		out = flattenAnd(a.l, out)
+		return flattenAnd(a.r, out)
+	}
+	return append(out, e)
+}
+
+// andChain re-joins residual conjuncts in their original order, so the
+// residual short-circuits exactly like the full expression would.
+func andChain(conjuncts []Expr) Expr {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	e := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		e = andExpr{l: e, r: c}
+	}
+	return e
+}
+
+// emptySet is the constant-false candidate set.
+var emptySet = cset{}
+
+// singleton returns a one-element candidate set, or the empty set when
+// present is false.
+func singleton(id string, present bool) cset {
+	if !present {
+		return emptySet
+	}
+	return cset{set: catalog.IndexSet{id: struct{}{}}}
+}
+
+// indexConjunct maps one conjunct to its exact candidate set. It
+// returns handled=false when the conjunct is not indexable for this
+// kind and must stay residual. Errors are plan-time failures (an
+// unknown dataset in a provenance closure) and abort the query, like
+// the scan path's eval-time error would.
+func indexConjunct(ctx *evalCtx, kind Kind, e Expr) (cset, bool, error) {
+	v := ctx.view
+	switch p := e.(type) {
+	case namePred:
+		if p.op != opEq {
+			return emptySet, false, nil
+		}
+		switch kind {
+		case KDataset:
+			_, ok := v.Dataset(p.val)
+			return singleton(p.val, ok), true, nil
+		case KTransformation:
+			// Query names are exact canonical refs; versionless
+			// resolution is a lookup concern, not a search one.
+			return singleton(p.val, v.HasTransformation(p.val)), true, nil
+		default:
+			return cset{set: v.DerivationsByName(p.val)}, true, nil
+		}
+	case attrPred:
+		if p.op != opEq {
+			return emptySet, false, nil
+		}
+		switch kind {
+		case KDataset:
+			return cset{set: v.DatasetsByAttr(p.key, p.val)}, true, nil
+		case KTransformation:
+			return cset{set: v.TransformationsByAttr(p.key, p.val)}, true, nil
+		default:
+			return cset{set: v.DerivationsByAttr(p.key, p.val)}, true, nil
+		}
+	case typePred:
+		switch kind {
+		case KDataset:
+			if p.field != "type" {
+				// input/output predicates never match datasets.
+				return emptySet, true, nil
+			}
+			if p.t.IsUniversal() {
+				// Matches every dataset: constrains nothing.
+				return emptySet, false, nil
+			}
+			return cset{set: v.DatasetsByType(p.t)}, true, nil
+		case KTransformation:
+			// Formal-list scan; stays residual.
+			return emptySet, false, nil
+		default:
+			return emptySet, true, nil // never matches derivations
+		}
+	case flagPred:
+		switch p.flag {
+		case "derived":
+			if kind != KDataset {
+				return emptySet, true, nil
+			}
+			return cset{set: v.DerivedDatasets()}, true, nil
+		case "materialized":
+			if kind != KDataset {
+				return emptySet, true, nil
+			}
+			return cset{set: v.MaterializedDatasets()}, true, nil
+		case "virtual":
+			if kind != KDataset {
+				return emptySet, true, nil
+			}
+			vs := make(catalog.IndexSet)
+			for name := range v.DerivedDatasets() {
+				if !v.Materialized(name) {
+					vs[name] = struct{}{}
+				}
+			}
+			return cset{set: vs}, true, nil
+		case "executed":
+			if kind != KDerivation {
+				return emptySet, true, nil
+			}
+			return cset{set: v.ExecutedDerivations()}, true, nil
+		default: // simple/compound: cheap residual for transformations
+			if kind != KTransformation {
+				return emptySet, true, nil
+			}
+			return emptySet, false, nil
+		}
+	case trPred:
+		if kind != KDerivation {
+			return emptySet, true, nil
+		}
+		return cset{set: v.DerivationsByTR(p.ref)}, true, nil
+	case relPred:
+		switch p.rel {
+		case "descendantof", "ancestorof":
+			if kind != KDataset {
+				return emptySet, true, nil
+			}
+			var m map[string]bool
+			var err error
+			if p.rel == "descendantof" {
+				m, err = ctx.descendants(p.ds)
+			} else {
+				m, err = ctx.ancestors(p.ds)
+			}
+			if err != nil {
+				return emptySet, false, err
+			}
+			return cset{boolSet: m}, true, nil
+		case "consumes":
+			if kind != KDerivation {
+				return emptySet, true, nil
+			}
+			s := make(catalog.IndexSet)
+			for _, id := range v.ConsumersOf(p.ds) {
+				s[id] = struct{}{}
+			}
+			return cset{set: s}, true, nil
+		case "produces":
+			if kind != KDerivation {
+				return emptySet, true, nil
+			}
+			prod := v.ProducerOf(p.ds)
+			return singleton(prod, prod != ""), true, nil
+		}
+		return emptySet, false, nil
+	default:
+		return emptySet, false, nil
+	}
+}
+
+// plan builds the query plan for e against the snapshot in ctx.
+func plan(ctx *evalCtx, kind Kind, e Expr, forceScan bool) (*queryPlan, error) {
+	p := &queryPlan{kind: kind}
+	if forceScan {
+		p.scan = true
+		p.scanReason = "planner disabled"
+		p.residual = e
+		return p, nil
+	}
+	conjuncts := flattenAnd(e, nil)
+	var residual []Expr
+	for _, cj := range conjuncts {
+		if _, ok := cj.(truePred); ok {
+			continue // `*` constrains nothing
+		}
+		set, handled, err := indexConjunct(ctx, kind, cj)
+		if err != nil {
+			return nil, err
+		}
+		if !handled {
+			residual = append(residual, cj)
+			continue
+		}
+		p.steps = append(p.steps, planStep{pred: cj.String(), size: set.size(), set: set})
+	}
+	if len(p.steps) == 0 {
+		p.scan = true
+		p.scanReason = "no indexable conjunct"
+		p.residual = e
+		return p, nil
+	}
+	p.residual = andChain(residual)
+
+	// Intersect, iterating the smallest set and probing the others.
+	sort.SliceStable(p.steps, func(i, j int) bool { return p.steps[i].size < p.steps[j].size })
+	smallest := p.steps[0].set
+	rest := p.steps[1:]
+	smallest.each(func(id string) {
+		for _, st := range rest {
+			if !st.set.has(id) {
+				return
+			}
+		}
+		p.candidates = append(p.candidates, id)
+	})
+	// Left unsorted: execute sorts the (usually far smaller) result set,
+	// not the candidates.
+	return p, nil
+}
+
+// run is the shared Run/RunScan implementation.
+func run(c *catalog.Catalog, kind Kind, e Expr, forceScan bool) (Results, error) {
+	if kind != KDataset && kind != KTransformation && kind != KDerivation {
+		return Results{}, fmt.Errorf("query: invalid kind %d", int(kind))
+	}
+	start := time.Now()
+	v := c.View()
+	defer v.Close()
+	ctx := newEvalCtx(v)
+	p, err := plan(ctx, kind, e, forceScan)
+	if err != nil {
+		return Results{}, err
+	}
+	res, err := p.execute(ctx, e)
+	if err != nil {
+		return Results{}, err
+	}
+	if p.scan {
+		queryRunsScan.Inc()
+		querySecsScan.ObserveSince(start)
+	} else {
+		queryRunsIndex.Inc()
+		querySecsIndex.ObserveSince(start)
+		metricQueryCandidates.Observe(float64(len(p.candidates)))
+	}
+	return res, nil
+}
+
+// execute materializes the plan's results. Result order matches the
+// legacy full-scan path: datasets by name, transformations by ref,
+// derivations by ID.
+func (p *queryPlan) execute(ctx *evalCtx, full Expr) (Results, error) {
+	var res Results
+	if p.scan {
+		return p.executeScan(ctx, full)
+	}
+	keep := func(o object) (bool, error) {
+		if p.residual == nil {
+			return true, nil
+		}
+		return p.residual.eval(ctx, o)
+	}
+	v := ctx.view
+	switch p.kind {
+	case KDataset:
+		for _, name := range p.candidates {
+			ds, ok := v.Dataset(name)
+			if !ok {
+				continue
+			}
+			ok, err := keep(object{kind: KDataset, ds: &ds})
+			if err != nil {
+				return Results{}, err
+			}
+			if ok {
+				res.Datasets = append(res.Datasets, ds)
+			}
+		}
+		sort.Slice(res.Datasets, func(i, j int) bool { return res.Datasets[i].Name < res.Datasets[j].Name })
+	case KTransformation:
+		for _, ref := range p.candidates {
+			tr, ok := v.Transformation(ref)
+			if !ok {
+				continue
+			}
+			ok, err := keep(object{kind: KTransformation, tr: &tr})
+			if err != nil {
+				return Results{}, err
+			}
+			if ok {
+				res.Transformations = append(res.Transformations, tr)
+			}
+		}
+		sort.Slice(res.Transformations, func(i, j int) bool { return res.Transformations[i].Ref() < res.Transformations[j].Ref() })
+	case KDerivation:
+		for _, id := range p.candidates {
+			dv, ok := v.Derivation(id)
+			if !ok {
+				continue
+			}
+			ok, err := keep(object{kind: KDerivation, dv: &dv})
+			if err != nil {
+				return Results{}, err
+			}
+			if ok {
+				res.Derivations = append(res.Derivations, dv)
+			}
+		}
+		sort.Slice(res.Derivations, func(i, j int) bool { return res.Derivations[i].ID < res.Derivations[j].ID })
+	}
+	return res, nil
+}
+
+func (p *queryPlan) executeScan(ctx *evalCtx, full Expr) (Results, error) {
+	var res Results
+	var evalErr error
+	v := ctx.view
+	switch p.kind {
+	case KDataset:
+		v.RangeDatasets(func(ds schema.Dataset) bool {
+			ok, err := full.eval(ctx, object{kind: KDataset, ds: &ds})
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				res.Datasets = append(res.Datasets, ds)
+			}
+			return true
+		})
+		sort.Slice(res.Datasets, func(i, j int) bool { return res.Datasets[i].Name < res.Datasets[j].Name })
+	case KTransformation:
+		v.RangeTransformations(func(tr schema.Transformation) bool {
+			ok, err := full.eval(ctx, object{kind: KTransformation, tr: &tr})
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				res.Transformations = append(res.Transformations, tr)
+			}
+			return true
+		})
+		sort.Slice(res.Transformations, func(i, j int) bool { return res.Transformations[i].Ref() < res.Transformations[j].Ref() })
+	case KDerivation:
+		v.RangeDerivations(func(dv schema.Derivation) bool {
+			ok, err := full.eval(ctx, object{kind: KDerivation, dv: &dv})
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				res.Derivations = append(res.Derivations, dv)
+			}
+			return true
+		})
+		sort.Slice(res.Derivations, func(i, j int) bool { return res.Derivations[i].ID < res.Derivations[j].ID })
+	}
+	if evalErr != nil {
+		return Results{}, evalErr
+	}
+	return res, nil
+}
+
+// Explain plans (but does not execute) a query and renders the plan: a
+// one-line EXPLAIN string showing the chosen path, the indexed
+// conjuncts with their candidate-set sizes, and the residual predicate.
+func Explain(c *catalog.Catalog, kind Kind, e Expr) (string, error) {
+	if kind != KDataset && kind != KTransformation && kind != KDerivation {
+		return "", fmt.Errorf("query: invalid kind %d", int(kind))
+	}
+	v := c.View()
+	defer v.Close()
+	ctx := newEvalCtx(v)
+	p, err := plan(ctx, kind, e, false)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}

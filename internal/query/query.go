@@ -19,7 +19,6 @@ package query
 import (
 	"fmt"
 	"path"
-	"strings"
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
@@ -79,19 +78,30 @@ func (o object) attrs() schema.Attributes {
 	}
 }
 
-// evalCtx caches catalog lookups during one query run.
+// evalCtx carries the snapshot a query runs against and caches closure
+// lookups during the run. Everything flows through the catalog View, so
+// one query takes the catalog lock exactly once (Run acquires it,
+// Close releases it) instead of once per object per predicate.
 type evalCtx struct {
-	cat *catalog.Catalog
+	view *catalog.View
 	// descCache memoizes descendant closures keyed by dataset.
 	descCache map[string]map[string]bool
 	ancCache  map[string]map[string]bool
+}
+
+func newEvalCtx(v *catalog.View) *evalCtx {
+	return &evalCtx{
+		view:      v,
+		descCache: make(map[string]map[string]bool),
+		ancCache:  make(map[string]map[string]bool),
+	}
 }
 
 func (ctx *evalCtx) descendants(ds string) (map[string]bool, error) {
 	if m, ok := ctx.descCache[ds]; ok {
 		return m, nil
 	}
-	cl, err := ctx.cat.Descendants(ds)
+	cl, err := ctx.view.Descendants(ds)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +117,7 @@ func (ctx *evalCtx) ancestors(ds string) (map[string]bool, error) {
 	if m, ok := ctx.ancCache[ds]; ok {
 		return m, nil
 	}
-	cl, err := ctx.cat.Ancestors(ds)
+	cl, err := ctx.view.Ancestors(ds)
 	if err != nil {
 		return nil, err
 	}
@@ -127,52 +137,19 @@ type Results struct {
 }
 
 // Run evaluates the expression against every object of the given kind
-// in the catalog.
+// in the catalog, using the predicate planner: indexable conjuncts
+// resolve to candidate sets from the catalog's secondary indexes and
+// only the residual predicates are evaluated per candidate. Queries
+// with no indexable conjunct fall back to a snapshot scan.
 func Run(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
-	ctx := &evalCtx{
-		cat:       c,
-		descCache: make(map[string]map[string]bool),
-		ancCache:  make(map[string]map[string]bool),
-	}
-	var res Results
-	switch kind {
-	case KDataset:
-		for _, ds := range c.Datasets() {
-			ds := ds
-			ok, err := e.eval(ctx, object{kind: KDataset, ds: &ds})
-			if err != nil {
-				return Results{}, err
-			}
-			if ok {
-				res.Datasets = append(res.Datasets, ds)
-			}
-		}
-	case KTransformation:
-		for _, tr := range c.Transformations() {
-			tr := tr
-			ok, err := e.eval(ctx, object{kind: KTransformation, tr: &tr})
-			if err != nil {
-				return Results{}, err
-			}
-			if ok {
-				res.Transformations = append(res.Transformations, tr)
-			}
-		}
-	case KDerivation:
-		for _, dv := range c.Derivations() {
-			dv := dv
-			ok, err := e.eval(ctx, object{kind: KDerivation, dv: &dv})
-			if err != nil {
-				return Results{}, err
-			}
-			if ok {
-				res.Derivations = append(res.Derivations, dv)
-			}
-		}
-	default:
-		return Results{}, fmt.Errorf("query: invalid kind %d", int(kind))
-	}
-	return res, nil
+	return run(c, kind, e, false)
+}
+
+// RunScan evaluates the expression by full snapshot scan, bypassing the
+// planner. It exists for the A3 ablation and for equivalence tests; the
+// results are identical to Run's.
+func RunScan(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
+	return run(c, kind, e, true)
 }
 
 // Search parses and runs a query in one step.
@@ -291,7 +268,7 @@ type typePred struct {
 }
 
 func (p typePred) eval(ctx *evalCtx, o object) (bool, error) {
-	reg := ctx.cat.Types()
+	reg := ctx.view.Types()
 	switch o.kind {
 	case KDataset:
 		if p.field != "type" {
@@ -337,12 +314,13 @@ func (p flagPred) eval(ctx *evalCtx, o object) (bool, error) {
 	case "derived":
 		return o.kind == KDataset && o.ds.CreatedBy != "", nil
 	case "materialized":
-		return o.kind == KDataset && ctx.cat.Materialized(o.ds.Name), nil
+		return o.kind == KDataset && ctx.view.Materialized(o.ds.Name), nil
 	case "virtual":
 		// Exists only as a recipe: derived but not materialized.
-		return o.kind == KDataset && o.ds.CreatedBy != "" && !ctx.cat.Materialized(o.ds.Name), nil
+		return o.kind == KDataset && o.ds.CreatedBy != "" && !ctx.view.Materialized(o.ds.Name), nil
 	case "executed":
-		return o.kind == KDerivation && len(ctx.cat.InvocationsOf(o.dv.ID)) > 0, nil
+		// Set membership, not a copy of the invocation records.
+		return o.kind == KDerivation && ctx.view.HasInvocations(o.dv.ID), nil
 	case "compound":
 		return o.kind == KTransformation && o.tr.Kind == schema.Compound, nil
 	case "simple":
@@ -401,37 +379,16 @@ func (p relPred) eval(ctx *evalCtx, o object) (bool, error) {
 		}
 		return m[o.ds.Name], nil
 	case "consumes":
-		if o.kind != KDerivation {
-			return false, nil
-		}
-		ins, _, err := ctx.cat.DerivationIO(o.dv.ID)
-		if err != nil {
-			return false, err
-		}
-		return contains(ins, p.ds), nil
+		// Membership against the snapshot's IO index: no DerivationIO
+		// slice copies, no extra lock round-trip.
+		return o.kind == KDerivation && ctx.view.Consumes(o.dv.ID, p.ds), nil
 	case "produces":
-		if o.kind != KDerivation {
-			return false, nil
-		}
-		_, outs, err := ctx.cat.DerivationIO(o.dv.ID)
-		if err != nil {
-			return false, err
-		}
-		return contains(outs, p.ds), nil
+		return o.kind == KDerivation && ctx.view.Produces(o.dv.ID, p.ds), nil
 	}
 	return false, fmt.Errorf("query: unknown relationship %q", p.rel)
 }
 
 func (p relPred) String() string { return fmt.Sprintf("%s(%s)", p.rel, p.ds) }
-
-func contains(xs []string, x string) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
-}
 
 // truePred matches everything ("*").
 type truePred struct{}
@@ -441,6 +398,3 @@ func (truePred) String() string                      { return "*" }
 
 // All is the expression matching every object.
 var All Expr = truePred{}
-
-// Strings the rest of the package needs.
-var _ = strings.TrimSpace

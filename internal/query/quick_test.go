@@ -1,8 +1,14 @@
 package query
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
 )
 
 // Property: Parse never panics and, when it accepts an input, the
@@ -72,6 +78,153 @@ func TestBooleanAlgebraProperty(t *testing.T) {
 		pm := members(p)
 		if len(doubleNeg) != len(pm) {
 			t.Fatalf("double negation changed %q: %d vs %d", p, len(doubleNeg), len(pm))
+		}
+	}
+}
+
+// randomCatalog builds a seeded pseudo-random catalog: a small type
+// hierarchy, primary datasets with random types/attrs/replicas, a chain
+// of derivations over random inputs, random invocations, and random
+// epoch bumps (with and without restamp).
+func randomCatalog(t testing.TB, r *rand.Rand) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New(nil)
+	for _, def := range [][2]string{{"root", ""}, {"mid", "root"}, {"leaf", "mid"}, {"other", ""}} {
+		if err := c.DefineType(dtype.Content, def[0], def[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddTransformation(schema.Transformation{
+		Namespace: "t", Name: "gen", Kind: schema.Simple, Exec: "/bin/gen",
+		Args: []schema.FormalArg{
+			{Name: "o", Direction: schema.Out},
+			{Name: "i", Direction: schema.In},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+
+	contents := []string{"root", "mid", "leaf", "other", ""}
+	names := make([]string, 0, 16)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("ds%d", i)
+		ds := schema.Dataset{Name: name, Type: dtype.Type{Content: contents[r.Intn(len(contents))]}}
+		if r.Intn(2) == 0 {
+			ds.Attrs = schema.Attributes{"owner": []string{"ann", "bob"}[r.Intn(2)]}
+			if r.Intn(2) == 0 {
+				ds.Attrs["batch"] = []string{"x", "y"}[r.Intn(2)]
+			}
+		}
+		if err := c.AddDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for i := 0; i < 10; i++ {
+		out := fmt.Sprintf("o%d", i)
+		dv, err := c.AddDerivation(schema.Derivation{TR: "t::gen", Params: map[string]schema.Actual{
+			"o": schema.DatasetActual("output", out),
+			"i": schema.DatasetActual("input", names[r.Intn(len(names))]),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, out)
+		if r.Intn(3) == 0 {
+			if err := c.AddInvocation(schema.Invocation{ID: "iv-" + out, Derivation: dv.ID}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, name := range names {
+		if r.Intn(3) == 0 {
+			if err := c.AddReplica(schema.Replica{
+				ID: fmt.Sprintf("r%d", i), Dataset: name, Site: "s", PFN: "/" + name,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, name := range names {
+		if r.Intn(4) == 0 {
+			if _, err := c.BumpEpoch(name, r.Intn(2) == 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+// randExprSrc generates a random query over objects that exist in
+// randomCatalog's world, so evaluation never errors and differences
+// between the planner and the scan are pure result differences.
+func randExprSrc(r *rand.Rand, depth int) string {
+	atoms := []string{
+		`*`,
+		fmt.Sprintf("name = ds%d", r.Intn(8)),
+		fmt.Sprintf("name = o%d", r.Intn(10)),
+		`name = nosuch`,
+		`name ~ "ds*"`,
+		`name != ds0`,
+		fmt.Sprintf("attr.owner = %s", []string{"ann", "bob"}[r.Intn(2)]),
+		`attr.batch = x`,
+		`attr.missing = z`,
+		`type <= root`,
+		`type <= mid`,
+		`type <= other`,
+		`type <= Dataset`,
+		`derived`, `materialized`, `virtual`, `executed`, `simple`, `compound`,
+		`tr = t::gen`, `tr = t`, `tr = nosuch::tr`,
+		fmt.Sprintf("consumes(ds%d)", r.Intn(8)),
+		fmt.Sprintf("produces(o%d)", r.Intn(10)),
+		fmt.Sprintf("descendantof(ds%d)", r.Intn(8)),
+		fmt.Sprintf("ancestorof(o%d)", r.Intn(10)),
+	}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return atoms[r.Intn(len(atoms))]
+	}
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s and %s)", randExprSrc(r, depth-1), randExprSrc(r, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s or %s)", randExprSrc(r, depth-1), randExprSrc(r, depth-1))
+	case 2:
+		return fmt.Sprintf("not (%s)", randExprSrc(r, depth-1))
+	default: // deeper AND chains give the planner more conjuncts to pull
+		return fmt.Sprintf("(%s and %s and %s)",
+			randExprSrc(r, depth-1), randExprSrc(r, depth-1), randExprSrc(r, depth-1))
+	}
+}
+
+// Property: for random catalogs and random expression trees, the
+// planner's indexed path and the forced full scan return identical
+// results (objects and order) for every object kind.
+func TestIndexScanEquivalenceQuick(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCatalog(t, r)
+		if err := c.CheckIndexes(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < 50; i++ {
+			src := randExprSrc(r, 3)
+			e, err := Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: generated unparseable query %q: %v", seed, src, err)
+			}
+			for _, kind := range []Kind{KDataset, KTransformation, KDerivation} {
+				idx, err1 := Run(c, kind, e)
+				scan, err2 := RunScan(c, kind, e)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d kind %d %q: index err %v, scan err %v", seed, kind, src, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if resKey(idx) != resKey(scan) {
+					t.Fatalf("seed %d kind %d %q:\n index %q\n scan  %q",
+						seed, kind, src, resKey(idx), resKey(scan))
+				}
+			}
 		}
 	}
 }

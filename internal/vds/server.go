@@ -249,7 +249,26 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request, kind query.Kind)
 	if q == "" {
 		q = "*"
 	}
-	res, err := query.Search(s.Cat, kind, q)
+	e, err := query.Parse(q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	// ?explain=1 returns the planner's EXPLAIN string instead of
+	// executing the query.
+	if r.URL.Query().Get("explain") != "" {
+		plan, err := query.Explain(s.Cat, kind, e)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Query string `json:"query"`
+			Plan  string `json:"plan"`
+		}{Query: q, Plan: plan})
+		return
+	}
+	res, err := query.Run(s.Cat, kind, e)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
