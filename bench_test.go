@@ -102,3 +102,11 @@ func BenchmarkE11Ingest(b *testing.B) {
 func BenchmarkE12Query(b *testing.B) {
 	runTable(b, func() (bench.Table, error) { return bench.E12Query([]int{1000}, 5) })
 }
+
+// BenchmarkE13Sched regenerates E13: scheduler event throughput with
+// the incremental ready-frontier vs the full-rescan dispatcher, plus
+// WAL batch occupancy under pipelined recording (docs/PERF.md). Kept
+// small so the -race CI smoke run finishes in seconds.
+func BenchmarkE13Sched(b *testing.B) {
+	runTable(b, func() (bench.Table, error) { return bench.E13Sched([]int{500, 2000}, 100) })
+}

@@ -66,6 +66,9 @@ func experiments() []experiment {
 		{"E12",
 			func() (bench.Table, error) { return bench.E12Query([]int{1000, 10000}, 20) },
 			func() (bench.Table, error) { return bench.E12Query([]int{1000, 10000, 100000}, 50) }},
+		{"E13",
+			func() (bench.Table, error) { return bench.E13Sched([]int{1000, 5000}, 150) },
+			func() (bench.Table, error) { return bench.E13Sched([]int{1000, 5000, 20000}, 400) }},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -79,7 +82,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E12, A1..A3, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E13, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")

@@ -217,6 +217,26 @@ func TestE12IndexedBeatsScan(t *testing.T) {
 	}
 }
 
+func TestE13FrontierBeatsRescan(t *testing.T) {
+	tab, err := E13Sched([]int{500, 2000}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		if !(cellF(t, tab, i, "frontier-events/s") > 0) || !(cellF(t, tab, i, "rescan-events/s") > 0) {
+			t.Errorf("row %d: zero throughput: %v", i, tab.Rows[i])
+		}
+	}
+	// Even at modest test sizes the incremental frontier should win
+	// clearly on the largest DAG; paper scale (20k nodes) targets >=10x.
+	if s := cellF(t, tab, len(tab.Rows)-1, "speedup"); !(s > 2) {
+		t.Errorf("frontier speedup at largest DAG only %gx: %v", s, tab.Rows[len(tab.Rows)-1])
+	}
+	if len(tab.Notes) < 2 || !strings.Contains(tab.Notes[1], "records/batch") {
+		t.Errorf("missing WAL occupancy note: %v", tab.Notes)
+	}
+}
+
 func TestA3PlannerNeverLoses(t *testing.T) {
 	tab, err := A3PlannerOff(2000, 10)
 	if err != nil {

@@ -115,8 +115,27 @@ func (c *Catalog) Types() *dtype.Registry { return c.types }
 // writers share it instead of serializing on it. In-memory and
 // inline-WAL catalogs return as soon as fn does.
 func (c *Catalog) mutate(fn func() error) error {
+	wait, err := c.mutateAsync(fn)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// mutateAsync runs fn inside the write lock and, instead of blocking
+// for durability, returns a wait function the caller invokes (off any
+// lock, possibly from another goroutine) to block until the batch
+// holding fn's WAL records is durable. A nil wait means the mutation
+// needs no waiting (in-memory or inline-WAL catalog). This is the
+// primitive behind the executor's off-lock recording pipeline: applies
+// stay ordered under the catalog lock while many durability waits stay
+// in flight at once, which is what lets the group committer batch them.
+func (c *Catalog) mutateAsync(fn func() error) (wait func() error, err error) {
 	c.mu.Lock()
-	err := fn()
+	err = fn()
 	var com *committer
 	var seq uint64
 	if c.pendingSeq != 0 {
@@ -129,12 +148,12 @@ func (c *Catalog) mutate(fn func() error) error {
 	if err != nil {
 		// The operation failed after possibly enqueueing records (the
 		// seed's partial-log semantics); its error wins either way.
-		return err
+		return nil, err
 	}
 	if com != nil {
-		return com.wait(seq)
+		return func() error { return com.wait(seq) }, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // DefineType registers a dataset type in the catalog's registry and
@@ -616,13 +635,29 @@ func (c *Catalog) Derivations() []schema.Derivation {
 
 // AddInvocation records an execution of a registered derivation,
 // registering any produced replicas it cites.
-func (c *Catalog) AddInvocation(iv schema.Invocation) (err error) {
+func (c *Catalog) AddInvocation(iv schema.Invocation) error {
+	wait, err := c.AddInvocationAsync(iv)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// AddInvocationAsync applies the invocation under the catalog lock and
+// returns without waiting for durability; the returned wait function
+// blocks until the record's WAL batch is durable (ErrDurability on
+// failure). wait is nil when there is nothing to wait for. Callers that
+// need the synchronous contract use AddInvocation.
+func (c *Catalog) AddInvocationAsync(iv schema.Invocation) (wait func() error, err error) {
 	opAddIV.Inc()
 	defer func() { err = countErr("add_invocation", err) }()
 	if err := iv.Validate(); err != nil {
-		return err
+		return nil, err
 	}
-	return c.mutate(func() error {
+	w, err := c.mutateAsync(func() error {
 		if _, ok := c.derivations[iv.Derivation]; !ok {
 			return fmt.Errorf("%w: invocation %q cites unknown derivation %q", ErrNotFound, iv.ID, iv.Derivation)
 		}
@@ -632,6 +667,10 @@ func (c *Catalog) AddInvocation(iv schema.Invocation) (err error) {
 		c.putInvocation(iv)
 		return c.logOp(opInvocation, iv)
 	})
+	if err != nil || w == nil {
+		return nil, err
+	}
+	return func() error { return countErr("add_invocation", w()) }, nil
 }
 
 // Invocation returns the invocation with the given ID.
@@ -690,13 +729,26 @@ func (c *Catalog) Invocations() []schema.Invocation {
 // --- Replicas ----------------------------------------------------------
 
 // AddReplica registers a physical replica of a known dataset.
-func (c *Catalog) AddReplica(r schema.Replica) (err error) {
+func (c *Catalog) AddReplica(r schema.Replica) error {
+	wait, err := c.AddReplicaAsync(r)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// AddReplicaAsync applies the replica under the catalog lock and
+// returns without waiting for durability, like AddInvocationAsync.
+func (c *Catalog) AddReplicaAsync(r schema.Replica) (wait func() error, err error) {
 	opAddReplica.Inc()
 	defer func() { err = countErr("add_replica", err) }()
 	if err := r.Validate(); err != nil {
-		return err
+		return nil, err
 	}
-	return c.mutate(func() error {
+	w, err := c.mutateAsync(func() error {
 		if _, ok := c.datasets[r.Dataset]; !ok {
 			return fmt.Errorf("%w: replica %q cites unknown dataset %q", ErrNotFound, r.ID, r.Dataset)
 		}
@@ -706,6 +758,10 @@ func (c *Catalog) AddReplica(r schema.Replica) (err error) {
 		c.putReplica(r)
 		return c.logOp(opReplica, r)
 	})
+	if err != nil || w == nil {
+		return nil, err
+	}
+	return func() error { return countErr("add_replica", w()) }, nil
 }
 
 // RemoveReplica deletes a replica record (e.g. when a planner reclaims

@@ -51,6 +51,16 @@ var (
 		"Derivation registrations that matched an existing canonical signature.")
 )
 
+// WALBatchStats reports the cumulative group-commit batch count and the
+// total records those batches carried (the vdc_wal_batch_records
+// histogram). The delta ratio over an interval is the WAL's
+// amortization factor — mean records per write+fsync; the E13 scheduler
+// experiment uses it to prove concurrent workflow completions share
+// commits.
+func WALBatchStats() (batches uint64, records float64) {
+	return metricWALBatchRecords.Count(), metricWALBatchRecords.Sum()
+}
+
 // countErr bumps the per-op error counter on failure and passes the
 // error through, so call sites stay one-liners.
 func countErr(op string, err error) error {

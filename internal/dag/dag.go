@@ -12,6 +12,7 @@ package dag
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"chimera/internal/schema"
 )
@@ -36,6 +37,13 @@ func (n *Node) Preds() []*Node { return sortedNodes(n.preds) }
 // Succs returns the node's successors sorted by ID.
 func (n *Node) Succs() []*Node { return sortedNodes(n.succs) }
 
+// NumPreds returns the predecessor count without sorting — the
+// indegree a frontier scheduler seeds its counters from.
+func (n *Node) NumPreds() int { return len(n.preds) }
+
+// NumSuccs returns the successor count without sorting.
+func (n *Node) NumSuccs() int { return len(n.succs) }
+
 func sortedNodes(m map[*Node]bool) []*Node {
 	out := make([]*Node, 0, len(m))
 	for n := range m {
@@ -52,6 +60,16 @@ type Graph struct {
 	// ExternalInputs are datasets consumed by some node but produced by
 	// none: they must be materialized before the workflow runs.
 	ExternalInputs []string
+
+	// topo caches the topological order computed during Build; the
+	// graph is immutable afterwards, so every structural metric
+	// (Levels, Width, CriticalPath, Stats) derives from this one order
+	// instead of re-running Kahn's algorithm per call.
+	topo []*Node
+	// levels caches the depth partition, computed from topo on first
+	// use.
+	levelsOnce sync.Once
+	levels     [][]*Node
 }
 
 // Build constructs a graph from derivations; each derivation must be of
@@ -112,9 +130,11 @@ func Build(dvs []schema.Derivation, resolve schema.Resolver) (*Graph, error) {
 		g.ExternalInputs = append(g.ExternalInputs, ds)
 	}
 	sort.Strings(g.ExternalInputs)
-	if _, err := g.TopoOrder(); err != nil {
+	order, err := g.topoOrder()
+	if err != nil {
 		return nil, err
 	}
+	g.topo = order
 	return g, nil
 }
 
@@ -180,7 +200,19 @@ func (g *Graph) Ready(done map[string]bool) []*Node {
 
 // TopoOrder returns the nodes in a topological order (stable: among
 // candidates, smallest ID first). It reports a cycle as an error.
+// Graphs built by Build serve the order cached at construction (the
+// returned slice is the caller's to mutate).
 func (g *Graph) TopoOrder() ([]*Node, error) {
+	if g.topo != nil {
+		out := make([]*Node, len(g.topo))
+		copy(out, g.topo)
+		return out, nil
+	}
+	return g.topoOrder()
+}
+
+// topoOrder runs Kahn's algorithm from scratch.
+func (g *Graph) topoOrder() ([]*Node, error) {
 	indeg := make(map[*Node]int, len(g.nodes))
 	for _, n := range g.nodes {
 		indeg[n] = len(n.preds)
@@ -214,9 +246,23 @@ func (g *Graph) TopoOrder() ([]*Node, error) {
 }
 
 // Levels partitions nodes by depth: level 0 holds the roots, level k
-// the nodes whose longest predecessor chain has length k.
+// the nodes whose longest predecessor chain has length k. The
+// partition is computed once per graph; each call returns a fresh
+// two-level copy the caller may mutate.
 func (g *Graph) Levels() [][]*Node {
-	order, err := g.TopoOrder()
+	g.levelsOnce.Do(func() { g.levels = g.computeLevels() })
+	if g.levels == nil {
+		return nil
+	}
+	out := make([][]*Node, len(g.levels))
+	for i, l := range g.levels {
+		out[i] = append([]*Node(nil), l...)
+	}
+	return out
+}
+
+func (g *Graph) computeLevels() [][]*Node {
+	order, err := g.cachedOrder()
 	if err != nil {
 		return nil
 	}
@@ -241,11 +287,21 @@ func (g *Graph) Levels() [][]*Node {
 	return levels
 }
 
+// cachedOrder returns the Build-time topological order without
+// copying, recomputing only for graphs not made by Build.
+func (g *Graph) cachedOrder() ([]*Node, error) {
+	if g.topo != nil {
+		return g.topo, nil
+	}
+	return g.topoOrder()
+}
+
 // Width returns the size of the largest level — an upper bound on
 // useful parallelism for level-synchronized execution.
 func (g *Graph) Width() int {
+	g.levelsOnce.Do(func() { g.levels = g.computeLevels() })
 	w := 0
-	for _, level := range g.Levels() {
+	for _, level := range g.levels {
 		if len(level) > w {
 			w = len(level)
 		}
@@ -257,7 +313,7 @@ func (g *Graph) Width() int {
 // cost along predecessor chains, with per-node costs from the given
 // function. With unit costs it is the DAG depth in nodes.
 func (g *Graph) CriticalPath(cost func(*Node) float64) float64 {
-	order, err := g.TopoOrder()
+	order, err := g.cachedOrder()
 	if err != nil {
 		return 0
 	}
@@ -296,9 +352,9 @@ func (g *Graph) Stats() Stats {
 			st.Sinks++
 		}
 	}
-	levels := g.Levels()
-	st.Depth = len(levels)
-	for _, l := range levels {
+	g.levelsOnce.Do(func() { g.levels = g.computeLevels() })
+	st.Depth = len(g.levels)
+	for _, l := range g.levels {
 		if len(l) > st.Width {
 			st.Width = len(l)
 		}

@@ -246,3 +246,44 @@ func BenchmarkBuildLargeDAG(b *testing.B) {
 		}
 	}
 }
+
+// The topological order is computed once at Build and shared by
+// TopoOrder, Levels, Width, Stats, and CriticalPath; callers must get
+// stable, mutation-safe views of it.
+func TestCachedTopoOrderIsStable(t *testing.T) {
+	g, byOut := diamond(t)
+	first, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned slice must not corrupt later calls.
+	for i := range first {
+		first[i] = nil
+	}
+	second, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 3 {
+		t.Fatalf("topo after caller mutation: %v", second)
+	}
+	for _, n := range second {
+		if n == nil {
+			t.Fatal("cached topo order leaked caller mutation")
+		}
+	}
+	// Same for Levels: returned structure is a fresh copy each call.
+	lv := g.Levels()
+	lv[0][0] = nil
+	lv[1] = nil
+	if again := g.Levels(); len(again) != 2 || again[0][0] == nil || len(again[1]) != 1 {
+		t.Errorf("levels leaked caller mutation: %v", again)
+	}
+	// Degree accessors agree with the edge lists.
+	if n, _ := g.Node(byOut["d"]); n.NumPreds() != 2 || n.NumSuccs() != 0 {
+		t.Errorf("degrees of d: preds=%d succs=%d", n.NumPreds(), n.NumSuccs())
+	}
+	if n, _ := g.Node(byOut["b"]); n.NumPreds() != 0 || n.NumSuccs() != 1 {
+		t.Errorf("degrees of b: preds=%d succs=%d", n.NumPreds(), n.NumSuccs())
+	}
+}

@@ -1,0 +1,325 @@
+package executor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/schema"
+)
+
+// genLayered builds a randomized layered DAG of ~layers*width nodes:
+// each node consumes one or two datasets of the previous layer, so
+// graphs mix chains, fan-out and fan-in — the shapes the frontier
+// scheduler must agree with dag.Ready on.
+func genLayered(t testing.TB, layers, width int, seed int64) *dag.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var dvs []schema.Derivation
+	prev := []string{"src"}
+	for l := 0; l < layers; l++ {
+		cur := make([]string, 0, width)
+		for i := 0; i < width; i++ {
+			out := fmt.Sprintf("d%d-%d", l, i)
+			if len(prev) < 2 || rng.Intn(2) == 0 {
+				dvs = append(dvs, dv1(prev[rng.Intn(len(prev))], out))
+			} else {
+				i1 := prev[rng.Intn(len(prev))]
+				i2 := prev[rng.Intn(len(prev))]
+				for i2 == i1 {
+					i2 = prev[rng.Intn(len(prev))]
+				}
+				dvs = append(dvs, dv2(i1, i2, out))
+			}
+			cur = append(cur, out)
+		}
+		prev = cur
+	}
+	g, err := dag.Build(dvs, schema.MapResolver(tr1(), tr2()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// hashExit deterministically fails ~one attempt in four, keyed by
+// (node, attempt), so retry and permanent-failure paths are exercised
+// identically across runs and modes.
+func hashExit(node string, attempt int) int {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s/%d", node, attempt)
+	if h.Sum32()%4 == 0 {
+		return 1
+	}
+	return 0
+}
+
+type eventKey struct {
+	Kind    string
+	Node    string
+	Attempt int
+}
+
+// runNull executes g on a NullDriver and returns the event stream.
+func runNull(t *testing.T, g *dag.Graph, rescan bool, retries int) ([]eventKey, Report) {
+	t.Helper()
+	var events []eventKey
+	ex := &Executor{
+		Driver:         &NullDriver{ExitCode: hashExit},
+		Assign:         fixedAssign(1),
+		MaxRetries:     retries,
+		RescanDispatch: rescan,
+		OnEvent: func(ev Event) {
+			events = append(events, eventKey{ev.Kind, ev.Node, ev.Attempt})
+		},
+	}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, rep
+}
+
+// TestFrontierMatchesReadyOracle proves the incremental indegree
+// frontier equivalent to the dag.Ready rescan: over randomized DAGs
+// with deterministic failures and retries, both modes must produce the
+// *identical* event sequence (the rescan mode consults dag.Ready
+// directly, so byte-for-byte equal streams mean the frontier never
+// dispatches early, late, out of order, or at all differently).
+func TestFrontierMatchesReadyOracle(t *testing.T) {
+	shapes := []struct{ layers, width int }{
+		{1, 1}, {1, 8}, {12, 1}, {4, 6}, {6, 10}, {3, 30},
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		for _, sh := range shapes {
+			for _, retries := range []int{0, 2} {
+				g := genLayered(t, sh.layers, sh.width, seed)
+				got, gotRep := runNull(t, g, false, retries)
+				want, wantRep := runNull(t, g, true, retries)
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d shape=%dx%d retries=%d: %d events vs %d (oracle)",
+						seed, sh.layers, sh.width, retries, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed=%d shape=%dx%d retries=%d: event %d = %+v, oracle %+v",
+							seed, sh.layers, sh.width, retries, i, got[i], want[i])
+					}
+				}
+				if gotRep.Completed != wantRep.Completed || gotRep.Failed != wantRep.Failed ||
+					gotRep.Blocked != wantRep.Blocked || gotRep.Retries != wantRep.Retries {
+					t.Fatalf("seed=%d shape=%dx%d: report %+v vs oracle %+v",
+						seed, sh.layers, sh.width, gotRep, wantRep)
+				}
+			}
+		}
+	}
+}
+
+// stormDriver registers deterministic-failure transform functions on a
+// LocalDriver: each function sleeps a few hundred microseconds (so
+// completions genuinely overlap) and fails per hashExit on the node's
+// attempt counter.
+func stormDriver(t *testing.T) *LocalDriver {
+	t.Helper()
+	drv := NewLocalDriver(t.TempDir())
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	fn := func(task Task) error {
+		mu.Lock()
+		a := attempts[task.Node.ID]
+		attempts[task.Node.ID] = a + 1
+		mu.Unlock()
+		time.Sleep(time.Duration(100+rand.Intn(200)) * time.Microsecond)
+		if hashExit(task.Node.ID, a) != 0 {
+			return fmt.Errorf("injected failure %s attempt %d", task.Node.ID, a)
+		}
+		return nil
+	}
+	drv.Register("t", fn)
+	drv.Register("m", fn)
+	return drv
+}
+
+func stormRun(t *testing.T, sync bool) (Report, *catalog.Catalog) {
+	t.Helper()
+	cat := catalog.New(nil)
+	if err := cat.AddTransformation(tr1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTransformation(tr2()); err != nil {
+		t.Fatal(err)
+	}
+	g := genLayered(t, 6, 20, 99)
+	for _, n := range g.Nodes() {
+		if _, err := cat.AddDerivation(n.Derivation); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex := &Executor{
+		Driver:     stormDriver(t),
+		Catalog:    cat,
+		MaxRetries: 3,
+		Assign: func(n *dag.Node) (Placement, error) {
+			out := map[string]int64{}
+			for _, o := range n.Outputs {
+				out[o] = 100
+			}
+			return Placement{OutputBytes: out}, nil
+		},
+		RescanDispatch: sync,
+		SyncRecording:  sync,
+	}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, cat
+}
+
+// TestRecordingStormMatchesSerial drives a LocalDriver workflow with
+// overlapping completions and retries through the concurrent scheduler
+// (incremental frontier + recording pipeline) and through the legacy
+// serial path (full rescan + inline recording), and asserts the report
+// counters, invocation IDs, and replica records agree. Run under -race
+// this is also the data-race storm for the scheduler/recorder/planner
+// surfaces.
+func TestRecordingStormMatchesSerial(t *testing.T) {
+	conc, concCat := stormRun(t, false)
+	serial, serialCat := stormRun(t, true)
+
+	if conc.Completed != serial.Completed || conc.Failed != serial.Failed ||
+		conc.Blocked != serial.Blocked || conc.Retries != serial.Retries {
+		t.Fatalf("concurrent report %+v, serial %+v", conc, serial)
+	}
+	if len(conc.Results) != len(serial.Results) {
+		t.Fatalf("results: %d vs %d", len(conc.Results), len(serial.Results))
+	}
+
+	ivs := func(c *catalog.Catalog) map[string]int {
+		out := map[string]int{}
+		for _, iv := range c.Invocations() {
+			out[iv.ID] = iv.ExitCode
+		}
+		return out
+	}
+	gotIV, wantIV := ivs(concCat), ivs(serialCat)
+	if len(gotIV) != len(wantIV) {
+		t.Fatalf("invocations: %d vs %d", len(gotIV), len(wantIV))
+	}
+	for id, exit := range wantIV {
+		if got, ok := gotIV[id]; !ok || got != exit {
+			t.Errorf("invocation %s: got exit %d (present=%v), serial %d", id, got, ok, exit)
+		}
+	}
+
+	reps := func(c *catalog.Catalog) map[string]schema.Replica {
+		out := map[string]schema.Replica{}
+		for _, ds := range c.Datasets() {
+			for _, r := range c.ReplicasOf(ds.Name) {
+				out[r.ID] = r
+			}
+		}
+		return out
+	}
+	gotRep, wantRep := reps(concCat), reps(serialCat)
+	if len(gotRep) != len(wantRep) {
+		t.Fatalf("replicas: %d vs %d", len(gotRep), len(wantRep))
+	}
+	for id, want := range wantRep {
+		got, ok := gotRep[id]
+		if !ok {
+			t.Errorf("replica %s missing", id)
+			continue
+		}
+		if got.Dataset != want.Dataset || got.Site != want.Site ||
+			got.Size != want.Size || got.Epoch != want.Epoch || got.ProducedBy != want.ProducedBy {
+			t.Errorf("replica %s: %+v vs serial %+v", id, got, want)
+		}
+	}
+}
+
+// TestPipelinedRecordingBatchesWAL proves the point of the off-lock
+// pipeline: against a fsync-on-commit catalog, overlapping completions
+// must reach the group committer together, i.e. the mean WAL batch
+// carries more than one record. (The legacy inline path waits under
+// the scheduler lock, so a batch never spans completions — the mean is
+// pinned at one completion's records.)
+func TestPipelinedRecordingBatchesWAL(t *testing.T) {
+	cat, err := catalog.Open(t.TempDir(), nil, catalog.Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	if err := cat.AddTransformation(tr1()); err != nil {
+		t.Fatal(err)
+	}
+	var dvs []schema.Derivation
+	for i := 0; i < 150; i++ {
+		dvs = append(dvs, dv1("src", fmt.Sprintf("out%d", i)))
+	}
+	g, err := dag.Build(dvs, schema.MapResolver(tr1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		if _, err := cat.AddDerivation(n.Derivation); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drv := NewLocalDriver(t.TempDir())
+	drv.Register("t", func(Task) error {
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	})
+	batches0, records0 := catalog.WALBatchStats()
+	ex := &Executor{Driver: drv, Catalog: cat,
+		Assign: func(n *dag.Node) (Placement, error) {
+			return Placement{OutputBytes: map[string]int64{n.Outputs[0]: 1}}, nil
+		}}
+	rep, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("report: %+v", rep)
+	}
+	batches, records := catalog.WALBatchStats()
+	db, dr := batches-batches0, records-records0
+	if db == 0 {
+		t.Fatal("no WAL batches recorded")
+	}
+	if mean := dr / float64(db); mean <= 1.0 {
+		t.Errorf("mean WAL batch = %.2f records; pipelined completions should group-commit (>1)", mean)
+	}
+}
+
+// BenchmarkSchedulerDispatch isolates the dispatch+complete hot path on
+// a NullDriver: the frontier sub-benchmark is the incremental
+// scheduler, rescan is the legacy O(V+E)-per-completion baseline.
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	g := genLayered(b, 40, 50, 7) // 2000 nodes
+	for _, mode := range []struct {
+		name   string
+		rescan bool
+	}{{"frontier", false}, {"rescan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ex := &Executor{
+					Driver:         &NullDriver{},
+					Assign:         fixedAssign(1),
+					RescanDispatch: mode.rescan,
+				}
+				if _, err := ex.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -57,15 +57,17 @@ func (p *Planner) PlanRequest(target, atSite string) (Plan, error) {
 		return Plan{}, err
 	}
 
-	// Cost of retrieving an existing replica, if any.
+	// Cost of retrieving an existing replica, if any. One lookup cache
+	// spans the whole request decision.
+	lc := p.newAssignCache()
 	retrieveCost := math.Inf(1)
 	var source string
 	if p.Cat.Materialized(target) {
-		if containsStr(p.replicaSites(target), atSite) {
+		if containsStr(lc.replicaSites(target), atSite) {
 			plan.Decision = Reuse
 			return plan, nil
 		}
-		if s, secs, ok := p.bestSource(target, atSite); ok {
+		if s, secs, ok := p.bestSource(target, atSite, lc); ok {
 			source, retrieveCost = s, secs
 		}
 	}
@@ -97,7 +99,7 @@ func (p *Planner) PlanRequest(target, atSite string) (Plan, error) {
 				if _, ok := g.Producer(in); ok {
 					continue
 				}
-				if _, t, ok := p.bestSource(in, atSite); ok {
+				if _, t, ok := p.bestSource(in, atSite, lc); ok {
 					secs += t
 				}
 			}

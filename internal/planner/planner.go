@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -153,6 +154,49 @@ func (p *Planner) meanSpeed(site string) float64 {
 	return sum / float64(len(s.Hosts))
 }
 
+// assignCache memoizes the catalog lookups one placement decision
+// repeats: replica-site sets and dataset sizes. siteCost re-reads the
+// same inputs for every candidate site, so an uncached Assign pays
+// O(sites × inputs × replicas) in catalog lock traffic; the cache cuts
+// it to one catalog read per distinct dataset. The cache lives for a
+// single Assign (or noteAccess) — replicas materialized by later nodes
+// are always observed fresh — and is invalidated per dataset when the
+// replication policy itself adds a replica mid-decision.
+type assignCache struct {
+	p     *Planner
+	sites map[string][]string
+	sizes map[string]int64
+}
+
+func (p *Planner) newAssignCache() *assignCache {
+	return &assignCache{
+		p:     p,
+		sites: make(map[string][]string),
+		sizes: make(map[string]int64),
+	}
+}
+
+func (c *assignCache) replicaSites(ds string) []string {
+	if s, ok := c.sites[ds]; ok {
+		return s
+	}
+	s := c.p.replicaSites(ds)
+	c.sites[ds] = s
+	return s
+}
+
+func (c *assignCache) sizeOf(ds string) int64 {
+	if v, ok := c.sizes[ds]; ok {
+		return v
+	}
+	v := c.p.sizeOf(ds)
+	c.sizes[ds] = v
+	return v
+}
+
+// invalidate drops a dataset's cached replica sites after a mutation.
+func (c *assignCache) invalidate(ds string) { delete(c.sites, ds) }
+
 // sizeOf estimates a dataset's size from its record or replicas.
 func (p *Planner) sizeOf(ds string) int64 {
 	if rec, err := p.Cat.Dataset(ds); err == nil && rec.Size > 0 {
@@ -186,10 +230,11 @@ func (p *Planner) replicaSites(ds string) []string {
 
 // bestSource returns the replica site with the cheapest transfer to
 // dst, with its predicted seconds; ok=false if no replica exists.
-func (p *Planner) bestSource(ds, dst string) (site string, seconds float64, ok bool) {
+func (p *Planner) bestSource(ds, dst string, lc *assignCache) (site string, seconds float64, ok bool) {
 	best := math.Inf(1)
-	for _, s := range p.replicaSites(ds) {
-		t, err := p.Cluster.Grid.TransferTime(s, dst, p.sizeOf(ds))
+	size := lc.sizeOf(ds)
+	for _, s := range lc.replicaSites(ds) {
+		t, err := p.Cluster.Grid.TransferTime(s, dst, size)
 		if err != nil {
 			continue
 		}
@@ -215,13 +260,17 @@ func homeSites(tr schema.Transformation) []string {
 	return out
 }
 
+// installCost parses the provisioning-cost profile. A malformed value
+// (trailing garbage, negative, NaN/Inf) means the procedure cannot be
+// provisioned elsewhere — the same as an absent profile — rather than
+// silently truncating ("5x" used to parse as 5 via Sscanf).
 func installCost(tr schema.Transformation) (float64, bool) {
-	raw := tr.Profile[ProfileInstallSeconds]
+	raw := strings.TrimSpace(tr.Profile[ProfileInstallSeconds])
 	if raw == "" {
 		return 0, false
 	}
-	var v float64
-	if _, err := fmt.Sscanf(raw, "%g", &v); err != nil {
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		return 0, false
 	}
 	return v, true
@@ -229,7 +278,7 @@ func installCost(tr schema.Transformation) (float64, bool) {
 
 // siteCost estimates completion seconds for running node n at site:
 // queue delay + input staging + procedure provisioning + execution.
-func (p *Planner) siteCost(n *dag.Node, tr schema.Transformation, site string) (float64, []executor.StageIn, error) {
+func (p *Planner) siteCost(n *dag.Node, tr schema.Transformation, site string, lc *assignCache) (float64, []executor.StageIn, error) {
 	if len(p.Cluster.Grid.HostNames(site)) == 0 {
 		return 0, nil, fmt.Errorf("planner: site %q has no compute hosts", site)
 	}
@@ -245,16 +294,16 @@ func (p *Planner) siteCost(n *dag.Node, tr schema.Transformation, site string) (
 
 	// Input staging.
 	for _, in := range n.Inputs {
-		sites := p.replicaSites(in)
+		sites := lc.replicaSites(in)
 		if containsStr(sites, site) {
 			continue
 		}
-		src, secs, ok := p.bestSource(in, site)
+		src, secs, ok := p.bestSource(in, site, lc)
 		if !ok {
 			return 0, nil, fmt.Errorf("planner: no replica of %q reachable from %q", in, site)
 		}
 		cost += secs
-		transfers = append(transfers, executor.StageIn{Dataset: in, FromSite: src, Bytes: p.sizeOf(in)})
+		transfers = append(transfers, executor.StageIn{Dataset: in, FromSite: src, Bytes: lc.sizeOf(in)})
 	}
 
 	// Procedure provisioning.
@@ -282,7 +331,7 @@ func containsStr(xs []string, x string) bool {
 
 // candidateSites returns the feasible sites for a node under the
 // current mode.
-func (p *Planner) candidateSites(n *dag.Node, tr schema.Transformation) []string {
+func (p *Planner) candidateSites(n *dag.Node, tr schema.Transformation, lc *assignCache) []string {
 	all := p.Cluster.Grid.Sites()
 	homes := homeSites(tr)
 	_, movable := installCost(tr)
@@ -296,8 +345,8 @@ func (p *Planner) candidateSites(n *dag.Node, tr schema.Transformation) []string
 		// Site holding the most input bytes.
 		byBytes := make(map[string]int64)
 		for _, in := range n.Inputs {
-			for _, s := range p.replicaSites(in) {
-				byBytes[s] += p.sizeOf(in)
+			for _, s := range lc.replicaSites(in) {
+				byBytes[s] += lc.sizeOf(in)
 			}
 		}
 		best, bestBytes := "", int64(-1)
@@ -331,14 +380,17 @@ func (p *Planner) Assign(n *dag.Node) (executor.Placement, error) {
 		metricAssignErrors.Inc()
 		return executor.Placement{}, err
 	}
+	// One cache per decision: every candidate site sees the same
+	// replica-site sets and sizes, read from the catalog once.
+	lc := p.newAssignCache()
 	var (
 		bestSite  string
 		bestCost  = math.Inf(1)
 		bestXfers []executor.StageIn
 		lastErr   error
 	)
-	for _, site := range p.candidateSites(n, tr) {
-		cost, xfers, err := p.siteCost(n, tr, site)
+	for _, site := range p.candidateSites(n, tr, lc) {
+		cost, xfers, err := p.siteCost(n, tr, site, lc)
 		if err != nil {
 			lastErr = err
 			continue
@@ -359,11 +411,11 @@ func (p *Planner) Assign(n *dag.Node) (executor.Placement, error) {
 	work, _ := p.Est.Work(n.Derivation.TR)
 	outBytes := make(map[string]int64, len(n.Outputs))
 	for _, out := range n.Outputs {
-		outBytes[out] = p.sizeOf(out)
+		outBytes[out] = lc.sizeOf(out)
 	}
 	// Record accesses and apply the replication policy.
 	for _, x := range bestXfers {
-		p.noteAccess(x.Dataset, bestSite, x.Bytes)
+		p.noteAccess(x.Dataset, bestSite, x.Bytes, lc)
 	}
 	p.mu.Lock()
 	p.pending[bestSite]++
@@ -380,7 +432,7 @@ func (p *Planner) Assign(n *dag.Node) (executor.Placement, error) {
 // noteAccess bumps the access count for (dataset, site) and applies the
 // replication policy, registering any new replicas and issuing their
 // background transfers.
-func (p *Planner) noteAccess(ds, site string, bytes int64) {
+func (p *Planner) noteAccess(ds, site string, bytes int64, lc *assignCache) {
 	p.mu.Lock()
 	m := p.accesses[ds]
 	if m == nil {
@@ -397,21 +449,24 @@ func (p *Planner) noteAccess(ds, site string, bytes int64) {
 	if p.Replication == nil {
 		return
 	}
-	src, _, ok := p.bestSource(ds, site)
+	src, _, ok := p.bestSource(ds, site, lc)
 	if !ok {
 		return
 	}
 	for _, dst := range p.Replication.OnAccess(ds, bytes, src, site, m) {
-		if containsStr(p.replicaSites(ds), dst) {
+		if containsStr(lc.replicaSites(ds), dst) {
 			continue
 		}
+		p.mu.Lock()
 		p.repSeq++
+		seq := p.repSeq
+		p.mu.Unlock()
 		rec, err := p.Cat.Dataset(ds)
 		if err != nil {
 			continue
 		}
 		rep := schema.Replica{
-			ID:      fmt.Sprintf("cache-%s-%s-%d", ds, dst, p.repSeq),
+			ID:      fmt.Sprintf("cache-%s-%s-%d", ds, dst, seq),
 			Dataset: ds, Site: dst,
 			PFN:   fmt.Sprintf("/cache/%s/%s", dst, ds),
 			Size:  bytes,
@@ -421,6 +476,7 @@ func (p *Planner) noteAccess(ds, site string, bytes int64) {
 		if err := p.Cat.AddReplica(rep); err != nil {
 			continue
 		}
+		lc.invalidate(ds)
 		metricReplicas.Inc()
 		if dst != site {
 			// Push replicas move bytes in the background; cache-at-

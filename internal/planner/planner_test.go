@@ -341,3 +341,67 @@ func TestNoFeasibleSite(t *testing.T) {
 		t.Error("infeasible pin accepted")
 	}
 }
+
+// Profile hints come from user-authored VDL; malformed values must
+// degrade to "no hint", never silently truncate or crash. In
+// particular "5x" must not parse as 5 (the old Sscanf behaviour).
+func TestProfileHintParsing(t *testing.T) {
+	tr := func(install string) schema.Transformation {
+		return schema.Transformation{
+			Name: "p", Kind: schema.Simple, Exec: "/bin/p",
+			Profile: map[string]string{ProfileInstallSeconds: install},
+		}
+	}
+	installCases := []struct {
+		raw  string
+		want float64
+		ok   bool
+	}{
+		{"", 0, false},
+		{"5", 5, true},
+		{" 2.5 ", 2.5, true},
+		{"1e2", 100, true},
+		{"5x", 0, false},      // trailing garbage
+		{"4.2.1", 0, false},   // not a number
+		{"-3", 0, false},      // negative cost
+		{"NaN", 0, false},
+		{"+Inf", 0, false},
+		{"seconds", 0, false},
+	}
+	for _, tc := range installCases {
+		got, ok := installCost(tr(tc.raw))
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("installCost(%q) = %g,%v; want %g,%v", tc.raw, got, ok, tc.want, tc.ok)
+		}
+	}
+
+	trHome := func(raw string) schema.Transformation {
+		return schema.Transformation{
+			Name: "p", Kind: schema.Simple, Exec: "/bin/p",
+			Profile: map[string]string{ProfileHomeSites: raw},
+		}
+	}
+	homeCases := []struct {
+		raw  string
+		want []string
+	}{
+		{"", nil},
+		{"east", []string{"east"}},
+		{" east , west ", []string{"east", "west"}},
+		{",,", nil},          // only separators: no pin, not empty-site pins
+		{"east,,west,", []string{"east", "west"}},
+	}
+	for _, tc := range homeCases {
+		got := homeSites(trHome(tc.raw))
+		if len(got) != len(tc.want) {
+			t.Errorf("homeSites(%q) = %v; want %v", tc.raw, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("homeSites(%q) = %v; want %v", tc.raw, got, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -38,8 +38,8 @@ func reclaimWorld(t *testing.T) *world {
 func TestReclaimEvictsLowValueFirst(t *testing.T) {
 	w := reclaimWorld(t)
 	// Record accesses making raw@west valuable.
-	w.p.noteAccess("raw", "west", 4e6)
-	w.p.noteAccess("raw", "west", 4e6)
+	w.p.noteAccess("raw", "west", 4e6, w.p.newAssignCache())
+	w.p.noteAccess("raw", "west", 4e6, w.p.newAssignCache())
 
 	evicted, err := w.p.Reclaim("west", 1)
 	if err != nil {
