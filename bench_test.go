@@ -110,3 +110,11 @@ func BenchmarkE12Query(b *testing.B) {
 func BenchmarkE13Sched(b *testing.B) {
 	runTable(b, func() (bench.Table, error) { return bench.E13Sched([]int{500, 2000}, 100) })
 }
+
+// BenchmarkFederationCrawl regenerates E14: sequential full-export
+// crawl vs parallel incremental delta crawl, including warm unchanged
+// passes and a concurrent-ingest storm (docs/PERF.md). Kept small so
+// the -race CI smoke run finishes in seconds.
+func BenchmarkFederationCrawl(b *testing.B) {
+	runTable(b, func() (bench.Table, error) { return bench.E14Federation([]int{4, 8}, 50) })
+}

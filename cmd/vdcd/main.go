@@ -44,14 +44,16 @@ func main() {
 	syncWAL := flag.Bool("sync", false, "fsync the write-ahead log before acknowledging mutations (one fsync per commit batch)")
 	walBatch := flag.Int("wal-batch", catalog.DefaultMaxBatch, "group-commit batch-size target; 1 disables group commit (inline per-op writes)")
 	walDelay := flag.Duration("wal-delay", catalog.DefaultMaxDelay, "how long a contended commit batch stays open for stragglers; <0 disables the window")
+	journalWindow := flag.Int("journal-window", catalog.DefaultJournalWindow, "change-journal entries retained for delta exports; crawlers further behind fall back to full exports")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
 
 	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{
-		Sync:     *syncWAL,
-		MaxBatch: *walBatch,
-		MaxDelay: *walDelay,
+		Sync:          *syncWAL,
+		MaxBatch:      *walBatch,
+		MaxDelay:      *walDelay,
+		JournalWindow: *journalWindow,
 	})
 	if err != nil {
 		log.Fatalf("vdcd: %v", err)

@@ -69,6 +69,9 @@ func experiments() []experiment {
 		{"E13",
 			func() (bench.Table, error) { return bench.E13Sched([]int{1000, 5000}, 150) },
 			func() (bench.Table, error) { return bench.E13Sched([]int{1000, 5000, 20000}, 400) }},
+		{"E14",
+			func() (bench.Table, error) { return bench.E14Federation([]int{4, 8}, 50) },
+			func() (bench.Table, error) { return bench.E14Federation([]int{4, 16, 64}, 200) }},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -82,7 +85,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E13, A1..A3, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E14, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")

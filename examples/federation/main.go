@@ -91,6 +91,19 @@ func main() {
 		fmt.Printf("  %-18s @ %s\n", h.Name, h.Authority)
 	}
 
+	// Incremental re-crawl: the index keeps a per-member shard cursor,
+	// so a re-crawl asks each catalog only for changes since the last
+	// pass (GET /v1/export?since=...). Unchanged members answer with a
+	// header-only "unchanged" delta, and if nobody changed the shadow
+	// is not rebuilt at all.
+	must(group.AddDataset(schema.Dataset{Name: "muon-skim-v2",
+		Attrs: schema.Attributes{"quality": "draft"}}))
+	must(ix.Crawl())
+	if e, ok := ix.Lookup("dataset", "muon-skim-v2"); ok {
+		fmt.Printf("\ndelta re-crawl #%d picked up %s @ %s (other members: one round-trip, zero re-import)\n",
+			ix.Crawls(), e.Name, e.Authority)
+	}
+
 	// Transformation import (Figure 2): the personal catalog pulls the
 	// group's skim transformation to run it locally.
 	tr, err := vds.ImportTransformation(personal, reg, "vdp://group.uchicago.edu/uc::skim")

@@ -237,6 +237,27 @@ func TestE13FrontierBeatsRescan(t *testing.T) {
 	}
 }
 
+func TestE14DeltaBeatsFull(t *testing.T) {
+	tab, err := E14Federation([]int{4, 8}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		if !(cellF(t, tab, i, "full-ms") > 0) || !(cellF(t, tab, i, "delta-warm-ms") > 0) {
+			t.Errorf("row %d: zero latency recorded: %v", i, tab.Rows[i])
+		}
+	}
+	// Warm (unchanged) delta passes skip all re-import and parallelize
+	// the round-trips; paper scale targets >=10x at 16 members.
+	last := len(tab.Rows) - 1
+	if s := cellF(t, tab, last, "warm-speedup"); !(s > 2) {
+		t.Errorf("warm delta speedup at largest member count only %gx: %v", s, tab.Rows[last])
+	}
+	if len(tab.Notes) < 3 || !strings.Contains(tab.Notes[2], "concurrent ingest") {
+		t.Errorf("missing concurrent-ingest note: %v", tab.Notes)
+	}
+}
+
 func TestA3PlannerNeverLoses(t *testing.T) {
 	tab, err := A3PlannerOff(2000, 10)
 	if err != nil {

@@ -72,6 +72,15 @@ type Catalog struct {
 	// put*/drop* helpers every mutation path funnels through.
 	idx indexes
 
+	// Change journal (journal.go): monotonic mutation sequence, a
+	// bounded tail of recent mutations backing ChangesSince delta
+	// exports, and an instance token that invalidates sequences across
+	// catalog instances. All guarded by mu.
+	jinstance uint64
+	jseq      uint64
+	jwindow   int
+	journal   []journalEntry
+
 	wal *wal // nil for purely in-memory catalogs
 
 	// pendingSeq is the group-commit sequence of the last WAL record
@@ -101,6 +110,8 @@ func New(types *dtype.Registry) *Catalog {
 		invocationsByDV:   make(map[string][]string),
 		versionsOf:        make(map[string][]string),
 		idx:               newIndexes(),
+		jinstance:         newJournalInstance(),
+		jwindow:           DefaultJournalWindow,
 	}
 }
 
@@ -165,6 +176,7 @@ func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) (err error)
 		if err := c.types.Register(d, name, parent); err != nil {
 			return err
 		}
+		c.noteJournal(jTypes, "", false)
 		return c.logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
 	})
 }
@@ -394,6 +406,7 @@ func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) (err erro
 			}
 		}
 		c.compat = append(c.compat, a)
+		c.noteJournal(jCompat, "", false)
 		return c.logOp(opCompat, a)
 	})
 }

@@ -144,6 +144,7 @@ func (c *Catalog) putDataset(ds schema.Dataset) {
 	}
 	// An epoch change can flip materialization either way.
 	c.reindexMaterialized(ds.Name)
+	c.noteJournal(jDataset, ds.Name, false)
 }
 
 func setAddTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
@@ -176,6 +177,7 @@ func (c *Catalog) putTransformation(tr schema.Transformation) {
 	}
 	c.transformations[ref] = tr
 	attrIndexAdd(c.idx.trAttr, tr.Attrs, ref)
+	c.noteJournal(jTransformation, ref, false)
 }
 
 // indexDerivation installs a derivation with its provenance and
@@ -205,6 +207,7 @@ func (c *Catalog) indexDerivation(dv schema.Derivation, tr schema.Transformation
 		name = dv.ID
 	}
 	setAdd(c.idx.dvByName, name, dv.ID)
+	c.noteJournal(jDerivation, dv.ID, false)
 }
 
 // putInvocation installs an invocation. Callers hold c.mu. No-op if the
@@ -216,6 +219,7 @@ func (c *Catalog) putInvocation(iv schema.Invocation) {
 	c.invocations[iv.ID] = iv
 	c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
 	c.idx.executed[iv.Derivation] = struct{}{}
+	c.noteJournal(jInvocation, iv.ID, false)
 }
 
 // putReplica installs a new replica or updates an existing one in place
@@ -229,6 +233,7 @@ func (c *Catalog) putReplica(r schema.Replica) {
 		c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
 	}
 	c.reindexMaterialized(r.Dataset)
+	c.noteJournal(jReplica, r.ID, false)
 }
 
 // dropReplica removes a replica record, if present. Callers hold c.mu.
@@ -251,6 +256,7 @@ func (c *Catalog) dropReplica(id string) (schema.Replica, bool) {
 		c.replicasByDataset[r.Dataset] = ids
 	}
 	c.reindexMaterialized(r.Dataset)
+	c.noteJournal(jReplica, id, true)
 	return r, true
 }
 

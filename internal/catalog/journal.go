@@ -1,0 +1,237 @@
+package catalog
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"chimera/internal/schema"
+)
+
+// Change journal: every mutation that reaches the put*/drop* funnel (or
+// the types/compat side paths) advances a monotonic sequence number and
+// appends one entry to a bounded in-memory journal. ChangesSince turns
+// the retained tail into a delta Export — the incremental sync protocol
+// federated indexes use to avoid re-fetching a member's full catalog
+// every crawl pass. When a caller's sequence predates the retained
+// window (or it talks to a different catalog instance), the delta
+// degrades to a full export, so the journal bounds memory without ever
+// sacrificing correctness.
+
+// DefaultJournalWindow is the number of journal entries retained when
+// Options.JournalWindow (or SetJournalWindow) does not override it.
+const DefaultJournalWindow = 4096
+
+// Instance tokens let a client that cached a sequence against one
+// Catalog value never mistake a different catalog for the one it
+// synced with. A bare counter is not enough: it restarts with the
+// process, so a restarted daemon would hand out the same token while
+// its replayed journal numbers history differently (snapshot replay is
+// sorted, not chronological) — a stale cursor could then silently
+// under-ship. Seeding with the process start time makes tokens unique
+// across restarts too; the counter keeps them unique within a process.
+var (
+	journalEpoch     = uint64(time.Now().UnixNano())
+	journalInstances atomic.Uint64
+)
+
+func newJournalInstance() uint64 { return journalEpoch + journalInstances.Add(1) }
+
+type journalKind uint8
+
+const (
+	jDataset journalKind = iota
+	jTransformation
+	jDerivation
+	jInvocation
+	jReplica
+	jTypes
+	jCompat
+)
+
+// journalEntry records one mutation. The sequence of an entry is
+// implicit in its position: entry i carries seq jseq-len(journal)+1+i.
+type journalEntry struct {
+	kind journalKind
+	id   string
+	del  bool
+}
+
+// noteJournal advances the mutation sequence and appends one entry.
+// Callers hold c.mu (or own the catalog exclusively, as during Open).
+// The journal is allowed to grow to twice the window before compacting
+// so trimming stays amortized O(1) per mutation.
+func (c *Catalog) noteJournal(k journalKind, id string, del bool) {
+	c.jseq++
+	c.journal = append(c.journal, journalEntry{kind: k, id: id, del: del})
+	if w := c.jwindow; len(c.journal) >= 2*w {
+		keep := c.journal[len(c.journal)-w:]
+		n := copy(c.journal, keep)
+		c.journal = c.journal[:n]
+	}
+}
+
+// Seq returns the catalog's current mutation sequence. A caller holding
+// (instance, seq) from a previous Export or Delta can ask ChangesSince
+// for everything that happened after it.
+func (c *Catalog) Seq() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.jseq
+}
+
+// Instance returns the catalog's instance token. Sequences are only
+// comparable between identical instances; a reopened catalog gets a
+// fresh token, forcing clients back to a full export.
+func (c *Catalog) Instance() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.jinstance
+}
+
+// SetJournalWindow bounds how many journal entries are retained
+// (n <= 0 restores DefaultJournalWindow). A smaller window trades
+// delta coverage for memory: callers further behind than the window
+// receive a full export.
+func (c *Catalog) SetJournalWindow(n int) {
+	if n <= 0 {
+		n = DefaultJournalWindow
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jwindow = n
+	if len(c.journal) > n {
+		keep := c.journal[len(c.journal)-n:]
+		cp := copy(c.journal, keep)
+		c.journal = c.journal[:cp]
+	}
+}
+
+// Tombstone records a deletion inside a delta export. The only
+// removable object class today is the replica.
+type Tombstone struct {
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+}
+
+// Delta is an incremental export: the current value of every object
+// mutated after Since, plus tombstones for objects that no longer
+// exist. Full marks a degraded response carrying the complete catalog
+// (the caller was behind the journal window, ahead of the sequence, at
+// sequence zero, or synced against a different instance). Export.Types
+// and Export.Compat are nil unless the registry or the assertion list
+// changed.
+type Delta struct {
+	// Instance identifies the catalog the sequence numbers belong to.
+	Instance uint64 `json:"instance"`
+	// Since echoes the request's sequence.
+	Since uint64 `json:"since"`
+	// Seq is the catalog sequence this delta brings the caller up to.
+	Seq uint64 `json:"seq"`
+	// Full marks Export as the complete catalog state.
+	Full       bool        `json:"full,omitempty"`
+	Export     Export      `json:"export"`
+	Tombstones []Tombstone `json:"tombstones,omitempty"`
+}
+
+// Empty reports whether the delta carries no changes at all — the
+// "unchanged member" fast path of a federation crawl.
+func (d Delta) Empty() bool {
+	return !d.Full &&
+		len(d.Export.Datasets) == 0 &&
+		len(d.Export.Transformations) == 0 &&
+		len(d.Export.Derivations) == 0 &&
+		len(d.Export.Invocations) == 0 &&
+		len(d.Export.Replicas) == 0 &&
+		len(d.Export.Compat) == 0 &&
+		d.Export.Types == nil &&
+		len(d.Tombstones) == 0
+}
+
+// ChangesSince returns the mutations after sequence since, observed by
+// a caller that last synced instance. The fast path (caller already
+// current) allocates nothing but the Delta header. The caller receives
+// a full export when it is at sequence zero, cites a different
+// instance, claims a future sequence, or has fallen behind the journal
+// window.
+func (c *Catalog) ChangesSince(since, instance uint64) Delta {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d := Delta{Instance: c.jinstance, Since: since, Seq: c.jseq}
+	if instance == c.jinstance && since == c.jseq {
+		return d
+	}
+	floor := c.jseq - uint64(len(c.journal))
+	if instance != c.jinstance || since == 0 || since > c.jseq || since < floor {
+		d.Full = true
+		d.Export = c.exportLocked()
+		return d
+	}
+
+	// Collect the distinct objects touched after since; the delta ships
+	// each one's *current* value (or a tombstone), so repeated journal
+	// entries for one object collapse.
+	var datasets, trs, dvs, ivs, reps map[string]struct{}
+	types, compat := false, false
+	mark := func(m *map[string]struct{}, id string) {
+		if *m == nil {
+			*m = make(map[string]struct{})
+		}
+		(*m)[id] = struct{}{}
+	}
+	for _, e := range c.journal[since-floor:] {
+		switch e.kind {
+		case jDataset:
+			mark(&datasets, e.id)
+		case jTransformation:
+			mark(&trs, e.id)
+		case jDerivation:
+			mark(&dvs, e.id)
+		case jInvocation:
+			mark(&ivs, e.id)
+		case jReplica:
+			mark(&reps, e.id)
+		case jTypes:
+			types = true
+		case jCompat:
+			compat = true
+		}
+	}
+
+	for name := range datasets {
+		if ds, ok := c.datasets[name]; ok {
+			d.Export.Datasets = append(d.Export.Datasets, ds)
+		}
+	}
+	for ref := range trs {
+		if tr, ok := c.transformations[ref]; ok {
+			d.Export.Transformations = append(d.Export.Transformations, tr)
+		}
+	}
+	for id := range dvs {
+		if dv, ok := c.derivations[id]; ok {
+			d.Export.Derivations = append(d.Export.Derivations, dv)
+		}
+	}
+	for id := range ivs {
+		if iv, ok := c.invocations[id]; ok {
+			d.Export.Invocations = append(d.Export.Invocations, iv)
+		}
+	}
+	for id := range reps {
+		if r, ok := c.replicas[id]; ok {
+			d.Export.Replicas = append(d.Export.Replicas, r)
+		} else {
+			d.Tombstones = append(d.Tombstones, Tombstone{Kind: "replica", ID: id})
+		}
+	}
+	if types {
+		d.Export.Types = c.types.Clone()
+	}
+	if compat {
+		d.Export.Compat = append([]schema.CompatibilityAssertion(nil), c.compat...)
+	}
+	sortExport(&d.Export)
+	sort.Slice(d.Tombstones, func(i, j int) bool { return d.Tombstones[i].ID < d.Tombstones[j].ID })
+	return d
+}

@@ -1,0 +1,246 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"chimera/internal/schema"
+)
+
+func jds(name string) schema.Dataset { return schema.Dataset{Name: name} }
+
+func applyDelta(t *testing.T, base *Catalog, d Delta) *Catalog {
+	t.Helper()
+	// Reconstruct the follower state a federation shard would hold:
+	// replay full or incremental content onto base.
+	if d.Full {
+		base = New(nil)
+	}
+	if err := base.Import(d.Export); err != nil {
+		t.Fatalf("apply delta: %v", err)
+	}
+	// Import skips datasets that already exist; a delta's records are
+	// upserts (e.g. epoch bumps), so re-apply them explicitly.
+	for _, ds := range d.Export.Datasets {
+		if err := base.UpdateDataset(ds); err != nil {
+			t.Fatalf("upsert dataset %s: %v", ds.Name, err)
+		}
+	}
+	for _, tomb := range d.Tombstones {
+		if tomb.Kind == "replica" {
+			_ = base.RemoveReplica(tomb.ID)
+		}
+	}
+	return base
+}
+
+func TestJournalSeqAdvancesPerMutation(t *testing.T) {
+	c := New(nil)
+	if c.Seq() != 0 {
+		t.Fatalf("fresh seq: %d", c.Seq())
+	}
+	if err := c.AddDataset(jds("a")); err != nil {
+		t.Fatal(err)
+	}
+	s1 := c.Seq()
+	if s1 == 0 {
+		t.Fatal("seq did not advance")
+	}
+	// Identical re-add is a no-op: no new sequence.
+	if err := c.AddDataset(jds("a")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq() != s1 {
+		t.Errorf("no-op re-add advanced seq: %d -> %d", s1, c.Seq())
+	}
+	if err := c.AddDataset(jds("b")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq() <= s1 {
+		t.Errorf("seq not monotonic: %d then %d", s1, c.Seq())
+	}
+}
+
+func TestChangesSinceFastPathAndDelta(t *testing.T) {
+	c := New(nil)
+	if err := c.AddDataset(jds("a")); err != nil {
+		t.Fatal(err)
+	}
+	inst, seq := c.Instance(), c.Seq()
+
+	// Caller already current: empty header, no content.
+	d := c.ChangesSince(seq, inst)
+	if !d.Empty() || d.Seq != seq || d.Full {
+		t.Fatalf("fast path: %+v", d)
+	}
+
+	// since == 0 always degrades to full (boot state predates journal).
+	d = c.ChangesSince(0, inst)
+	if !d.Full || len(d.Export.Datasets) != 1 {
+		t.Fatalf("since=0: %+v", d)
+	}
+
+	// Incremental: only the new object ships.
+	if err := c.AddDataset(jds("b")); err != nil {
+		t.Fatal(err)
+	}
+	d = c.ChangesSince(seq, inst)
+	if d.Full || len(d.Export.Datasets) != 1 || d.Export.Datasets[0].Name != "b" {
+		t.Fatalf("delta: %+v", d)
+	}
+	if d.Seq != c.Seq() {
+		t.Errorf("delta seq: %d want %d", d.Seq, c.Seq())
+	}
+
+	// Instance mismatch: full.
+	if d := c.ChangesSince(seq, inst+1); !d.Full {
+		t.Error("instance mismatch not full")
+	}
+	// Future sequence: full.
+	if d := c.ChangesSince(c.Seq()+10, inst); !d.Full {
+		t.Error("future seq not full")
+	}
+}
+
+func TestChangesSinceTombstones(t *testing.T) {
+	c := New(nil)
+	if err := c.AddDataset(jds("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReplica(schema.Replica{ID: "r1", Dataset: "d", Site: "s", PFN: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	seq := c.Seq()
+	if err := c.RemoveReplica("r1"); err != nil {
+		t.Fatal(err)
+	}
+	d := c.ChangesSince(seq, c.Instance())
+	if d.Full || len(d.Tombstones) != 1 || d.Tombstones[0] != (Tombstone{Kind: "replica", ID: "r1"}) {
+		t.Fatalf("tombstone delta: %+v", d)
+	}
+	// Add+remove after the mark collapses to a tombstone, not a record.
+	seq = c.Seq()
+	if err := c.AddReplica(schema.Replica{ID: "r2", Dataset: "d", Site: "s", PFN: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveReplica("r2"); err != nil {
+		t.Fatal(err)
+	}
+	d = c.ChangesSince(seq, c.Instance())
+	if len(d.Export.Replicas) != 0 || len(d.Tombstones) != 1 {
+		t.Fatalf("collapse: %+v", d)
+	}
+}
+
+func TestChangesSinceWindowOverflow(t *testing.T) {
+	c := New(nil)
+	c.SetJournalWindow(4)
+	if err := c.AddDataset(jds("base")); err != nil {
+		t.Fatal(err)
+	}
+	seq, inst := c.Seq(), c.Instance()
+	for i := 0; i < 20; i++ {
+		if err := c.AddDataset(jds(fmt.Sprintf("d%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := c.ChangesSince(seq, inst)
+	if !d.Full {
+		t.Fatalf("overflowed caller should get full export: %+v", d)
+	}
+	if len(d.Export.Datasets) != 21 {
+		t.Errorf("full export datasets: %d", len(d.Export.Datasets))
+	}
+	// A caller just within the retained tail still gets a delta.
+	seq = c.Seq() - 2
+	d = c.ChangesSince(seq, inst)
+	if d.Full || len(d.Export.Datasets) != 2 {
+		t.Fatalf("tail delta: full=%v n=%d", d.Full, len(d.Export.Datasets))
+	}
+}
+
+// TestDeltaFollowerConvergence replays a mutation history through
+// deltas and checks the follower converges to the leader's export.
+func TestDeltaFollowerConvergence(t *testing.T) {
+	c := New(nil)
+	follower := New(nil)
+	var seq uint64
+	inst := c.Instance()
+	sync := func() {
+		t.Helper()
+		d := c.ChangesSince(seq, inst)
+		follower = applyDelta(t, follower, d)
+		seq = d.Seq
+	}
+
+	tr := schema.Transformation{Name: "t", Kind: schema.Simple, Exec: "/t",
+		Args: []schema.FormalArg{{Name: "o", Direction: schema.Out}, {Name: "i", Direction: schema.In}}}
+	if err := c.AddTransformation(tr); err != nil {
+		t.Fatal(err)
+	}
+	sync()
+	for i := 0; i < 5; i++ {
+		if _, err := c.AddDerivation(schema.Derivation{TR: "t", Params: map[string]schema.Actual{
+			"o": schema.DatasetActual("output", fmt.Sprintf("out%d", i)),
+			"i": schema.DatasetActual("input", fmt.Sprintf("in%d", i)),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddReplica(schema.Replica{ID: fmt.Sprintf("r%d", i), Dataset: fmt.Sprintf("in%d", i), Site: "s", PFN: "u"}); err != nil {
+			t.Fatal(err)
+		}
+		sync()
+	}
+	if _, err := c.BumpEpoch("in0", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveReplica("r1"); err != nil {
+		t.Fatal(err)
+	}
+	sync()
+
+	want, err := schema.CanonicalBytes(c.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := schema.CanonicalBytes(follower.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("follower diverged:\nleader:   %s\nfollower: %s", want, got)
+	}
+}
+
+func TestReopenedCatalogGetsFreshInstance(t *testing.T) {
+	dir, err := os.MkdirTemp("", "journal-reopen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	c1, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AddDataset(jds("a")); err != nil {
+		t.Fatal(err)
+	}
+	inst1, seq1 := c1.Instance(), c1.Seq()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Instance() == inst1 {
+		t.Error("reopened catalog reused instance token")
+	}
+	// A client carrying the old instance's sequence must be forced to
+	// resync in full, whatever the new sequence happens to be.
+	if d := c2.ChangesSince(seq1, inst1); !d.Full {
+		t.Errorf("stale instance should get full export: %+v", d)
+	}
+}

@@ -111,6 +111,11 @@ type Options struct {
 	// never waits). 0 means DefaultMaxDelay; negative disables the
 	// window so batches close as fast as the disk allows.
 	MaxDelay time.Duration
+
+	// JournalWindow bounds the change journal backing ChangesSince
+	// delta exports; callers further behind than the window receive a
+	// full export. 0 means DefaultJournalWindow.
+	JournalWindow int
 }
 
 // normalize resolves zero values to defaults.
@@ -123,6 +128,9 @@ func (o Options) normalize() Options {
 	} else if o.MaxDelay < 0 {
 		o.MaxDelay = 0
 	}
+	if o.JournalWindow <= 0 {
+		o.JournalWindow = DefaultJournalWindow
+	}
 	return o
 }
 
@@ -134,6 +142,8 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: open: %w", err)
 	}
 	c := New(dtype.NewRegistry())
+	opts = opts.normalize()
+	c.jwindow = opts.JournalWindow
 	if seed != nil {
 		if err := c.types.Merge(seed); err != nil {
 			return nil, err
@@ -168,7 +178,6 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("catalog: wal: %w", err)
 	}
-	opts = opts.normalize()
 	w := &wal{dir: dir, f: f, sync: opts.Sync}
 	if opts.MaxBatch > 1 {
 		w.com = newCommitter(f, opts.Sync, opts.MaxBatch, opts.MaxDelay)
@@ -317,6 +326,7 @@ func (c *Catalog) apply(rec walRecord) error {
 		if err := json.Unmarshal(rec.Data, &t); err != nil {
 			return err
 		}
+		c.noteJournal(jTypes, "", false)
 		return c.types.Register(dtype.Dimension(t.Dim), t.Name, t.Parent)
 	case opDataset:
 		var ds schema.Dataset
@@ -365,6 +375,7 @@ func (c *Catalog) apply(rec walRecord) error {
 			return err
 		}
 		c.compat = append(c.compat, a)
+		c.noteJournal(jCompat, "", false)
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}
@@ -413,6 +424,12 @@ func (c *Catalog) Export() Export {
 	return exp
 }
 
+// Sort orders every object slice by its identity, the canonical order
+// Export() itself produces. Callers assembling an Export by hand (e.g.
+// a federation shard reconstructing member state from deltas) use it so
+// downstream merges stay deterministic.
+func (exp *Export) Sort() { sortExport(exp) }
+
 func sortExport(exp *Export) {
 	sort.Slice(exp.Datasets, func(i, j int) bool { return exp.Datasets[i].Name < exp.Datasets[j].Name })
 	sort.Slice(exp.Transformations, func(i, j int) bool { return exp.Transformations[i].Ref() < exp.Transformations[j].Ref() })
@@ -427,6 +444,7 @@ func (c *Catalog) applyExport(exp Export) error {
 		if err := c.types.Merge(exp.Types); err != nil {
 			return err
 		}
+		c.noteJournal(jTypes, "", false)
 	}
 	for _, ds := range exp.Datasets {
 		c.putDataset(ds)
@@ -449,7 +467,10 @@ func (c *Catalog) applyExport(exp Export) error {
 			c.putReplica(r)
 		}
 	}
-	c.compat = append(c.compat, exp.Compat...)
+	if len(exp.Compat) > 0 {
+		c.compat = append(c.compat, exp.Compat...)
+		c.noteJournal(jCompat, "", false)
+	}
 	return nil
 }
 
@@ -466,7 +487,13 @@ func (c *Catalog) ImportTolerant(exp Export) int {
 	}
 	if exp.Types != nil {
 		// Best-effort merge; conflicting names keep their first parent.
-		_ = c.types.Merge(exp.Types)
+		// Run under the mutation lock so the journal (and concurrent
+		// readers of the registry) see a consistent update.
+		_ = c.mutate(func() error {
+			_ = c.types.Merge(exp.Types)
+			c.noteJournal(jTypes, "", false)
+			return nil
+		})
 	}
 	for _, tr := range exp.Transformations {
 		tolerate(c.AddTransformation(tr))

@@ -1,0 +1,339 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dtype"
+	"chimera/internal/query"
+	"chimera/internal/schema"
+	"chimera/internal/vds"
+)
+
+// shard is the per-member slice of a federated index: the raw member
+// state reconstructed from delta exports, plus the sync cursor needed
+// to ask the member for "everything after what I already have". Shards
+// are owned by the crawl path (serialized by Index.crawlMu); during the
+// fan-out each shard is touched by exactly one worker.
+type shard struct {
+	// instance and seq form the sync cursor echoed back to the member.
+	instance uint64
+	seq      uint64
+
+	// gen counts content changes; builtGen is the gen last merged into
+	// the shadow. gen != builtGen marks the shard dirty for rebuild.
+	gen      uint64
+	builtGen uint64
+
+	// Raw member state, applied as upserts from deltas.
+	datasets        map[string]schema.Dataset
+	transformations map[string]schema.Transformation
+	derivations     map[string]schema.Derivation
+	invocations     map[string]schema.Invocation
+	replicas        map[string]schema.Replica
+	types           *dtype.Registry
+	compat          []schema.CompatibilityAssertion
+
+	// Cached admission result, valid for (admittedGen, admittedFilter).
+	admitted       catalog.Export
+	admitErr       error
+	admittedGen    uint64
+	admittedFilter string
+	admittedValid  bool
+
+	// Last crawl outcomes, composed into the index stale map.
+	fetchErr   error
+	overlapErr error
+}
+
+func newShard() *shard {
+	return &shard{
+		datasets:        make(map[string]schema.Dataset),
+		transformations: make(map[string]schema.Transformation),
+		derivations:     make(map[string]schema.Derivation),
+		invocations:     make(map[string]schema.Invocation),
+		replicas:        make(map[string]schema.Replica),
+	}
+}
+
+// apply folds a delta into the shard. Full deltas reset the shard; the
+// records of an incremental delta are upserts (a dataset epoch bump
+// ships the whole dataset again), and replica tombstones delete.
+func (sh *shard) apply(d catalog.Delta) {
+	if d.Full {
+		other := newShard()
+		sh.datasets = other.datasets
+		sh.transformations = other.transformations
+		sh.derivations = other.derivations
+		sh.invocations = other.invocations
+		sh.replicas = other.replicas
+		sh.types = nil
+		sh.compat = nil
+	}
+	for _, ds := range d.Export.Datasets {
+		sh.datasets[ds.Name] = ds
+	}
+	for _, tr := range d.Export.Transformations {
+		sh.transformations[tr.Ref()] = tr
+	}
+	for _, dv := range d.Export.Derivations {
+		sh.derivations[dv.ID] = dv
+	}
+	for _, iv := range d.Export.Invocations {
+		sh.invocations[iv.ID] = iv
+	}
+	for _, r := range d.Export.Replicas {
+		sh.replicas[r.ID] = r
+	}
+	for _, tomb := range d.Tombstones {
+		if tomb.Kind == "replica" {
+			delete(sh.replicas, tomb.ID)
+		}
+	}
+	if d.Export.Types != nil {
+		// Deltas carry the member's full registry when any type changed.
+		sh.types = d.Export.Types
+	}
+	if len(d.Export.Compat) > 0 {
+		sh.compat = d.Export.Compat
+	}
+	sh.gen++
+	sh.admittedValid = false
+}
+
+// export materializes the shard as a sorted catalog export, matching
+// what the member's full Export() would contain.
+func (sh *shard) export() catalog.Export {
+	exp := catalog.Export{Types: sh.types}
+	for _, ds := range sh.datasets {
+		exp.Datasets = append(exp.Datasets, ds)
+	}
+	for _, tr := range sh.transformations {
+		exp.Transformations = append(exp.Transformations, tr)
+	}
+	for _, dv := range sh.derivations {
+		exp.Derivations = append(exp.Derivations, dv)
+	}
+	for _, iv := range sh.invocations {
+		exp.Invocations = append(exp.Invocations, iv)
+	}
+	for _, r := range sh.replicas {
+		exp.Replicas = append(exp.Replicas, r)
+	}
+	exp.Compat = append([]schema.CompatibilityAssertion(nil), sh.compat...)
+	exp.Sort()
+	return exp
+}
+
+// admittedExport returns the shard's post-admission view, memoized on
+// (gen, filter) so unchanged members pay for filtering once, not once
+// per rebuild.
+func (sh *shard) admittedExport(filterExpr query.Expr, filter string) (catalog.Export, error) {
+	if sh.admittedValid && sh.admittedGen == sh.gen && sh.admittedFilter == filter {
+		return sh.admitted, sh.admitErr
+	}
+	sh.admitted, sh.admitErr = admit(sh.export(), filterExpr)
+	sh.admittedGen = sh.gen
+	sh.admittedFilter = filter
+	sh.admittedValid = true
+	return sh.admitted, sh.admitErr
+}
+
+// staleErr composes the member's stale-map entry from last outcomes.
+func (sh *shard) staleErr() error {
+	switch {
+	case sh.fetchErr != nil:
+		return sh.fetchErr
+	case sh.admitErr != nil && sh.admittedValid:
+		return sh.admitErr
+	default:
+		return sh.overlapErr
+	}
+}
+
+// crawlDelta is the incremental parallel crawl: fan out bounded workers
+// that pull per-member deltas into shards, then merge dirty shards into
+// a fresh shadow. When nothing changed anywhere, the pass costs one
+// round-trip per member and zero re-imports.
+func (ix *Index) crawlDelta() error {
+	ix.mu.Lock()
+	members := make(map[string]*vds.Client, len(ix.members))
+	for a, c := range ix.members {
+		members[a] = c
+	}
+	filter := ix.Filter
+	workers := ix.Workers
+	timeout := ix.MemberTimeout
+	ix.mu.Unlock()
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if timeout <= 0 {
+		timeout = DefaultMemberTimeout
+	}
+
+	var filterExpr query.Expr
+	if filter != "" {
+		e, err := query.Parse(filter)
+		if err != nil {
+			return fmt.Errorf("federation: index %q filter: %w", ix.Name, err)
+		}
+		filterExpr = e
+	}
+
+	// Reconcile the shard set with current membership.
+	membersChanged := false
+	for a := range ix.shards {
+		if _, ok := members[a]; !ok {
+			delete(ix.shards, a)
+			membersChanged = true
+		}
+	}
+	for a := range members {
+		if _, ok := ix.shards[a]; !ok {
+			ix.shards[a] = newShard()
+		}
+	}
+
+	authorities := make([]string, 0, len(members))
+	for a := range members {
+		authorities = append(authorities, a)
+	}
+	sort.Strings(authorities)
+
+	// Fan out: each worker owns its member's shard for the duration.
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, a := range authorities {
+		wg.Add(1)
+		go func(a string, client *vds.Client, sh *shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ix.fetchMember(client, sh, timeout)
+		}(a, members[a], ix.shards[a])
+	}
+	wg.Wait()
+
+	dirty := membersChanged || !ix.built || ix.builtFilter != filter
+	if !dirty {
+		for _, sh := range ix.shards {
+			if sh.gen != sh.builtGen {
+				dirty = true
+				break
+			}
+		}
+	}
+
+	if !dirty {
+		// Nothing changed: keep the shadow, refresh only bookkeeping.
+		stale := make(map[string]error)
+		for a, sh := range ix.shards {
+			if err := sh.staleErr(); err != nil {
+				stale[a] = err
+			}
+		}
+		ix.mu.Lock()
+		ix.stale = stale
+		ix.crawls++
+		ix.mu.Unlock()
+		metricCrawls.Inc()
+		return nil
+	}
+
+	shadow := catalog.New(nil)
+	origin := make(map[string]string)
+	stale := make(map[string]error)
+	for _, a := range authorities {
+		sh := ix.shards[a]
+		if sh.fetchErr != nil {
+			// Serve the last good shard state (unlike the full crawl,
+			// which forgets unreachable members); still flag the member.
+			stale[a] = sh.fetchErr
+		}
+		if sh.gen == 0 {
+			continue // never fetched successfully
+		}
+		admitted, err := sh.admittedExport(filterExpr, filter)
+		if err != nil {
+			stale[a] = err
+			memberError.Inc()
+			sh.builtGen = sh.gen
+			continue
+		}
+		metricAdmitted.Add(uint64(len(admitted.Datasets)))
+		if skipped := shadow.ImportTolerant(admitted); skipped > 0 {
+			sh.overlapErr = fmt.Errorf("federation: %d objects of %s overlapped existing index entries", skipped, a)
+			if stale[a] == nil {
+				stale[a] = sh.overlapErr
+			}
+		} else {
+			sh.overlapErr = nil
+		}
+		for _, ds := range admitted.Datasets {
+			key := "dataset/" + ds.Name
+			if _, taken := origin[key]; !taken {
+				origin[key] = a
+			}
+		}
+		for _, tr := range admitted.Transformations {
+			key := "transformation/" + tr.Ref()
+			if _, taken := origin[key]; !taken {
+				origin[key] = a
+			}
+		}
+		for _, dv := range admitted.Derivations {
+			key := "derivation/" + dv.ID
+			if _, taken := origin[key]; !taken {
+				origin[key] = a
+			}
+		}
+		sh.builtGen = sh.gen
+	}
+	ix.built = true
+	ix.builtFilter = filter
+
+	ix.mu.Lock()
+	ix.shadow = shadow
+	ix.origin = origin
+	ix.stale = stale
+	ix.crawls++
+	ix.mu.Unlock()
+	metricCrawls.Inc()
+	return nil
+}
+
+// fetchMember pulls one member's changes into its shard.
+func (ix *Index) fetchMember(client *vds.Client, sh *shard, timeout time.Duration) {
+	metricInflight.Inc()
+	defer metricInflight.Dec()
+	defer metricMemberSeconds.ObserveSince(time.Now())
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	d, n, err := client.ExportSince(ctx, sh.seq, sh.instance)
+	metricBytes.Add(uint64(n))
+	if err != nil {
+		sh.fetchErr = err
+		memberError.Inc()
+		deltaError.Inc()
+		return
+	}
+	sh.fetchErr = nil
+	memberOK.Inc()
+	switch {
+	case d.Full:
+		deltaFull.Inc()
+	case d.Empty():
+		deltaUnchanged.Inc()
+	default:
+		deltaIncremental.Inc()
+	}
+	if d.Full || !d.Empty() {
+		sh.apply(d)
+	}
+	sh.instance, sh.seq = d.Instance, d.Seq
+}

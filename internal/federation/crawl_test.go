@@ -1,0 +1,358 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/schema"
+	"chimera/internal/vds"
+)
+
+// snapshot captures the externally observable crawl result.
+type snapshot struct {
+	export string
+	origin map[string]string
+	stale  map[string]string
+}
+
+func snap(t *testing.T, ix *Index) snapshot {
+	t.Helper()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	data, err := schema.CanonicalBytes(ix.shadow.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snapshot{export: string(data), origin: make(map[string]string), stale: make(map[string]string)}
+	for k, v := range ix.origin {
+		s.origin[k] = v
+	}
+	for k, v := range ix.stale {
+		s.stale[k] = v.Error()
+	}
+	return s
+}
+
+func compareSnapshots(t *testing.T, round int, delta, oracle snapshot) {
+	t.Helper()
+	if delta.export != oracle.export {
+		t.Fatalf("round %d: shadow diverged\ndelta:  %.2000s\noracle: %.2000s", round, delta.export, oracle.export)
+	}
+	if !reflect.DeepEqual(delta.origin, oracle.origin) {
+		t.Fatalf("round %d: origin diverged\ndelta:  %v\noracle: %v", round, delta.origin, oracle.origin)
+	}
+	if !reflect.DeepEqual(delta.stale, oracle.stale) {
+		t.Fatalf("round %d: stale diverged\ndelta:  %v\noracle: %v", round, delta.stale, oracle.stale)
+	}
+}
+
+// mutator applies random mutation histories to a member catalog.
+type mutator struct {
+	rng      *rand.Rand
+	cat      *catalog.Catalog
+	prefix   string
+	datasets []string
+	replicas []string
+	trs      int
+}
+
+func (m *mutator) step(t *testing.T) {
+	t.Helper()
+	switch m.rng.Intn(6) {
+	case 0: // new dataset
+		name := fmt.Sprintf("%s-ds%d", m.prefix, len(m.datasets))
+		if err := m.cat.AddDataset(schema.Dataset{Name: name,
+			Attrs: schema.Attributes{"quality": []string{"approved", "draft"}[m.rng.Intn(2)]}}); err != nil {
+			t.Fatal(err)
+		}
+		m.datasets = append(m.datasets, name)
+	case 1: // epoch bump on an existing dataset
+		if len(m.datasets) == 0 {
+			return
+		}
+		if _, err := m.cat.BumpEpoch(m.datasets[m.rng.Intn(len(m.datasets))], false); err != nil {
+			t.Fatal(err)
+		}
+	case 2: // transformation + derivation chain
+		tr := fmt.Sprintf("%s-tr%d", m.prefix, m.trs)
+		m.trs++
+		if err := m.cat.AddTransformation(twoArg(tr)); err != nil {
+			t.Fatal(err)
+		}
+		out := fmt.Sprintf("%s-out%d", m.prefix, m.trs)
+		if _, err := m.cat.AddDerivation(chainDV(tr, "input-"+m.prefix, out)); err != nil {
+			t.Fatal(err)
+		}
+	case 3: // new replica
+		if len(m.datasets) == 0 {
+			return
+		}
+		id := fmt.Sprintf("%s-r%d", m.prefix, len(m.replicas))
+		ds := m.datasets[m.rng.Intn(len(m.datasets))]
+		if err := m.cat.AddReplica(schema.Replica{ID: id, Dataset: ds, Site: m.prefix, PFN: "gsiftp://" + id}); err != nil {
+			t.Fatal(err)
+		}
+		m.replicas = append(m.replicas, id)
+	case 4: // drop a replica
+		if len(m.replicas) == 0 {
+			return
+		}
+		i := m.rng.Intn(len(m.replicas))
+		_ = m.cat.RemoveReplica(m.replicas[i])
+		m.replicas = append(m.replicas[:i], m.replicas[i+1:]...)
+	case 5: // update attributes (upsert path)
+		if len(m.datasets) == 0 {
+			return
+		}
+		ds, err := m.cat.Dataset(m.datasets[m.rng.Intn(len(m.datasets))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Attrs = schema.Attributes{"quality": "approved", "rev": fmt.Sprint(m.rng.Intn(100))}
+		if err := m.cat.UpdateDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDeltaCrawlEquivalence drives the incremental parallel crawl and
+// the sequential full-export oracle over identical randomized mutation
+// histories and requires bit-identical shadow state, origins and stale
+// maps after every round — including journal-window overflow, which
+// forces the delta path through its full-export fallback.
+func TestDeltaCrawlEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		filter string
+		seed   int64
+	}{
+		{"unfiltered", "", 1},
+		{"unfiltered-alt-seed", "", 7},
+		{"filtered", `attr.quality = approved`, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			const nMembers = 4
+			muts := make([]*mutator, nMembers)
+			delta := NewIndex("delta", "test")
+			oracle := NewIndex("oracle", "test")
+			oracle.FullCrawl = true
+			delta.Filter, oracle.Filter = tc.filter, tc.filter
+			for i := 0; i < nMembers; i++ {
+				name := fmt.Sprintf("m%d", i)
+				cat, client, _ := site(t, name)
+				muts[i] = &mutator{rng: rng, cat: cat, prefix: name}
+				delta.AddMember(name, client)
+				oracle.AddMember(name, client)
+			}
+			// A tight journal on one member forces overflow -> full
+			// fallback whenever it takes a big batch between crawls.
+			muts[0].cat.SetJournalWindow(4)
+
+			for round := 0; round < 12; round++ {
+				steps := rng.Intn(10) // sometimes 0: the unchanged fast path
+				for s := 0; s < steps; s++ {
+					muts[rng.Intn(nMembers)].step(t)
+				}
+				if err := delta.Crawl(); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.Crawl(); err != nil {
+					t.Fatal(err)
+				}
+				compareSnapshots(t, round, snap(t, delta), snap(t, oracle))
+			}
+		})
+	}
+}
+
+// TestDeltaCrawlUnchangedSkipsRebuild checks the fast path: when no
+// member changed, the pass keeps the existing shadow untouched (pointer
+// identity: zero re-import) while still counting as a crawl.
+func TestDeltaCrawlUnchangedSkipsRebuild(t *testing.T) {
+	cat, client, _ := site(t, "g")
+	if err := cat.AddDataset(schema.Dataset{Name: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex("x", "group")
+	ix.AddMember("g", client)
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	before := func() *catalog.Catalog { ix.mu.RLock(); defer ix.mu.RUnlock(); return ix.shadow }()
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	after := func() *catalog.Catalog { ix.mu.RLock(); defer ix.mu.RUnlock(); return ix.shadow }()
+	if before != after {
+		t.Error("unchanged pass rebuilt the shadow")
+	}
+	if ix.Crawls() != 2 {
+		t.Errorf("crawls: %d", ix.Crawls())
+	}
+	if _, ok := ix.Lookup("dataset", "d"); !ok {
+		t.Error("lookup broken after unchanged pass")
+	}
+	// A mutation makes the next pass rebuild again.
+	if err := cat.AddDataset(schema.Dataset{Name: "d2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("dataset", "d2"); !ok {
+		t.Error("recrawl missed new data")
+	}
+}
+
+// delayedSite serves a catalog with an injected per-request delay.
+func delayedSite(t *testing.T, name string, delay time.Duration) (*catalog.Catalog, *vds.Client) {
+	t.Helper()
+	cat := catalog.New(nil)
+	srv := vds.NewServer(name, cat)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(hs.Close)
+	return cat, vds.NewClient(hs.URL)
+}
+
+// TestCrawlHangingMember: a member that never answers burns its own
+// timeout, not the whole pass — live members still get indexed.
+func TestCrawlHangingMember(t *testing.T) {
+	catA, clientA, _ := site(t, "alive")
+	if err := catA.AddDataset(schema.Dataset{Name: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	t.Cleanup(hung.Close)
+
+	ix := NewIndex("x", "group")
+	ix.MemberTimeout = 100 * time.Millisecond
+	ix.AddMember("alive", clientA)
+	ix.AddMember("hung", vds.NewClient(hung.URL))
+
+	start := time.Now()
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("hanging member stalled the pass: %v", elapsed)
+	}
+	if _, ok := ix.Lookup("dataset", "d"); !ok {
+		t.Error("live member not indexed")
+	}
+	if ix.MemberError("hung") == nil {
+		t.Error("hung member error not recorded")
+	}
+}
+
+// TestCrawlSlowMemberWallClock: with parallel fan-out, pass latency
+// tracks the slowest member, not the sum over members.
+func TestCrawlSlowMemberWallClock(t *testing.T) {
+	const slow = 250 * time.Millisecond
+	ix := NewIndex("x", "group")
+	for i := 0; i < 4; i++ {
+		d := slow
+		cat, client := delayedSite(t, fmt.Sprintf("m%d", i), d)
+		if err := cat.AddDataset(schema.Dataset{Name: fmt.Sprintf("d%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		ix.AddMember(fmt.Sprintf("m%d", i), client)
+	}
+	start := time.Now()
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if sequential := 4 * slow; elapsed >= sequential-slow/2 {
+		t.Errorf("pass took %v; parallel fan-out should track the slowest member (%v), not the sum (%v)",
+			elapsed, slow, sequential)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := ix.Lookup("dataset", fmt.Sprintf("d%d", i)); !ok {
+			t.Errorf("member m%d not indexed", i)
+		}
+	}
+}
+
+// TestCrawlStorm is the -race smoke: concurrent crawls and searches
+// against members that mutate underneath them.
+func TestCrawlStorm(t *testing.T) {
+	const nMembers = 3
+	ix := NewIndex("storm", "group")
+	cats := make([]*catalog.Catalog, nMembers)
+	for i := 0; i < nMembers; i++ {
+		name := fmt.Sprintf("m%d", i)
+		cat, client, _ := site(t, name)
+		cats[i] = cat
+		if err := cat.AddDataset(schema.Dataset{Name: name + "-seed"}); err != nil {
+			t.Fatal(err)
+		}
+		ix.AddMember(name, client)
+	}
+
+	stop := make(chan struct{})
+	var writers, crawlers sync.WaitGroup
+	// Writers: keep the member catalogs moving until told to stop.
+	// Paced so they contend with the crawlers without starving them.
+	for i := 0; i < nMembers; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for n := 0; n < 2000; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = cats[i].AddDataset(schema.Dataset{Name: fmt.Sprintf("m%d-ds%d", i, n)})
+				if n%50 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	// Crawlers and readers.
+	for g := 0; g < 4; g++ {
+		crawlers.Add(1)
+		go func() {
+			defer crawlers.Done()
+			for n := 0; n < 10; n++ {
+				if err := ix.Crawl(); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ix.SearchDatasets(`name ~ "*-seed"`); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	crawlers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// The index must still answer consistently after the storm.
+	if err := ix.Crawl(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := ix.SearchDatasets(`name ~ "*-seed"`); err != nil || len(res) != nMembers {
+		t.Fatalf("post-storm search: %d results, err %v", len(res), err)
+	}
+}

@@ -32,6 +32,27 @@ var (
 	memberError    = metricMembers.With("error")
 	metricAdmitted = obs.Default.Counter("vdc_federation_admitted_datasets_total",
 		"Datasets admitted into federated indexes across crawls.")
+	metricMemberSeconds = obs.Default.Histogram("vdc_federation_member_crawl_seconds",
+		"Wall-clock latency of one member's delta fetch.", nil)
+	metricDeltas = obs.Default.CounterVec("vdc_federation_member_deltas_total",
+		"Delta-crawl responses by kind; unchanged/(full+delta+unchanged) is the hit ratio.", "kind")
+	deltaFull        = metricDeltas.With("full")
+	deltaIncremental = metricDeltas.With("delta")
+	deltaUnchanged   = metricDeltas.With("unchanged")
+	deltaError       = metricDeltas.With("error")
+	metricBytes = obs.Default.Counter("vdc_federation_bytes_total",
+		"Encoded bytes transferred from members during delta crawls.")
+	metricInflight = obs.Default.Gauge("vdc_federation_inflight_crawls",
+		"Member fetches currently in flight across all indexes.")
+)
+
+// Delta-crawl tuning defaults.
+const (
+	// DefaultWorkers bounds concurrent member fetches per crawl pass.
+	DefaultWorkers = 8
+	// DefaultMemberTimeout bounds one member's fetch; a hung member
+	// costs its shard one timeout, not the whole pass.
+	DefaultMemberTimeout = 15 * time.Second
 )
 
 // Entry is one indexed object with its home authority.
@@ -60,12 +81,31 @@ type Index struct {
 	// discovery query (evaluated on the member's exported state).
 	Filter string
 
+	// Workers bounds concurrent member fetches in the delta crawl
+	// (default DefaultWorkers).
+	Workers int
+	// MemberTimeout bounds one member's fetch in the delta crawl
+	// (default DefaultMemberTimeout).
+	MemberTimeout time.Duration
+	// FullCrawl forces the sequential full-export crawl: every pass
+	// re-fetches and re-imports every member. Kept as the oracle the
+	// incremental path is checked against; also the fallback if a
+	// member's delta protocol misbehaves.
+	FullCrawl bool
+
 	mu      sync.RWMutex
 	members map[string]*vds.Client
 	shadow  *catalog.Catalog
 	origin  map[string]string // kind/name -> authority
 	crawls  int
 	stale   map[string]error // per-member last crawl error
+
+	// Delta-crawl state, owned by crawlMu: per-member shards and the
+	// conditions under which the current shadow was built.
+	crawlMu     sync.Mutex
+	shards      map[string]*shard
+	built       bool
+	builtFilter string
 }
 
 // NewIndex returns an empty index.
@@ -76,6 +116,7 @@ func NewIndex(name, scope string) *Index {
 		shadow:  catalog.New(nil),
 		origin:  make(map[string]string),
 		stale:   make(map[string]error),
+		shards:  make(map[string]*shard),
 	}
 }
 
@@ -120,11 +161,27 @@ func (ix *Index) MemberError(authority string) error {
 	return ix.stale[authority]
 }
 
-// Crawl rebuilds the index from current member state. Unreachable
-// members are skipped (recorded in MemberError) so one dead catalog
-// does not take the federation down.
+// Crawl refreshes the index from current member state. The default
+// path is incremental and parallel: members are fetched concurrently
+// by a bounded worker pool, each shipping only the changes since its
+// shard's last sequence; the shadow is rebuilt only when some shard
+// changed. A member that errors is recorded in MemberError — its shard
+// keeps serving the last good state — so one dead catalog does not
+// take the federation down. Set FullCrawl for the sequential
+// full-export pass (which instead drops unreachable members).
+// Crawl passes on one index are serialized.
 func (ix *Index) Crawl() error {
 	defer metricCrawlSeconds.ObserveSince(time.Now())
+	ix.crawlMu.Lock()
+	defer ix.crawlMu.Unlock()
+	if ix.FullCrawl {
+		return ix.crawlFull()
+	}
+	return ix.crawlDelta()
+}
+
+// crawlFull rebuilds the index from full member exports, sequentially.
+func (ix *Index) crawlFull() error {
 	ix.mu.Lock()
 	members := make(map[string]*vds.Client, len(ix.members))
 	for a, c := range ix.members {
@@ -194,6 +251,10 @@ func (ix *Index) Crawl() error {
 			}
 		}
 	}
+
+	// The full pass bypasses the shards, so the next delta pass must
+	// not trust its skip-rebuild bookkeeping.
+	ix.built = false
 
 	ix.mu.Lock()
 	ix.shadow = shadow

@@ -2,12 +2,16 @@ package vds
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
@@ -15,12 +19,57 @@ import (
 	"chimera/internal/trust"
 )
 
+// Transport defaults. A catalog client must never hang forever on a
+// dead or wedged member, so the default client carries a request
+// timeout; callers with different needs override Client.HTTP.
+const (
+	// DefaultTimeout bounds one request round-trip on the default
+	// transport (connect + send + wait + read body).
+	DefaultTimeout = 30 * time.Second
+	// DefaultRetries is how many times an idempotent (GET) request is
+	// retried after a transient failure.
+	DefaultRetries = 2
+	// DefaultRetryBackoff is the first retry delay; it doubles per
+	// attempt.
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// maxResponseBytes caps how much of a response body a client will read.
+// A variable so tests can exercise the limit without allocating 64 MB.
+var maxResponseBytes = int64(64 << 20)
+
+// ErrResponseTooLarge reports a response body that exceeded the
+// client's read limit. Distinct from a decode failure so callers see
+// "the catalog is too big to ship", not a confusing JSON error.
+var ErrResponseTooLarge = errors.New("vds: response too large")
+
+// defaultHTTP is the shared default transport: pooled connections and a
+// sane per-request timeout (http.DefaultClient has none, which lets one
+// hung member block a caller indefinitely).
+var defaultHTTP = &http.Client{
+	Timeout: DefaultTimeout,
+	Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 // Client talks to a remote virtual data service.
 type Client struct {
 	// Base is the service root, e.g. "http://host:port".
 	Base string
-	// HTTP is the transport; nil uses http.DefaultClient.
+	// HTTP is the transport; nil uses a shared pooled client with a
+	// DefaultTimeout per-request timeout.
 	HTTP *http.Client
+	// Retries is how many extra attempts an idempotent (GET) request
+	// gets after a transient failure (transport error or 502/503/504).
+	// 0 means DefaultRetries; negative disables retries. Mutating
+	// requests are never retried.
+	Retries int
+	// RetryBackoff is the first retry delay, doubling per attempt.
+	// 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // NewClient returns a client for the service at base.
@@ -32,7 +81,24 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTP
+}
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return DefaultRetries
+	}
+	return c.Retries
+}
+
+func (c *Client) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return c.RetryBackoff
 }
 
 // RemoteError is a non-2xx response from a catalog service.
@@ -67,41 +133,95 @@ func errorsAs(err error, target **RemoteError) bool {
 }
 
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	_, err := c.doCtx(context.Background(), method, path, in, out)
+	return err
+}
+
+// doCtx issues one API request under ctx with bounded retry/backoff for
+// idempotent methods, returning the encoded response size in bytes.
+// Only GETs are retried: a transient transport failure or gateway-style
+// status (502/503/504) triggers up to Retries extra attempts with
+// exponential backoff, unless ctx is done first. Mutations run exactly
+// once — the server may have applied a request whose response was lost.
+func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) (int, error) {
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		body = bytes.NewReader(data)
+		payload = data
 	}
-	req, err := http.NewRequest(method, c.Base+path, body)
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.retries()
+	}
+	backoff := c.retryBackoff()
+	var n int
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return n, err // last attempt's error, not the bare ctx error
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var retryable bool
+		n, retryable, err = c.once(ctx, method, path, payload, in != nil, out)
+		if err == nil || !retryable || ctx.Err() != nil {
+			return n, err
+		}
+	}
+	return n, err
+}
+
+// once issues a single HTTP request. retryable marks failures that a
+// fresh attempt could plausibly cure: transport errors and upstream
+// 502/503/504 responses.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (bytes_ int, retryable bool, err error) {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return fmt.Errorf("vds: %s %s: %w", method, path, err)
+		return 0, true, fmt.Errorf("vds: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
-		return err
+		return len(data), true, err
+	}
+	if int64(len(data)) > maxResponseBytes {
+		// The cap used to truncate silently, surfacing later as a baffling
+		// JSON unmarshal failure; name the real problem instead.
+		return len(data), false, fmt.Errorf("vds: %s %s: %w (limit %d bytes)", method, path, ErrResponseTooLarge, maxResponseBytes)
 	}
 	if resp.StatusCode/100 != 2 {
+		re := &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return &RemoteError{Status: resp.StatusCode, Message: eb.Error}
+			re.Message = eb.Error
 		}
-		return &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return len(data), true, re
+		}
+		return len(data), false, re
 	}
 	if out != nil {
-		return json.Unmarshal(data, out)
+		return len(data), false, json.Unmarshal(data, out)
 	}
-	return nil
+	return len(data), false, nil
 }
 
 // Info fetches service identity and stats.
@@ -116,6 +236,17 @@ func (c *Client) Export() (catalog.Export, error) {
 	var out catalog.Export
 	err := c.do("GET", "/v1/export", nil, &out)
 	return out, err
+}
+
+// ExportSince fetches the changes the remote catalog has accumulated
+// past (since, instance), as reported by an earlier Delta. Pass zeros
+// on first contact to receive a full export. The returned byte count
+// is the encoded response size, for transfer accounting.
+func (c *Client) ExportSince(ctx context.Context, since, instance uint64) (catalog.Delta, int, error) {
+	var out catalog.Delta
+	path := "/v1/export?since=" + strconv.FormatUint(since, 10) + "&instance=" + strconv.FormatUint(instance, 10)
+	n, err := c.doCtx(ctx, "GET", path, nil, &out)
+	return out, n, err
 }
 
 // Types fetches the catalog's dataset-type registry.

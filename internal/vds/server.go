@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"chimera/internal/catalog"
 	"chimera/internal/obs"
@@ -92,7 +93,23 @@ func (s *Server) routes() {
 	})
 
 	handle("GET /v1/export", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Cat.Export())
+		q := r.URL.Query()
+		if !q.Has("since") && !q.Has("instance") {
+			// Legacy full-export form.
+			writeJSON(w, http.StatusOK, s.Cat.Export())
+			return
+		}
+		since, err := strconv.ParseUint(q.Get("since"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad since: " + q.Get("since")})
+			return
+		}
+		instance, err := strconv.ParseUint(q.Get("instance"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad instance: " + q.Get("instance")})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Cat.ChangesSince(since, instance))
 	})
 
 	handle("GET /v1/types", func(w http.ResponseWriter, r *http.Request) {
