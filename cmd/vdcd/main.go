@@ -4,26 +4,40 @@
 // crawl it, and the chimera CLI (or any HTTP client) composes and
 // queries it remotely.
 //
-// Operational endpoints: GET /metrics exposes the process metrics in
-// Prometheus text format; GET /healthz reports liveness plus catalog
-// stats. SIGINT/SIGTERM trigger a graceful drain: in-flight requests
-// finish, the catalog is snapshotted, and the WAL is flushed closed.
+// Operational endpoints: GET /metrics exposes process metrics (runtime
+// gauges included) in Prometheus text format; GET /healthz reports
+// liveness plus catalog stats; GET /debug/vdc reports the journal
+// cursor, index cardinalities and the slowest recent requests with
+// their trace IDs; /debug/loglevel reads and sets per-subsystem log
+// levels at runtime. With -trace, GET /debug/trace dumps the in-memory
+// span buffer in Chrome trace-event format (load it in Perfetto); with
+// -pprof, the net/http/pprof profiles are mounted at /debug/pprof/.
+// SIGINT/SIGTERM trigger a graceful drain: in-flight requests finish,
+// the catalog is snapshotted, and the WAL is flushed closed.
 //
 // Durability is a group-commit WAL: mutations batch their log writes
 // and (with -sync) share one fsync per batch; see docs/PERF.md for the
 // -wal-batch / -wal-delay knobs.
 //
+// With -federate, vdcd also hosts a federated index over the listed
+// member catalogs and crawls them incrementally every -crawl-every;
+// the per-member sync cursors appear under /debug/vdc, and each pass
+// is one connected trace when -trace is on.
+//
 // Usage:
 //
-//	vdcd -addr :8844 -dir /var/lib/vdc -name physics.example.edu [-readonly] [-sync]
+//	vdcd -addr :8844 -dir /var/lib/vdc -name physics.example.edu \
+//	    [-readonly] [-sync] [-log-level info,wal=debug] [-log-json] \
+//	    [-trace] [-pprof] [-federate a=http://h1:8844,b=http://h2:8844]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +46,7 @@ import (
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
+	"chimera/internal/federation"
 	"chimera/internal/obs"
 	"chimera/internal/vds"
 )
@@ -47,7 +62,22 @@ func main() {
 	journalWindow := flag.Int("journal-window", catalog.DefaultJournalWindow, "change-journal entries retained for delta exports; crawlers further behind fall back to full exports")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	logLevel := flag.String("log-level", "info", "log level spec: a default level optionally followed by subsys=level overrides, e.g. \"info,wal=debug,http=warn\" (also settable at runtime via /debug/loglevel)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	traceOn := flag.Bool("trace", false, "record request/crawl spans in memory and serve them at /debug/trace in Chrome trace-event format")
+	traceLimit := flag.Int("trace-limit", 65536, "span-buffer capacity with -trace; older spans beyond it are dropped (counted)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiles at /debug/pprof/")
+	federate := flag.String("federate", "", "comma-separated authority=url member list; vdcd hosts a federated index over them")
+	crawlEvery := flag.Duration("crawl-every", 30*time.Second, "federation crawl interval with -federate")
 	flag.Parse()
+
+	if err := obs.ParseLevelSpec(*logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "vdcd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	obs.SetLogOutput(os.Stderr, *logJSON)
+	logger := obs.Logger("vdcd")
+	obs.EnableRuntimeMetrics(obs.Default)
 
 	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{
 		Sync:          *syncWAL,
@@ -56,7 +86,8 @@ func main() {
 		JournalWindow: *journalWindow,
 	})
 	if err != nil {
-		log.Fatalf("vdcd: %v", err)
+		logger.Error("catalog open failed", "dir", *dir, "err", err)
+		os.Exit(1)
 	}
 
 	stop := make(chan struct{})
@@ -70,7 +101,9 @@ func main() {
 				select {
 				case <-ticker.C:
 					if err := cat.Snapshot(); err != nil {
-						log.Printf("vdcd: snapshot: %v", err)
+						logger.Error("snapshot failed", "err", err)
+					} else {
+						logger.Debug("snapshot complete")
 					}
 				case <-stop:
 					return
@@ -83,11 +116,99 @@ func main() {
 
 	srv := vds.NewServer(*name, cat)
 	srv.ReadOnly = *readonly
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	var tracer *obs.Tracer
+	if *traceOn {
+		tracer = obs.NewTracer()
+		tracer.Limit = *traceLimit
+		srv.Tracer = tracer
+	}
+
+	// The server is the root handler; debug extras mount on an outer mux
+	// so they stay out of the API surface (and its middleware) entirely.
+	var handler http.Handler = srv
+	if tracer != nil || *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", srv)
+		if tracer != nil {
+			outer.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				if err := tracer.WriteChromeTrace(w); err != nil {
+					logger.Error("trace export failed", "err", err)
+				}
+			})
+		}
+		if *pprofOn {
+			outer.HandleFunc("/debug/pprof/", pprof.Index)
+			outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		handler = outer
+	}
+
+	// Optional federation: host an index over the listed members and
+	// crawl it on a timer. Each pass runs under the tracer (when on), so
+	// one crawl is one connected trace: crawl root, per-member fetches
+	// (propagated to members via traceparent), apply and rebuild spans.
+	crawlDone := make(chan struct{})
+	if *federate != "" {
+		ix := federation.NewIndex(*name+"-federation", "collaboration")
+		for _, m := range strings.Split(*federate, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				continue
+			}
+			authority, url, ok := strings.Cut(m, "=")
+			if !ok {
+				logger.Error("bad -federate member, want authority=url", "member", m)
+				os.Exit(2)
+			}
+			ix.AddMember(strings.TrimSpace(authority), vds.NewClient(strings.TrimSpace(url)))
+		}
+		srv.OnDebug = func(info map[string]any) {
+			info["federation"] = map[string]any{
+				"members": ix.Members(),
+				"crawls":  ix.Crawls(),
+				"shards":  ix.ShardStates(),
+				"stats":   ix.Stats(),
+			}
+		}
+		flog := obs.Logger("federation")
+		go func() {
+			defer close(crawlDone)
+			ticker := time.NewTicker(*crawlEvery)
+			defer ticker.Stop()
+			for {
+				crawlCtx := context.Background()
+				if tracer != nil {
+					crawlCtx = obs.WithTracer(crawlCtx, tracer)
+				}
+				start := time.Now()
+				if err := ix.CrawlContext(crawlCtx); err != nil {
+					flog.Error("crawl failed", "err", err)
+				} else {
+					flog.Debug("crawl complete", "crawls", ix.Crawls(),
+						"seconds", time.Since(start).Seconds())
+				}
+				select {
+				case <-ticker.C:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(crawlDone)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	st := cat.Stats()
-	log.Printf("vdcd: serving catalog %q (%d datasets, %d derivations) on %s (metrics at /metrics)",
-		*name, st.Datasets, st.Derivations, *addr)
+	logger.Info("serving catalog", "name", *name, "addr", *addr,
+		"datasets", st.Datasets, "derivations", st.Derivations,
+		"trace", *traceOn, "pprof", *pprofOn, "federate", *federate != "")
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -98,18 +219,20 @@ func main() {
 	case err := <-errCh:
 		// Listener failed before any signal; still close the catalog.
 		cat.Close()
-		log.Fatalf("vdcd: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("vdcd: shutting down")
+	logger.Info("shutting down")
 
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancelShutdown()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("vdcd: drain: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	close(stop)
 	<-snapDone
+	<-crawlDone
 
 	// Compact and flush durable state, then log the final counters so
 	// the last scrape isn't the only record of the run. Snapshot
@@ -117,16 +240,16 @@ func main() {
 	// drains whatever was queued after it, so nothing acknowledged is
 	// lost between the last request and process exit.
 	if err := cat.Snapshot(); err != nil {
-		log.Printf("vdcd: final snapshot: %v", err)
+		logger.Error("final snapshot failed", "err", err)
 	}
 	if err := cat.Close(); err != nil && !errors.Is(err, os.ErrClosed) {
-		log.Printf("vdcd: wal close: %v", err)
+		logger.Error("wal close failed", "err", err)
 	}
 	var metrics strings.Builder
 	if err := obs.Default.WritePrometheus(&metrics); err == nil {
-		log.Printf("vdcd: final metrics:\n%s", metrics.String())
+		logger.Info("final metrics", "prometheus", metrics.String())
 	}
 	st = cat.Stats()
-	log.Printf("vdcd: shutdown complete (%d datasets, %d derivations, %d invocations)",
-		st.Datasets, st.Derivations, st.Invocations)
+	logger.Info("shutdown complete", "datasets", st.Datasets,
+		"derivations", st.Derivations, "invocations", st.Invocations)
 }

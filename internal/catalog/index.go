@@ -347,6 +347,36 @@ func (c *Catalog) rebuildIndexesLocked() indexes {
 	return idx
 }
 
+// IndexStats reports the cardinality of every secondary index: the
+// number of distinct keys per keyed index and members per flag set.
+// It feeds the /debug/vdc introspection endpoint, where a surprising
+// cardinality (an attribute key exploding, a flag set empty) is often
+// the first visible symptom of a misbehaving ingest.
+func (c *Catalog) IndexStats() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	attrKeys := func(m map[string]map[string]IndexSet) int {
+		n := 0
+		for _, vals := range m {
+			n += len(vals)
+		}
+		return n
+	}
+	return map[string]int{
+		"dataset_attr_keys":        len(c.idx.dsAttr),
+		"dataset_attr_values":      attrKeys(c.idx.dsAttr),
+		"transformation_attr_keys": len(c.idx.trAttr),
+		"derivation_attr_keys":     len(c.idx.dvAttr),
+		"dataset_types":            len(c.idx.dsByType),
+		"derived":                  len(c.idx.derived),
+		"materialized":             len(c.idx.materialized),
+		"executed":                 len(c.idx.executed),
+		"derivations_by_tr":        len(c.idx.dvByTR),
+		"derivations_by_tr_base":   len(c.idx.dvByTRBase),
+		"derivations_by_name":      len(c.idx.dvByName),
+	}
+}
+
 // sortedKeys returns a sorted copy of a set's members — the helper the
 // query layer uses to keep result order deterministic.
 func sortedKeys(s IndexSet) []string {

@@ -69,6 +69,39 @@ func (c *Catalog) noteJournal(k journalKind, id string, del bool) {
 		n := copy(c.journal, keep)
 		c.journal = c.journal[:n]
 	}
+	metricJournalEntries.Set(float64(len(c.journal)))
+}
+
+// JournalState is the journal's live cursor and occupancy: the sync
+// position (Instance, Seq) a delta client would cite, plus how much of
+// the retained window is in use. Occupancy at 1.0 means the next
+// lagging crawler falls back to a full export.
+type JournalState struct {
+	Instance uint64  `json:"instance"`
+	Seq      uint64  `json:"seq"`
+	Window   int     `json:"window"`
+	Entries  int     `json:"entries"`
+	Occ      float64 `json:"occupancy"`
+}
+
+// JournalState reports the change journal's cursor and occupancy.
+func (c *Catalog) JournalState() JournalState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := JournalState{
+		Instance: c.jinstance,
+		Seq:      c.jseq,
+		Window:   c.jwindow,
+		Entries:  len(c.journal),
+	}
+	if st.Window > 0 {
+		occ := float64(st.Entries) / float64(st.Window)
+		if occ > 1 {
+			occ = 1 // the journal may run ahead to 2x before compaction
+		}
+		st.Occ = occ
+	}
+	return st
 }
 
 // Seq returns the catalog's current mutation sequence. A caller holding

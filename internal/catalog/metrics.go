@@ -32,6 +32,8 @@ var (
 		"Records currently waiting in the group-commit queue.")
 	metricSnapshot = obs.Default.Histogram("vdc_catalog_snapshot_seconds",
 		"Latency of snapshot compaction (export + write + WAL truncate).", obs.TimeBuckets)
+	metricJournalEntries = obs.Default.Gauge("vdc_journal_entries",
+		"Change-journal entries currently retained (most recently mutated catalog).")
 
 	opDefineType   = metricOps.With("define_type")
 	opAddDataset   = metricOps.With("add_dataset")

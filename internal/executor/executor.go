@@ -27,6 +27,7 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -151,7 +152,11 @@ type Executor struct {
 	// recording pipeline so concurrent completions group-commit.
 	SyncRecording bool
 
-	traceRoot  int64
+	traceRoot int64
+	// runCtx is the context RunContext was called with, held for the
+	// duration of the run so the record path can attach wall-clock spans
+	// to the caller's trace (distinct from the driver-time Trace above).
+	runCtx     context.Context
 	mu         sync.Mutex
 	done       map[string]bool
 	attempts   map[string]int
@@ -159,9 +164,9 @@ type Executor struct {
 	dispatched map[string]bool
 	// indeg counts each node's not-yet-done predecessors; a completion
 	// decrements its successors and dispatches those that reach zero.
-	indeg   map[string]int
-	rec     *recorder
-	results []Result
+	indeg    map[string]int
+	rec      *recorder
+	results  []Result
 	firstErr error
 	graph    *dag.Graph
 }
@@ -187,9 +192,26 @@ func (r Report) Succeeded() bool { return r.Failed == 0 && r.Blocked == 0 }
 // Run executes the graph to quiescence and returns the report. Run is
 // not safe for concurrent invocation on one Executor.
 func (e *Executor) Run(g *dag.Graph) (Report, error) {
+	return e.RunContext(context.Background(), g)
+}
+
+// RunContext is Run under a caller context: when the context carries a
+// tracer, the run records a wall-clock "executor.run" span (and one
+// "executor.record" span per completion's catalog apply) into the
+// caller's trace. This is orthogonal to the driver-time Trace field,
+// which records attempt spans on the driver's virtual timeline.
+func (e *Executor) RunContext(ctx context.Context, g *dag.Graph) (rep Report, err error) {
 	if e.Driver == nil || e.Assign == nil {
 		return Report{}, errors.New("executor: Driver and Assign are required")
 	}
+	ctx, span := obs.StartSpan(ctx, "executor.run")
+	span.SetAttr("nodes", fmt.Sprint(g.Len()))
+	defer func() {
+		span.SetAttr("retries", fmt.Sprint(rep.Retries))
+		span.SetError(err)
+		span.End()
+	}()
+	e.runCtx = ctx
 	if e.Trace != nil {
 		e.traceRoot = e.Trace.NextID()
 	}
@@ -224,7 +246,7 @@ func (e *Executor) Run(g *dag.Graph) (Report, error) {
 	if e.firstErr != nil {
 		return Report{}, e.firstErr
 	}
-	rep := Report{Makespan: e.Driver.Now(), Results: e.results}
+	rep = Report{Makespan: e.Driver.Now(), Results: e.results}
 	for _, n := range g.Nodes() {
 		switch {
 		case e.done[n.ID]:
@@ -423,6 +445,13 @@ func (e *Executor) record(n *dag.Node, p Placement, res Result) []func() error {
 	if e.Catalog == nil {
 		return nil
 	}
+	rctx := e.runCtx
+	if rctx == nil {
+		rctx = context.Background()
+	}
+	_, rspan := obs.StartSpan(rctx, "executor.record")
+	rspan.SetAttr("node", n.ID)
+	defer rspan.End()
 	epoch := e.Epoch
 	if epoch.IsZero() {
 		epoch = time.Unix(0, 0).UTC()

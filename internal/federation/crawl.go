@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
+	"chimera/internal/obs"
 	"chimera/internal/query"
 	"chimera/internal/schema"
 	"chimera/internal/vds"
@@ -134,8 +136,10 @@ func (sh *shard) export() catalog.Export {
 // per rebuild.
 func (sh *shard) admittedExport(filterExpr query.Expr, filter string) (catalog.Export, error) {
 	if sh.admittedValid && sh.admittedGen == sh.gen && sh.admittedFilter == filter {
+		admitHit.Inc()
 		return sh.admitted, sh.admitErr
 	}
+	admitMiss.Inc()
 	sh.admitted, sh.admitErr = admit(sh.export(), filterExpr)
 	sh.admittedGen = sh.gen
 	sh.admittedFilter = filter
@@ -159,7 +163,7 @@ func (sh *shard) staleErr() error {
 // that pull per-member deltas into shards, then merge dirty shards into
 // a fresh shadow. When nothing changed anywhere, the pass costs one
 // round-trip per member and zero re-imports.
-func (ix *Index) crawlDelta() error {
+func (ix *Index) crawlDelta(ctx context.Context) error {
 	ix.mu.Lock()
 	members := make(map[string]*vds.Client, len(ix.members))
 	for a, c := range ix.members {
@@ -214,7 +218,7 @@ func (ix *Index) crawlDelta() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ix.fetchMember(client, sh, timeout)
+			ix.fetchMember(ctx, a, client, sh, timeout)
 		}(a, members[a], ix.shards[a])
 	}
 	wg.Wait()
@@ -237,14 +241,18 @@ func (ix *Index) crawlDelta() error {
 				stale[a] = err
 			}
 		}
+		snap := ix.snapshotShards(authorities)
 		ix.mu.Lock()
 		ix.stale = stale
+		ix.shardSnap = snap
 		ix.crawls++
 		ix.mu.Unlock()
 		metricCrawls.Inc()
 		return nil
 	}
 
+	_, rspan := obs.StartSpan(ctx, "federation.rebuild")
+	defer rspan.End()
 	shadow := catalog.New(nil)
 	origin := make(map[string]string)
 	stale := make(map[string]error)
@@ -296,28 +304,38 @@ func (ix *Index) crawlDelta() error {
 	}
 	ix.built = true
 	ix.builtFilter = filter
+	rspan.SetAttr("datasets", strconv.Itoa(shadow.Stats().Datasets))
 
+	snap := ix.snapshotShards(authorities)
 	ix.mu.Lock()
 	ix.shadow = shadow
 	ix.origin = origin
 	ix.stale = stale
+	ix.shardSnap = snap
 	ix.crawls++
 	ix.mu.Unlock()
 	metricCrawls.Inc()
 	return nil
 }
 
-// fetchMember pulls one member's changes into its shard.
-func (ix *Index) fetchMember(client *vds.Client, sh *shard, timeout time.Duration) {
+// fetchMember pulls one member's changes into its shard. The fetch span
+// wraps the whole round-trip, so its context reaches the member as the
+// traceparent header on the /v1/export/since request — the remote
+// server's spans parent to this one.
+func (ix *Index) fetchMember(ctx context.Context, authority string, client *vds.Client, sh *shard, timeout time.Duration) {
 	metricInflight.Inc()
 	defer metricInflight.Dec()
 	defer metricMemberSeconds.ObserveSince(time.Now())
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, span := obs.StartSpan(ctx, "federation.fetch")
+	span.SetAttr("member", authority)
+	defer span.End()
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	d, n, err := client.ExportSince(ctx, sh.seq, sh.instance)
 	metricBytes.Add(uint64(n))
 	if err != nil {
 		sh.fetchErr = err
+		span.SetError(err)
 		memberError.Inc()
 		deltaError.Inc()
 		return
@@ -326,14 +344,62 @@ func (ix *Index) fetchMember(client *vds.Client, sh *shard, timeout time.Duratio
 	memberOK.Inc()
 	switch {
 	case d.Full:
+		span.SetAttr("delta", "full")
 		deltaFull.Inc()
 	case d.Empty():
+		span.SetAttr("delta", "unchanged")
 		deltaUnchanged.Inc()
 	default:
+		span.SetAttr("delta", "incremental")
 		deltaIncremental.Inc()
 	}
 	if d.Full || !d.Empty() {
+		_, aspan := obs.StartSpan(ctx, "federation.apply")
+		aspan.SetAttr("member", authority)
 		sh.apply(d)
+		aspan.End()
 	}
 	sh.instance, sh.seq = d.Instance, d.Seq
+}
+
+// ShardState is one member's sync cursor as of the last delta crawl:
+// where the shard stands against the member's journal and whether its
+// content has been merged into the served shadow.
+type ShardState struct {
+	Authority string `json:"authority"`
+	Instance  uint64 `json:"instance"`
+	Seq       uint64 `json:"seq"`
+	Gen       uint64 `json:"gen"`
+	BuiltGen  uint64 `json:"built_gen"`
+	Error     string `json:"error,omitempty"`
+}
+
+// snapshotShards captures the per-member cursors; the caller holds
+// crawlMu (shard owner) but NOT ix.mu.
+func (ix *Index) snapshotShards(authorities []string) []ShardState {
+	out := make([]ShardState, 0, len(authorities))
+	for _, a := range authorities {
+		sh, ok := ix.shards[a]
+		if !ok {
+			continue
+		}
+		st := ShardState{Authority: a, Instance: sh.instance, Seq: sh.seq,
+			Gen: sh.gen, BuiltGen: sh.builtGen}
+		if err := sh.staleErr(); err != nil {
+			st.Error = err.Error()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ShardStates reports the last delta crawl's per-member sync cursors.
+// It reads a published snapshot, so it never blocks on (or races with)
+// a crawl in flight; before the first delta crawl it returns nil.
+func (ix *Index) ShardStates() []ShardState {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]ShardState, len(ix.shardSnap))
+	copy(out, ix.shardSnap)
+	return out
 }

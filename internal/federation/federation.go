@@ -7,6 +7,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -40,10 +41,14 @@ var (
 	deltaIncremental = metricDeltas.With("delta")
 	deltaUnchanged   = metricDeltas.With("unchanged")
 	deltaError       = metricDeltas.With("error")
-	metricBytes = obs.Default.Counter("vdc_federation_bytes_total",
+	metricBytes      = obs.Default.Counter("vdc_federation_bytes_total",
 		"Encoded bytes transferred from members during delta crawls.")
 	metricInflight = obs.Default.Gauge("vdc_federation_inflight_crawls",
 		"Member fetches currently in flight across all indexes.")
+	metricAdmitCache = obs.Default.CounterVec("vdc_federation_admit_cache_total",
+		"Memoized admission-filter lookups during shadow rebuilds; hit means the shard reused its cached post-filter export.", "outcome")
+	admitHit  = metricAdmitCache.With("hit")
+	admitMiss = metricAdmitCache.With("miss")
 )
 
 // Delta-crawl tuning defaults.
@@ -106,6 +111,10 @@ type Index struct {
 	shards      map[string]*shard
 	built       bool
 	builtFilter string
+
+	// shardSnap is the last crawl's per-member cursor snapshot, published
+	// under ix.mu so ShardStates never has to wait on a crawl in flight.
+	shardSnap []ShardState
 }
 
 // NewIndex returns an empty index.
@@ -171,17 +180,32 @@ func (ix *Index) MemberError(authority string) error {
 // full-export pass (which instead drops unreachable members).
 // Crawl passes on one index are serialized.
 func (ix *Index) Crawl() error {
+	return ix.CrawlContext(context.Background())
+}
+
+// CrawlContext is Crawl under a caller context. When the context
+// carries a tracer, the pass records one causally-connected trace:
+// a crawl root span, one fetch span per member (whose span context
+// travels to the member as a traceparent header, parenting the remote
+// server's spans), and apply/rebuild spans for the local merge work.
+func (ix *Index) CrawlContext(ctx context.Context) (err error) {
 	defer metricCrawlSeconds.ObserveSince(time.Now())
+	ctx, span := obs.StartSpan(ctx, "federation.crawl")
+	span.SetAttr("index", ix.Name)
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
 	ix.crawlMu.Lock()
 	defer ix.crawlMu.Unlock()
 	if ix.FullCrawl {
-		return ix.crawlFull()
+		return ix.crawlFull(ctx)
 	}
-	return ix.crawlDelta()
+	return ix.crawlDelta(ctx)
 }
 
 // crawlFull rebuilds the index from full member exports, sequentially.
-func (ix *Index) crawlFull() error {
+func (ix *Index) crawlFull(ctx context.Context) error {
 	ix.mu.Lock()
 	members := make(map[string]*vds.Client, len(ix.members))
 	for a, c := range ix.members {
@@ -212,7 +236,11 @@ func (ix *Index) crawlFull() error {
 	sort.Strings(authorities)
 
 	for _, a := range authorities {
-		exp, err := members[a].Export()
+		fctx, fspan := obs.StartSpan(ctx, "federation.fetch")
+		fspan.SetAttr("member", a)
+		exp, err := members[a].ExportCtx(fctx)
+		fspan.SetError(err)
+		fspan.End()
 		if err != nil {
 			stale[a] = err
 			memberError.Inc()

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Structured logging. Every subsystem gets its logger from
+// Logger("wal"), Logger("federation"), ...; records carry a subsys
+// attribute, and — when emitted through the *Context methods with a
+// context that carries a span — trace_id/span_id attributes, so a log
+// line found by grep links straight to its span in the trace viewer.
+//
+// Levels are per subsystem and mutable at runtime: SetLogLevel flips
+// one subsystem, ParseLevelSpec applies a "-log-level"-style spec
+// ("info,wal=debug,http=warn"), and LogLevelHandler exposes both over
+// HTTP for a live daemon. The level check is the hot path and costs
+// one atomic load (default level) plus one RLock'd map probe only for
+// subsystems with an explicit override.
+
+// logSink holds the output handler every subsystem logger writes
+// through; swapped atomically by SetLogOutput.
+var logSink atomic.Pointer[slog.Handler]
+
+func init() {
+	h := slog.Handler(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	logSink.Store(&h)
+}
+
+// SetLogOutput redirects all obs loggers to w, as JSON records when
+// jsonFormat is set, text otherwise. The handler passes every level
+// through: filtering happens in the per-subsystem Enabled check.
+func SetLogOutput(w io.Writer, jsonFormat bool) {
+	opts := &slog.HandlerOptions{Level: slog.LevelDebug}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	logSink.Store(&h)
+}
+
+// levelTable is the mutable per-subsystem level configuration.
+type levelTable struct {
+	def atomic.Int64 // slog.Level of subsystems without an override
+
+	mu       sync.RWMutex
+	override map[string]slog.Level
+	hasAny   atomic.Bool // fast path: no overrides at all
+}
+
+var logLevels = newLevelTable()
+
+func newLevelTable() *levelTable {
+	t := &levelTable{override: make(map[string]slog.Level)}
+	t.def.Store(int64(slog.LevelInfo))
+	return t
+}
+
+func (t *levelTable) level(subsys string) slog.Level {
+	if t.hasAny.Load() {
+		t.mu.RLock()
+		l, ok := t.override[subsys]
+		t.mu.RUnlock()
+		if ok {
+			return l
+		}
+	}
+	return slog.Level(t.def.Load())
+}
+
+// SetLogLevel sets the minimum level for one subsystem; the empty
+// subsystem name sets the default applied to all others.
+func SetLogLevel(subsys string, l slog.Level) {
+	if subsys == "" {
+		logLevels.def.Store(int64(l))
+		return
+	}
+	logLevels.mu.Lock()
+	logLevels.override[subsys] = l
+	logLevels.hasAny.Store(true)
+	logLevels.mu.Unlock()
+}
+
+// ResetLogLevels clears every per-subsystem override and restores the
+// default level to info.
+func ResetLogLevels() {
+	logLevels.mu.Lock()
+	logLevels.override = make(map[string]slog.Level)
+	logLevels.hasAny.Store(false)
+	logLevels.mu.Unlock()
+	logLevels.def.Store(int64(slog.LevelInfo))
+}
+
+// ParseLevelSpec applies a level spec of comma-separated entries, each
+// either a bare level (the default) or subsys=level:
+//
+//	info,wal=debug,http=warn
+//
+// Levels are debug, info, warn, error (case-insensitive).
+func ParseLevelSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		subsys, lvl := "", part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			subsys, lvl = strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+			if subsys == "" {
+				return fmt.Errorf("obs: bad level entry %q: empty subsystem", part)
+			}
+		}
+		var l slog.Level
+		if err := l.UnmarshalText([]byte(lvl)); err != nil {
+			return fmt.Errorf("obs: bad level %q in %q", lvl, part)
+		}
+		SetLogLevel(subsys, l)
+	}
+	return nil
+}
+
+// LogLevels snapshots the current configuration: the "" key is the
+// default level, the rest are per-subsystem overrides.
+func LogLevels() map[string]string {
+	out := map[string]string{"": slog.Level(logLevels.def.Load()).String()}
+	logLevels.mu.RLock()
+	for s, l := range logLevels.override {
+		out[s] = l.String()
+	}
+	logLevels.mu.RUnlock()
+	return out
+}
+
+// subsysHandler filters by the subsystem's live level and stamps
+// records with the subsystem and, when the context carries one, the
+// current span identity.
+type subsysHandler struct {
+	subsys string
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h *subsysHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= logLevels.level(h.subsys)
+}
+
+func (h *subsysHandler) Handle(ctx context.Context, r slog.Record) error {
+	inner := *logSink.Load()
+	for _, g := range h.groups {
+		inner = inner.WithGroup(g)
+	}
+	if len(h.attrs) > 0 {
+		inner = inner.WithAttrs(h.attrs)
+	}
+	r.AddAttrs(slog.String("subsys", h.subsys))
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		r.AddAttrs(
+			slog.String("trace_id", sc.Trace),
+			slog.String("span_id", fmt.Sprintf("%016x", uint64(sc.Span))),
+		)
+	}
+	return inner.Handle(ctx, r)
+}
+
+func (h *subsysHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &nh
+}
+
+func (h *subsysHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	nh.groups = append(append([]string(nil), h.groups...), name)
+	return &nh
+}
+
+// Logger returns the structured logger for a subsystem. Use the
+// *Context methods (InfoContext, ...) with a span-carrying context and
+// the record is stamped with trace_id/span_id automatically.
+func Logger(subsys string) *slog.Logger {
+	return slog.New(&subsysHandler{subsys: subsys})
+}
+
+// LogLevelHandler serves the live level configuration: GET returns the
+// current map, PUT/POST with ?level=<spec> (or a bare spec as the
+// body) applies ParseLevelSpec — mount it at /debug/loglevel.
+func LogLevelHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeLevels(w)
+		case http.MethodPut, http.MethodPost:
+			spec := r.URL.Query().Get("level")
+			if spec == "" {
+				body, err := io.ReadAll(io.LimitReader(r.Body, 4096))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				spec = strings.TrimSpace(string(body))
+			}
+			if spec == "" {
+				http.Error(w, "missing level spec (?level=info,wal=debug)", http.StatusBadRequest)
+				return
+			}
+			if err := ParseLevelSpec(spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeLevels(w)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeLevels(w http.ResponseWriter) {
+	levels := LogLevels()
+	keys := make([]string, 0, len(levels))
+	for k := range levels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]string, len(levels))
+	for _, k := range keys {
+		name := k
+		if name == "" {
+			name = "default"
+		}
+		ordered[name] = levels[k]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ordered)
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureLogs redirects the global sink to a buffer for one test and
+// restores defaults afterwards.
+func captureLogs(t *testing.T, jsonFormat bool) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	SetLogOutput(&buf, jsonFormat)
+	t.Cleanup(func() {
+		SetLogOutput(os.Stderr, false)
+		ResetLogLevels()
+	})
+	return &buf
+}
+
+func TestLoggerSubsystemLevels(t *testing.T) {
+	buf := captureLogs(t, false)
+
+	wal := Logger("wal")
+	httpL := Logger("http")
+
+	wal.Debug("below default") // default info: filtered
+	if buf.Len() != 0 {
+		t.Fatalf("debug leaked at default level: %s", buf.String())
+	}
+
+	SetLogLevel("wal", slog.LevelDebug)
+	SetLogLevel("http", slog.LevelWarn)
+	wal.Debug("wal debug on")
+	httpL.Info("http info off")
+	httpL.Warn("http warn on")
+
+	out := buf.String()
+	if !strings.Contains(out, "wal debug on") {
+		t.Error("per-subsystem debug override not applied")
+	}
+	if strings.Contains(out, "http info off") {
+		t.Error("http info leaked past its warn override")
+	}
+	if !strings.Contains(out, "http warn on") {
+		t.Error("http warn filtered despite override")
+	}
+	if !strings.Contains(out, "subsys=wal") {
+		t.Errorf("records missing subsys attribute:\n%s", out)
+	}
+}
+
+func TestParseLevelSpec(t *testing.T) {
+	t.Cleanup(ResetLogLevels)
+	if err := ParseLevelSpec("warn, wal=debug ,http=error"); err != nil {
+		t.Fatal(err)
+	}
+	levels := LogLevels()
+	if levels[""] != "WARN" || levels["wal"] != "DEBUG" || levels["http"] != "ERROR" {
+		t.Errorf("levels = %v", levels)
+	}
+	for _, bad := range []string{"nope", "wal=loud", "=debug"} {
+		if err := ParseLevelSpec(bad); err == nil {
+			t.Errorf("ParseLevelSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoggerStampsTraceIDs(t *testing.T) {
+	buf := captureLogs(t, true)
+
+	tr := NewTracer()
+	ctx, span := StartSpan(WithTracer(context.Background(), tr), "op")
+	Logger("test").InfoContext(ctx, "inside span")
+	span.End()
+	Logger("test").Info("outside span")
+
+	dec := json.NewDecoder(buf)
+	var first, second map[string]any
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first["trace_id"] != span.Context().Trace {
+		t.Errorf("trace_id = %v, want %s", first["trace_id"], span.Context().Trace)
+	}
+	if first["span_id"] == nil || first["subsys"] != "test" {
+		t.Errorf("record missing span_id/subsys: %v", first)
+	}
+	if _, ok := second["trace_id"]; ok {
+		t.Error("span-less record carries a trace_id")
+	}
+}
+
+func TestLogLevelHandler(t *testing.T) {
+	t.Cleanup(ResetLogLevels)
+	h := LogLevelHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/loglevel", nil))
+	var levels map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &levels); err != nil {
+		t.Fatalf("GET body %q: %v", rec.Body.String(), err)
+	}
+	if levels["default"] != "INFO" {
+		t.Errorf("default level = %q", levels["default"])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("PUT", "/debug/loglevel?level=debug,wal=warn", nil))
+	if rec.Code != 200 {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &levels); err != nil {
+		t.Fatal(err)
+	}
+	if levels["default"] != "DEBUG" || levels["wal"] != "WARN" {
+		t.Errorf("after PUT: %v", levels)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("PUT", "/debug/loglevel?level=wal=loud", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad spec: %d, want 400", rec.Code)
+	}
+
+	// Body form, no query parameter.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/loglevel", strings.NewReader("error")))
+	if rec.Code != 200 {
+		t.Fatalf("POST body spec: %d", rec.Code)
+	}
+	if got := LogLevels()[""]; got != "ERROR" {
+		t.Errorf("default after body spec = %q", got)
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: "0af7651916cd43dd8448eb211c80319c", Span: 0x00f067aa0ba902b7}
+	h := sc.Traceparent()
+	if h != "00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01" {
+		t.Fatalf("traceparent = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+
+	// Negative spans must survive the uint64 hex round trip.
+	neg := SpanContext{Trace: sc.Trace, Span: -42}
+	got, ok = ParseTraceparent(neg.Traceparent())
+	if !ok || got.Span != -42 {
+		t.Fatalf("negative span round trip: %+v ok=%v", got, ok)
+	}
+
+	if (SpanContext{}).Traceparent() != "" {
+		t.Error("zero context must render empty")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01"
+	bad := []string{
+		"",
+		valid[:54],             // truncated
+		valid + "x",            // trailing garbage without separator
+		"ff" + valid[2:],       // version ff is forbidden
+		"0g" + valid[2:],       // non-hex version
+		strings.ToUpper(valid), // uppercase hex is invalid per spec
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero parent
+		"00_0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01", // bad separator
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Future versions may append fields after the flags.
+	if _, ok := ParseTraceparent(valid + "-extra"); !ok {
+		t.Error("future-version suffix rejected")
+	}
+	if _, ok := ParseTraceparent("01" + valid[2:]); !ok {
+		t.Error("unknown (non-ff) version rejected")
+	}
+}
+
+func TestStartSpanPropagation(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	rootCtx, root := StartSpan(ctx, "root")
+	if root == nil || root.Context().Trace == "" {
+		t.Fatal("root span missing trace ID")
+	}
+	childCtx, child := StartSpan(rootCtx, "child")
+	if child.Context().Trace != root.Context().Trace {
+		t.Error("child did not inherit the trace")
+	}
+	_, grand := StartSpan(childCtx, "grandchild")
+	grand.SetError(errors.New("boom"))
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := make(map[string]SpanRecord)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Error("child not parented to root")
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Error("grandchild not parented to child")
+	}
+	if byName["root"].Parent != 0 {
+		t.Error("root must have no parent")
+	}
+	if byName["grandchild"].Attrs["error"] != "boom" {
+		t.Error("SetError attr missing")
+	}
+
+	// Attrs set after End are discarded, not raced.
+	grand.SetAttr("late", "x")
+	for _, s := range tr.Spans() {
+		if s.Name == "grandchild" && s.Attrs["late"] != "" {
+			t.Error("attr set after End leaked into the record")
+		}
+	}
+}
+
+// TestStartSpanRemoteParent models the server side of propagation: a
+// decoded traceparent joins the local span to the remote trace.
+func TestStartSpanRemoteParent(t *testing.T) {
+	// Client process.
+	ct := NewTracer()
+	cctx, fetch := StartSpan(WithTracer(context.Background(), ct), "fetch")
+	header := Traceparent(cctx)
+	if header == "" {
+		t.Fatal("no traceparent for live span")
+	}
+	fetch.End()
+
+	// Server process: fresh tracer, remote parent from the header.
+	st := NewTracer()
+	sctx := WithTracer(context.Background(), st)
+	sc, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatal("server rejected client header")
+	}
+	sctx = WithSpanContext(sctx, sc)
+	_, serve := StartSpan(sctx, "serve")
+	serve.End()
+
+	got := st.Spans()[0]
+	if got.Trace != fetch.Context().Trace {
+		t.Errorf("server span trace %q, want client trace %q", got.Trace, fetch.Context().Trace)
+	}
+	if got.Parent != fetch.Context().Span {
+		t.Errorf("server span parent %d, want client span %d", got.Parent, fetch.Context().Span)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "x")
+	if s != nil || ctx2 != ctx {
+		t.Fatal("no-tracer StartSpan must be a no-op")
+	}
+	s.SetAttr("k", "v") // nil receiver must not panic
+	s.SetError(errors.New("e"))
+	s.End()
+	if Traceparent(ctx2) != "" {
+		t.Error("no-op span leaked a traceparent")
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.Limit = 2
+	for i := 0; i < 5; i++ {
+		tr.Record(SpanRecord{Name: "s"})
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+// TestTraceStorm hammers one tracer from many goroutines — concurrent
+// span trees, attrs, and exports — and is run under -race in CI.
+func TestTraceStorm(t *testing.T) {
+	tr := NewTracer()
+	tr.Limit = 10000
+	ctx := WithTracer(context.Background(), tr)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c1, parent := StartSpan(ctx, "parent")
+				_, child := StartSpan(c1, "child")
+				child.SetAttr("i", "x")
+				child.End()
+				parent.SetError(nil)
+				parent.End()
+			}
+		}()
+	}
+	// Concurrent readers/exporters while spans are recorded.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := tr.WriteChromeTrace(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				tr.Spans()
+				tr.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 8*200*2 {
+		t.Errorf("recorded+dropped = %d, want %d", got, 8*200*2)
+	}
+}
+
+// BenchmarkSpanStart measures the disabled-tracer fast path: the cost
+// instrumented code pays when no tracer is attached. Budget: a few
+// context lookups, no allocation beyond them — tens of ns.
+func BenchmarkSpanStart(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+// BenchmarkSpanStartEnabled measures the recording path.
+func BenchmarkSpanStartEnabled(b *testing.B) {
+	tr := NewTracer()
+	tr.Limit = 1 // retain nothing: measures start/end, not append growth
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench")
+		s.End()
+	}
+}

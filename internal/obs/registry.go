@@ -197,8 +197,11 @@ func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values
 
 // Registry holds metric families and renders them as Prometheus text.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func()
+
+	runtimeOn atomic.Bool // EnableRuntimeMetrics already wired
 }
 
 // NewRegistry returns an empty registry.
@@ -262,9 +265,27 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	return &HistogramVec{r.family(name, help, kindHistogram, buckets, labels)}
 }
 
+// RegisterCollector adds a hook run at the start of every
+// WritePrometheus call, before families are rendered. Collectors
+// refresh scrape-time gauges (runtime stats, queue depths sampled from
+// live structures) so their cost is paid per scrape, not per event.
+func (r *Registry) RegisterCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every family in Prometheus text exposition
-// format (sorted by family name, then label values).
+// format (sorted by family name, then label values). Registered
+// collectors run first to refresh scrape-time gauges.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {

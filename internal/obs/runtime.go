@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime self-telemetry: Go runtime health exported through the
+// registry. The gauges are refreshed by a scrape-time collector, so an
+// idle process pays nothing between scrapes. EnableRuntimeMetrics is
+// idempotent per registry.
+func EnableRuntimeMetrics(r *Registry) {
+	if !r.runtimeOn.CompareAndSwap(false, true) {
+		return
+	}
+	var (
+		goroutines = r.Gauge("vdc_go_goroutines",
+			"Goroutines currently live in the process.")
+		heapAlloc = r.Gauge("vdc_go_heap_alloc_bytes",
+			"Bytes of allocated heap objects.")
+		heapObjects = r.Gauge("vdc_go_heap_objects",
+			"Allocated heap objects.")
+		sysBytes = r.Gauge("vdc_go_sys_bytes",
+			"Total bytes obtained from the OS.")
+		nextGC = r.Gauge("vdc_go_next_gc_bytes",
+			"Heap size target of the next GC cycle.")
+		gcRuns = r.Gauge("vdc_go_gc_runs_total",
+			"Completed GC cycles since process start.")
+		gcPause = r.Gauge("vdc_go_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause time.")
+		gcFraction = r.Gauge("vdc_go_gc_cpu_fraction",
+			"Fraction of available CPU consumed by the GC since start.")
+		uptime = r.Gauge("vdc_process_uptime_seconds",
+			"Seconds since the process enabled runtime metrics.")
+	)
+	start := time.Now()
+	r.RegisterCollector(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		sysBytes.Set(float64(ms.Sys))
+		nextGC.Set(float64(ms.NextGC))
+		gcRuns.Set(float64(ms.NumGC))
+		gcPause.Set(time.Duration(ms.PauseTotalNs).Seconds())
+		gcFraction.Set(ms.GCCPUFraction)
+		uptime.Set(time.Since(start).Seconds())
+	})
+}

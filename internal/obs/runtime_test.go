@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	EnableRuntimeMetrics(r)
+	EnableRuntimeMetrics(r) // idempotent: no duplicate registration panic
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"vdc_go_goroutines", "vdc_go_heap_alloc_bytes", "vdc_go_gc_runs_total",
+		"vdc_process_uptime_seconds",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// The scrape-time collector must have run: a live process has at
+	// least one goroutine and a nonzero heap.
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "vdc_go_goroutines "); ok {
+			if strings.TrimSpace(rest) == "0" {
+				t.Error("goroutine gauge not refreshed at scrape time")
+			}
+		}
+	}
+}
+
+func TestRegisterCollector(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_collected", "Refreshed at scrape.")
+	calls := 0
+	r.RegisterCollector(func() { calls++; g.Set(float64(calls)) })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || !strings.Contains(sb.String(), "test_collected 1") {
+		t.Errorf("collector ran %d times; exposition:\n%s", calls, sb.String())
+	}
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || !strings.Contains(sb.String(), "test_collected 2") {
+		t.Errorf("collector not re-run per scrape: %d\n%s", calls, sb.String())
+	}
+}

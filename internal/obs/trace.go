@@ -3,7 +3,9 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"math/rand/v2"
 	"os"
 	"sort"
 	"strconv"
@@ -14,14 +16,95 @@ import (
 
 // SpanRecord is one finished span on a tracer's timeline. Times are
 // offsets from the tracer's epoch, so spans sourced from real clocks
-// and from simulated (virtual-time) drivers share one timeline.
+// and from simulated (virtual-time) drivers share one timeline. Trace
+// groups the spans of one causally-connected request tree; spans
+// recorded outside any trace (legacy direct Record calls) leave it
+// empty.
 type SpanRecord struct {
 	ID     int64             `json:"id"`
 	Parent int64             `json:"parent,omitempty"` // 0 = root
+	Trace  string            `json:"trace,omitempty"`  // 32 hex chars
 	Name   string            `json:"name"`
 	Start  time.Duration     `json:"start"`
 	End    time.Duration     `json:"end"`
 	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanContext is the propagatable identity of a span: which trace it
+// belongs to and its own ID. It crosses process boundaries as a W3C
+// traceparent header, so a federation member's server spans parent
+// under the coordinator's fetch spans.
+type SpanContext struct {
+	// Trace is the 32-lowercase-hex-character trace ID.
+	Trace string
+	// Span is the span ID within the trace (0 = none).
+	Span int64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" && sc.Span != 0 }
+
+// Traceparent renders the context as a W3C trace-context header value
+// (version 00, sampled flag set), or "" for an invalid context.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", sc.Trace, uint64(sc.Span))
+}
+
+// ParseTraceparent decodes a W3C traceparent header value. It accepts
+// any non-ff version (per spec, unknown versions parse as 00) and
+// rejects malformed or all-zero IDs.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// version(2) - trace-id(32) - parent-id(16) - flags(2); future
+	// versions may append "-..." fields after the flags.
+	if len(s) != 55 && (len(s) < 56 || s[55] != '-') {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if !isHex(s[:2]) || s[:2] == "ff" {
+		return SpanContext{}, false
+	}
+	trace, parent := s[3:35], s[36:52]
+	if !isHex(trace) || !isHex(parent) {
+		return SpanContext{}, false
+	}
+	id, err := strconv.ParseUint(parent, 16, 64)
+	if err != nil || id == 0 || allZero(trace) {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: trace, Span: int64(id)}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// newTraceID returns a fresh random 128-bit trace ID in lowercase hex.
+func newTraceID() string {
+	hi, lo := rand.Uint64(), rand.Uint64()
+	if hi == 0 && lo == 0 {
+		lo = 1
+	}
+	return fmt.Sprintf("%016x%016x", hi, lo)
 }
 
 // Tracer collects spans for one run. It is safe for concurrent use; a
@@ -30,12 +113,27 @@ type Tracer struct {
 	epoch time.Time
 	seq   atomic.Int64
 
+	// Limit, when positive, caps how many spans the tracer retains;
+	// further Record calls are counted in Dropped instead of growing
+	// memory without bound (a daemon's tracer outlives any one trace).
+	// Set it before recording begins.
+	Limit int
+
+	dropped atomic.Uint64
+
 	mu    sync.Mutex
 	spans []SpanRecord
 }
 
-// NewTracer starts an empty trace whose epoch is now.
-func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+// NewTracer starts an empty trace whose epoch is now. Span IDs are
+// drawn from a randomly-seeded sequence so spans recorded by distinct
+// tracers (different processes of a federation) do not collide when
+// their traces are merged.
+func NewTracer() *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.seq.Store(rand.Int64N(1 << 61))
+	return t
+}
 
 // NextID reserves a span ID, for callers that record parents after
 // their children (e.g. a workflow root closed at completion).
@@ -63,8 +161,31 @@ func (t *Tracer) Record(rec SpanRecord) {
 		rec.ID = t.NextID()
 	}
 	t.mu.Lock()
+	if t.Limit > 0 && len(t.spans) >= t.Limit {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
 	t.spans = append(t.spans, rec)
 	t.mu.Unlock()
+}
+
+// Dropped reports how many spans Record refused because of Limit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Len reports how many finished spans the tracer holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
 }
 
 // Spans returns a copy of the finished spans, in recording order.
@@ -81,8 +202,8 @@ func (t *Tracer) Spans() []SpanRecord {
 // valid no-op, so instrumented code never checks for a tracer.
 type Span struct {
 	t     *Tracer
-	rec   SpanRecord
 	mu    sync.Mutex
+	rec   SpanRecord
 	ended bool
 }
 
@@ -94,17 +215,38 @@ func (s *Span) ID() int64 {
 	return s.rec.ID
 }
 
-// SetAttr attaches a key/value attribute.
+// Context returns the span's propagatable identity (zero for a no-op
+// span), suitable for Traceparent encoding.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.rec.Trace, Span: s.rec.ID}
+}
+
+// SetAttr attaches a key/value attribute. Attributes set after End are
+// discarded (the record has already been published).
 func (s *Span) SetAttr(k, v string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	if s.rec.Attrs == nil {
-		s.rec.Attrs = make(map[string]string)
+	if !s.ended {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]string)
+		}
+		s.rec.Attrs[k] = v
 	}
-	s.rec.Attrs[k] = v
 	s.mu.Unlock()
+}
+
+// SetError marks the span failed with the error's message; a nil error
+// is a no-op, so `defer span.SetError(err)`-style call sites stay
+// unconditional.
+func (s *Span) SetError(err error) {
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	}
 }
 
 // End finishes the span and records it; safe to call more than once.
@@ -113,18 +255,20 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
-	done := s.ended
-	s.ended = true
-	s.mu.Unlock()
-	if done {
+	if s.ended {
+		s.mu.Unlock()
 		return
 	}
+	s.ended = true
 	s.rec.End = s.t.Since()
-	s.t.Record(s.rec)
+	rec := s.rec
+	s.mu.Unlock()
+	s.t.Record(rec)
 }
 
 type tracerKey struct{}
 type spanKey struct{}
+type remoteKey struct{}
 
 // WithTracer attaches a tracer to the context; StartSpan calls below
 // it record onto this tracer.
@@ -138,35 +282,72 @@ func TracerFrom(ctx context.Context) *Tracer {
 	return t
 }
 
+// WithSpanContext attaches a remote parent (typically decoded from an
+// incoming traceparent header) to the context: the next StartSpan
+// below it joins the remote trace and parents under the remote span.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// SpanContextFrom returns the identity of the context's current span:
+// the innermost live StartSpan span if any, else a remote parent
+// attached by WithSpanContext, else the zero SpanContext.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if s, _ := ctx.Value(spanKey{}).(*Span); s != nil {
+		return s.Context()
+	}
+	sc, _ := ctx.Value(remoteKey{}).(SpanContext)
+	return sc
+}
+
+// Traceparent renders the context's current span as a W3C traceparent
+// header value, or "" when the context carries no span. Clients inject
+// it on outbound requests; server middleware feeds the received value
+// to ParseTraceparent + WithSpanContext.
+func Traceparent(ctx context.Context) string {
+	return SpanContextFrom(ctx).Traceparent()
+}
+
 // StartSpan opens a span named name under the context's current span
-// (if any) and returns a derived context carrying it. Without a tracer
-// in ctx it returns ctx unchanged and a no-op span.
+// (local, or a remote parent installed by WithSpanContext) and returns
+// a derived context carrying it. The span joins the current trace, or
+// starts a fresh one when the context has none. Without a tracer in
+// ctx it returns ctx unchanged and a no-op span.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	t := TracerFrom(ctx)
 	if t == nil {
 		return ctx, nil
 	}
-	parent := int64(0)
-	if p, _ := ctx.Value(spanKey{}).(*Span); p != nil {
-		parent = p.ID()
+	parent := SpanContextFrom(ctx)
+	trace := parent.Trace
+	if trace == "" {
+		trace = newTraceID()
 	}
 	s := &Span{t: t, rec: SpanRecord{
 		ID:     t.NextID(),
-		Parent: parent,
+		Parent: parent.Span,
+		Trace:  trace,
 		Name:   name,
 		Start:  t.Since(),
 	}}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
-// chromeEvent is one Chrome trace-event ("X" complete event).
+// chromeEvent is one Chrome trace-event: "X" complete events for
+// spans, "s"/"f" flow events for cross-lane parent links.
 type chromeEvent struct {
 	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
 	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
 	PID  int               `json:"pid"`
 	TID  int               `json:"tid"`
+	ID   int64             `json:"id,omitempty"` // flow binding
+	BP   string            `json:"bp,omitempty"` // flow binding point
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -180,7 +361,11 @@ type chromeTrace struct {
 // are packed onto lanes (tids) so that each lane is a properly nested
 // flame graph: a span lands on its parent's lane when containment
 // holds, and overflows to a fresh lane when siblings overlap in time
-// (parallel DAG branches). The parent link is also kept in args.
+// (parallel DAG branches, concurrent member fetches). Parent links
+// that cross lanes — the causal edges a flame graph alone cannot show
+// — are rendered as flow events, so Perfetto draws arrows from a
+// coordinator's fetch span to the remote server span it caused. The
+// parent link is also kept in args.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	// Parents first at equal start times.
@@ -208,13 +393,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 
 	events := make([]chromeEvent, 0, len(spans))
+	var flows []chromeEvent
+	bounds := make(map[int64][2]time.Duration, len(spans))
 	for _, s := range spans {
 		li := -1
-		if pl, ok := laneOf[s.Parent]; ok && place(s, pl) {
+		pl, onLane := laneOf[s.Parent]
+		if onLane && place(s, pl) {
 			li = pl
 		} else {
 			for i := range lanes {
-				if ok && i == pl {
+				if onLane && i == pl {
 					continue
 				}
 				if place(s, i) {
@@ -229,13 +417,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			place(s, li)
 		}
 		laneOf[s.ID] = li
+		bounds[s.ID] = [2]time.Duration{s.Start, s.End}
 
-		args := make(map[string]string, len(s.Attrs)+1)
+		args := make(map[string]string, len(s.Attrs)+2)
 		for k, v := range s.Attrs {
 			args[k] = v
 		}
 		if s.Parent != 0 {
 			args["parent"] = strconv.FormatInt(s.Parent, 10)
+		}
+		if s.Trace != "" {
+			args["trace"] = s.Trace
 		}
 		events = append(events, chromeEvent{
 			Name: s.Name, Ph: "X",
@@ -244,7 +436,25 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			PID: 1, TID: li,
 			Args: args,
 		})
+
+		// A parent on another lane: emit a flow arrow from the parent's
+		// slice to this span's start. The start step must fall inside
+		// the parent slice, so clamp it to the parent's bounds.
+		if onLane && pl != li {
+			ts := s.Start
+			if pb := bounds[s.Parent]; ts < pb[0] {
+				ts = pb[0]
+			} else if ts > pb[1] {
+				ts = pb[1]
+			}
+			flows = append(flows,
+				chromeEvent{Name: "link", Cat: "flow", Ph: "s", ID: s.ID,
+					TS: float64(ts.Microseconds()), PID: 1, TID: pl},
+				chromeEvent{Name: "link", Cat: "flow", Ph: "f", BP: "e", ID: s.ID,
+					TS: float64(s.Start.Microseconds()), PID: 1, TID: li})
+		}
 	}
+	events = append(events, flows...)
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

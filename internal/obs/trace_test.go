@@ -99,15 +99,18 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("round-trip unmarshal: %v\n%s", err, buf.String())
 	}
-	if len(parsed.TraceEvents) != 4 {
-		t.Fatalf("got %d events, want 4", len(parsed.TraceEvents))
-	}
+	// Span events only; cross-lane parent links add flow events too.
 	byName := map[string]int{}
+	nspans := 0
 	for i, ev := range parsed.TraceEvents {
 		if ev.Ph != "X" {
-			t.Errorf("%s: ph=%q, want X", ev.Name, ev.Ph)
+			continue
 		}
+		nspans++
 		byName[ev.Name] = i
+	}
+	if nspans != 4 {
+		t.Fatalf("got %d span events, want 4", nspans)
 	}
 	wf := parsed.TraceEvents[byName["workflow"]]
 	if wf.TS != 0 || wf.Dur != 100000 {
@@ -132,5 +135,20 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	}
 	if xfer.TID != gen.TID {
 		t.Errorf("xfer lane %d, want gen lane %d", xfer.TID, gen.TID)
+	}
+	// sim landed off its parent's lane, so the causal edge must be
+	// rendered as a flow pair (start on the parent lane, finish on
+	// sim's lane).
+	var flowS, flowF bool
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			flowS = flowS || ev.TID == wf.TID
+		case "f":
+			flowF = flowF || ev.TID == sim.TID
+		}
+	}
+	if !flowS || !flowF {
+		t.Errorf("missing flow pair for cross-lane span: s=%v f=%v", flowS, flowF)
 	}
 }

@@ -36,6 +36,10 @@ var (
 		"Placement decisions that found no feasible site.")
 	metricReplicas = obs.Default.Counter("vdc_planner_replications_total",
 		"Replicas created by the dynamic replication policy.")
+	metricAssignCache = obs.Default.CounterVec("vdc_planner_assign_cache_total",
+		"Assign-cache lookups of replica sites and dataset sizes; miss means a catalog read.", "outcome")
+	assignCacheHit  = metricAssignCache.With("hit")
+	assignCacheMiss = metricAssignCache.With("miss")
 )
 
 // Profile keys the planner interprets on transformations.
@@ -178,8 +182,10 @@ func (p *Planner) newAssignCache() *assignCache {
 
 func (c *assignCache) replicaSites(ds string) []string {
 	if s, ok := c.sites[ds]; ok {
+		assignCacheHit.Inc()
 		return s
 	}
+	assignCacheMiss.Inc()
 	s := c.p.replicaSites(ds)
 	c.sites[ds] = s
 	return s
@@ -187,8 +193,10 @@ func (c *assignCache) replicaSites(ds string) []string {
 
 func (c *assignCache) sizeOf(ds string) int64 {
 	if v, ok := c.sizes[ds]; ok {
+		assignCacheHit.Inc()
 		return v
 	}
+	assignCacheMiss.Inc()
 	v := c.p.sizeOf(ds)
 	c.sizes[ds] = v
 	return v

@@ -1,8 +1,10 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -358,26 +360,34 @@ func plan(ctx *evalCtx, kind Kind, e Expr, forceScan bool) (*queryPlan, error) {
 }
 
 // run is the shared Run/RunScan implementation.
-func run(c *catalog.Catalog, kind Kind, e Expr, forceScan bool) (Results, error) {
+func run(callCtx context.Context, c *catalog.Catalog, kind Kind, e Expr, forceScan bool) (Results, error) {
 	if kind != KDataset && kind != KTransformation && kind != KDerivation {
 		return Results{}, fmt.Errorf("query: invalid kind %d", int(kind))
 	}
 	start := time.Now()
+	_, span := obs.StartSpan(callCtx, "query.run")
+	span.SetAttr("kind", kindNoun(kind))
+	defer span.End()
 	v := c.View()
 	defer v.Close()
 	ctx := newEvalCtx(v)
 	p, err := plan(ctx, kind, e, forceScan)
 	if err != nil {
+		span.SetError(err)
 		return Results{}, err
 	}
 	res, err := p.execute(ctx, e)
 	if err != nil {
+		span.SetError(err)
 		return Results{}, err
 	}
 	if p.scan {
+		span.SetAttr("path", "scan")
 		queryRunsScan.Inc()
 		querySecsScan.ObserveSince(start)
 	} else {
+		span.SetAttr("path", "index")
+		span.SetAttr("candidates", strconv.Itoa(len(p.candidates)))
 		queryRunsIndex.Inc()
 		querySecsIndex.ObserveSince(start)
 		metricQueryCandidates.Observe(float64(len(p.candidates)))

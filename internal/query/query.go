@@ -17,6 +17,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"path"
 
@@ -142,23 +143,35 @@ type Results struct {
 // only the residual predicates are evaluated per candidate. Queries
 // with no indexable conjunct fall back to a snapshot scan.
 func Run(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
-	return run(c, kind, e, false)
+	return run(context.Background(), c, kind, e, false)
+}
+
+// RunContext is Run under a caller context: when the context carries a
+// tracer, the execution records a query span (planner path, candidate
+// count) into the caller's trace.
+func RunContext(ctx context.Context, c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
+	return run(ctx, c, kind, e, false)
 }
 
 // RunScan evaluates the expression by full snapshot scan, bypassing the
 // planner. It exists for the A3 ablation and for equivalence tests; the
 // results are identical to Run's.
 func RunScan(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
-	return run(c, kind, e, true)
+	return run(context.Background(), c, kind, e, true)
 }
 
 // Search parses and runs a query in one step.
 func Search(c *catalog.Catalog, kind Kind, src string) (Results, error) {
+	return SearchContext(context.Background(), c, kind, src)
+}
+
+// SearchContext parses and runs a query in one step under ctx.
+func SearchContext(ctx context.Context, c *catalog.Catalog, kind Kind, src string) (Results, error) {
 	e, err := Parse(src)
 	if err != nil {
 		return Results{}, err
 	}
-	return Run(c, kind, e)
+	return RunContext(ctx, c, kind, e)
 }
 
 // --- Expression nodes --------------------------------------------------

@@ -15,6 +15,7 @@ import (
 
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
+	"chimera/internal/obs"
 	"chimera/internal/schema"
 	"chimera/internal/trust"
 )
@@ -192,6 +193,11 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's span so the remote server's spans parent
+	// under it — one federation pass, one connected trace.
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return 0, true, fmt.Errorf("vds: %s %s: %w", method, path, err)
@@ -233,8 +239,14 @@ func (c *Client) Info() (Info, error) {
 
 // Export fetches the catalog's full state.
 func (c *Client) Export() (catalog.Export, error) {
+	return c.ExportCtx(context.Background())
+}
+
+// ExportCtx fetches the catalog's full state under ctx; a span-carrying
+// context propagates to the remote server as a traceparent header.
+func (c *Client) ExportCtx(ctx context.Context) (catalog.Export, error) {
 	var out catalog.Export
-	err := c.do("GET", "/v1/export", nil, &out)
+	_, err := c.doCtx(ctx, "GET", "/v1/export", nil, &out)
 	return out, err
 }
 
@@ -314,22 +326,38 @@ func (c *Client) Descendants(name string) (catalog.Closure, error) {
 
 // SearchDatasets runs a discovery query remotely.
 func (c *Client) SearchDatasets(q string) ([]schema.Dataset, error) {
+	return c.SearchDatasetsCtx(context.Background(), q)
+}
+
+// SearchDatasetsCtx runs a discovery query remotely under ctx,
+// propagating the caller's span to the server.
+func (c *Client) SearchDatasetsCtx(ctx context.Context, q string) ([]schema.Dataset, error) {
 	var out []schema.Dataset
-	err := c.do("GET", "/v1/datasets?query="+url.QueryEscape(q), nil, &out)
+	_, err := c.doCtx(ctx, "GET", "/v1/datasets?query="+url.QueryEscape(q), nil, &out)
 	return out, err
 }
 
 // SearchTransformations runs a discovery query remotely.
 func (c *Client) SearchTransformations(q string) ([]schema.Transformation, error) {
+	return c.SearchTransformationsCtx(context.Background(), q)
+}
+
+// SearchTransformationsCtx runs a discovery query remotely under ctx.
+func (c *Client) SearchTransformationsCtx(ctx context.Context, q string) ([]schema.Transformation, error) {
 	var out []schema.Transformation
-	err := c.do("GET", "/v1/transformations?query="+url.QueryEscape(q), nil, &out)
+	_, err := c.doCtx(ctx, "GET", "/v1/transformations?query="+url.QueryEscape(q), nil, &out)
 	return out, err
 }
 
 // SearchDerivations runs a discovery query remotely.
 func (c *Client) SearchDerivations(q string) ([]schema.Derivation, error) {
+	return c.SearchDerivationsCtx(context.Background(), q)
+}
+
+// SearchDerivationsCtx runs a discovery query remotely under ctx.
+func (c *Client) SearchDerivationsCtx(ctx context.Context, q string) ([]schema.Derivation, error) {
 	var out []schema.Derivation
-	err := c.do("GET", "/v1/derivations?query="+url.QueryEscape(q), nil, &out)
+	_, err := c.doCtx(ctx, "GET", "/v1/derivations?query="+url.QueryEscape(q), nil, &out)
 	return out, err
 }
 

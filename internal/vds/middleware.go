@@ -3,6 +3,7 @@ package vds
 import (
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"chimera/internal/obs"
@@ -18,34 +19,152 @@ var (
 		"HTTP request latency by route pattern.", obs.TimeBuckets, "route")
 )
 
-// statusWriter captures the response code written by a handler.
+// statusWriter captures the response code written by a handler while
+// passing everything else through — including http.Flusher, so
+// streaming/NDJSON handlers behind the middleware are not silently
+// buffered.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if w.status == 0 {
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
+		// First Write without an explicit WriteHeader: net/http sends
+		// an implicit 200.
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with request counting and latency
-// observation under the given route pattern. The histogram series is
+// Flush forwards to the underlying writer when it supports streaming;
+// a no-op otherwise (matching http.ResponseController semantics for
+// recorders that don't flush).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// slowEntry is one retained slow request.
+type slowEntry struct {
+	Route   string  `json:"route"`
+	Status  int     `json:"status"`
+	Seconds float64 `json:"seconds"`
+	TraceID string  `json:"trace_id,omitempty"`
+	SpanID  string  `json:"span_id,omitempty"`
+	// When is the request start time, RFC3339 with millis.
+	When string `json:"when"`
+}
+
+// slowRing retains the slowest N requests the server has handled, each
+// with its trace identity — the exemplar link from a latency metric
+// spike to the exact trace that caused it. Insertion is O(1) unless
+// the request actually displaces a retained entry.
+type slowRing struct {
+	mu  sync.Mutex
+	cap int
+	min float64 // fastest retained entry; cheap reject below it
+	ent []slowEntry
+}
+
+const defaultSlowRing = 32
+
+func newSlowRing(n int) *slowRing {
+	if n <= 0 {
+		n = defaultSlowRing
+	}
+	return &slowRing{cap: n}
+}
+
+func (sr *slowRing) note(route string, status int, start time.Time, dur time.Duration, sc obs.SpanContext) {
+	secs := dur.Seconds()
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.ent) >= sr.cap && secs <= sr.min {
+		return
+	}
+	e := slowEntry{
+		Route: route, Status: status, Seconds: secs,
+		When: start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+	}
+	if sc.Valid() {
+		e.TraceID = sc.Trace
+		e.SpanID = strconv.FormatUint(uint64(sc.Span), 16)
+	}
+	if len(sr.ent) < sr.cap {
+		sr.ent = append(sr.ent, e)
+	} else {
+		// Replace the fastest retained entry.
+		mi := 0
+		for i := 1; i < len(sr.ent); i++ {
+			if sr.ent[i].Seconds < sr.ent[mi].Seconds {
+				mi = i
+			}
+		}
+		sr.ent[mi] = e
+	}
+	sr.min = sr.ent[0].Seconds
+	for _, x := range sr.ent[1:] {
+		if x.Seconds < sr.min {
+			sr.min = x.Seconds
+		}
+	}
+}
+
+// snapshot returns the retained entries, slowest first.
+func (sr *slowRing) snapshot() []slowEntry {
+	sr.mu.Lock()
+	out := append([]slowEntry(nil), sr.ent...)
+	sr.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seconds > out[j-1].Seconds; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// instrument wraps a handler with request counting, latency
+// observation, and tracing under the given route pattern: an incoming
+// traceparent header is decoded into a remote parent, and — when the
+// server has a Tracer — the request runs inside a server span whose
+// context flows to the handler, so remote callers' traces continue
+// through catalog work triggered here. The histogram series is
 // resolved once at registration, off the request path.
-func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	lat := metricHTTPSeconds.With(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		lat.ObserveSince(start)
+		ctx := r.Context()
+		if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = obs.WithSpanContext(ctx, sc)
+		}
+		if s.Tracer != nil {
+			ctx = obs.WithTracer(ctx, s.Tracer)
+		}
+		ctx, span := obs.StartSpan(ctx, "http "+route)
+		span.SetAttr("server", s.Name)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
+		lat.Observe(dur.Seconds())
 		metricHTTPRequests.With(route, strconv.Itoa(sw.status)).Inc()
+		s.slow.note(route, sw.status, start, dur, span.Context())
 	}
 }

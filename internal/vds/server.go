@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"chimera/internal/catalog"
@@ -31,13 +32,22 @@ type Server struct {
 	Ledger *trust.Ledger
 	// ReadOnly rejects mutations when set.
 	ReadOnly bool
+	// Tracer, when set, records one server span per API request,
+	// parented under the caller's span when the request carried a
+	// traceparent header; handlers see the span's context, so catalog
+	// and query spans triggered by the request join the same trace.
+	Tracer *obs.Tracer
+	// OnDebug, when set, contributes extra entries to the /debug/vdc
+	// report (e.g. a daemon's federation shard states).
+	OnDebug func(map[string]any)
 
-	mux *http.ServeMux
+	slow *slowRing
+	mux  *http.ServeMux
 }
 
 // NewServer builds a server for the catalog.
 func NewServer(name string, cat *catalog.Catalog) *Server {
-	s := &Server{Name: name, Cat: cat, Ledger: trust.NewLedger()}
+	s := &Server{Name: name, Cat: cat, Ledger: trust.NewLedger(), slow: newSlowRing(0)}
 	s.routes()
 	return s
 }
@@ -69,7 +79,7 @@ func (s *Server) routes() {
 	// Every API route goes through the metrics middleware; the route
 	// label is the mux pattern itself.
 	handle := func(pattern string, h http.HandlerFunc) {
-		m.HandleFunc(pattern, instrument(pattern, h))
+		m.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 
 	// Operational endpoints, deliberately outside the middleware so
@@ -87,6 +97,33 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "name": s.Name, "stats": s.Cat.Stats()})
 	})
+
+	// Runtime introspection: journal cursor, index cardinalities, and
+	// the slowest requests with their trace IDs — the live state an
+	// operator needs to debug a wedged or lagging member without a
+	// debugger. Log levels are readable and settable on the same mux.
+	m.HandleFunc("GET /debug/vdc", func(w http.ResponseWriter, r *http.Request) {
+		info := map[string]any{
+			"name":          s.Name,
+			"journal":       s.Cat.JournalState(),
+			"indexes":       s.Cat.IndexStats(),
+			"stats":         s.Cat.Stats(),
+			"slow_requests": s.slow.snapshot(),
+			"goroutines":    runtime.NumGoroutine(),
+		}
+		if s.Tracer != nil {
+			info["trace_spans"] = s.Tracer.Len()
+			info["trace_spans_dropped"] = s.Tracer.Dropped()
+		}
+		if err := s.Cat.DurabilityErr(); err != nil {
+			info["wal_error"] = err.Error()
+		}
+		if s.OnDebug != nil {
+			s.OnDebug(info)
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	m.Handle("/debug/loglevel", obs.LogLevelHandler())
 
 	handle("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Info{Name: s.Name, Stats: s.Cat.Stats()})
@@ -285,7 +322,7 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request, kind query.Kind)
 		}{Query: q, Plan: plan})
 		return
 	}
-	res, err := query.Run(s.Cat, kind, e)
+	res, err := query.RunContext(r.Context(), s.Cat, kind, e)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
