@@ -8,6 +8,7 @@ package chimera
 
 import (
 	"testing"
+	"time"
 
 	"chimera/internal/bench"
 )
@@ -117,4 +118,14 @@ func BenchmarkE13Sched(b *testing.B) {
 // the -race CI smoke run finishes in seconds.
 func BenchmarkFederationCrawl(b *testing.B) {
 	runTable(b, func() (bench.Table, error) { return bench.E14Federation([]int{4, 8}, 50) })
+}
+
+// BenchmarkE15Shards regenerates E15: sharded-catalog ingest scaling
+// across shard counts and durability modes, with modeled stable-storage
+// commit latency (docs/PERF.md). Kept small so the -race CI smoke run
+// exercises the scatter-gather and per-shard WAL paths in seconds.
+func BenchmarkE15Shards(b *testing.B) {
+	runTable(b, func() (bench.Table, error) {
+		return bench.E15Shards([]int{1, 8}, 8, 30, 200*time.Microsecond)
+	})
 }

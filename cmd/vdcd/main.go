@@ -7,7 +7,8 @@
 // Operational endpoints: GET /metrics exposes process metrics (runtime
 // gauges included) in Prometheus text format; GET /healthz reports
 // liveness plus catalog stats; GET /debug/vdc reports the journal
-// cursor, index cardinalities and the slowest recent requests with
+// cursor (with its per-shard floors under -shards > 1), index
+// cardinalities and the slowest recent requests with
 // their trace IDs; /debug/loglevel reads and sets per-subsystem log
 // levels at runtime. With -trace, GET /debug/trace dumps the in-memory
 // span buffer in Chrome trace-event format (load it in Perfetto); with
@@ -17,7 +18,10 @@
 //
 // Durability is a group-commit WAL: mutations batch their log writes
 // and (with -sync) share one fsync per batch; see docs/PERF.md for the
-// -wal-batch / -wal-delay knobs.
+// -wal-batch / -wal-delay knobs. With -shards N the catalog is
+// partitioned into N lock/WAL/journal shards for multi-core ingest
+// (docs/PERF.md, "Catalog sharding"); the count is fixed at directory
+// creation and the on-disk count wins on reopen.
 //
 // With -federate, vdcd also hosts a federated index over the listed
 // member catalogs and crawls them incrementally every -crawl-every;
@@ -60,6 +64,7 @@ func main() {
 	walBatch := flag.Int("wal-batch", catalog.DefaultMaxBatch, "group-commit batch-size target; 1 disables group commit (inline per-op writes)")
 	walDelay := flag.Duration("wal-delay", catalog.DefaultMaxDelay, "how long a contended commit batch stays open for stragglers; <0 disables the window")
 	journalWindow := flag.Int("journal-window", catalog.DefaultJournalWindow, "change-journal entries retained for delta exports; crawlers further behind fall back to full exports")
+	shards := flag.Int("shards", 1, "catalog shard count (1..64): independent lock/WAL/journal partitions for multi-core ingest; fixed at directory creation, the on-disk count wins on reopen")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	logLevel := flag.String("log-level", "info", "log level spec: a default level optionally followed by subsys=level overrides, e.g. \"info,wal=debug,http=warn\" (also settable at runtime via /debug/loglevel)")
@@ -84,6 +89,7 @@ func main() {
 		MaxBatch:      *walBatch,
 		MaxDelay:      *walDelay,
 		JournalWindow: *journalWindow,
+		Shards:        *shards,
 	})
 	if err != nil {
 		logger.Error("catalog open failed", "dir", *dir, "err", err)
@@ -208,6 +214,7 @@ func main() {
 	st := cat.Stats()
 	logger.Info("serving catalog", "name", *name, "addr", *addr,
 		"datasets", st.Datasets, "derivations", st.Derivations,
+		"shards", cat.Shards(),
 		"trace", *traceOn, "pprof", *pprofOn, "federate", *federate != "")
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,6 +73,13 @@ func experiments() []experiment {
 		{"E14",
 			func() (bench.Table, error) { return bench.E14Federation([]int{4, 8}, 50) },
 			func() (bench.Table, error) { return bench.E14Federation([]int{4, 16, 64}, 200) }},
+		{"E15",
+			func() (bench.Table, error) {
+				return bench.E15Shards([]int{1, 4, 8}, 8, 60, 200*time.Microsecond)
+			},
+			func() (bench.Table, error) {
+				return bench.E15Shards([]int{1, 2, 4, 8, 16}, 8, 150, time.Millisecond)
+			}},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -85,7 +93,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E14, A1..A3, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E15, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")
@@ -122,6 +130,18 @@ func main() {
 			fmt.Println(tab.String())
 		}
 		fmt.Printf("(%s completed in %v)\n\n", ex.id, time.Since(start).Round(time.Millisecond))
+		if ex.id == "E15" {
+			// CI consumes the sharding headline numbers as an artifact.
+			data, err := json.MarshalIndent(tab, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_E15.json", append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write BENCH_E15.json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote BENCH_E15.json")
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

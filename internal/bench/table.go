@@ -22,6 +22,9 @@ type Table struct {
 	Rows [][]string
 	// Notes carry qualitative checks ("who wins", crossovers).
 	Notes []string
+	// Metrics are machine-readable headline numbers (e.g. speedups) for
+	// experiments whose results are emitted as JSON artifacts.
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Add appends a row, formatting each cell with %v.

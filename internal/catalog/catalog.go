@@ -10,14 +10,18 @@
 // the queries the paper motivates: lineage reports, invalidation sets,
 // duplicate-derivation detection, and materialization planning input.
 //
-// Durability is write-ahead logging with snapshot compaction; see wal.go.
+// Storage is partitioned into shards (shard.go) so concurrent writers
+// on different objects proceed on different cores; New builds the
+// single-shard catalog, NewSharded and Options.Shards the partitioned
+// one. Durability is per-shard write-ahead logging with snapshot
+// compaction; see wal.go.
 package catalog
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"chimera/internal/dtype"
 	"chimera/internal/schema"
@@ -44,89 +48,60 @@ var (
 	ErrDurability = errors.New("catalog: durability failure")
 )
 
+// errRetryShards is the internal sentinel an optimistic multi-shard
+// mutation returns when the shard set it locked turns out not to cover
+// the shards it needs (the state it peeked at before locking changed);
+// the caller recomputes the set and retries. Never escapes the package.
+var errRetryShards = errors.New("catalog: shard set stale")
+
 // Catalog is an in-memory VDC with optional write-ahead durability.
-// It is safe for concurrent use.
+// It is safe for concurrent use. State is partitioned across shards
+// (shard.go); the type registry is shared (it has its own lock).
 type Catalog struct {
-	mu sync.RWMutex
+	types  *dtype.Registry
+	shards []*cshard
 
-	types           *dtype.Registry
-	datasets        map[string]schema.Dataset
-	transformations map[string]schema.Transformation // key: canonical ref
-	derivations     map[string]schema.Derivation     // key: ID (canonical signature)
-	invocations     map[string]schema.Invocation
-	replicas        map[string]schema.Replica
-	compat          []schema.CompatibilityAssertion
-
-	// Provenance indexes.
-	producerOf  map[string]string   // dataset -> derivation ID producing it
-	consumersOf map[string][]string // dataset -> derivation IDs reading it
-	outputsOf   map[string][]string // derivation ID -> output dataset names
-	inputsOf    map[string][]string // derivation ID -> input dataset names
-
-	// Secondary indexes.
-	replicasByDataset map[string][]string // dataset -> replica IDs
-	invocationsByDV   map[string][]string // derivation ID -> invocation IDs
-	versionsOf        map[string][]string // "ns::name" -> versions
-
-	// Discovery indexes (index.go), maintained incrementally by the
-	// put*/drop* helpers every mutation path funnels through.
-	idx indexes
-
-	// Change journal (journal.go): monotonic mutation sequence, a
-	// bounded tail of recent mutations backing ChangesSince delta
-	// exports, and an instance token that invalidates sequences across
-	// catalog instances. All guarded by mu.
+	// Change-journal identity (journal.go): jseq is the catalog-wide
+	// mutation sequence, advanced atomically by whichever shard records
+	// a mutation; jinstance invalidates sequences across instances.
+	jseq      atomic.Uint64
 	jinstance uint64
-	jseq      uint64
-	jwindow   int
-	journal   []journalEntry
 
-	wal *wal // nil for purely in-memory catalogs
-
-	// pendingSeq is the group-commit sequence of the last WAL record
-	// the current mutation enqueued; mutate() waits on it after
-	// releasing mu. Guarded by mu; always 0 between mutations.
-	pendingSeq uint64
+	dir string // catalog directory; "" for in-memory catalogs
 }
 
-// New returns an empty in-memory catalog using the given type registry
-// (nil for a fresh empty registry).
-func New(types *dtype.Registry) *Catalog {
+// New returns an empty in-memory catalog with a single shard, using
+// the given type registry (nil for a fresh empty registry).
+func New(types *dtype.Registry) *Catalog { return NewSharded(types, 1) }
+
+// NewSharded returns an empty in-memory catalog partitioned into
+// shards (clamped to [1, MaxShards]). More shards let more concurrent
+// writers proceed without contending; Shards()==1 behaves exactly like
+// the unsharded catalog and is the equivalence oracle for the rest.
+func NewSharded(types *dtype.Registry, shards int) *Catalog {
 	if types == nil {
 		types = dtype.NewRegistry()
 	}
-	return &Catalog{
-		types:             types,
-		datasets:          make(map[string]schema.Dataset),
-		transformations:   make(map[string]schema.Transformation),
-		derivations:       make(map[string]schema.Derivation),
-		invocations:       make(map[string]schema.Invocation),
-		replicas:          make(map[string]schema.Replica),
-		producerOf:        make(map[string]string),
-		consumersOf:       make(map[string][]string),
-		outputsOf:         make(map[string][]string),
-		inputsOf:          make(map[string][]string),
-		replicasByDataset: make(map[string][]string),
-		invocationsByDV:   make(map[string][]string),
-		versionsOf:        make(map[string][]string),
-		idx:               newIndexes(),
-		jinstance:         newJournalInstance(),
-		jwindow:           DefaultJournalWindow,
+	n := normalizeShards(shards)
+	c := &Catalog{types: types, jinstance: newJournalInstance(), shards: make([]*cshard, n)}
+	for i := range c.shards {
+		c.shards[i] = newCShard(i, DefaultJournalWindow)
 	}
+	return c
 }
 
 // Types returns the catalog's dataset-type registry.
 func (c *Catalog) Types() *dtype.Registry { return c.types }
 
-// mutate runs fn inside the write lock, then — if fn enqueued WAL
-// records on the group committer — blocks *outside* the lock until the
-// batch holding them is durable. A mutation therefore never returns
-// success before its records are written (and fsynced when
-// Options.Sync is set), yet the fsync happens off-lock so concurrent
-// writers share it instead of serializing on it. In-memory and
-// inline-WAL catalogs return as soon as fn does.
-func (c *Catalog) mutate(fn func() error) error {
-	wait, err := c.mutateAsync(fn)
+// mutate runs fn with every shard in set write-locked, then — if fn
+// enqueued WAL records on the shards' group committers — blocks
+// *outside* the locks until the batches holding them are durable. A
+// mutation therefore never returns success before its records are
+// written (and fsynced when Options.Sync is set), yet the fsync happens
+// off-lock so concurrent writers share it instead of serializing on
+// it. In-memory and inline-WAL catalogs return as soon as fn does.
+func (c *Catalog) mutate(set shardSet, fn func() error) error {
+	wait, err := c.mutateAsync(set, fn)
 	if err != nil {
 		return err
 	}
@@ -136,48 +111,76 @@ func (c *Catalog) mutate(fn func() error) error {
 	return nil
 }
 
-// mutateAsync runs fn inside the write lock and, instead of blocking
-// for durability, returns a wait function the caller invokes (off any
-// lock, possibly from another goroutine) to block until the batch
-// holding fn's WAL records is durable. A nil wait means the mutation
-// needs no waiting (in-memory or inline-WAL catalog). This is the
-// primitive behind the executor's off-lock recording pipeline: applies
-// stay ordered under the catalog lock while many durability waits stay
-// in flight at once, which is what lets the group committer batch them.
-func (c *Catalog) mutateAsync(fn func() error) (wait func() error, err error) {
-	c.mu.Lock()
+// walWait is one shard's durability obligation from a mutation.
+type walWait struct {
+	com *committer
+	seq uint64
+}
+
+// mutateAsync runs fn with the shard set write-locked and, instead of
+// blocking for durability, returns a wait function the caller invokes
+// (off any lock, possibly from another goroutine) to block until every
+// batch holding fn's WAL records is durable. A nil wait means the
+// mutation needs no waiting (in-memory or inline-WAL catalog). This is
+// the primitive behind the executor's off-lock recording pipeline:
+// applies stay ordered under the shard locks while many durability
+// waits stay in flight at once, which is what lets the group
+// committers batch them.
+func (c *Catalog) mutateAsync(set shardSet, fn func() error) (wait func() error, err error) {
+	c.lockSet(set)
 	err = fn()
-	var com *committer
-	var seq uint64
-	if c.pendingSeq != 0 {
-		if c.wal != nil && c.wal.com != nil {
-			com, seq = c.wal.com, c.pendingSeq
+	var w0 walWait
+	var more []walWait
+	for i, s := range c.shards {
+		if !set.has(i) {
+			continue
 		}
-		c.pendingSeq = 0
+		if s.pendingSeq != 0 {
+			if s.wal != nil && s.wal.com != nil {
+				if w0.com == nil {
+					w0 = walWait{s.wal.com, s.pendingSeq}
+				} else {
+					more = append(more, walWait{s.wal.com, s.pendingSeq})
+				}
+			}
+			s.pendingSeq = 0
+		}
 	}
-	c.mu.Unlock()
+	c.unlockSet(set)
 	if err != nil {
 		// The operation failed after possibly enqueueing records (the
 		// seed's partial-log semantics); its error wins either way.
 		return nil, err
 	}
-	if com != nil {
-		return func() error { return com.wait(seq) }, nil
+	if w0.com == nil {
+		return nil, nil
 	}
-	return nil, nil
+	if more == nil {
+		return func() error { return w0.com.wait(w0.seq) }, nil
+	}
+	return func() error {
+		first := w0.com.wait(w0.seq)
+		for _, w := range more {
+			if e := w.com.wait(w.seq); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	}, nil
 }
 
 // DefineType registers a dataset type in the catalog's registry and
-// logs it for durability.
+// logs it for durability. Registry state and its journal/WAL records
+// live on shard 0.
 func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) (err error) {
 	opDefineType.Inc()
 	defer func() { err = countErr("define_type", err) }()
-	return c.mutate(func() error {
+	return c.mutate(shardSet(0).with(0), func() error {
 		if err := c.types.Register(d, name, parent); err != nil {
 			return err
 		}
-		c.noteJournal(jTypes, "", false)
-		return c.logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
+		c.shards[0].noteJournal(c, jTypes, "", false)
+		return c.shards[0].logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
 	})
 }
 
@@ -191,23 +194,30 @@ func (c *Catalog) AddDataset(ds schema.Dataset) (err error) {
 	if err := ds.Validate(); err != nil {
 		return err
 	}
-	return c.mutate(func() error {
+	set := c.keySet(ds.Name)
+	if ds.CreatedBy != "" {
+		// The cited producer derivation lives on its own shard; lock it
+		// too so the existence check is stable.
+		set = set.with(c.shardIndex(ds.CreatedBy))
+	}
+	return c.mutate(set, func() error {
+		s := c.shardOf(ds.Name)
 		if err := c.types.CheckType(ds.Type); err != nil {
 			return fmt.Errorf("%w: dataset %q: %v", ErrType, ds.Name, err)
 		}
-		if old, ok := c.datasets[ds.Name]; ok {
+		if old, ok := s.datasets[ds.Name]; ok {
 			if equalJSON(old, ds) {
 				return nil
 			}
 			return fmt.Errorf("%w: dataset %q", ErrExists, ds.Name)
 		}
 		if ds.CreatedBy != "" {
-			if _, ok := c.derivations[ds.CreatedBy]; !ok {
+			if _, ok := c.shardOf(ds.CreatedBy).derivations[ds.CreatedBy]; !ok {
 				return fmt.Errorf("%w: dataset %q cites unknown derivation %q", ErrNotFound, ds.Name, ds.CreatedBy)
 			}
 		}
 		c.putDataset(ds)
-		return c.logOp(opDataset, ds)
+		return s.logOp(opDataset, ds)
 	})
 }
 
@@ -219,8 +229,9 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
 	if err := ds.Validate(); err != nil {
 		return err
 	}
-	return c.mutate(func() error {
-		old, ok := c.datasets[ds.Name]
+	return c.mutate(c.keySet(ds.Name), func() error {
+		s := c.shardOf(ds.Name)
+		old, ok := s.datasets[ds.Name]
 		if !ok {
 			return fmt.Errorf("%w: dataset %q", ErrNotFound, ds.Name)
 		}
@@ -228,7 +239,7 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
 			return fmt.Errorf("%w: dataset %q epoch moved backwards (%d -> %d)", ErrConflict, ds.Name, old.Epoch, ds.Epoch)
 		}
 		c.putDataset(ds)
-		return c.logOp(opDataset, ds)
+		return s.logOp(opDataset, ds)
 	})
 }
 
@@ -237,27 +248,29 @@ func (c *Catalog) UpdateDataset(ds schema.Dataset) (err error) {
 // stale. When restampReplicas is true the dataset's existing replicas
 // are re-stamped to the new epoch — the caller asserts the physical
 // copies were corrected in place; when false they become stale and the
-// dataset must be re-materialized.
+// dataset must be re-materialized. A dataset's replicas are homed on
+// its shard, so the whole operation is single-shard.
 func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error) {
 	opBumpEpoch.Inc()
 	defer func() { err = countErr("bump_epoch", err) }()
 	epoch := 0
-	err = c.mutate(func() error {
-		ds, ok := c.datasets[name]
+	err = c.mutate(c.keySet(name), func() error {
+		s := c.shardOf(name)
+		ds, ok := s.datasets[name]
 		if !ok {
 			return fmt.Errorf("%w: dataset %q", ErrNotFound, name)
 		}
 		ds.Epoch++
 		c.putDataset(ds)
-		if err := c.logOp(opDataset, ds); err != nil {
+		if err := s.logOp(opDataset, ds); err != nil {
 			return err
 		}
 		if restampReplicas {
-			for _, id := range c.replicasByDataset[name] {
-				r := c.replicas[id]
+			for _, id := range s.replicasByDataset[name] {
+				r := s.replicas[id]
 				r.Epoch = ds.Epoch
 				c.putReplica(r)
-				if err := c.logOp(opReplica, r); err != nil {
+				if err := s.logOp(opReplica, r); err != nil {
 					return err
 				}
 			}
@@ -273,9 +286,10 @@ func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error
 
 // Dataset returns the dataset with the given logical name.
 func (c *Catalog) Dataset(name string) (schema.Dataset, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ds, ok := c.datasets[name]
+	s := c.shardOf(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.datasets[name]
 	if !ok {
 		return schema.Dataset{}, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
 	}
@@ -284,11 +298,13 @@ func (c *Catalog) Dataset(name string) (schema.Dataset, error) {
 
 // Datasets returns all datasets, sorted by name.
 func (c *Catalog) Datasets() []schema.Dataset {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]schema.Dataset, 0, len(c.datasets))
-	for _, ds := range c.datasets {
-		out = append(out, ds)
+	c.rlockAll()
+	defer c.runlockAll()
+	var out []schema.Dataset
+	for _, s := range c.shards {
+		for _, ds := range s.datasets {
+			out = append(out, ds)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -297,30 +313,33 @@ func (c *Catalog) Datasets() []schema.Dataset {
 // --- Transformations --------------------------------------------------
 
 // AddTransformation registers a transformation under its canonical
-// reference. Identical re-registration is a no-op.
+// reference. Identical re-registration is a no-op. All versions of one
+// ns::name are homed on one shard (see trHome), so registration and
+// versionless resolution are single-shard.
 func (c *Catalog) AddTransformation(tr schema.Transformation) (err error) {
 	opAddTR.Inc()
 	defer func() { err = countErr("add_transformation", err) }()
 	if err := tr.Validate(); err != nil {
 		return err
 	}
-	return c.mutate(func() error {
+	ref := tr.Ref()
+	return c.mutate(c.keySet(trHome(ref)), func() error {
+		s := c.shardOfTR(ref)
 		for _, f := range tr.Args {
 			for _, t := range f.Types {
 				if err := c.types.CheckType(t); err != nil {
-					return fmt.Errorf("%w: transformation %q formal %q: %v", ErrType, tr.Ref(), f.Name, err)
+					return fmt.Errorf("%w: transformation %q formal %q: %v", ErrType, ref, f.Name, err)
 				}
 			}
 		}
-		ref := tr.Ref()
-		if old, ok := c.transformations[ref]; ok {
+		if old, ok := s.transformations[ref]; ok {
 			if equalJSON(old, tr) {
 				return nil
 			}
 			return fmt.Errorf("%w: transformation %q", ErrExists, ref)
 		}
 		c.putTransformation(tr)
-		return c.logOp(opTransformation, tr)
+		return s.logOp(opTransformation, tr)
 	})
 }
 
@@ -329,13 +348,16 @@ func (c *Catalog) AddTransformation(tr schema.Transformation) (err error) {
 // otherwise to the single registered version (it is ambiguous, and an
 // error, if several versions exist).
 func (c *Catalog) Transformation(ref string) (schema.Transformation, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.transformationLocked(ref)
+	s := c.shardOfTR(ref)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.transformationLocked(ref)
 }
 
-func (c *Catalog) transformationLocked(ref string) (schema.Transformation, error) {
-	if tr, ok := c.transformations[ref]; ok {
+// transformationLocked resolves a reference against one shard's state.
+// Callers hold s.mu; every version of the ref's base is homed here.
+func (s *cshard) transformationLocked(ref string) (schema.Transformation, error) {
+	if tr, ok := s.transformations[ref]; ok {
 		return tr, nil
 	}
 	ns, name, ver, err := schema.ParseTRRef(ref)
@@ -344,7 +366,7 @@ func (c *Catalog) transformationLocked(ref string) (schema.Transformation, error
 	}
 	if ver == "" {
 		base := schema.FormatTRRef(ns, name, "")
-		versions := c.versionsOf[base]
+		versions := s.versionsOf[base]
 		var nonEmpty []string
 		for _, v := range versions {
 			if v != "" {
@@ -352,7 +374,7 @@ func (c *Catalog) transformationLocked(ref string) (schema.Transformation, error
 			}
 		}
 		if len(nonEmpty) == 1 {
-			return c.transformations[schema.FormatTRRef(ns, name, nonEmpty[0])], nil
+			return s.transformations[schema.FormatTRRef(ns, name, nonEmpty[0])], nil
 		}
 		if len(nonEmpty) > 1 {
 			return schema.Transformation{}, fmt.Errorf("%w: transformation %q is ambiguous among versions %v", ErrNotFound, ref, nonEmpty)
@@ -363,11 +385,13 @@ func (c *Catalog) transformationLocked(ref string) (schema.Transformation, error
 
 // Transformations returns all transformations sorted by reference.
 func (c *Catalog) Transformations() []schema.Transformation {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]schema.Transformation, 0, len(c.transformations))
-	for _, tr := range c.transformations {
-		out = append(out, tr)
+	c.rlockAll()
+	defer c.runlockAll()
+	var out []schema.Transformation
+	for _, s := range c.shards {
+		for _, tr := range s.transformations {
+			out = append(out, tr)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ref() < out[j].Ref() })
 	return out
@@ -375,9 +399,11 @@ func (c *Catalog) Transformations() []schema.Transformation {
 
 // Versions lists the registered versions of a transformation name.
 func (c *Catalog) Versions(namespace, name string) []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	vs := append([]string(nil), c.versionsOf[schema.FormatTRRef(namespace, name, "")]...)
+	base := schema.FormatTRRef(namespace, name, "")
+	s := c.shardOfTR(base)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := append([]string(nil), s.versionsOf[base]...)
 	sort.Strings(vs)
 	return vs
 }
@@ -393,21 +419,23 @@ func (c *Catalog) Resolver() schema.Resolver {
 // --- Compatibility assertions ------------------------------------------
 
 // AssertCompatibility records a version-compatibility assertion.
+// Assertions live on shard 0.
 func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) (err error) {
 	opAssertCompat.Inc()
 	defer func() { err = countErr("assert_compat", err) }()
 	if err := a.Validate(); err != nil {
 		return err
 	}
-	return c.mutate(func() error {
-		for _, old := range c.compat {
+	return c.mutate(shardSet(0).with(0), func() error {
+		s := c.shards[0]
+		for _, old := range s.compat {
 			if old == a {
 				return nil
 			}
 		}
-		c.compat = append(c.compat, a)
-		c.noteJournal(jCompat, "", false)
-		return c.logOp(opCompat, a)
+		s.compat = append(s.compat, a)
+		s.noteJournal(c, jCompat, "", false)
+		return s.logOp(opCompat, a)
 	})
 }
 
@@ -419,12 +447,13 @@ func (c *Catalog) Compatible(namespace, name, v1, v2 string) bool {
 	if v1 == v2 {
 		return true
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	s := c.shards[0]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	// Collect equivalence edges and veto pairs for this transformation.
 	adj := make(map[string][]string)
 	veto := make(map[[2]string]bool)
-	for _, a := range c.compat {
+	for _, a := range s.compat {
 		if a.Namespace != namespace || a.Name != name {
 			continue
 		}
@@ -475,6 +504,14 @@ func (c *Catalog) Compatible(namespace, name, v1, v2 string) bool {
 //     derivation.
 //   - Type checking: every bound dataset with a declared type must
 //     conform to the formal's type union.
+//
+// A derivation spans shards: its own record and secondary indexes live
+// on the ID's shard, the transformation on its base's shard, and each
+// input/output dataset's registration and provenance adjacency on that
+// dataset's shard. The lock set is computed optimistically from a
+// pre-lock resolution of the transformation (whose formals determine
+// the bound datasets), then re-verified under the locks; a stale set
+// recomputes and retries.
 func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err error) {
 	opAddDV.Inc()
 	defer func() {
@@ -491,103 +528,141 @@ func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err 
 		return schema.Derivation{}, err
 	}
 	var stored schema.Derivation
-	err = c.mutate(func() error {
-		if existing, ok := c.derivations[dv.ID]; ok {
-			stored = existing
-			return ErrDuplicate
-		}
-		tr, err := c.transformationLocked(dv.TR)
-		if err != nil {
-			return err
-		}
-		if err := dv.CheckBinding(tr); err != nil {
-			return err
-		}
-
-		inputs := dv.Inputs(tr)
-		outputs := dv.Outputs(tr)
-
-		// Type conformance for bound datasets that exist with a type.
-		for _, f := range tr.Args {
-			if !f.IsDataset() || len(f.Types) == 0 {
-				continue
+	for {
+		// Optimistic peek: resolve the transformation to learn which
+		// datasets the derivation binds (params plus formal defaults),
+		// hence which shards the mutation must lock. Resolution failure
+		// here still locks {ID, TR} so the duplicate check and the
+		// authoritative under-lock resolution behave as before.
+		set := shardSet(0).with(c.shardIndex(dv.ID)).with(c.shardIndex(trHome(dv.TR)))
+		if tr, terr := c.Transformation(dv.TR); terr == nil {
+			for _, name := range dv.Inputs(tr) {
+				set = set.with(c.shardIndex(name))
 			}
-			a, ok := dv.Params[f.Name]
-			if !ok && f.Default != nil {
-				a = *f.Default
+			for _, name := range dv.Outputs(tr) {
+				set = set.with(c.shardIndex(name))
 			}
-			for _, name := range a.Datasets() {
-				if ds, ok := c.datasets[name]; ok && !ds.Type.IsUniversal() {
-					if !f.Accepts(c.types, ds.Type) {
-						return fmt.Errorf("%w: dataset %q (%s) does not conform to formal %q of %s",
-							ErrType, name, ds.Type, f.Name, tr.Ref())
+		}
+		err = c.mutate(set, func() error {
+			home := c.shardOf(dv.ID)
+			if existing, ok := home.derivations[dv.ID]; ok {
+				stored = existing
+				return ErrDuplicate
+			}
+			tr, err := c.shardOfTR(dv.TR).transformationLocked(dv.TR)
+			if err != nil {
+				return err
+			}
+			if err := dv.CheckBinding(tr); err != nil {
+				return err
+			}
+
+			inputs := dv.Inputs(tr)
+			outputs := dv.Outputs(tr)
+
+			// The authoritative resolution may bind different datasets
+			// than the peek did (the transformation or its defaults
+			// changed, or the peek failed); retry with the right shards
+			// if any fall outside the locked set.
+			needed := shardSet(0)
+			for _, name := range inputs {
+				needed = needed.with(c.shardIndex(name))
+			}
+			for _, name := range outputs {
+				needed = needed.with(c.shardIndex(name))
+			}
+			if !set.contains(needed) {
+				return errRetryShards
+			}
+
+			// Type conformance for bound datasets that exist with a type.
+			for _, f := range tr.Args {
+				if !f.IsDataset() || len(f.Types) == 0 {
+					continue
+				}
+				a, ok := dv.Params[f.Name]
+				if !ok && f.Default != nil {
+					a = *f.Default
+				}
+				for _, name := range a.Datasets() {
+					if ds, ok := c.shardOf(name).datasets[name]; ok && !ds.Type.IsUniversal() {
+						if !f.Accepts(c.types, ds.Type) {
+							return fmt.Errorf("%w: dataset %q (%s) does not conform to formal %q of %s",
+								ErrType, name, ds.Type, f.Name, tr.Ref())
+						}
 					}
 				}
 			}
-		}
 
-		// A dataset has at most one producer, and cannot be both input and
-		// output of one derivation. Validate fully before mutating so a
-		// failed add leaves no partial state (or WAL records) behind.
-		inputSet := make(map[string]bool, len(inputs))
-		for _, in := range inputs {
-			inputSet[in] = true
-		}
-		for _, out := range outputs {
-			if prod, ok := c.producerOf[out]; ok && prod != dv.ID {
-				return fmt.Errorf("%w: dataset %q already produced by derivation %s", ErrConflict, out, prod)
+			// A dataset has at most one producer, and cannot be both input and
+			// output of one derivation. Validate fully before mutating so a
+			// failed add leaves no partial state (or WAL records) behind.
+			inputSet := make(map[string]bool, len(inputs))
+			for _, in := range inputs {
+				inputSet[in] = true
 			}
-			if inputSet[out] {
-				return fmt.Errorf("%w: dataset %q is both input and output of one derivation", ErrConflict, out)
-			}
-		}
-
-		// Auto-register datasets.
-		for _, in := range inputs {
-			if _, ok := c.datasets[in]; !ok {
-				ds := schema.Dataset{Name: in}
-				c.putDataset(ds)
-				if err := c.logOp(opDataset, ds); err != nil {
-					return err
+			for _, out := range outputs {
+				if prod, ok := c.shardOf(out).producerOf[out]; ok && prod != dv.ID {
+					return fmt.Errorf("%w: dataset %q already produced by derivation %s", ErrConflict, out, prod)
+				}
+				if inputSet[out] {
+					return fmt.Errorf("%w: dataset %q is both input and output of one derivation", ErrConflict, out)
 				}
 			}
-		}
-		for _, out := range outputs {
-			if ds, ok := c.datasets[out]; ok {
-				if ds.CreatedBy == "" {
-					ds.CreatedBy = dv.ID
+
+			// Auto-register datasets, each on (and logged to) its own shard.
+			for _, in := range inputs {
+				ss := c.shardOf(in)
+				if _, ok := ss.datasets[in]; !ok {
+					ds := schema.Dataset{Name: in}
 					c.putDataset(ds)
-					if err := c.logOp(opDataset, ds); err != nil {
+					if err := ss.logOp(opDataset, ds); err != nil {
 						return err
 					}
 				}
-			} else {
-				ds := schema.Dataset{Name: out, CreatedBy: dv.ID}
-				c.putDataset(ds)
-				if err := c.logOp(opDataset, ds); err != nil {
-					return err
+			}
+			for _, out := range outputs {
+				ss := c.shardOf(out)
+				if ds, ok := ss.datasets[out]; ok {
+					if ds.CreatedBy == "" {
+						ds.CreatedBy = dv.ID
+						c.putDataset(ds)
+						if err := ss.logOp(opDataset, ds); err != nil {
+							return err
+						}
+					}
+				} else {
+					ds := schema.Dataset{Name: out, CreatedBy: dv.ID}
+					c.putDataset(ds)
+					if err := ss.logOp(opDataset, ds); err != nil {
+						return err
+					}
 				}
 			}
-		}
 
-		c.indexDerivation(dv, tr)
-		if err := c.logOp(opDerivation, dv); err != nil {
-			return err
+			c.indexDerivation(dv, tr)
+			if err := home.logOp(opDerivation, dv); err != nil {
+				return err
+			}
+			stored = dv
+			return nil
+		})
+		if errors.Is(err, errRetryShards) {
+			continue
 		}
-		stored = dv
-		return nil
-	})
-	if err != nil && !errors.Is(err, ErrDuplicate) {
-		return schema.Derivation{}, err
+		if err != nil && !errors.Is(err, ErrDuplicate) {
+			return schema.Derivation{}, err
+		}
+		return stored, err
 	}
-	return stored, err
 }
 
 // Derivation returns the derivation with the given ID.
 func (c *Catalog) Derivation(id string) (schema.Derivation, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	dv, ok := c.derivations[id]
+	s := c.shardOf(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dv, ok := s.derivations[id]
 	if !ok {
 		return schema.Derivation{}, fmt.Errorf("%w: derivation %q", ErrNotFound, id)
 	}
@@ -599,9 +674,10 @@ func (c *Catalog) Derivation(id string) (schema.Derivation, error) {
 // computation been performed previously?" in O(1).
 func (c *Catalog) FindDerivation(dv schema.Derivation) (schema.Derivation, bool) {
 	sig := dv.Signature()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	found, ok := c.derivations[sig]
+	s := c.shardOf(sig)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	found, ok := s.derivations[sig]
 	return found, ok
 }
 
@@ -634,11 +710,13 @@ func (c *Catalog) FindEquivalentDerivation(dv schema.Derivation) (schema.Derivat
 
 // Derivations returns all derivations sorted by ID.
 func (c *Catalog) Derivations() []schema.Derivation {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]schema.Derivation, 0, len(c.derivations))
-	for _, dv := range c.derivations {
-		out = append(out, dv)
+	c.rlockAll()
+	defer c.runlockAll()
+	var out []schema.Derivation
+	for _, s := range c.shards {
+		for _, dv := range s.derivations {
+			out = append(out, dv)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -646,8 +724,7 @@ func (c *Catalog) Derivations() []schema.Derivation {
 
 // --- Invocations -------------------------------------------------------
 
-// AddInvocation records an execution of a registered derivation,
-// registering any produced replicas it cites.
+// AddInvocation records an execution of a registered derivation.
 func (c *Catalog) AddInvocation(iv schema.Invocation) error {
 	wait, err := c.AddInvocationAsync(iv)
 	if err != nil {
@@ -659,26 +736,29 @@ func (c *Catalog) AddInvocation(iv schema.Invocation) error {
 	return nil
 }
 
-// AddInvocationAsync applies the invocation under the catalog lock and
+// AddInvocationAsync applies the invocation under its shard lock and
 // returns without waiting for durability; the returned wait function
 // blocks until the record's WAL batch is durable (ErrDurability on
 // failure). wait is nil when there is nothing to wait for. Callers that
-// need the synchronous contract use AddInvocation.
+// need the synchronous contract use AddInvocation. Invocations are
+// homed with their derivation, so the hot recording path is
+// single-shard.
 func (c *Catalog) AddInvocationAsync(iv schema.Invocation) (wait func() error, err error) {
 	opAddIV.Inc()
 	defer func() { err = countErr("add_invocation", err) }()
 	if err := iv.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := c.mutateAsync(func() error {
-		if _, ok := c.derivations[iv.Derivation]; !ok {
+	w, err := c.mutateAsync(c.keySet(iv.Derivation), func() error {
+		s := c.shardOf(iv.Derivation)
+		if _, ok := s.derivations[iv.Derivation]; !ok {
 			return fmt.Errorf("%w: invocation %q cites unknown derivation %q", ErrNotFound, iv.ID, iv.Derivation)
 		}
-		if _, ok := c.invocations[iv.ID]; ok {
+		if _, ok := s.invocations[iv.ID]; ok {
 			return fmt.Errorf("%w: invocation %q", ErrExists, iv.ID)
 		}
 		c.putInvocation(iv)
-		return c.logOp(opInvocation, iv)
+		return s.logOp(opInvocation, iv)
 	})
 	if err != nil || w == nil {
 		return nil, err
@@ -686,54 +766,62 @@ func (c *Catalog) AddInvocationAsync(iv schema.Invocation) (wait func() error, e
 	return func() error { return countErr("add_invocation", w()) }, nil
 }
 
-// Invocation returns the invocation with the given ID.
+// Invocation returns the invocation with the given ID. Invocations are
+// homed by their derivation, so a by-ID lookup probes every shard
+// (one map lookup each).
 func (c *Catalog) Invocation(id string) (schema.Invocation, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	iv, ok := c.invocations[id]
-	if !ok {
-		return schema.Invocation{}, fmt.Errorf("%w: invocation %q", ErrNotFound, id)
+	c.rlockAll()
+	defer c.runlockAll()
+	for _, s := range c.shards {
+		if iv, ok := s.invocations[id]; ok {
+			return iv, nil
+		}
 	}
-	return iv, nil
+	return schema.Invocation{}, fmt.Errorf("%w: invocation %q", ErrNotFound, id)
 }
 
 // HasInvocations reports whether a derivation has recorded at least one
 // invocation, without copying them — the cheap emptiness test the
 // query layer's `executed` flag wants.
 func (c *Catalog) HasInvocations(derivation string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.idx.executed.Has(derivation)
+	s := c.shardOf(derivation)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.executed.Has(derivation)
 }
 
 // InvocationCount returns the number of invocations recorded for a
 // derivation.
 func (c *Catalog) InvocationCount(derivation string) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.invocationsByDV[derivation])
+	s := c.shardOf(derivation)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.invocationsByDV[derivation])
 }
 
 // InvocationsOf returns the invocations of one derivation, in insertion
 // order.
 func (c *Catalog) InvocationsOf(derivation string) []schema.Invocation {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids := c.invocationsByDV[derivation]
+	s := c.shardOf(derivation)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.invocationsByDV[derivation]
 	out := make([]schema.Invocation, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, c.invocations[id])
+		out = append(out, s.invocations[id])
 	}
 	return out
 }
 
 // Invocations returns all invocations sorted by ID.
 func (c *Catalog) Invocations() []schema.Invocation {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]schema.Invocation, 0, len(c.invocations))
-	for _, iv := range c.invocations {
-		out = append(out, iv)
+	c.rlockAll()
+	defer c.runlockAll()
+	var out []schema.Invocation
+	for _, s := range c.shards {
+		for _, iv := range s.invocations {
+			out = append(out, iv)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -753,23 +841,25 @@ func (c *Catalog) AddReplica(r schema.Replica) error {
 	return nil
 }
 
-// AddReplicaAsync applies the replica under the catalog lock and
-// returns without waiting for durability, like AddInvocationAsync.
+// AddReplicaAsync applies the replica under its shard lock and returns
+// without waiting for durability, like AddInvocationAsync. Replicas
+// are homed with their dataset, so registration is single-shard.
 func (c *Catalog) AddReplicaAsync(r schema.Replica) (wait func() error, err error) {
 	opAddReplica.Inc()
 	defer func() { err = countErr("add_replica", err) }()
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := c.mutateAsync(func() error {
-		if _, ok := c.datasets[r.Dataset]; !ok {
+	w, err := c.mutateAsync(c.keySet(r.Dataset), func() error {
+		s := c.shardOf(r.Dataset)
+		if _, ok := s.datasets[r.Dataset]; !ok {
 			return fmt.Errorf("%w: replica %q cites unknown dataset %q", ErrNotFound, r.ID, r.Dataset)
 		}
-		if _, ok := c.replicas[r.ID]; ok {
+		if _, ok := s.replicas[r.ID]; ok {
 			return fmt.Errorf("%w: replica %q", ErrExists, r.ID)
 		}
 		c.putReplica(r)
-		return c.logOp(opReplica, r)
+		return s.logOp(opReplica, r)
 	})
 	if err != nil || w == nil {
 		return nil, err
@@ -778,38 +868,43 @@ func (c *Catalog) AddReplicaAsync(r schema.Replica) (wait func() error, err erro
 }
 
 // RemoveReplica deletes a replica record (e.g. when a planner reclaims
-// storage).
+// storage). Replicas are homed by dataset, which a bare ID does not
+// reveal, so removal locks every shard; it is the rare administrative
+// path, not the ingest path.
 func (c *Catalog) RemoveReplica(id string) (err error) {
 	opRmReplica.Inc()
 	defer func() { err = countErr("remove_replica", err) }()
-	return c.mutate(func() error {
+	return c.mutate(c.allSet(), func() error {
 		r, ok := c.dropReplica(id)
 		if !ok {
 			return fmt.Errorf("%w: replica %q", ErrNotFound, id)
 		}
-		return c.logOp(opRemoveReplica, r.ID)
+		return c.shardOf(r.Dataset).logOp(opRemoveReplica, r.ID)
 	})
 }
 
-// Replica returns the replica with the given ID.
+// Replica returns the replica with the given ID. Replicas are homed by
+// their dataset, so a by-ID lookup probes every shard.
 func (c *Catalog) Replica(id string) (schema.Replica, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	r, ok := c.replicas[id]
-	if !ok {
-		return schema.Replica{}, fmt.Errorf("%w: replica %q", ErrNotFound, id)
+	c.rlockAll()
+	defer c.runlockAll()
+	for _, s := range c.shards {
+		if r, ok := s.replicas[id]; ok {
+			return r, nil
+		}
 	}
-	return r, nil
+	return schema.Replica{}, fmt.Errorf("%w: replica %q", ErrNotFound, id)
 }
 
 // ReplicasOf lists the replicas of a dataset, in registration order.
 func (c *Catalog) ReplicasOf(dataset string) []schema.Replica {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids := c.replicasByDataset[dataset]
+	s := c.shardOf(dataset)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.replicasByDataset[dataset]
 	out := make([]schema.Replica, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, c.replicas[id])
+		out = append(out, s.replicas[id])
 	}
 	return out
 }
@@ -817,15 +912,18 @@ func (c *Catalog) ReplicasOf(dataset string) []schema.Replica {
 // Materialized reports whether a dataset has at least one replica at
 // its current epoch.
 func (c *Catalog) Materialized(dataset string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.materializedLocked(dataset)
-}
-
-func (c *Catalog) materializedLocked(dataset string) bool {
+	s := c.shardOf(dataset)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	// The flag set is maintained by every mutation path (index.go), so
 	// membership is the answer — no replica scan.
-	return c.idx.materialized.Has(dataset)
+	return s.idx.materialized.Has(dataset)
+}
+
+// materializedAllLocked is Materialized with every shard lock already
+// held (provenance traversals).
+func (c *Catalog) materializedAllLocked(dataset string) bool {
+	return c.shardOf(dataset).idx.materialized.Has(dataset)
 }
 
 // Stats summarizes catalog contents.
@@ -835,15 +933,17 @@ type Stats struct {
 
 // Stats returns object counts.
 func (c *Catalog) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return Stats{
-		Datasets:        len(c.datasets),
-		Transformations: len(c.transformations),
-		Derivations:     len(c.derivations),
-		Invocations:     len(c.invocations),
-		Replicas:        len(c.replicas),
+	c.rlockAll()
+	defer c.runlockAll()
+	var st Stats
+	for _, s := range c.shards {
+		st.Datasets += len(s.datasets)
+		st.Transformations += len(s.transformations)
+		st.Derivations += len(s.derivations)
+		st.Invocations += len(s.invocations)
+		st.Replicas += len(s.replicas)
 	}
+	return st
 }
 
 // equalJSON compares two values by canonical encoding.

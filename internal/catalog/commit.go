@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"chimera/internal/obs"
 )
 
 // Group commit. Mutations validate and apply to the in-memory maps
@@ -53,6 +55,17 @@ type committer struct {
 	closeCh    chan struct{} // closed when closing begins; interrupts the delay window
 	err        error         // sticky: first write/fsync failure poisons the WAL
 
+	// Per-shard batch counters (nil until setShardMetrics): the ratio
+	// records/batches is this shard WAL's batch occupancy.
+	shardBatches *obs.Counter
+	shardRecords *obs.Counter
+
+	// syncDelay models slow stable storage (Options.SyncDelay): an
+	// extra wait per batch commit, taken off-lock where the fsync
+	// blocks, so it amortizes across the batch like a real slow fsync.
+	// Set once before the committer sees traffic.
+	syncDelay time.Duration
+
 	// fsyncEWMA smooths recent fsync latencies. The MaxDelay batch
 	// window only pays off when fsync costs much more than the window
 	// itself (spinning disks, network filesystems); on storage where
@@ -77,6 +90,15 @@ func newCommitter(f *os.File, fsync bool, maxBatch int, maxDelay time.Duration) 
 	w.enc = json.NewEncoder(&w.scratch)
 	go w.run()
 	return w
+}
+
+// setShardMetrics wires the committer to its shard's per-WAL batch
+// counters. Called once, before the committer sees traffic.
+func (w *committer) setShardMetrics(label string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shardBatches = metricShardBatches.With(label)
+	w.shardRecords = metricShardBatchRecords.With(label)
 }
 
 // enqueue encodes one record into the pending batch and returns its
@@ -228,6 +250,10 @@ func (w *committer) commitLocked() {
 
 	metricWALBatchRecords.Observe(float64(n))
 	metricWALBatchBytes.Observe(float64(len(buf)))
+	if w.shardBatches != nil {
+		w.shardBatches.Inc()
+		w.shardRecords.Add(uint64(n))
+	}
 	var err error
 	if _, werr := w.f.Write(buf); werr != nil {
 		err = fmt.Errorf("%w: wal append: %v", ErrDurability, werr)
@@ -241,6 +267,9 @@ func (w *committer) commitLocked() {
 			fsyncTook = time.Since(start)
 			metricWALBatchFsync.Observe(fsyncTook.Seconds())
 		}
+	}
+	if err == nil && w.syncDelay > 0 {
+		time.Sleep(w.syncDelay)
 	}
 
 	w.mu.Lock()

@@ -91,7 +91,7 @@ func TestInlineFallbackMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.wal.com != nil {
+	if c.shards[0].wal.com != nil {
 		t.Fatal("MaxBatch=1 must not start a committer")
 	}
 	populate(t, c)
@@ -150,7 +150,7 @@ func TestInlineStickyFailure(t *testing.T) {
 	if err := c.AddDataset(schema.Dataset{Name: "ok"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.wal.f.Close(); err != nil { // writes will now fail
+	if err := c.shards[0].wal.f.Close(); err != nil { // writes will now fail
 		t.Fatal(err)
 	}
 	if err := c.AddDataset(schema.Dataset{Name: "broken"}); !errors.Is(err, ErrDurability) {

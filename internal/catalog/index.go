@@ -10,16 +10,21 @@ import (
 )
 
 // Secondary indexes for the discovery path. Every index is maintained
-// incrementally under the catalog write lock by the put*/drop* helpers
+// incrementally under its shard's write lock by the put*/drop* helpers
 // below, which are the single funnel for all mutation paths — public
 // mutators, WAL replay (apply), and snapshot load (applyExport) — so
 // the indexes can never drift from the primary maps regardless of how
 // state arrives. CheckIndexes verifies exactly that by rebuilding from
 // scratch and comparing.
 //
-// The read side is Catalog.View (view.go): queries resolve candidate
-// sets from these indexes and iterate one consistent snapshot instead
-// of copying and sorting the whole catalog per query.
+// Each shard owns the index entries for the objects homed on it, and
+// every index is keyed by its object's home name (dataset indexes by
+// dataset name, derivation indexes by derivation ID), so maintaining
+// an entry never needs a lock the mutation does not already hold. The
+// read side is Catalog.View (view.go): queries resolve candidate sets
+// from these indexes — merged across shards when Shards()>1 — and
+// iterate one consistent snapshot instead of copying and sorting the
+// whole catalog per query.
 
 // IndexSet is a set of object identifiers (dataset names, canonical
 // transformation refs, or derivation IDs, depending on the index).
@@ -56,7 +61,8 @@ type indexes struct {
 
 	// Transformation-ref -> derivation IDs: by the exact TR string the
 	// derivation cites, and by the versionless "ns::name" base so
-	// `tr = ns::name` finds derivations citing any version.
+	// `tr = ns::name` finds derivations citing any version. Keyed by
+	// the derivation (the TR may be homed elsewhere).
 	dvByTR     map[string]IndexSet
 	dvByTRBase map[string]IndexSet
 
@@ -125,26 +131,28 @@ func attrIndexRemove(idx map[string]map[string]IndexSet, attrs schema.Attributes
 // --- mutation funnel ---------------------------------------------------
 
 // putDataset installs or replaces a dataset record and all its index
-// entries. Callers hold c.mu.
+// entries on the dataset's home shard. Callers hold that shard's write
+// lock.
 func (c *Catalog) putDataset(ds schema.Dataset) {
-	if old, ok := c.datasets[ds.Name]; ok {
-		attrIndexRemove(c.idx.dsAttr, old.Attrs, old.Name)
+	s := c.shardOf(ds.Name)
+	if old, ok := s.datasets[ds.Name]; ok {
+		attrIndexRemove(s.idx.dsAttr, old.Attrs, old.Name)
 		if old.Type != ds.Type {
-			setRemoveTyped(c.idx.dsByType, old.Type, old.Name)
+			setRemoveTyped(s.idx.dsByType, old.Type, old.Name)
 		}
 		if old.CreatedBy != "" && ds.CreatedBy == "" {
-			delete(c.idx.derived, old.Name)
+			delete(s.idx.derived, old.Name)
 		}
 	}
-	c.datasets[ds.Name] = ds
-	attrIndexAdd(c.idx.dsAttr, ds.Attrs, ds.Name)
-	setAddTyped(c.idx.dsByType, ds.Type, ds.Name)
+	s.datasets[ds.Name] = ds
+	attrIndexAdd(s.idx.dsAttr, ds.Attrs, ds.Name)
+	setAddTyped(s.idx.dsByType, ds.Type, ds.Name)
 	if ds.CreatedBy != "" {
-		c.idx.derived[ds.Name] = struct{}{}
+		s.idx.derived[ds.Name] = struct{}{}
 	}
 	// An epoch change can flip materialization either way.
-	c.reindexMaterialized(ds.Name)
-	c.noteJournal(jDataset, ds.Name, false)
+	s.reindexMaterialized(ds.Name)
+	s.noteJournal(c, jDataset, ds.Name, false)
 }
 
 func setAddTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
@@ -165,171 +173,193 @@ func setRemoveTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
 	}
 }
 
-// putTransformation installs a transformation, maintaining the version
-// and attribute indexes. Callers hold c.mu.
+// putTransformation installs a transformation on its base's home
+// shard, maintaining the version and attribute indexes. Callers hold
+// that shard's write lock.
 func (c *Catalog) putTransformation(tr schema.Transformation) {
 	ref := tr.Ref()
-	if old, ok := c.transformations[ref]; ok {
-		attrIndexRemove(c.idx.trAttr, old.Attrs, ref)
+	s := c.shardOfTR(ref)
+	if old, ok := s.transformations[ref]; ok {
+		attrIndexRemove(s.idx.trAttr, old.Attrs, ref)
 	} else {
 		base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
-		c.versionsOf[base] = append(c.versionsOf[base], tr.Version)
+		s.versionsOf[base] = append(s.versionsOf[base], tr.Version)
 	}
-	c.transformations[ref] = tr
-	attrIndexAdd(c.idx.trAttr, tr.Attrs, ref)
-	c.noteJournal(jTransformation, ref, false)
+	s.transformations[ref] = tr
+	attrIndexAdd(s.idx.trAttr, tr.Attrs, ref)
+	s.noteJournal(c, jTransformation, ref, false)
 }
 
 // indexDerivation installs a derivation with its provenance and
-// secondary indexes. Callers hold c.mu. No-op if the ID exists.
+// secondary indexes. The record and derivation-keyed indexes land on
+// the ID's home shard; each input/output dataset's adjacency entry
+// lands on that dataset's shard. Callers hold the write locks of the
+// ID's shard and of every input/output dataset's shard. No-op if the
+// ID exists.
 func (c *Catalog) indexDerivation(dv schema.Derivation, tr schema.Transformation) {
-	if _, ok := c.derivations[dv.ID]; ok {
+	home := c.shardOf(dv.ID)
+	if _, ok := home.derivations[dv.ID]; ok {
 		return
 	}
 	inputs := dv.Inputs(tr)
 	outputs := dv.Outputs(tr)
-	c.derivations[dv.ID] = dv
-	c.inputsOf[dv.ID] = inputs
-	c.outputsOf[dv.ID] = outputs
+	home.derivations[dv.ID] = dv
+	home.inputsOf[dv.ID] = inputs
+	home.outputsOf[dv.ID] = outputs
 	for _, in := range inputs {
-		c.consumersOf[in] = append(c.consumersOf[in], dv.ID)
+		ds := c.shardOf(in)
+		ds.consumersOf[in] = append(ds.consumersOf[in], dv.ID)
 	}
 	for _, out := range outputs {
-		c.producerOf[out] = dv.ID
+		c.shardOf(out).producerOf[out] = dv.ID
 	}
-	attrIndexAdd(c.idx.dvAttr, dv.Attrs, dv.ID)
-	setAdd(c.idx.dvByTR, dv.TR, dv.ID)
+	attrIndexAdd(home.idx.dvAttr, dv.Attrs, dv.ID)
+	setAdd(home.idx.dvByTR, dv.TR, dv.ID)
 	if ns, name, _, err := schema.ParseTRRef(dv.TR); err == nil {
-		setAdd(c.idx.dvByTRBase, schema.FormatTRRef(ns, name, ""), dv.ID)
+		setAdd(home.idx.dvByTRBase, schema.FormatTRRef(ns, name, ""), dv.ID)
 	}
 	name := dv.Name
 	if name == "" {
 		name = dv.ID
 	}
-	setAdd(c.idx.dvByName, name, dv.ID)
-	c.noteJournal(jDerivation, dv.ID, false)
+	setAdd(home.idx.dvByName, name, dv.ID)
+	home.noteJournal(c, jDerivation, dv.ID, false)
 }
 
-// putInvocation installs an invocation. Callers hold c.mu. No-op if the
-// ID exists.
+// putInvocation installs an invocation on its derivation's home shard.
+// Callers hold that shard's write lock. No-op if the ID exists.
 func (c *Catalog) putInvocation(iv schema.Invocation) {
-	if _, ok := c.invocations[iv.ID]; ok {
+	s := c.shardOf(iv.Derivation)
+	if _, ok := s.invocations[iv.ID]; ok {
 		return
 	}
-	c.invocations[iv.ID] = iv
-	c.invocationsByDV[iv.Derivation] = append(c.invocationsByDV[iv.Derivation], iv.ID)
-	c.idx.executed[iv.Derivation] = struct{}{}
-	c.noteJournal(jInvocation, iv.ID, false)
+	s.invocations[iv.ID] = iv
+	s.invocationsByDV[iv.Derivation] = append(s.invocationsByDV[iv.Derivation], iv.ID)
+	s.idx.executed[iv.Derivation] = struct{}{}
+	s.noteJournal(c, jInvocation, iv.ID, false)
 }
 
 // putReplica installs a new replica or updates an existing one in place
-// (epoch re-stamp), keeping the materialized set current. Callers hold
-// c.mu.
+// (epoch re-stamp) on its dataset's home shard, keeping the
+// materialized set current. Callers hold that shard's write lock.
 func (c *Catalog) putReplica(r schema.Replica) {
-	if _, ok := c.replicas[r.ID]; ok {
-		c.replicas[r.ID] = r
+	s := c.shardOf(r.Dataset)
+	if _, ok := s.replicas[r.ID]; ok {
+		s.replicas[r.ID] = r
 	} else {
-		c.replicas[r.ID] = r
-		c.replicasByDataset[r.Dataset] = append(c.replicasByDataset[r.Dataset], r.ID)
+		s.replicas[r.ID] = r
+		s.replicasByDataset[r.Dataset] = append(s.replicasByDataset[r.Dataset], r.ID)
 	}
-	c.reindexMaterialized(r.Dataset)
-	c.noteJournal(jReplica, r.ID, false)
+	s.reindexMaterialized(r.Dataset)
+	s.noteJournal(c, jReplica, r.ID, false)
 }
 
-// dropReplica removes a replica record, if present. Callers hold c.mu.
+// dropReplica removes a replica record, if present. A bare ID does not
+// reveal the home shard, so the lookup probes every shard; callers
+// hold every shard's write lock (or own the catalog exclusively, as
+// during replay).
 func (c *Catalog) dropReplica(id string) (schema.Replica, bool) {
-	r, ok := c.replicas[id]
-	if !ok {
-		return schema.Replica{}, false
-	}
-	delete(c.replicas, id)
-	ids := c.replicasByDataset[r.Dataset]
-	for i, x := range ids {
-		if x == id {
-			ids = append(ids[:i:i], ids[i+1:]...)
-			break
+	for _, s := range c.shards {
+		r, ok := s.replicas[id]
+		if !ok {
+			continue
 		}
+		delete(s.replicas, id)
+		ids := s.replicasByDataset[r.Dataset]
+		for i, x := range ids {
+			if x == id {
+				ids = append(ids[:i:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(s.replicasByDataset, r.Dataset)
+		} else {
+			s.replicasByDataset[r.Dataset] = ids
+		}
+		s.reindexMaterialized(r.Dataset)
+		s.noteJournal(c, jReplica, id, true)
+		return r, true
 	}
-	if len(ids) == 0 {
-		delete(c.replicasByDataset, r.Dataset)
-	} else {
-		c.replicasByDataset[r.Dataset] = ids
-	}
-	c.reindexMaterialized(r.Dataset)
-	c.noteJournal(jReplica, id, true)
-	return r, true
+	return schema.Replica{}, false
 }
 
 // reindexMaterialized recomputes one dataset's membership in the
-// materialized set from its replicas and current epoch. Callers hold
-// c.mu.
-func (c *Catalog) reindexMaterialized(name string) {
-	ds, ok := c.datasets[name]
+// materialized set from its replicas and current epoch. The dataset,
+// its replicas, and the flag entry all live on this shard. Callers
+// hold s.mu.
+func (s *cshard) reindexMaterialized(name string) {
+	ds, ok := s.datasets[name]
 	if !ok {
-		delete(c.idx.materialized, name)
+		delete(s.idx.materialized, name)
 		return
 	}
-	for _, id := range c.replicasByDataset[name] {
-		if c.replicas[id].Epoch == ds.Epoch {
-			c.idx.materialized[name] = struct{}{}
+	for _, id := range s.replicasByDataset[name] {
+		if s.replicas[id].Epoch == ds.Epoch {
+			s.idx.materialized[name] = struct{}{}
 			return
 		}
 	}
-	delete(c.idx.materialized, name)
+	delete(s.idx.materialized, name)
 }
 
 // --- verification ------------------------------------------------------
 
 // CheckIndexes rebuilds every secondary index from the primary maps and
-// compares with the incrementally maintained state. It returns nil when
-// they agree; tests call it after WAL replay, imports, and mutation
-// storms to prove the funnel covers every path.
+// compares with the incrementally maintained state, shard by shard. It
+// returns nil when they agree; tests call it after WAL replay, imports,
+// and mutation storms to prove the funnel covers every path.
 func (c *Catalog) CheckIndexes() error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	want := c.rebuildIndexesLocked()
-	for _, f := range []struct {
-		name      string
-		got, want any
-	}{
-		{"dsAttr", c.idx.dsAttr, want.dsAttr},
-		{"trAttr", c.idx.trAttr, want.trAttr},
-		{"dvAttr", c.idx.dvAttr, want.dvAttr},
-		{"dsByType", c.idx.dsByType, want.dsByType},
-		{"derived", c.idx.derived, want.derived},
-		{"materialized", c.idx.materialized, want.materialized},
-		{"executed", c.idx.executed, want.executed},
-		{"dvByTR", c.idx.dvByTR, want.dvByTR},
-		{"dvByTRBase", c.idx.dvByTRBase, want.dvByTRBase},
-		{"dvByName", c.idx.dvByName, want.dvByName},
-	} {
-		if !reflect.DeepEqual(f.got, f.want) {
-			return fmt.Errorf("catalog: index %q diverged from rebuild:\n got: %v\nwant: %v", f.name, f.got, f.want)
+	c.rlockAll()
+	defer c.runlockAll()
+	for i, s := range c.shards {
+		want := s.rebuildIndexesLocked()
+		for _, f := range []struct {
+			name      string
+			got, want any
+		}{
+			{"dsAttr", s.idx.dsAttr, want.dsAttr},
+			{"trAttr", s.idx.trAttr, want.trAttr},
+			{"dvAttr", s.idx.dvAttr, want.dvAttr},
+			{"dsByType", s.idx.dsByType, want.dsByType},
+			{"derived", s.idx.derived, want.derived},
+			{"materialized", s.idx.materialized, want.materialized},
+			{"executed", s.idx.executed, want.executed},
+			{"dvByTR", s.idx.dvByTR, want.dvByTR},
+			{"dvByTRBase", s.idx.dvByTRBase, want.dvByTRBase},
+			{"dvByName", s.idx.dvByName, want.dvByName},
+		} {
+			if !reflect.DeepEqual(f.got, f.want) {
+				return fmt.Errorf("catalog: shard %d index %q diverged from rebuild:\n got: %v\nwant: %v", i, f.name, f.got, f.want)
+			}
 		}
 	}
 	return nil
 }
 
-// rebuildIndexesLocked computes the secondary indexes from scratch.
-func (c *Catalog) rebuildIndexesLocked() indexes {
+// rebuildIndexesLocked computes one shard's secondary indexes from
+// scratch. Every index entry's source objects are homed on the same
+// shard as the entry (invocations live with their derivation, replicas
+// with their dataset), so the rebuild is shard-local.
+func (s *cshard) rebuildIndexesLocked() indexes {
 	idx := newIndexes()
-	for name, ds := range c.datasets {
+	for name, ds := range s.datasets {
 		attrIndexAdd(idx.dsAttr, ds.Attrs, name)
 		setAddTyped(idx.dsByType, ds.Type, name)
 		if ds.CreatedBy != "" {
 			idx.derived[name] = struct{}{}
 		}
-		for _, id := range c.replicasByDataset[name] {
-			if c.replicas[id].Epoch == ds.Epoch {
+		for _, id := range s.replicasByDataset[name] {
+			if s.replicas[id].Epoch == ds.Epoch {
 				idx.materialized[name] = struct{}{}
 				break
 			}
 		}
 	}
-	for ref, tr := range c.transformations {
+	for ref, tr := range s.transformations {
 		attrIndexAdd(idx.trAttr, tr.Attrs, ref)
 	}
-	for id, dv := range c.derivations {
+	for id, dv := range s.derivations {
 		attrIndexAdd(idx.dvAttr, dv.Attrs, id)
 		setAdd(idx.dvByTR, dv.TR, id)
 		if ns, name, _, err := schema.ParseTRRef(dv.TR); err == nil {
@@ -341,20 +371,21 @@ func (c *Catalog) rebuildIndexesLocked() indexes {
 		}
 		setAdd(idx.dvByName, name, id)
 	}
-	for _, iv := range c.invocations {
+	for _, iv := range s.invocations {
 		idx.executed[iv.Derivation] = struct{}{}
 	}
 	return idx
 }
 
 // IndexStats reports the cardinality of every secondary index: the
-// number of distinct keys per keyed index and members per flag set.
-// It feeds the /debug/vdc introspection endpoint, where a surprising
-// cardinality (an attribute key exploding, a flag set empty) is often
-// the first visible symptom of a misbehaving ingest.
+// number of distinct keys per keyed index and members per flag set,
+// summed across shards. It feeds the /debug/vdc introspection
+// endpoint, where a surprising cardinality (an attribute key
+// exploding, a flag set empty) is often the first visible symptom of a
+// misbehaving ingest.
 func (c *Catalog) IndexStats() map[string]int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.rlockAll()
+	defer c.runlockAll()
 	attrKeys := func(m map[string]map[string]IndexSet) int {
 		n := 0
 		for _, vals := range m {
@@ -362,19 +393,21 @@ func (c *Catalog) IndexStats() map[string]int {
 		}
 		return n
 	}
-	return map[string]int{
-		"dataset_attr_keys":        len(c.idx.dsAttr),
-		"dataset_attr_values":      attrKeys(c.idx.dsAttr),
-		"transformation_attr_keys": len(c.idx.trAttr),
-		"derivation_attr_keys":     len(c.idx.dvAttr),
-		"dataset_types":            len(c.idx.dsByType),
-		"derived":                  len(c.idx.derived),
-		"materialized":             len(c.idx.materialized),
-		"executed":                 len(c.idx.executed),
-		"derivations_by_tr":        len(c.idx.dvByTR),
-		"derivations_by_tr_base":   len(c.idx.dvByTRBase),
-		"derivations_by_name":      len(c.idx.dvByName),
+	out := make(map[string]int, 11)
+	for _, s := range c.shards {
+		out["dataset_attr_keys"] += len(s.idx.dsAttr)
+		out["dataset_attr_values"] += attrKeys(s.idx.dsAttr)
+		out["transformation_attr_keys"] += len(s.idx.trAttr)
+		out["derivation_attr_keys"] += len(s.idx.dvAttr)
+		out["dataset_types"] += len(s.idx.dsByType)
+		out["derived"] += len(s.idx.derived)
+		out["materialized"] += len(s.idx.materialized)
+		out["executed"] += len(s.idx.executed)
+		out["derivations_by_tr"] += len(s.idx.dvByTR)
+		out["derivations_by_tr_base"] += len(s.idx.dvByTRBase)
+		out["derivations_by_name"] += len(s.idx.dvByName)
 	}
+	return out
 }
 
 // sortedKeys returns a sorted copy of a set's members — the helper the

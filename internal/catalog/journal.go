@@ -9,17 +9,25 @@ import (
 )
 
 // Change journal: every mutation that reaches the put*/drop* funnel (or
-// the types/compat side paths) advances a monotonic sequence number and
-// appends one entry to a bounded in-memory journal. ChangesSince turns
-// the retained tail into a delta Export — the incremental sync protocol
-// federated indexes use to avoid re-fetching a member's full catalog
-// every crawl pass. When a caller's sequence predates the retained
-// window (or it talks to a different catalog instance), the delta
-// degrades to a full export, so the journal bounds memory without ever
-// sacrificing correctness.
+// the types/compat side paths) draws the next value of the
+// catalog-wide mutation sequence and appends one entry to its home
+// shard's bounded in-memory journal. ChangesSince merges the retained
+// tails into a delta Export — the incremental sync protocol federated
+// indexes use to avoid re-fetching a member's full catalog every crawl
+// pass.
+//
+// The wire cursor stays the single (instance, seq) pair PR 5 shipped:
+// the sequence is global (one atomic counter), each shard's journal
+// holds the strictly-ascending subsequence of entries for its own
+// objects, and a delta request is serviceable exactly when every shard
+// still retains all entries above `since`. One overflowing shard
+// therefore degrades the response to a full export — bounded memory,
+// never a silently incomplete delta. The per-shard cursor vector
+// (ShardJournalStates) is introspection, not protocol.
 
-// DefaultJournalWindow is the number of journal entries retained when
-// Options.JournalWindow (or SetJournalWindow) does not override it.
+// DefaultJournalWindow is the number of journal entries retained per
+// shard when Options.JournalWindow (or SetJournalWindow) does not
+// override it.
 const DefaultJournalWindow = 4096
 
 // Instance tokens let a client that cached a sequence against one
@@ -49,33 +57,42 @@ const (
 	jCompat
 )
 
-// journalEntry records one mutation. The sequence of an entry is
-// implicit in its position: entry i carries seq jseq-len(journal)+1+i.
+// journalEntry records one mutation. seq is the catalog-wide sequence
+// the mutation drew; within one shard's journal entries are strictly
+// seq-ascending (with gaps where other shards drew numbers).
 type journalEntry struct {
+	seq  uint64
 	kind journalKind
 	id   string
 	del  bool
 }
 
-// noteJournal advances the mutation sequence and appends one entry.
-// Callers hold c.mu (or own the catalog exclusively, as during Open).
-// The journal is allowed to grow to twice the window before compacting
-// so trimming stays amortized O(1) per mutation.
-func (c *Catalog) noteJournal(k journalKind, id string, del bool) {
-	c.jseq++
-	c.journal = append(c.journal, journalEntry{kind: k, id: id, del: del})
-	if w := c.jwindow; len(c.journal) >= 2*w {
-		keep := c.journal[len(c.journal)-w:]
-		n := copy(c.journal, keep)
-		c.journal = c.journal[:n]
+// noteJournal draws the next catalog sequence and appends one entry to
+// this shard's journal. Callers hold s.mu (or own the catalog
+// exclusively, as during Open). The journal is allowed to grow to
+// twice the window before compacting so trimming stays amortized O(1)
+// per mutation; trimmed remembers the highest dropped sequence — the
+// shard's delta floor.
+func (s *cshard) noteJournal(c *Catalog, k journalKind, id string, del bool) {
+	seq := c.jseq.Add(1)
+	s.journal = append(s.journal, journalEntry{seq: seq, kind: k, id: id, del: del})
+	if w := s.jwindow; len(s.journal) >= 2*w {
+		s.trimmed = s.journal[len(s.journal)-w-1].seq
+		keep := s.journal[len(s.journal)-w:]
+		n := copy(s.journal, keep)
+		s.journal = s.journal[:n]
 	}
-	metricJournalEntries.Set(float64(len(c.journal)))
+	metricJournalEntries.Set(float64(len(s.journal)))
+	s.gJournal.Set(float64(len(s.journal)))
+	s.gObjects.Set(float64(s.objectCount()))
 }
 
 // JournalState is the journal's live cursor and occupancy: the sync
 // position (Instance, Seq) a delta client would cite, plus how much of
-// the retained window is in use. Occupancy at 1.0 means the next
-// lagging crawler falls back to a full export.
+// the retained window is in use. For a sharded catalog Entries sums
+// the shards and Occ is the worst shard's occupancy — occupancy at
+// 1.0 means some shard may force the next lagging crawler to a full
+// export.
 type JournalState struct {
 	Instance uint64  `json:"instance"`
 	Seq      uint64  `json:"seq"`
@@ -86,57 +103,92 @@ type JournalState struct {
 
 // JournalState reports the change journal's cursor and occupancy.
 func (c *Catalog) JournalState() JournalState {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.rlockAll()
+	defer c.runlockAll()
 	st := JournalState{
 		Instance: c.jinstance,
-		Seq:      c.jseq,
-		Window:   c.jwindow,
-		Entries:  len(c.journal),
+		Seq:      c.jseq.Load(),
 	}
-	if st.Window > 0 {
-		occ := float64(st.Entries) / float64(st.Window)
-		if occ > 1 {
-			occ = 1 // the journal may run ahead to 2x before compaction
+	for _, s := range c.shards {
+		st.Window = s.jwindow
+		st.Entries += len(s.journal)
+		if s.jwindow > 0 {
+			occ := float64(len(s.journal)) / float64(s.jwindow)
+			if occ > 1 {
+				occ = 1 // a journal may run ahead to 2x before compaction
+			}
+			if occ > st.Occ {
+				st.Occ = occ
+			}
 		}
-		st.Occ = occ
 	}
 	return st
+}
+
+// ShardJournalState is one shard's slice of the journal: its delta
+// floor (the highest sequence it has dropped), the sequence of its
+// most recent entry, and its window occupancy. The vector of these —
+// one per shard — is the sharded catalog's sync cursor in full detail;
+// /debug/vdc reports it so an operator can see which shard's overflow
+// is pushing crawlers to full exports.
+type ShardJournalState struct {
+	Shard   int     `json:"shard"`
+	Seq     uint64  `json:"seq"`   // last sequence journaled on this shard
+	Floor   uint64  `json:"floor"` // highest sequence trimmed away; deltas need since >= floor
+	Entries int     `json:"entries"`
+	Occ     float64 `json:"occupancy"`
+}
+
+// ShardJournalStates reports every shard's journal cursor.
+func (c *Catalog) ShardJournalStates() []ShardJournalState {
+	c.rlockAll()
+	defer c.runlockAll()
+	out := make([]ShardJournalState, len(c.shards))
+	for i, s := range c.shards {
+		st := ShardJournalState{Shard: i, Seq: s.trimmed, Floor: s.trimmed, Entries: len(s.journal)}
+		if len(s.journal) > 0 {
+			st.Seq = s.journal[len(s.journal)-1].seq
+		}
+		if s.jwindow > 0 {
+			st.Occ = float64(len(s.journal)) / float64(s.jwindow)
+			if st.Occ > 1 {
+				st.Occ = 1
+			}
+		}
+		out[i] = st
+	}
+	return out
 }
 
 // Seq returns the catalog's current mutation sequence. A caller holding
 // (instance, seq) from a previous Export or Delta can ask ChangesSince
 // for everything that happened after it.
-func (c *Catalog) Seq() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.jseq
-}
+func (c *Catalog) Seq() uint64 { return c.jseq.Load() }
 
 // Instance returns the catalog's instance token. Sequences are only
 // comparable between identical instances; a reopened catalog gets a
 // fresh token, forcing clients back to a full export.
-func (c *Catalog) Instance() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.jinstance
-}
+func (c *Catalog) Instance() uint64 { return c.jinstance }
 
-// SetJournalWindow bounds how many journal entries are retained
+// SetJournalWindow bounds how many journal entries each shard retains
 // (n <= 0 restores DefaultJournalWindow). A smaller window trades
-// delta coverage for memory: callers further behind than the window
-// receive a full export.
+// delta coverage for memory: callers further behind than any shard's
+// window receive a full export.
 func (c *Catalog) SetJournalWindow(n int) {
 	if n <= 0 {
 		n = DefaultJournalWindow
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.jwindow = n
-	if len(c.journal) > n {
-		keep := c.journal[len(c.journal)-n:]
-		cp := copy(c.journal, keep)
-		c.journal = c.journal[:cp]
+	set := c.allSet()
+	c.lockSet(set)
+	defer c.unlockSet(set)
+	for _, s := range c.shards {
+		s.jwindow = n
+		if len(s.journal) > n {
+			s.trimmed = s.journal[len(s.journal)-n-1].seq
+			keep := s.journal[len(s.journal)-n:]
+			cp := copy(s.journal, keep)
+			s.journal = s.journal[:cp]
+		}
 	}
 }
 
@@ -150,10 +202,10 @@ type Tombstone struct {
 // Delta is an incremental export: the current value of every object
 // mutated after Since, plus tombstones for objects that no longer
 // exist. Full marks a degraded response carrying the complete catalog
-// (the caller was behind the journal window, ahead of the sequence, at
-// sequence zero, or synced against a different instance). Export.Types
-// and Export.Compat are nil unless the registry or the assertion list
-// changed.
+// (the caller was behind some shard's journal window, ahead of the
+// sequence, at sequence zero, or synced against a different instance).
+// Export.Types and Export.Compat are nil unless the registry or the
+// assertion list changed.
 type Delta struct {
 	// Instance identifies the catalog the sequence numbers belong to.
 	Instance uint64 `json:"instance"`
@@ -182,87 +234,108 @@ func (d Delta) Empty() bool {
 }
 
 // ChangesSince returns the mutations after sequence since, observed by
-// a caller that last synced instance. The fast path (caller already
-// current) allocates nothing but the Delta header. The caller receives
-// a full export when it is at sequence zero, cites a different
-// instance, claims a future sequence, or has fallen behind the journal
-// window.
+// a caller that last synced instance. The read is scatter-gather: all
+// shard read locks are held (ascending order) while each shard's
+// journal tail is scanned and its touched objects resolved against
+// that same shard's maps, then the per-shard pieces merge under one
+// deterministic sort. The fast path (caller already current) allocates
+// nothing but the Delta header. The caller receives a full export when
+// it is at sequence zero, cites a different instance, claims a future
+// sequence, or has fallen behind any shard's journal window.
 func (c *Catalog) ChangesSince(since, instance uint64) Delta {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	d := Delta{Instance: c.jinstance, Since: since, Seq: c.jseq}
-	if instance == c.jinstance && since == c.jseq {
+	c.rlockAll()
+	defer c.runlockAll()
+	seq := c.jseq.Load()
+	d := Delta{Instance: c.jinstance, Since: since, Seq: seq}
+	if instance == c.jinstance && since == seq {
 		return d
 	}
-	floor := c.jseq - uint64(len(c.journal))
-	if instance != c.jinstance || since == 0 || since > c.jseq || since < floor {
+	full := instance != c.jinstance || since == 0 || since > seq
+	if !full {
+		for _, s := range c.shards {
+			if since < s.trimmed {
+				full = true
+				break
+			}
+		}
+	}
+	if full {
 		d.Full = true
-		d.Export = c.exportLocked()
+		d.Export = c.exportAllLocked()
 		return d
 	}
 
-	// Collect the distinct objects touched after since; the delta ships
-	// each one's *current* value (or a tombstone), so repeated journal
-	// entries for one object collapse.
-	var datasets, trs, dvs, ivs, reps map[string]struct{}
 	types, compat := false, false
-	mark := func(m *map[string]struct{}, id string) {
-		if *m == nil {
-			*m = make(map[string]struct{})
+	for _, s := range c.shards {
+		// Entries are seq-ascending within a shard: binary-search the
+		// first entry past since, then collect the distinct objects
+		// touched. The delta ships each one's *current* value (or a
+		// tombstone), so repeated entries for one object collapse.
+		start := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].seq > since })
+		if start == len(s.journal) {
+			continue
 		}
-		(*m)[id] = struct{}{}
-	}
-	for _, e := range c.journal[since-floor:] {
-		switch e.kind {
-		case jDataset:
-			mark(&datasets, e.id)
-		case jTransformation:
-			mark(&trs, e.id)
-		case jDerivation:
-			mark(&dvs, e.id)
-		case jInvocation:
-			mark(&ivs, e.id)
-		case jReplica:
-			mark(&reps, e.id)
-		case jTypes:
-			types = true
-		case jCompat:
-			compat = true
+		var datasets, trs, dvs, ivs, reps map[string]struct{}
+		mark := func(m *map[string]struct{}, id string) {
+			if *m == nil {
+				*m = make(map[string]struct{})
+			}
+			(*m)[id] = struct{}{}
 		}
-	}
+		for _, e := range s.journal[start:] {
+			switch e.kind {
+			case jDataset:
+				mark(&datasets, e.id)
+			case jTransformation:
+				mark(&trs, e.id)
+			case jDerivation:
+				mark(&dvs, e.id)
+			case jInvocation:
+				mark(&ivs, e.id)
+			case jReplica:
+				mark(&reps, e.id)
+			case jTypes:
+				types = true
+			case jCompat:
+				compat = true
+			}
+		}
 
-	for name := range datasets {
-		if ds, ok := c.datasets[name]; ok {
-			d.Export.Datasets = append(d.Export.Datasets, ds)
+		// Every journal entry is noted on its object's home shard, so
+		// the ids resolve against this shard's own maps.
+		for name := range datasets {
+			if ds, ok := s.datasets[name]; ok {
+				d.Export.Datasets = append(d.Export.Datasets, ds)
+			}
 		}
-	}
-	for ref := range trs {
-		if tr, ok := c.transformations[ref]; ok {
-			d.Export.Transformations = append(d.Export.Transformations, tr)
+		for ref := range trs {
+			if tr, ok := s.transformations[ref]; ok {
+				d.Export.Transformations = append(d.Export.Transformations, tr)
+			}
 		}
-	}
-	for id := range dvs {
-		if dv, ok := c.derivations[id]; ok {
-			d.Export.Derivations = append(d.Export.Derivations, dv)
+		for id := range dvs {
+			if dv, ok := s.derivations[id]; ok {
+				d.Export.Derivations = append(d.Export.Derivations, dv)
+			}
 		}
-	}
-	for id := range ivs {
-		if iv, ok := c.invocations[id]; ok {
-			d.Export.Invocations = append(d.Export.Invocations, iv)
+		for id := range ivs {
+			if iv, ok := s.invocations[id]; ok {
+				d.Export.Invocations = append(d.Export.Invocations, iv)
+			}
 		}
-	}
-	for id := range reps {
-		if r, ok := c.replicas[id]; ok {
-			d.Export.Replicas = append(d.Export.Replicas, r)
-		} else {
-			d.Tombstones = append(d.Tombstones, Tombstone{Kind: "replica", ID: id})
+		for id := range reps {
+			if r, ok := s.replicas[id]; ok {
+				d.Export.Replicas = append(d.Export.Replicas, r)
+			} else {
+				d.Tombstones = append(d.Tombstones, Tombstone{Kind: "replica", ID: id})
+			}
 		}
 	}
 	if types {
 		d.Export.Types = c.types.Clone()
 	}
 	if compat {
-		d.Export.Compat = append([]schema.CompatibilityAssertion(nil), c.compat...)
+		d.Export.Compat = append([]schema.CompatibilityAssertion(nil), c.shards[0].compat...)
 	}
 	sortExport(&d.Export)
 	sort.Slice(d.Tombstones, func(i, j int) bool { return d.Tombstones[i].ID < d.Tombstones[j].ID })

@@ -1,0 +1,425 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// The sharded catalog's correctness argument rests on an equivalence
+// oracle: Shards=1 is exactly the pre-sharding catalog, so for any
+// mutation history an N-shard catalog must reach the same exported
+// state (and return errors in the same places). The tests here replay
+// randomized histories against both and require identity — serially,
+// concurrently, and across a crash/replay of every shard WAL.
+
+// mutation is one step of a replayable history.
+type mutation func(c *Catalog) error
+
+// randomHistory generates a deterministic mutation history under a
+// name prefix. Histories with distinct prefixes touch disjoint objects
+// (no shared datasets, TRs, or replica IDs), so they commute — the
+// property the concurrent equivalence test leans on. withCompat guards
+// the one op whose export order is append order (compat assertions);
+// concurrent histories skip it.
+func randomHistory(rng *rand.Rand, prefix string, steps int, withCompat bool) []mutation {
+	var hist []mutation
+	var datasets []string // names added so far (attempted, so valid targets)
+	var dvs []string      // derivation IDs (precomputed from signatures)
+	var trs []string      // transformation refs
+	var replicas []string
+	pick := func(s []string) string { return s[rng.Intn(len(s))] }
+	nds, ntr, niv, nrep := 0, 0, 0, 0
+
+	// Seed every history with one dataset and one transformation so
+	// dependent ops always have a target.
+	seedTR := twoArg(prefix + "t0")
+	hist = append(hist,
+		func(c *Catalog) error { return c.AddDataset(schema.Dataset{Name: prefix + "ds0"}) },
+		func(c *Catalog) error { return c.AddTransformation(seedTR) },
+	)
+	datasets = append(datasets, prefix+"ds0")
+	trs = append(trs, seedTR.Ref())
+	nds, ntr = 1, 1
+
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(10); op {
+		case 0, 1: // dataset
+			name := fmt.Sprintf("%sds%d", prefix, nds)
+			nds++
+			ds := schema.Dataset{Name: name, Size: int64(rng.Intn(1000))}
+			if rng.Intn(4) == 0 {
+				ds.Attrs = schema.Attributes{"run": fmt.Sprint(rng.Intn(8))}
+			}
+			datasets = append(datasets, name)
+			hist = append(hist, func(c *Catalog) error { return c.AddDataset(ds) })
+		case 2: // transformation (sometimes a second version of an old name)
+			var tr schema.Transformation
+			if len(trs) > 2 && rng.Intn(3) == 0 {
+				tr = twoArg(fmt.Sprintf("%st%d", prefix, rng.Intn(ntr)))
+				tr.Version = fmt.Sprint(2 + rng.Intn(3))
+			} else {
+				tr = twoArg(fmt.Sprintf("%st%d", prefix, ntr))
+				ntr++
+			}
+			trs = append(trs, tr.Ref())
+			hist = append(hist, func(c *Catalog) error { return c.AddTransformation(tr) })
+		case 3, 4: // derivation: random existing TR, random input, fresh output
+			out := fmt.Sprintf("%sout%d", prefix, nds)
+			nds++
+			dv := chainDV(pick(trs), pick(datasets), out).Canonicalize()
+			datasets = append(datasets, out)
+			dvs = append(dvs, dv.ID)
+			hist = append(hist, func(c *Catalog) error { _, err := c.AddDerivation(dv); return err })
+		case 5: // invocation of a random derivation (may not exist: its Add may have failed)
+			if len(dvs) == 0 {
+				continue
+			}
+			iv := schema.Invocation{
+				ID: fmt.Sprintf("%siv%d", prefix, niv), Derivation: pick(dvs),
+				Site: "site-a", Host: "h1",
+				Start: time.Unix(int64(niv), 0).UTC(), End: time.Unix(int64(niv)+30, 0).UTC(),
+			}
+			niv++
+			hist = append(hist, func(c *Catalog) error { return c.AddInvocation(iv) })
+		case 6: // replica
+			r := schema.Replica{
+				ID: fmt.Sprintf("%sr%d", prefix, nrep), Dataset: pick(datasets),
+				Site: "site-a", PFN: "/store/" + fmt.Sprint(nrep),
+			}
+			nrep++
+			replicas = append(replicas, r.ID)
+			hist = append(hist, func(c *Catalog) error { return c.AddReplica(r) })
+		case 7: // epoch bump, sometimes re-stamping replicas
+			name := pick(datasets)
+			restamp := rng.Intn(2) == 0
+			hist = append(hist, func(c *Catalog) error {
+				_, err := c.BumpEpoch(name, restamp)
+				return err
+			})
+		case 8: // remove a replica (may already be gone or never added)
+			if len(replicas) == 0 {
+				continue
+			}
+			id := pick(replicas)
+			hist = append(hist, func(c *Catalog) error { return c.RemoveReplica(id) })
+		case 9:
+			if withCompat && rng.Intn(3) == 0 {
+				a := schema.CompatibilityAssertion{
+					Name: fmt.Sprintf("%st%d", prefix, rng.Intn(ntr)),
+					V1:   "1", V2: fmt.Sprint(2 + rng.Intn(3)), Mode: schema.Equivalent,
+				}
+				hist = append(hist, func(c *Catalog) error { return c.AssertCompatibility(a) })
+			} else { // update attrs on an existing dataset
+				name := pick(datasets)
+				ds := schema.Dataset{Name: name, Attrs: schema.Attributes{"pass": fmt.Sprint(rng.Intn(5))}}
+				hist = append(hist, func(c *Catalog) error { return c.UpdateDataset(ds) })
+			}
+		}
+	}
+	return hist
+}
+
+// TestShardEquivalenceRandomized replays randomized histories against
+// the 1-shard oracle and N-shard catalogs: identical error positions,
+// identical final exports, consistent indexes.
+func TestShardEquivalenceRandomized(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 64} {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", n, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed*977 + int64(n)))
+				hist := randomHistory(rng, "h-", 400, true)
+				ref := New(dtype.StandardRegistry())
+				got := NewSharded(dtype.StandardRegistry(), n)
+				if got.Shards() != n {
+					t.Fatalf("Shards() = %d, want %d", got.Shards(), n)
+				}
+				for i, m := range hist {
+					e1, e2 := m(ref), m(got)
+					if (e1 == nil) != (e2 == nil) {
+						t.Fatalf("step %d: oracle err %v, %d-shard err %v", i, e1, n, e2)
+					}
+				}
+				requireSameState(t, ref, got)
+				if err := got.CheckIndexes(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestShardEquivalenceConcurrent runs disjoint-prefix histories from
+// 16 goroutines against an 8-shard catalog and the same histories
+// serially against the 1-shard oracle: commuting histories must land
+// both catalogs on the same state regardless of interleaving.
+func TestShardEquivalenceConcurrent(t *testing.T) {
+	const writers = 16
+	histories := make([][]mutation, writers)
+	for w := range histories {
+		rng := rand.New(rand.NewSource(int64(w) + 31))
+		histories[w] = randomHistory(rng, fmt.Sprintf("w%d-", w), 250, false)
+	}
+
+	got := NewSharded(dtype.StandardRegistry(), 8)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(hist []mutation) {
+			defer wg.Done()
+			for _, m := range hist {
+				m(got) // errors are part of the history (duplicates etc.)
+			}
+		}(histories[w])
+	}
+	wg.Wait()
+
+	ref := New(dtype.StandardRegistry())
+	for _, hist := range histories {
+		for _, m := range hist {
+			m(ref)
+		}
+	}
+	requireSameState(t, ref, got)
+	if err := got.CheckIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardWALCrashReplay applies a randomized history to a durable
+// 8-shard catalog and reopens the directory without Close — the crash
+// case: every shard's WAL replays, including derivations whose
+// transformation lives in another shard's log (the deferral path).
+func TestShardWALCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, dtype.StandardRegistry(), Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range randomHistory(rng, "cr-", 300, true) {
+		m(c)
+	}
+
+	// Crash: reopen without Close. The meta file pins 8 shards even
+	// though the reopen asks for 2.
+	c2, err := Open(dir, dtype.StandardRegistry(), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Shards() != 8 {
+		t.Fatalf("meta file must win: Shards() = %d, want 8", c2.Shards())
+	}
+	requireSameState(t, c, c2)
+	if err := c2.CheckIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+// TestShardSnapshotReplay checks the snapshot + post-snapshot-WAL
+// composition for a sharded catalog.
+func TestShardSnapshotReplay(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, dtype.StandardRegistry(), Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	hist := randomHistory(rng, "sn-", 200, true)
+	for _, m := range hist[:len(hist)/2] {
+		m(c)
+	}
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range hist[len(hist)/2:] {
+		m(c)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, dtype.StandardRegistry(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	requireSameState(t, c, c2)
+}
+
+// TestShardLegacyDirSingleShard: a pre-sharding directory (wal.jsonl,
+// no meta file) must reopen single-shard no matter what the caller
+// asks for — its records were routed by a 1-shard layout.
+func TestShardLegacyDirSingleShard(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, metaFile)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, nil, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Shards() != 1 {
+		t.Fatalf("legacy dir reopened with %d shards, want 1", c2.Shards())
+	}
+	requireSameState(t, c, c2)
+}
+
+// TestShardedIngestStorm is the CI smoke: 16 writers hammer an 8-shard
+// durable catalog with disjoint production-mix histories while readers
+// chase deltas and walk lineage; then indexes must verify, no
+// durability error may be recorded, and a reopen must reproduce the
+// state from the shard WALs.
+func TestShardedIngestStorm(t *testing.T) {
+	const writers = 16
+	dir := t.TempDir()
+	c, err := Open(dir, dtype.StandardRegistry(), Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := 200
+	if testing.Short() {
+		steps = 60
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 131))
+			for _, m := range randomHistory(rng, fmt.Sprintf("s%d-", w), steps, false) {
+				m(c)
+			}
+		}(w)
+	}
+	// Readers: a delta chaser and a scanner, racing the writers.
+	var rg sync.WaitGroup
+	rg.Add(2)
+	go func() {
+		defer rg.Done()
+		since, inst := uint64(0), c.Instance()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := c.ChangesSince(since, inst)
+			since, inst = d.Seq, d.Instance
+			c.ShardJournalStates()
+		}
+	}()
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := c.View()
+			n := 0
+			v.RangeDatasets(func(ds schema.Dataset) bool {
+				if v.Materialized(ds.Name) {
+					n++
+				}
+				return n < 50
+			})
+			v.Close()
+			c.Stats()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if err := c.CheckIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, dtype.StandardRegistry(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", c2.Shards())
+	}
+	requireSameState(t, c, c2)
+}
+
+// TestShardJournalWindowFloor: one shard trimming past a caller's
+// cursor must degrade that caller to a full export — never a silently
+// incomplete delta — while a current cursor still yields an empty one.
+func TestShardJournalWindowFloor(t *testing.T) {
+	c := NewSharded(dtype.StandardRegistry(), 4)
+	c.SetJournalWindow(8)
+	if err := c.AddDataset(schema.Dataset{Name: "base"}); err != nil {
+		t.Fatal(err)
+	}
+	since := c.Seq()
+	// Overflow at least one shard's window (2x window triggers the trim).
+	for i := 0; i < 200; i++ {
+		if err := c.AddDataset(schema.Dataset{Name: fmt.Sprintf("flood%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trimmedSomewhere := false
+	for _, st := range c.ShardJournalStates() {
+		if st.Floor > 0 {
+			trimmedSomewhere = true
+		}
+		if st.Seq < st.Floor {
+			t.Fatalf("shard %d: seq %d < floor %d", st.Shard, st.Seq, st.Floor)
+		}
+	}
+	if !trimmedSomewhere {
+		t.Fatal("no shard trimmed; window not enforced")
+	}
+	d := c.ChangesSince(since, c.Instance())
+	if !d.Full {
+		t.Fatal("cursor behind a shard floor must get a full export")
+	}
+	if got := c.ChangesSince(c.Seq(), c.Instance()); !got.Empty() {
+		t.Fatal("current cursor must get an empty delta")
+	}
+	// A cursor just above every floor gets a true (non-full) delta that
+	// contains only the most recent mutations.
+	var floor uint64
+	for _, st := range c.ShardJournalStates() {
+		if st.Floor > floor {
+			floor = st.Floor
+		}
+	}
+	d2 := c.ChangesSince(floor, c.Instance())
+	if d2.Full {
+		t.Fatal("cursor at max floor must be delta-serviceable")
+	}
+	if len(d2.Export.Datasets) == 0 || len(d2.Export.Datasets) >= 200 {
+		t.Fatalf("delta sized %d, want partial tail", len(d2.Export.Datasets))
+	}
+}

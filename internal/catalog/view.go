@@ -5,35 +5,37 @@ import (
 	"chimera/internal/schema"
 )
 
-// View is a consistent read-only snapshot of the catalog: it holds the
-// catalog read lock from View() until Close(), so everything observed
-// through it — objects, indexes, provenance closures — reflects one
-// atomic state, no matter how many mutations race with the reader.
+// View is a consistent read-only snapshot of the catalog: it holds
+// every shard's read lock (taken in ascending order) from View() until
+// Close(), so everything observed through it — objects, indexes,
+// provenance closures — reflects one atomic state, no matter how many
+// mutations race with the reader.
 //
 // Views exist for the discovery path: a query used to pay one lock
 // round-trip plus a full copy+sort per object class, and then another
 // lock round-trip per object for predicates like `materialized`. A
-// View pays one RLock for the whole query and serves every lookup
-// lock-free against the live maps.
+// View pays one lock sweep for the whole query and serves every lookup
+// lock-free against the live maps, routed to the object's home shard.
 //
 // Rules: a View is not safe for use after Close; the goroutine holding
 // it must not call any mutating catalog method before Close (the write
 // lock would deadlock behind its own read lock); maps and slices
 // returned by View methods are the catalog's own storage — read-only,
-// and only valid until Close.
+// and only valid until Close. Single-shard catalogs hand out live index
+// sets; cross-shard candidate sets are merged copies.
 type View struct {
 	c *Catalog
 }
 
 // View opens a consistent snapshot. Callers must Close it.
 func (c *Catalog) View() *View {
-	c.mu.RLock()
+	c.rlockAll()
 	return &View{c: c}
 }
 
 // Close releases the snapshot.
 func (v *View) Close() {
-	v.c.mu.RUnlock()
+	v.c.runlockAll()
 }
 
 // Types returns the type registry. The registry has its own lock and
@@ -44,34 +46,56 @@ func (v *View) Types() *dtype.Registry { return v.c.types }
 
 // Dataset looks up a dataset by name.
 func (v *View) Dataset(name string) (schema.Dataset, bool) {
-	ds, ok := v.c.datasets[name]
+	ds, ok := v.c.shardOf(name).datasets[name]
 	return ds, ok
 }
 
 // Transformation looks up a transformation by exact canonical ref (no
 // versionless resolution).
 func (v *View) Transformation(ref string) (schema.Transformation, bool) {
-	tr, ok := v.c.transformations[ref]
+	tr, ok := v.c.shardOfTR(ref).transformations[ref]
 	return tr, ok
 }
 
 // Derivation looks up a derivation by ID.
 func (v *View) Derivation(id string) (schema.Derivation, bool) {
-	dv, ok := v.c.derivations[id]
+	dv, ok := v.c.shardOf(id).derivations[id]
 	return dv, ok
 }
 
 // NumDatasets, NumTransformations, NumDerivations report object counts.
-func (v *View) NumDatasets() int        { return len(v.c.datasets) }
-func (v *View) NumTransformations() int { return len(v.c.transformations) }
-func (v *View) NumDerivations() int     { return len(v.c.derivations) }
+func (v *View) NumDatasets() int {
+	n := 0
+	for _, s := range v.c.shards {
+		n += len(s.datasets)
+	}
+	return n
+}
+
+func (v *View) NumTransformations() int {
+	n := 0
+	for _, s := range v.c.shards {
+		n += len(s.transformations)
+	}
+	return n
+}
+
+func (v *View) NumDerivations() int {
+	n := 0
+	for _, s := range v.c.shards {
+		n += len(s.derivations)
+	}
+	return n
+}
 
 // RangeDatasets calls fn for every dataset, in map (unspecified) order,
 // until fn returns false.
 func (v *View) RangeDatasets(fn func(schema.Dataset) bool) {
-	for _, ds := range v.c.datasets {
-		if !fn(ds) {
-			return
+	for _, s := range v.c.shards {
+		for _, ds := range s.datasets {
+			if !fn(ds) {
+				return
+			}
 		}
 	}
 }
@@ -79,9 +103,11 @@ func (v *View) RangeDatasets(fn func(schema.Dataset) bool) {
 // RangeTransformations calls fn for every transformation, in map order,
 // until fn returns false.
 func (v *View) RangeTransformations(fn func(schema.Transformation) bool) {
-	for _, tr := range v.c.transformations {
-		if !fn(tr) {
-			return
+	for _, s := range v.c.shards {
+		for _, tr := range s.transformations {
+			if !fn(tr) {
+				return
+			}
 		}
 	}
 }
@@ -89,9 +115,11 @@ func (v *View) RangeTransformations(fn func(schema.Transformation) bool) {
 // RangeDerivations calls fn for every derivation, in map order, until
 // fn returns false.
 func (v *View) RangeDerivations(fn func(schema.Derivation) bool) {
-	for _, dv := range v.c.derivations {
-		if !fn(dv) {
-			return
+	for _, s := range v.c.shards {
+		for _, dv := range s.derivations {
+			if !fn(dv) {
+				return
+			}
 		}
 	}
 }
@@ -99,26 +127,26 @@ func (v *View) RangeDerivations(fn func(schema.Derivation) bool) {
 // --- per-object predicates --------------------------------------------
 
 // Materialized reports whether the dataset has a current-epoch replica
-// (O(1) from the flag set).
+// (O(1) from the home shard's flag set).
 func (v *View) Materialized(dataset string) bool {
-	return v.c.idx.materialized.Has(dataset)
+	return v.c.shardOf(dataset).idx.materialized.Has(dataset)
 }
 
 // HasInvocations reports whether the derivation has recorded at least
 // one invocation, without copying them.
 func (v *View) HasInvocations(id string) bool {
-	return v.c.idx.executed.Has(id)
+	return v.c.shardOf(id).idx.executed.Has(id)
 }
 
 // InvocationCount returns the number of recorded invocations of a
 // derivation.
 func (v *View) InvocationCount(id string) int {
-	return len(v.c.invocationsByDV[id])
+	return len(v.c.shardOf(id).invocationsByDV[id])
 }
 
 // Consumes reports whether the derivation reads the dataset.
 func (v *View) Consumes(id, dataset string) bool {
-	for _, in := range v.c.inputsOf[id] {
+	for _, in := range v.c.shardOf(id).inputsOf[id] {
 		if in == dataset {
 			return true
 		}
@@ -128,7 +156,7 @@ func (v *View) Consumes(id, dataset string) bool {
 
 // Produces reports whether the derivation produces the dataset.
 func (v *View) Produces(id, dataset string) bool {
-	return v.c.producerOf[dataset] == id
+	return v.c.shardOf(dataset).producerOf[dataset] == id
 }
 
 // Ancestors computes the upward provenance closure of a dataset within
@@ -145,29 +173,15 @@ func (v *View) Descendants(dataset string) (Closure, error) {
 
 // --- index access (candidate sets for the query planner) ---------------
 
-// DatasetsByAttr returns the datasets carrying attribute key=value.
-func (v *View) DatasetsByAttr(key, value string) IndexSet {
-	return v.c.idx.dsAttr[key][value]
-}
-
-// TransformationsByAttr returns the transformations carrying key=value.
-func (v *View) TransformationsByAttr(key, value string) IndexSet {
-	return v.c.idx.trAttr[key][value]
-}
-
-// DerivationsByAttr returns the derivations carrying key=value.
-func (v *View) DerivationsByAttr(key, value string) IndexSet {
-	return v.c.idx.dvAttr[key][value]
-}
-
-// DatasetsByType returns the datasets whose exact declared type
-// conforms to t (subtype closure via the live registry). The returned
-// set is freshly allocated when more than one exact type matches.
-func (v *View) DatasetsByType(t dtype.Type) IndexSet {
+// gatherSets merges per-shard index sets into one candidate set. A
+// single-shard catalog (and the none/one cross-shard cases) returns the
+// live set without copying — the common fast path; only a genuinely
+// cross-shard result allocates.
+func gatherSets(sets []IndexSet) IndexSet {
 	var only IndexSet
 	var merged IndexSet
-	for exact, set := range v.c.idx.dsByType {
-		if !v.c.types.Conforms(exact, t) {
+	for _, set := range sets {
+		if len(set) == 0 {
 			continue
 		}
 		if only == nil && merged == nil {
@@ -191,65 +205,102 @@ func (v *View) DatasetsByType(t dtype.Type) IndexSet {
 	return only
 }
 
+// gather runs pick on every shard's indexes and merges the results.
+func (v *View) gather(pick func(*indexes) IndexSet) IndexSet {
+	if len(v.c.shards) == 1 {
+		return pick(&v.c.shards[0].idx)
+	}
+	sets := make([]IndexSet, 0, len(v.c.shards))
+	for _, s := range v.c.shards {
+		sets = append(sets, pick(&s.idx))
+	}
+	return gatherSets(sets)
+}
+
+// DatasetsByAttr returns the datasets carrying attribute key=value.
+func (v *View) DatasetsByAttr(key, value string) IndexSet {
+	return v.gather(func(ix *indexes) IndexSet { return ix.dsAttr[key][value] })
+}
+
+// TransformationsByAttr returns the transformations carrying key=value.
+func (v *View) TransformationsByAttr(key, value string) IndexSet {
+	return v.gather(func(ix *indexes) IndexSet { return ix.trAttr[key][value] })
+}
+
+// DerivationsByAttr returns the derivations carrying key=value.
+func (v *View) DerivationsByAttr(key, value string) IndexSet {
+	return v.gather(func(ix *indexes) IndexSet { return ix.dvAttr[key][value] })
+}
+
+// DatasetsByType returns the datasets whose exact declared type
+// conforms to t (subtype closure via the live registry). The returned
+// set is freshly allocated when more than one exact type matches.
+func (v *View) DatasetsByType(t dtype.Type) IndexSet {
+	var sets []IndexSet
+	for _, s := range v.c.shards {
+		for exact, set := range s.idx.dsByType {
+			if v.c.types.Conforms(exact, t) {
+				sets = append(sets, set)
+			}
+		}
+	}
+	return gatherSets(sets)
+}
+
 // DerivedDatasets returns the datasets with a producing derivation.
-func (v *View) DerivedDatasets() IndexSet { return v.c.idx.derived }
+func (v *View) DerivedDatasets() IndexSet {
+	return v.gather(func(ix *indexes) IndexSet { return ix.derived })
+}
 
 // MaterializedDatasets returns the datasets with a current-epoch
 // replica.
-func (v *View) MaterializedDatasets() IndexSet { return v.c.idx.materialized }
+func (v *View) MaterializedDatasets() IndexSet {
+	return v.gather(func(ix *indexes) IndexSet { return ix.materialized })
+}
 
 // ExecutedDerivations returns the derivations with >=1 invocation.
-func (v *View) ExecutedDerivations() IndexSet { return v.c.idx.executed }
+func (v *View) ExecutedDerivations() IndexSet {
+	return v.gather(func(ix *indexes) IndexSet { return ix.executed })
+}
 
 // DerivationsByTR returns the derivations citing the transformation
 // reference: exact matches always, plus — when ref is versionless —
-// derivations citing any version of ns::name.
+// derivations citing any version of ns::name. Both index families live
+// on the derivation's home shard, so the sweep spans all shards.
 func (v *View) DerivationsByTR(ref string) IndexSet {
-	exact := v.c.idx.dvByTR[ref]
+	exact := v.gather(func(ix *indexes) IndexSet { return ix.dvByTR[ref] })
 	ns, name, ver, err := schema.ParseTRRef(ref)
 	if err != nil || ver != "" {
 		return exact
 	}
-	base := v.c.idx.dvByTRBase[schema.FormatTRRef(ns, name, "")]
-	if len(exact) == 0 {
-		return base
-	}
-	if len(base) == 0 {
-		return exact
-	}
-	merged := make(IndexSet, len(base)+len(exact))
-	for k := range base {
-		merged[k] = struct{}{}
-	}
-	for k := range exact {
-		merged[k] = struct{}{}
-	}
-	return merged
+	baseRef := schema.FormatTRRef(ns, name, "")
+	base := v.gather(func(ix *indexes) IndexSet { return ix.dvByTRBase[baseRef] })
+	return gatherSets([]IndexSet{exact, base})
 }
 
 // DerivationsByName returns the derivations whose display name (Name,
 // or ID when unnamed) equals name.
 func (v *View) DerivationsByName(name string) IndexSet {
-	return v.c.idx.dvByName[name]
+	return v.gather(func(ix *indexes) IndexSet { return ix.dvByName[name] })
 }
 
 // HasTransformation reports whether the exact canonical ref is
 // registered.
 func (v *View) HasTransformation(ref string) bool {
-	_, ok := v.c.transformations[ref]
+	_, ok := v.c.shardOfTR(ref).transformations[ref]
 	return ok
 }
 
 // ConsumersOf returns the IDs of derivations reading the dataset (the
 // catalog's own slice — read-only).
 func (v *View) ConsumersOf(dataset string) []string {
-	return v.c.consumersOf[dataset]
+	return v.c.shardOf(dataset).consumersOf[dataset]
 }
 
 // ProducerOf returns the ID of the derivation producing the dataset,
 // or "" for primary data.
 func (v *View) ProducerOf(dataset string) string {
-	return v.c.producerOf[dataset]
+	return v.c.shardOf(dataset).producerOf[dataset]
 }
 
 // SortedSet returns the members of an index set, sorted — the helper

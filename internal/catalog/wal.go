@@ -10,17 +10,22 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"chimera/internal/dtype"
 	"chimera/internal/schema"
 )
 
-// Durability: every mutation appends one JSON-lines record to wal.jsonl
-// in the catalog directory; Snapshot() compacts the full state into
-// snapshot.json and truncates the log. Open replays snapshot + log, so
-// a crash between append and response loses at most the in-flight
-// operation.
+// Durability: every mutation appends one JSON-lines record to its home
+// shard's WAL in the catalog directory (wal.jsonl for a single-shard
+// catalog, wal-<i>.jsonl per shard otherwise); Snapshot() compacts the
+// full merged state into snapshot.json and truncates every log. Open
+// replays snapshot + logs, so a crash between append and response
+// loses at most the in-flight operation. catalog-meta.json pins the
+// shard count a directory was created with — the on-disk count always
+// wins over Options.Shards on reopen, because each record must replay
+// against the same routing that wrote it.
 
 type opKind string
 
@@ -60,22 +65,43 @@ type wal struct {
 	sync bool
 	com  *committer // group-commit engine; nil in inline (MaxBatch=1) mode
 
-	// Inline-mode encode buffer, reused per record; guarded by c.mu.
+	// syncDelay models slow stable storage (Options.SyncDelay): an
+	// extra wait per commit, taken where the real fsync would block.
+	syncDelay time.Duration
+
+	// Inline-mode encode buffer, reused per record; guarded by the
+	// shard lock.
 	scratch bytes.Buffer
 	enc     *json.Encoder
 
-	// Inline-mode sticky durability error, guarded by c.mu. A failed
-	// write can leave a torn record mid-file; appending past it would
-	// produce exactly the corrupt-record-followed-by-valid-records shape
-	// replay rejects, so the first failure poisons the log — mirroring
-	// the group committer's sticky err.
+	// Inline-mode sticky durability error, guarded by the shard lock. A
+	// failed write can leave a torn record mid-file; appending past it
+	// would produce exactly the corrupt-record-followed-by-valid-records
+	// shape replay rejects, so the first failure poisons the log —
+	// mirroring the group committer's sticky err.
 	err error
 }
 
 const (
 	walFile      = "wal.jsonl"
 	snapshotFile = "snapshot.json"
+	metaFile     = "catalog-meta.json"
 )
+
+// catalogMeta pins on-disk layout facts that must survive reopen.
+type catalogMeta struct {
+	Shards int `json:"shards"`
+}
+
+// walPath returns shard i's log path under the n-shard layout. A
+// single-shard catalog keeps the pre-sharding name so existing
+// directories reopen unchanged.
+func walPath(dir string, i, n int) string {
+	if n == 1 {
+		return filepath.Join(dir, walFile)
+	}
+	return filepath.Join(dir, "wal-"+strconv.Itoa(i)+".jsonl")
+}
 
 // Group-commit defaults; see docs/PERF.md.
 const (
@@ -101,21 +127,39 @@ type Options struct {
 	// that makes fsync amortize. 0 means DefaultMaxBatch.
 	//
 	// MaxBatch == 1 disables group commit entirely: records are written
-	// (and fsynced) inline under the catalog lock, the
-	// pre-group-commit behaviour. Single-writer deployments can use it
-	// to shave the last microseconds of commit latency.
+	// (and fsynced) inline under the shard lock, the pre-group-commit
+	// behaviour. Single-writer deployments can use it to shave the last
+	// microseconds of commit latency.
 	MaxBatch int
 
-	// MaxDelay bounds how long the committer holds a batch open for
+	// MaxDelay bounds how long a committer holds a batch open for
 	// stragglers once it has seen more than one record (a lone writer
 	// never waits). 0 means DefaultMaxDelay; negative disables the
 	// window so batches close as fast as the disk allows.
 	MaxDelay time.Duration
 
-	// JournalWindow bounds the change journal backing ChangesSince
-	// delta exports; callers further behind than the window receive a
-	// full export. 0 means DefaultJournalWindow.
+	// JournalWindow bounds each shard's change journal backing
+	// ChangesSince delta exports; callers further behind than any
+	// shard's window receive a full export. 0 means
+	// DefaultJournalWindow.
 	JournalWindow int
+
+	// SyncDelay adds an artificial wait to every WAL commit (after the
+	// write and any fsync), modeling stable storage slower than the
+	// machine at hand — spinning disks, network filesystems. It is a
+	// benchmarking aid (E15 uses it to expose commit-wait overlap
+	// across shard WALs on fast local disks); leave it zero in
+	// production.
+	SyncDelay time.Duration
+
+	// Shards partitions the catalog (clamped to [1, MaxShards]): each
+	// shard owns its own lock, WAL file, change journal, and secondary
+	// indexes, so concurrent writers on different objects proceed in
+	// parallel. 0 means 1. The count is fixed at directory creation
+	// (recorded in catalog-meta.json) and the recorded count wins on
+	// reopen; a directory holding pre-sharding state without a meta
+	// file reopens single-shard.
+	Shards int
 }
 
 // normalize resolves zero values to defaults.
@@ -131,6 +175,10 @@ func (o Options) normalize() Options {
 	if o.JournalWindow <= 0 {
 		o.JournalWindow = DefaultJournalWindow
 	}
+	if o.SyncDelay < 0 {
+		o.SyncDelay = 0
+	}
+	o.Shards = normalizeShards(o.Shards)
 	return o
 }
 
@@ -141,9 +189,38 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("catalog: open: %w", err)
 	}
-	c := New(dtype.NewRegistry())
 	opts = opts.normalize()
-	c.jwindow = opts.JournalWindow
+
+	// Resolve the shard count: the directory's recorded layout wins, a
+	// pre-sharding directory (data but no meta) is single-shard, and a
+	// fresh directory records whatever was requested.
+	shards := opts.Shards
+	metaPath := filepath.Join(dir, metaFile)
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var meta catalogMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return nil, fmt.Errorf("catalog: meta %s: %w", metaPath, err)
+		}
+		shards = normalizeShards(meta.Shards)
+	} else if errors.Is(err, os.ErrNotExist) {
+		if _, serr := os.Stat(filepath.Join(dir, walFile)); serr == nil {
+			shards = 1
+		} else if _, serr := os.Stat(filepath.Join(dir, snapshotFile)); serr == nil {
+			shards = 1
+		}
+		data, _ := json.Marshal(catalogMeta{Shards: shards})
+		if err := os.WriteFile(metaPath, data, 0o644); err != nil {
+			return nil, fmt.Errorf("catalog: meta: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("catalog: meta: %w", err)
+	}
+
+	c := NewSharded(dtype.NewRegistry(), shards)
+	c.dir = dir
+	for _, s := range c.shards {
+		s.jwindow = opts.JournalWindow
+	}
 	if seed != nil {
 		if err := c.types.Merge(seed); err != nil {
 			return nil, err
@@ -163,94 +240,119 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: snapshot: %w", err)
 	}
 
-	walPath := filepath.Join(dir, walFile)
-	if f, err := os.Open(walPath); err == nil {
-		err = c.replay(f)
-		f.Close()
-		if err != nil {
-			return nil, err
+	// Replay every shard's log. A record replays against the shard
+	// layout that wrote it (meta pins the count), so each object lands
+	// back on its home shard; only derivations can reference state in
+	// *another* shard's log (their transformation), so unresolvable
+	// ones are deferred until every log is in.
+	var deferred []schema.Derivation
+	for i := range c.shards {
+		path := walPath(dir, i, shards)
+		if f, err := os.Open(path); err == nil {
+			err = c.replay(f, &deferred)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("catalog: wal: %w", err)
 		}
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("catalog: wal: %w", err)
+	}
+	if err := c.replayDeferred(deferred); err != nil {
+		return nil, err
 	}
 
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: wal: %w", err)
+	for i, s := range c.shards {
+		f, err := os.OpenFile(walPath(dir, i, shards), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: wal: %w", err)
+		}
+		w := &wal{dir: dir, f: f, sync: opts.Sync, syncDelay: opts.SyncDelay}
+		if opts.MaxBatch > 1 {
+			w.com = newCommitter(f, opts.Sync, opts.MaxBatch, opts.MaxDelay)
+			w.com.syncDelay = opts.SyncDelay
+			w.com.setShardMetrics(strconv.Itoa(i))
+		} else {
+			w.enc = json.NewEncoder(&w.scratch)
+		}
+		s.wal = w
 	}
-	w := &wal{dir: dir, f: f, sync: opts.Sync}
-	if opts.MaxBatch > 1 {
-		w.com = newCommitter(f, opts.Sync, opts.MaxBatch, opts.MaxDelay)
-	} else {
-		w.enc = json.NewEncoder(&w.scratch)
-	}
-	c.wal = w
 	return c, nil
 }
 
-// Close drains the group committer, makes the log durable, and closes
-// it. The catalog remains usable in memory but further mutations are
-// not persisted.
+// Close drains every shard's group committer, makes the logs durable,
+// and closes them. The catalog remains usable in memory but further
+// mutations are not persisted.
 func (c *Catalog) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.wal == nil {
-		return nil
-	}
-	w := c.wal
-	c.wal = nil
+	set := c.allSet()
+	c.lockSet(set)
+	defer c.unlockSet(set)
 	var firstErr error
-	if w.com != nil {
-		if err := w.com.close(); err != nil {
+	for _, s := range c.shards {
+		if s.wal == nil {
+			continue
+		}
+		w := s.wal
+		s.wal = nil
+		if w.com != nil {
+			if err := w.com.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if w.sync && firstErr == nil {
+			// A clean shutdown must be as durable as every acknowledged
+			// mutation: fsync before the descriptor goes away.
+			if err := w.f.Sync(); err != nil {
+				firstErr = fmt.Errorf("catalog: wal close sync: %w", err)
+			}
+		}
+		if err := w.f.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-	}
-	if w.sync && firstErr == nil {
-		// A clean shutdown must be as durable as every acknowledged
-		// mutation: fsync before the descriptor goes away.
-		if err := w.f.Sync(); err != nil {
-			firstErr = fmt.Errorf("catalog: wal close sync: %w", err)
-		}
-	}
-	if err := w.f.Close(); err != nil && firstErr == nil {
-		firstErr = err
 	}
 	return firstErr
 }
 
-// DurabilityErr reports the WAL's sticky failure, if any: non-nil once
-// a WAL write or fsync has failed (batched or inline), after which
-// every further mutation is rejected. In-memory catalogs always
-// return nil.
+// DurabilityErr reports the first shard WAL's sticky failure, if any:
+// non-nil once a WAL write or fsync has failed (batched or inline),
+// after which every further mutation on that shard is rejected.
+// In-memory catalogs always return nil.
 func (c *Catalog) DurabilityErr() error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.wal == nil {
-		return nil
-	}
-	if c.wal.com != nil {
-		return c.wal.com.failure()
-	}
-	return c.wal.err
-}
-
-// logOp records one operation in the WAL. Callers hold c.mu. With the
-// group committer the record is only enqueued here; Catalog.mutate
-// waits for its batch off-lock. In inline mode the record is written
-// (and fsynced) immediately, under the lock.
-func (c *Catalog) logOp(op opKind, v any) error {
-	if c.wal == nil {
-		return nil
-	}
-	if c.wal.com != nil {
-		seq, err := c.wal.com.enqueue(op, v)
+	for _, s := range c.shards {
+		s.mu.RLock()
+		var err error
+		if s.wal != nil {
+			if s.wal.com != nil {
+				err = s.wal.com.failure()
+			} else {
+				err = s.wal.err
+			}
+		}
+		s.mu.RUnlock()
 		if err != nil {
 			return err
 		}
-		c.pendingSeq = seq
+	}
+	return nil
+}
+
+// logOp records one operation in the shard's WAL. Callers hold s.mu.
+// With the group committer the record is only enqueued here;
+// Catalog.mutate waits for its batch off-lock. In inline mode the
+// record is written (and fsynced) immediately, under the lock.
+func (s *cshard) logOp(op opKind, v any) error {
+	if s.wal == nil {
 		return nil
 	}
-	return c.wal.append(op, v)
+	if s.wal.com != nil {
+		seq, err := s.wal.com.enqueue(op, v)
+		if err != nil {
+			return err
+		}
+		s.pendingSeq = seq
+		return nil
+	}
+	return s.wal.append(op, v)
 }
 
 // append writes one record synchronously: the inline (MaxBatch=1)
@@ -280,14 +382,18 @@ func (w *wal) append(op opKind, v any) error {
 		}
 		metricWALFsync.ObserveSince(fsyncStart)
 	}
+	if w.syncDelay > 0 {
+		time.Sleep(w.syncDelay)
+	}
 	return nil
 }
 
-// replay applies WAL records to the in-memory state. Only a truncated
-// *final* line (torn write during a crash) is tolerated; a corrupt
-// record followed by further records means the log itself is damaged,
-// and silently dropping the tail would lose acknowledged state.
-func (c *Catalog) replay(r io.Reader) error {
+// replay applies one shard log's records to the in-memory state. Only
+// a truncated *final* line (torn write during a crash) is tolerated; a
+// corrupt record followed by further records means the log itself is
+// damaged, and silently dropping the tail would lose acknowledged
+// state.
+func (c *Catalog) replay(r io.Reader, deferred *[]schema.Derivation) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -309,24 +415,54 @@ func (c *Catalog) replay(r io.Reader) error {
 			// Torn tail record: ignore it, the write was never acked.
 			return sc.Err()
 		}
-		if err := c.apply(rec); err != nil {
+		if err := c.apply(rec, deferred); err != nil {
 			return fmt.Errorf("catalog: replay: %w", err)
 		}
 	}
 	return sc.Err()
 }
 
+// replayDeferred retries derivations whose transformations lived in a
+// shard log that had not been replayed yet when they were first seen.
+// Rounds repeat until a round makes no progress; whatever remains
+// cites a transformation that exists in no log, which is real
+// corruption, not ordering.
+func (c *Catalog) replayDeferred(deferred []schema.Derivation) error {
+	for len(deferred) > 0 {
+		var still []schema.Derivation
+		var firstErr error
+		for _, dv := range deferred {
+			tr, err := c.shardOfTR(dv.TR).transformationLocked(dv.TR)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("catalog: replay: derivation %s: %w", dv.ID, err)
+				}
+				still = append(still, dv)
+				continue
+			}
+			c.indexDerivation(dv, tr)
+		}
+		if len(still) == len(deferred) {
+			return firstErr
+		}
+		deferred = still
+	}
+	return nil
+}
+
 // apply replays one record directly onto the maps and indexes, without
 // re-validation (records were validated before being logged) and
-// without re-logging.
-func (c *Catalog) apply(rec walRecord) error {
+// without re-logging. Routing mirrors the original mutation: each
+// record was logged to its object's home shard, and the put helpers
+// route it back there.
+func (c *Catalog) apply(rec walRecord, deferred *[]schema.Derivation) error {
 	switch rec.Op {
 	case opType:
 		var t typeRecord
 		if err := json.Unmarshal(rec.Data, &t); err != nil {
 			return err
 		}
-		c.noteJournal(jTypes, "", false)
+		c.shards[0].noteJournal(c, jTypes, "", false)
 		return c.types.Register(dtype.Dimension(t.Dim), t.Name, t.Parent)
 	case opDataset:
 		var ds schema.Dataset
@@ -345,8 +481,14 @@ func (c *Catalog) apply(rec walRecord) error {
 		if err := json.Unmarshal(rec.Data, &dv); err != nil {
 			return err
 		}
-		tr, err := c.transformationLocked(dv.TR)
+		tr, err := c.shardOfTR(dv.TR).transformationLocked(dv.TR)
 		if err != nil {
+			if deferred != nil {
+				// The transformation may live in a log not yet replayed;
+				// retry after all shards are in (replayDeferred).
+				*deferred = append(*deferred, dv)
+				return nil
+			}
 			return fmt.Errorf("derivation %s: %w", dv.ID, err)
 		}
 		c.indexDerivation(dv, tr)
@@ -374,8 +516,8 @@ func (c *Catalog) apply(rec walRecord) error {
 		if err := json.Unmarshal(rec.Data, &a); err != nil {
 			return err
 		}
-		c.compat = append(c.compat, a)
-		c.noteJournal(jCompat, "", false)
+		c.shards[0].compat = append(c.shards[0].compat, a)
+		c.shards[0].noteJournal(c, jCompat, "", false)
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}
@@ -394,34 +536,14 @@ type Export struct {
 	Compat          []schema.CompatibilityAssertion `json:"compat,omitempty"`
 }
 
-// Export captures the catalog's full state.
+// Export captures the catalog's full state: per-shard snapshots taken
+// under all read locks (ascending order), merged with a deterministic
+// sort, so the result is identical no matter how the objects were
+// distributed.
 func (c *Catalog) Export() Export {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	exp := Export{Types: c.types.Clone()}
-	exp.Datasets = make([]schema.Dataset, 0, len(c.datasets))
-	for _, ds := range c.datasets {
-		exp.Datasets = append(exp.Datasets, ds)
-	}
-	exp.Transformations = make([]schema.Transformation, 0, len(c.transformations))
-	for _, tr := range c.transformations {
-		exp.Transformations = append(exp.Transformations, tr)
-	}
-	exp.Derivations = make([]schema.Derivation, 0, len(c.derivations))
-	for _, dv := range c.derivations {
-		exp.Derivations = append(exp.Derivations, dv)
-	}
-	exp.Invocations = make([]schema.Invocation, 0, len(c.invocations))
-	for _, iv := range c.invocations {
-		exp.Invocations = append(exp.Invocations, iv)
-	}
-	exp.Replicas = make([]schema.Replica, 0, len(c.replicas))
-	for _, r := range c.replicas {
-		exp.Replicas = append(exp.Replicas, r)
-	}
-	exp.Compat = append([]schema.CompatibilityAssertion(nil), c.compat...)
-	sortExport(&exp)
-	return exp
+	c.rlockAll()
+	defer c.runlockAll()
+	return c.exportAllLocked()
 }
 
 // Sort orders every object slice by its identity, the canonical order
@@ -438,13 +560,15 @@ func sortExport(exp *Export) {
 	sort.Slice(exp.Replicas, func(i, j int) bool { return exp.Replicas[i].ID < exp.Replicas[j].ID })
 }
 
-// applyExport loads an export into an empty catalog.
+// applyExport loads an export into an empty catalog. Transformations
+// land before derivations, so cross-shard references resolve without
+// deferral.
 func (c *Catalog) applyExport(exp Export) error {
 	if exp.Types != nil {
 		if err := c.types.Merge(exp.Types); err != nil {
 			return err
 		}
-		c.noteJournal(jTypes, "", false)
+		c.shards[0].noteJournal(c, jTypes, "", false)
 	}
 	for _, ds := range exp.Datasets {
 		c.putDataset(ds)
@@ -453,7 +577,7 @@ func (c *Catalog) applyExport(exp Export) error {
 		c.putTransformation(tr)
 	}
 	for _, dv := range exp.Derivations {
-		tr, err := c.transformationLocked(dv.TR)
+		tr, err := c.shardOfTR(dv.TR).transformationLocked(dv.TR)
 		if err != nil {
 			return fmt.Errorf("catalog: import derivation %s: %w", dv.ID, err)
 		}
@@ -463,13 +587,13 @@ func (c *Catalog) applyExport(exp Export) error {
 		c.putInvocation(iv)
 	}
 	for _, r := range exp.Replicas {
-		if _, ok := c.replicas[r.ID]; !ok {
+		if _, ok := c.shardOf(r.Dataset).replicas[r.ID]; !ok {
 			c.putReplica(r)
 		}
 	}
 	if len(exp.Compat) > 0 {
-		c.compat = append(c.compat, exp.Compat...)
-		c.noteJournal(jCompat, "", false)
+		c.shards[0].compat = append(c.shards[0].compat, exp.Compat...)
+		c.shards[0].noteJournal(c, jCompat, "", false)
 	}
 	return nil
 }
@@ -489,9 +613,9 @@ func (c *Catalog) ImportTolerant(exp Export) int {
 		// Best-effort merge; conflicting names keep their first parent.
 		// Run under the mutation lock so the journal (and concurrent
 		// readers of the registry) see a consistent update.
-		_ = c.mutate(func() error {
+		_ = c.mutate(shardSet(0).with(0), func() error {
 			_ = c.types.Merge(exp.Types)
-			c.noteJournal(jTypes, "", false)
+			c.shards[0].noteJournal(c, jTypes, "", false)
 			return nil
 		})
 	}
@@ -591,63 +715,74 @@ func (c *Catalog) Import(exp Export) error {
 	return nil
 }
 
-// Snapshot compacts the durable state: the full catalog is written to
-// snapshot.json and the WAL truncated. No-op for in-memory catalogs.
+// Snapshot compacts the durable state: the full merged catalog is
+// written to snapshot.json and every shard's WAL truncated, all under
+// every shard's write lock so the snapshot is one consistent cut
+// across shards. No-op for in-memory catalogs.
 func (c *Catalog) Snapshot() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.wal == nil {
+	set := c.allSet()
+	c.lockSet(set)
+	defer c.unlockSet(set)
+	if c.shards[0].wal == nil {
 		return nil
 	}
 	opSnapshot.Inc()
 	defer metricSnapshot.ObserveSince(time.Now())
-	exp := c.exportLocked()
+	exp := c.exportAllLocked()
 	data, err := json.Marshal(exp)
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(c.wal.dir, snapshotFile+".tmp")
+	tmp := filepath.Join(c.dir, snapshotFile+".tmp")
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(c.wal.dir, snapshotFile)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(c.dir, snapshotFile)); err != nil {
 		return err
 	}
-	// Quiesce the committer (c.mu is held, so the queue cannot grow),
-	// then truncate the log now that the snapshot covers it.
-	if c.wal.com != nil {
-		if err := c.wal.com.flush(); err != nil {
+	// Quiesce each committer (every shard lock is held, so no queue can
+	// grow), then truncate the logs now that the snapshot covers them.
+	for _, s := range c.shards {
+		if s.wal == nil {
+			continue
+		}
+		if s.wal.com != nil {
+			if err := s.wal.com.flush(); err != nil {
+				return err
+			}
+		}
+		if err := s.wal.f.Truncate(0); err != nil {
 			return err
 		}
-	}
-	if err := c.wal.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := c.wal.f.Seek(0, io.SeekStart); err != nil {
-		return err
+		if _, err := s.wal.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// exportLocked is Export with c.mu already held.
-func (c *Catalog) exportLocked() Export {
+// exportAllLocked merges every shard's state into one sorted Export.
+// Callers hold every shard's lock (read or write).
+func (c *Catalog) exportAllLocked() Export {
 	exp := Export{Types: c.types.Clone()}
-	for _, ds := range c.datasets {
-		exp.Datasets = append(exp.Datasets, ds)
+	for _, s := range c.shards {
+		for _, ds := range s.datasets {
+			exp.Datasets = append(exp.Datasets, ds)
+		}
+		for _, tr := range s.transformations {
+			exp.Transformations = append(exp.Transformations, tr)
+		}
+		for _, dv := range s.derivations {
+			exp.Derivations = append(exp.Derivations, dv)
+		}
+		for _, iv := range s.invocations {
+			exp.Invocations = append(exp.Invocations, iv)
+		}
+		for _, r := range s.replicas {
+			exp.Replicas = append(exp.Replicas, r)
+		}
 	}
-	for _, tr := range c.transformations {
-		exp.Transformations = append(exp.Transformations, tr)
-	}
-	for _, dv := range c.derivations {
-		exp.Derivations = append(exp.Derivations, dv)
-	}
-	for _, iv := range c.invocations {
-		exp.Invocations = append(exp.Invocations, iv)
-	}
-	for _, r := range c.replicas {
-		exp.Replicas = append(exp.Replicas, r)
-	}
-	exp.Compat = append([]schema.CompatibilityAssertion(nil), c.compat...)
+	exp.Compat = append([]schema.CompatibilityAssertion(nil), c.shards[0].compat...)
 	sortExport(&exp)
 	return exp
 }

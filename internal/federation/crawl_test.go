@@ -356,3 +356,102 @@ func TestCrawlStorm(t *testing.T) {
 		t.Fatalf("post-storm search: %d results, err %v", len(res), err)
 	}
 }
+
+// siteSharded is site() with an 8-shard member catalog: the member's
+// journal is per-shard and its exports are scatter-gather merges.
+func siteSharded(t *testing.T, name string) (*catalog.Catalog, *vds.Client) {
+	t.Helper()
+	cat := catalog.NewSharded(nil, 8)
+	hs := httptest.NewServer(vds.NewServer(name, cat))
+	t.Cleanup(hs.Close)
+	return cat, vds.NewClient(hs.URL)
+}
+
+// TestDeltaCrawlShardedMembersMixedOverflow drives a 16-member
+// federation where every member catalog is sharded, concurrent writers
+// mutate the members during the burst, and half the members run a tiny
+// journal window. After a big burst those members' per-shard journals
+// have trimmed past the crawler's cursor — their next delta degrades to
+// a full-export fallback — while the quiet members still serve true
+// deltas. The merged incremental crawl must match the FullCrawl oracle
+// exactly in either regime.
+func TestDeltaCrawlShardedMembersMixedOverflow(t *testing.T) {
+	const nMembers = 16
+	delta := NewIndex("delta", "test")
+	oracle := NewIndex("oracle", "test")
+	oracle.FullCrawl = true
+	cats := make([]*catalog.Catalog, nMembers)
+	for i := 0; i < nMembers; i++ {
+		name := fmt.Sprintf("m%d", i)
+		cat, client := siteSharded(t, name)
+		cats[i] = cat
+		if i%2 == 0 {
+			// Overflow candidates: any burst larger than ~2x4 entries on
+			// one shard trims past a crawler that last saw the pre-burst
+			// sequence.
+			cat.SetJournalWindow(4)
+		}
+		delta.AddMember(name, client)
+		oracle.AddMember(name, client)
+	}
+
+	for round := 0; round < 4; round++ {
+		// Concurrent burst: even members take a multi-writer storm (big
+		// enough to overflow their tiny windows), odd members take one
+		// small touch (well inside their default window).
+		var wg sync.WaitGroup
+		for i := 0; i < nMembers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if i%2 == 0 {
+					var ww sync.WaitGroup
+					for w := 0; w < 4; w++ {
+						ww.Add(1)
+						go func(w int) {
+							defer ww.Done()
+							for n := 0; n < 25; n++ {
+								_ = cats[i].AddDataset(schema.Dataset{
+									Name: fmt.Sprintf("m%d-w%d-r%d-ds%d", i, w, round, n)})
+							}
+						}(w)
+					}
+					ww.Wait()
+				} else {
+					_ = cats[i].AddDataset(schema.Dataset{
+						Name: fmt.Sprintf("m%d-r%d-only", i, round)})
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		if round > 0 {
+			// The crawler holds a pre-burst cursor for every member.
+			// Verify the regimes actually diverge before crawling: every
+			// overflowed member must answer that cursor with a full
+			// export, every quiet member with a true delta.
+			fulls, deltas := 0, 0
+			for _, st := range delta.ShardStates() {
+				var i int
+				fmt.Sscanf(st.Authority, "m%d", &i)
+				d := cats[i].ChangesSince(st.Seq, st.Instance)
+				if d.Full {
+					fulls++
+				} else if !d.Empty() {
+					deltas++
+				}
+			}
+			if fulls < nMembers/2 || deltas < nMembers/2 {
+				t.Fatalf("round %d: want mixed regimes, got %d full / %d delta", round, fulls, deltas)
+			}
+		}
+
+		if err := delta.Crawl(); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Crawl(); err != nil {
+			t.Fatal(err)
+		}
+		compareSnapshots(t, round, snap(t, delta), snap(t, oracle))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -30,8 +31,9 @@ const (
 	// DefaultRetries is how many times an idempotent (GET) request is
 	// retried after a transient failure.
 	DefaultRetries = 2
-	// DefaultRetryBackoff is the first retry delay; it doubles per
-	// attempt.
+	// DefaultRetryBackoff is the first retry delay ceiling; actual
+	// delays are fully jittered (uniform in (0, ceiling]) and the
+	// ceiling doubles per attempt.
 	DefaultRetryBackoff = 50 * time.Millisecond
 )
 
@@ -68,8 +70,9 @@ type Client struct {
 	// 0 means DefaultRetries; negative disables retries. Mutating
 	// requests are never retried.
 	Retries int
-	// RetryBackoff is the first retry delay, doubling per attempt.
-	// 0 means DefaultRetryBackoff.
+	// RetryBackoff is the first retry delay ceiling, doubling per
+	// attempt; each delay is drawn uniform in (0, ceiling] (full
+	// jitter). 0 means DefaultRetryBackoff.
 	RetryBackoff time.Duration
 }
 
@@ -142,8 +145,9 @@ func (c *Client) do(method, path string, in, out any) error {
 // idempotent methods, returning the encoded response size in bytes.
 // Only GETs are retried: a transient transport failure or gateway-style
 // status (502/503/504) triggers up to Retries extra attempts with
-// exponential backoff, unless ctx is done first. Mutations run exactly
-// once — the server may have applied a request whose response was lost.
+// fully-jittered exponential backoff, unless ctx is done first.
+// Mutations run exactly once — the server may have applied a request
+// whose response was lost.
 func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) (int, error) {
 	var payload []byte
 	if in != nil {
@@ -157,17 +161,22 @@ func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) (i
 	if method == http.MethodGet {
 		attempts += c.retries()
 	}
-	backoff := c.retryBackoff()
+	ceiling := c.retryBackoff()
 	var n int
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			// Full jitter: sleep uniform in (0, ceiling], doubling the
+			// ceiling per attempt. A federation crawl retrying many
+			// members of one failed host at once would otherwise re-dogpile
+			// it in lockstep at exactly backoff, 2*backoff, ... — jitter
+			// spreads the herd across the whole window.
 			select {
 			case <-ctx.Done():
 				return n, err // last attempt's error, not the bare ctx error
-			case <-time.After(backoff):
+			case <-time.After(time.Duration(1 + rand.Int64N(int64(ceiling)))):
 			}
-			backoff *= 2
+			ceiling *= 2
 		}
 		var retryable bool
 		n, retryable, err = c.once(ctx, method, path, payload, in != nil, out)

@@ -6,6 +6,7 @@
 package vds
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 
 	"chimera/internal/catalog"
 	"chimera/internal/obs"
@@ -106,6 +108,7 @@ func (s *Server) routes() {
 		info := map[string]any{
 			"name":          s.Name,
 			"journal":       s.Cat.JournalState(),
+			"shard_cursors": s.Cat.ShardJournalStates(),
 			"indexes":       s.Cat.IndexStats(),
 			"stats":         s.Cat.Stats(),
 			"slow_requests": s.slow.snapshot(),
@@ -133,7 +136,7 @@ func (s *Server) routes() {
 		q := r.URL.Query()
 		if !q.Has("since") && !q.Has("instance") {
 			// Legacy full-export form.
-			writeJSON(w, http.StatusOK, s.Cat.Export())
+			writeJSONPooled(w, http.StatusOK, s.Cat.Export())
 			return
 		}
 		since, err := strconv.ParseUint(q.Get("since"), 10, 64)
@@ -146,7 +149,7 @@ func (s *Server) routes() {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad instance: " + q.Get("instance")})
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Cat.ChangesSince(since, instance))
+		writeJSONPooled(w, http.StatusOK, s.Cat.ChangesSince(since, instance))
 	})
 
 	handle("GET /v1/types", func(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +377,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// exportBufs pools the encode buffers for the /v1/export response
+// path. Exports and deltas are by far the largest responses the server
+// produces, and a federation crawl hits the endpoint once per member
+// per pass — encoding into a pooled buffer reuses those multi-megabyte
+// allocations across requests and lets the response carry an exact
+// Content-Length instead of chunked framing.
+var exportBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledExportBuf caps what goes back into the pool: one whale of a
+// full export must not pin its buffer for the life of the process.
+const maxPooledExportBuf = 8 << 20
+
+// writeJSONPooled is writeJSON for the export path: encode into a
+// pooled buffer, send with Content-Length, recycle.
+func writeJSONPooled(w http.ResponseWriter, status int, v any) {
+	buf := exportBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		exportBufs.Put(buf)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "encode: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledExportBuf {
+		exportBufs.Put(buf)
+	}
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
