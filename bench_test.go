@@ -129,3 +129,13 @@ func BenchmarkE15Shards(b *testing.B) {
 		return bench.E15Shards([]int{1, 8}, 8, 30, 200*time.Microsecond)
 	})
 }
+
+// BenchmarkE16Codec regenerates E16: binary vs JSON catalog codec —
+// snapshot bytes, cold-start decode, and delta body bytes
+// (docs/PERF.md, "Binary catalog format"). Kept small so the -race CI
+// smoke run covers both codecs' encode and decode paths in seconds.
+func BenchmarkE16Codec(b *testing.B) {
+	runTable(b, func() (bench.Table, error) {
+		return bench.E16Codec([]int{10000}, 0.05)
+	})
+}

@@ -21,12 +21,19 @@
 // -wal-batch / -wal-delay knobs. With -shards N the catalog is
 // partitioned into N lock/WAL/journal shards for multi-core ingest
 // (docs/PERF.md, "Catalog sharding"); the count is fixed at directory
-// creation and the on-disk count wins on reopen.
+// creation and the on-disk count wins on reopen. -snapshot-format
+// selects the snapshot codec (json/v1 default, binary/v1 for compact
+// mmap-loaded snapshots; docs/PERF.md, "Binary catalog format") and is
+// pinned the same way: the recorded format wins on reopen.
 //
 // With -federate, vdcd also hosts a federated index over the listed
 // member catalogs and crawls them incrementally every -crawl-every;
 // the per-member sync cursors appear under /debug/vdc, and each pass
-// is one connected trace when -trace is on.
+// is one connected trace when -trace is on. Member exports use the
+// compact binary transport when members support it (-export-binary,
+// on by default, negotiates down to JSON against older members), and
+// -max-export-bytes caps how large a member response the crawler will
+// buffer.
 //
 // Usage:
 //
@@ -65,6 +72,7 @@ func main() {
 	walDelay := flag.Duration("wal-delay", catalog.DefaultMaxDelay, "how long a contended commit batch stays open for stragglers; <0 disables the window")
 	journalWindow := flag.Int("journal-window", catalog.DefaultJournalWindow, "change-journal entries retained for delta exports; crawlers further behind fall back to full exports")
 	shards := flag.Int("shards", 1, "catalog shard count (1..64): independent lock/WAL/journal partitions for multi-core ingest; fixed at directory creation, the on-disk count wins on reopen")
+	snapshotFormat := flag.String("snapshot-format", "", "snapshot codec (json/v1 or binary/v1); empty keeps the directory's recorded format (json/v1 for new directories), and like -shards the recorded format wins on reopen")
 	snapshotEvery := flag.Duration("snapshot-every", 10*time.Minute, "WAL compaction interval (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	logLevel := flag.String("log-level", "info", "log level spec: a default level optionally followed by subsys=level overrides, e.g. \"info,wal=debug,http=warn\" (also settable at runtime via /debug/loglevel)")
@@ -74,6 +82,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiles at /debug/pprof/")
 	federate := flag.String("federate", "", "comma-separated authority=url member list; vdcd hosts a federated index over them")
 	crawlEvery := flag.Duration("crawl-every", 30*time.Second, "federation crawl interval with -federate")
+	exportBinary := flag.Bool("export-binary", true, "request the binary export representation when crawling -federate members; members that don't speak it negotiate down to JSON")
+	maxExportBytes := flag.Int64("max-export-bytes", vds.DefaultMaxResponseBytes, "largest member export response the federation crawler accepts, in bytes; <0 removes the cap")
 	flag.Parse()
 
 	if err := obs.ParseLevelSpec(*logLevel); err != nil {
@@ -85,11 +95,12 @@ func main() {
 	obs.EnableRuntimeMetrics(obs.Default)
 
 	cat, err := catalog.Open(*dir, dtype.StandardRegistry(), catalog.Options{
-		Sync:          *syncWAL,
-		MaxBatch:      *walBatch,
-		MaxDelay:      *walDelay,
-		JournalWindow: *journalWindow,
-		Shards:        *shards,
+		Sync:           *syncWAL,
+		MaxBatch:       *walBatch,
+		MaxDelay:       *walDelay,
+		JournalWindow:  *journalWindow,
+		Shards:         *shards,
+		SnapshotFormat: *snapshotFormat,
 	})
 	if err != nil {
 		logger.Error("catalog open failed", "dir", *dir, "err", err)
@@ -171,7 +182,10 @@ func main() {
 				logger.Error("bad -federate member, want authority=url", "member", m)
 				os.Exit(2)
 			}
-			ix.AddMember(strings.TrimSpace(authority), vds.NewClient(strings.TrimSpace(url)))
+			cl := vds.NewClient(strings.TrimSpace(url))
+			cl.Binary = *exportBinary
+			cl.MaxResponseBytes = *maxExportBytes
+			ix.AddMember(strings.TrimSpace(authority), cl)
 		}
 		srv.OnDebug = func(info map[string]any) {
 			info["federation"] = map[string]any{

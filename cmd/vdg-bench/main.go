@@ -80,6 +80,9 @@ func experiments() []experiment {
 			func() (bench.Table, error) {
 				return bench.E15Shards([]int{1, 2, 4, 8, 16}, 8, 150, time.Millisecond)
 			}},
+		{"E16",
+			func() (bench.Table, error) { return bench.E16Codec([]int{20000, 100000}, 0.01) },
+			func() (bench.Table, error) { return bench.E16Codec([]int{100000, 1000000}, 0.01) }},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -93,7 +96,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E15, A1..A3, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E16, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")
@@ -130,17 +133,18 @@ func main() {
 			fmt.Println(tab.String())
 		}
 		fmt.Printf("(%s completed in %v)\n\n", ex.id, time.Since(start).Round(time.Millisecond))
-		if ex.id == "E15" {
-			// CI consumes the sharding headline numbers as an artifact.
+		// CI consumes these experiments' headline numbers as artifacts.
+		if ex.id == "E15" || ex.id == "E16" {
+			name := "BENCH_" + ex.id + ".json"
 			data, err := json.MarshalIndent(tab, "", "  ")
 			if err == nil {
-				err = os.WriteFile("BENCH_E15.json", append(data, '\n'), 0o644)
+				err = os.WriteFile(name, append(data, '\n'), 0o644)
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "write BENCH_E15.json: %v\n", err)
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", name, err)
 				os.Exit(1)
 			}
-			fmt.Println("wrote BENCH_E15.json")
+			fmt.Println("wrote " + name)
 		}
 	}
 	if !any {

@@ -258,6 +258,28 @@ func TestE14DeltaBeatsFull(t *testing.T) {
 	}
 }
 
+func TestE16BinaryCodecWins(t *testing.T) {
+	tab, err := E16Codec([]int{20000}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at this modest size the binary codec should be clearly
+	// smaller and faster to load; paper scale (1M objects) targets >=3x
+	// cold start and >=2x smaller deltas.
+	if r := cellF(t, tab, 0, "snap-ratio"); !(r > 1.3) {
+		t.Errorf("binary snapshot not smaller: %gx (%v)", r, tab.Rows[0])
+	}
+	if x := cellF(t, tab, 0, "cold-start-x"); !(x > 2) {
+		t.Errorf("binary cold start only %gx faster: %v", x, tab.Rows[0])
+	}
+	if x := cellF(t, tab, 0, "delta-x"); !(x > 2) {
+		t.Errorf("binary delta only %gx smaller: %v", x, tab.Rows[0])
+	}
+	if tab.Metrics["cold_start_speedup"] <= 0 || tab.Metrics["delta_bytes_ratio"] <= 0 {
+		t.Errorf("headline metrics missing: %v", tab.Metrics)
+	}
+}
+
 func TestA3PlannerNeverLoses(t *testing.T) {
 	tab, err := A3PlannerOff(2000, 10)
 	if err != nil {

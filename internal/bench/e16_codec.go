@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"chimera/internal/codec"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+// E16Codec measures what the binary/v1 catalog codec buys over the
+// json/v1 baseline at catalog scale, on the two paths where encoding
+// cost is user-visible:
+//
+//	cold start    a vdcd restart replays its snapshot before serving.
+//	              The experiment writes one snapshot file per codec for
+//	              the same synthetic catalog, then times the read+decode
+//	              pass (exactly catalog.loadSnapshot minus the
+//	              format-independent index rebuild). Binary snapshots
+//	              are stored raw — no per-section compression — so the
+//	              mmap'd load path decodes length-prefixed records in
+//	              place instead of walking a JSON parser over every
+//	              byte.
+//	delta bodies  federation crawlers poll /v1/export?since= on every
+//	              crawl tick; body bytes are the steady-state WAN cost
+//	              of membership. The experiment encodes a churn delta
+//	              (1% of the catalog, floor 1000 objects, with
+//	              tombstones) in both codecs and compares body sizes.
+//	              Delta frames DEFLATE-compress their large sections,
+//	              trading a little CPU for wire bytes — the opposite
+//	              policy from snapshots, and the reason the two paths
+//	              are measured separately.
+//
+// The synthetic catalog is the production shape from E15's ingest mix:
+// LFN-style dataset names, gsiftp PFNs, a small set of shared attribute
+// keys (interned by the binary codec) with per-replica checksums
+// (unique, so they bound what interning can claim), and a derivation +
+// invocation chain every eighth dataset. sizes are total catalog
+// objects (datasets + replicas + derivations + invocations).
+func E16Codec(sizes []int, churnFrac float64) (Table, error) {
+	t := Table{
+		Experiment: "E16",
+		Title:      "binary vs JSON catalog codec: snapshot size, cold-start decode, delta body bytes",
+		Columns: []string{"objects", "json-snap-MB", "bin-snap-MB", "snap-ratio",
+			"json-load-ms", "bin-load-ms", "cold-start-x", "json-delta-KB", "bin-delta-KB", "delta-x"},
+		Metrics: map[string]float64{},
+	}
+	jsonC, err := codec.Lookup(codec.JSONName)
+	if err != nil {
+		return t, err
+	}
+	binC, err := codec.Lookup(codec.BinaryName)
+	if err != nil {
+		return t, err
+	}
+	dir, err := os.MkdirTemp("", "e16-codec")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, n := range sizes {
+		p := e16Payload(n)
+		jsonBytes, jsonLoad, err := e16ColdStart(jsonC, dir, p)
+		if err != nil {
+			return t, err
+		}
+		binBytes, binLoad, err := e16ColdStart(binC, dir, p)
+		if err != nil {
+			return t, err
+		}
+
+		d := e16Delta(p, churnFrac)
+		var jb, bb bytes.Buffer
+		if err := jsonC.EncodeDelta(&jb, d); err != nil {
+			return t, err
+		}
+		if err := binC.EncodeDelta(&bb, d); err != nil {
+			return t, err
+		}
+
+		snapRatio := float64(jsonBytes) / float64(binBytes)
+		coldX := jsonLoad.Seconds() / binLoad.Seconds()
+		deltaX := float64(jb.Len()) / float64(bb.Len())
+		t.Add(n,
+			float64(jsonBytes)/(1<<20), float64(binBytes)/(1<<20), snapRatio,
+			float64(jsonLoad.Milliseconds()), float64(binLoad.Milliseconds()), coldX,
+			float64(jb.Len())/(1<<10), float64(bb.Len())/(1<<10), deltaX)
+		t.Metrics[fmt.Sprintf("snapshot_bytes_ratio_n%d", n)] = snapRatio
+		t.Metrics[fmt.Sprintf("cold_start_speedup_n%d", n)] = coldX
+		t.Metrics[fmt.Sprintf("delta_bytes_ratio_n%d", n)] = deltaX
+	}
+	// Headline metrics are the largest configuration: the scale where
+	// cold start and crawl bandwidth actually hurt.
+	last := sizes[len(sizes)-1]
+	t.Metrics["cold_start_speedup"] = t.Metrics[fmt.Sprintf("cold_start_speedup_n%d", last)]
+	t.Metrics["delta_bytes_ratio"] = t.Metrics[fmt.Sprintf("delta_bytes_ratio_n%d", last)]
+	t.Metrics["snapshot_bytes_ratio"] = t.Metrics[fmt.Sprintf("snapshot_bytes_ratio_n%d", last)]
+	t.Notes = append(t.Notes,
+		"cold-start times one read+decode of the snapshot file (catalog.loadSnapshot minus the format-independent index rebuild); binary snapshots are raw length-prefixed records, so decode skips both JSON parsing and per-field allocation for interned strings",
+		"delta bodies are what federation crawlers pull per tick: binary deltas DEFLATE-compress large sections, snapshots stay raw for the mmap load path — the size ratios differ by design")
+	return t, nil
+}
+
+// e16Payload builds the synthetic catalog: i-th iteration registers a
+// dataset + replica, every eighth adds a derivation + invocation, until
+// the object count reaches n.
+func e16Payload(n int) *codec.Payload {
+	p := &codec.Payload{
+		Types:           dtype.StandardRegistry(),
+		Transformations: []schema.Transformation{ingestTR("e16-reco")},
+	}
+	objects := 0
+	for i := 0; objects < n; i++ {
+		name := fmt.Sprintf("lfn://cms/run%03d/reco-%07d.root", i%40, i)
+		p.Datasets = append(p.Datasets, schema.Dataset{
+			Name: name, Size: int64(i) * 7919,
+			Attrs: schema.Attributes{
+				"run": fmt.Sprint(i % 40), "site": "anl", "owner": "cms-prod", "quality": "approved",
+			},
+		})
+		p.Replicas = append(p.Replicas, schema.Replica{
+			ID: fmt.Sprintf("rep-%07d", i), Dataset: name, Site: "anl",
+			PFN: "gsiftp://gridftp.anl.gov" + name[5:], Size: int64(i) * 7919,
+			Attrs: schema.Attributes{"checksum": fmt.Sprintf("adler32:%08x", uint32(i)*2654435761)},
+		})
+		objects += 2
+		if i%8 != 0 {
+			continue
+		}
+		dv := ingestDV("e16-reco", name, name+".out").Canonicalize()
+		p.Derivations = append(p.Derivations, dv)
+		p.Invocations = append(p.Invocations, schema.Invocation{
+			ID: fmt.Sprintf("iv-%07d", i), Derivation: dv.ID, Site: "anl", Host: "n1",
+			Start: time.Unix(int64(i), 0).UTC(), End: time.Unix(int64(i)+40, 0).UTC(),
+		})
+		objects += 2
+	}
+	return p
+}
+
+// e16Delta carves a churn delta out of the payload: the first
+// churnFrac of every object class re-exported (an update storm), plus
+// replica tombstones for 5% of the churned replicas.
+func e16Delta(p *codec.Payload, churnFrac float64) *codec.Delta {
+	take := func(n int) int {
+		k := int(float64(n) * churnFrac)
+		if k < 1000 {
+			k = 1000
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	nd, nr := take(len(p.Datasets)), take(len(p.Replicas))
+	d := &codec.Delta{
+		Instance: 1, Since: 100, Seq: 100 + uint64(nd+nr),
+		Payload: codec.Payload{
+			Datasets: p.Datasets[:nd],
+			Replicas: p.Replicas[:nr],
+		},
+	}
+	for i := 0; i < nr/20; i++ {
+		d.Tombstones = append(d.Tombstones, codec.Tombstone{Kind: "replica", ID: p.Replicas[i].ID})
+	}
+	return d
+}
+
+// e16ColdStart writes p as a snapshot file in c's format and times one
+// cold read+decode pass, returning the file size and load time. Small
+// configurations repeat the load and keep the fastest pass so the table
+// isn't noise at the bottom rows.
+func e16ColdStart(c codec.Codec, dir string, p *codec.Payload) (int64, time.Duration, error) {
+	var buf bytes.Buffer
+	if err := c.EncodeSnapshot(&buf, p); err != nil {
+		return 0, 0, err
+	}
+	path := filepath.Join(dir, "snapshot-"+filepath.Base(c.ContentType()))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return 0, 0, err
+	}
+	size := int64(buf.Len())
+	reps := 1
+	if size < 64<<20 {
+		reps = 3
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := c.DecodeSnapshot(data); err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return size, best, nil
+}

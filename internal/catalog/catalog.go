@@ -67,7 +67,8 @@ type Catalog struct {
 	jseq      atomic.Uint64
 	jinstance uint64
 
-	dir string // catalog directory; "" for in-memory catalogs
+	dir        string // catalog directory; "" for in-memory catalogs
+	snapFormat string // pinned snapshot codec name; "" for in-memory catalogs
 }
 
 // New returns an empty in-memory catalog with a single shard, using

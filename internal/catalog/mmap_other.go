@@ -1,0 +1,15 @@
+//go:build !unix
+
+package catalog
+
+import "os"
+
+// mapFile on platforms without mmap support falls back to reading the
+// whole file; done is a no-op. Same contract as the unix variant.
+func mapFile(path string) (data []byte, done func(), err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package catalog
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only and returns the mapping plus a
+// release function. The caller must not retain any slice aliasing data
+// after calling done — the binary codec guarantees decoded values own
+// their memory precisely so the mapping can be dropped the moment
+// DecodeSnapshot returns. Empty files return an empty (non-mapped)
+// slice, since mmap of length 0 is an error on most Unixes.
+func mapFile(path string) (data []byte, done func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() { _ = syscall.Munmap(m) }, nil
+}

@@ -91,6 +91,11 @@ const (
 // catalogMeta pins on-disk layout facts that must survive reopen.
 type catalogMeta struct {
 	Shards int `json:"shards"`
+	// SnapshotFormat is the codec name Snapshot() writes with
+	// (codec.JSONName or codec.BinaryName). Empty in metas written
+	// before the codec registry existed; resolved to the requested
+	// format (and re-recorded) on first reopen.
+	SnapshotFormat string `json:"snapshot_format,omitempty"`
 }
 
 // walPath returns shard i's log path under the n-shard layout. A
@@ -160,6 +165,16 @@ type Options struct {
 	// reopen; a directory holding pre-sharding state without a meta
 	// file reopens single-shard.
 	Shards int
+
+	// SnapshotFormat names the codec Snapshot() persists with:
+	// codec.JSONName (the default when empty) or codec.BinaryName. Like
+	// Shards it is pinned in catalog-meta.json once recorded, and the
+	// recorded value wins on reopen; metas from before the codec
+	// registry adopt the requested format on their first reopen. The
+	// read path is self-describing (it loads whichever snapshot file
+	// exists), so repinning via a fresh directory converts state on the
+	// next Snapshot().
+	SnapshotFormat string
 }
 
 // normalize resolves zero values to defaults.
@@ -191,9 +206,13 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 	}
 	opts = opts.normalize()
 
-	// Resolve the shard count: the directory's recorded layout wins, a
-	// pre-sharding directory (data but no meta) is single-shard, and a
-	// fresh directory records whatever was requested.
+	// Resolve the layout pins: the directory's recorded shard count and
+	// snapshot format win, a pre-sharding directory (data but no meta)
+	// is single-shard, and a fresh directory records what was requested.
+	format, err := normalizeSnapshotFormat(opts.SnapshotFormat)
+	if err != nil {
+		return nil, err
+	}
 	shards := opts.Shards
 	metaPath := filepath.Join(dir, metaFile)
 	if data, err := os.ReadFile(metaPath); err == nil {
@@ -202,15 +221,24 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 			return nil, fmt.Errorf("catalog: meta %s: %w", metaPath, err)
 		}
 		shards = normalizeShards(meta.Shards)
+		if meta.SnapshotFormat != "" {
+			if format, err = normalizeSnapshotFormat(meta.SnapshotFormat); err != nil {
+				return nil, err
+			}
+		} else {
+			// Pre-codec meta: adopt the requested format and pin it.
+			if err := writeMeta(dir, catalogMeta{Shards: shards, SnapshotFormat: format}); err != nil {
+				return nil, err
+			}
+		}
 	} else if errors.Is(err, os.ErrNotExist) {
 		if _, serr := os.Stat(filepath.Join(dir, walFile)); serr == nil {
 			shards = 1
 		} else if _, serr := os.Stat(filepath.Join(dir, snapshotFile)); serr == nil {
 			shards = 1
 		}
-		data, _ := json.Marshal(catalogMeta{Shards: shards})
-		if err := os.WriteFile(metaPath, data, 0o644); err != nil {
-			return nil, fmt.Errorf("catalog: meta: %w", err)
+		if err := writeMeta(dir, catalogMeta{Shards: shards, SnapshotFormat: format}); err != nil {
+			return nil, err
 		}
 	} else {
 		return nil, fmt.Errorf("catalog: meta: %w", err)
@@ -218,6 +246,7 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 
 	c := NewSharded(dtype.NewRegistry(), shards)
 	c.dir = dir
+	c.snapFormat = format
 	for _, s := range c.shards {
 		s.jwindow = opts.JournalWindow
 	}
@@ -227,17 +256,8 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 		}
 	}
 
-	snapPath := filepath.Join(dir, snapshotFile)
-	if data, err := os.ReadFile(snapPath); err == nil {
-		var exp Export
-		if err := json.Unmarshal(data, &exp); err != nil {
-			return nil, fmt.Errorf("catalog: snapshot %s: %w", snapPath, err)
-		}
-		if err := c.applyExport(exp); err != nil {
-			return nil, err
-		}
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("catalog: snapshot: %w", err)
+	if err := c.loadSnapshot(dir); err != nil {
+		return nil, err
 	}
 
 	// Replay every shard's log. A record replays against the shard
@@ -729,15 +749,7 @@ func (c *Catalog) Snapshot() error {
 	opSnapshot.Inc()
 	defer metricSnapshot.ObserveSince(time.Now())
 	exp := c.exportAllLocked()
-	data, err := json.Marshal(exp)
-	if err != nil {
-		return err
-	}
-	tmp := filepath.Join(c.dir, snapshotFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(c.dir, snapshotFile)); err != nil {
+	if err := c.writeSnapshotLocked(&exp); err != nil {
 		return err
 	}
 	// Quiesce each committer (every shard lock is held, so no queue can

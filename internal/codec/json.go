@@ -1,0 +1,64 @@
+package codec
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// jsonCodec is the legacy format: the containers carry catalog.Export
+// and catalog.Delta's exact JSON tags, so its output is byte-for-byte
+// what the pre-codec snapshot writer and /v1/export handler produced.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string        { return JSONName }
+func (jsonCodec) ContentType() string { return JSONContentType }
+
+func (jsonCodec) EncodeSnapshot(w io.Writer, p *Payload) error {
+	defer observeEncode(JSONName, time.Now())
+	cw := countingWriter{w: w}
+	err := json.NewEncoder(&cw).Encode(p)
+	encBytes(JSONName, cw.n)
+	return err
+}
+
+func (jsonCodec) DecodeSnapshot(data []byte) (*Payload, error) {
+	defer observeDecode(JSONName, time.Now())
+	decBytes(JSONName, len(data))
+	p := new(Payload)
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (jsonCodec) EncodeDelta(w io.Writer, d *Delta) error {
+	defer observeEncode(JSONName, time.Now())
+	cw := countingWriter{w: w}
+	err := json.NewEncoder(&cw).Encode(d)
+	encBytes(JSONName, cw.n)
+	return err
+}
+
+func (jsonCodec) DecodeDelta(data []byte) (*Delta, error) {
+	defer observeDecode(JSONName, time.Now())
+	decBytes(JSONName, len(data))
+	d := new(Delta)
+	if err := json.Unmarshal(data, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// countingWriter tallies bytes written through it for the codec
+// byte-volume counters.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}

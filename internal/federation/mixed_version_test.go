@@ -1,0 +1,88 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"chimera/internal/catalog"
+	"chimera/internal/vds"
+)
+
+// jsonOnly simulates a pre-negotiation member: its server never sees
+// the Accept header, so every export answers JSON — exactly how a
+// binary-unaware build behaves.
+func jsonOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept")
+		h.ServeHTTP(w, r)
+	})
+}
+
+// mixedSite spins up one member; legacy strips content negotiation at
+// the server, binaryClient opts the crawler's client into the binary
+// transport.
+func mixedSite(t *testing.T, name string, legacy, binaryClient bool) (*catalog.Catalog, *vds.Client) {
+	t.Helper()
+	cat := catalog.New(nil)
+	var h http.Handler = vds.NewServer(name, cat)
+	if legacy {
+		h = jsonOnly(h)
+	}
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	cl := vds.NewClient(hs.URL)
+	cl.Binary = binaryClient
+	return cat, cl
+}
+
+// TestMixedVersionFederationEquivalence drives randomized mutation
+// histories through a federation whose members cover the whole
+// negotiation matrix — binary crawler vs JSON-only member, JSON
+// crawler vs binary-capable member, binary end-to-end — and requires
+// the merged catalog to stay byte-identical to the all-JSON oracle
+// after every round.
+func TestMixedVersionFederationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	type member struct {
+		legacy, binary bool
+	}
+	members := []member{
+		{legacy: true, binary: true},   // binary crawler, JSON-only member: negotiate down
+		{legacy: false, binary: false}, // JSON crawler, binary-capable member: stays JSON
+		{legacy: false, binary: true},  // binary end-to-end
+	}
+
+	mixed := NewIndex("mixed", "test")
+	oracle := NewIndex("oracle", "test")
+	var muts []*mutator
+	for i, m := range members {
+		name := fmt.Sprintf("m%d", i)
+		cat, client := mixedSite(t, name, m.legacy, m.binary)
+		// The oracle crawls the same member over a plain JSON client.
+		jsonClient := *client
+		jsonClient.Binary = false
+		muts = append(muts, &mutator{rng: rng, cat: cat, prefix: name})
+		mixed.AddMember(name, client)
+		oracle.AddMember(name, &jsonClient)
+	}
+	// A tight journal window on the binary end-to-end member forces its
+	// deltas through the full-export fallback mid-test.
+	muts[2].cat.SetJournalWindow(4)
+
+	for round := 0; round < 10; round++ {
+		steps := rng.Intn(12)
+		for s := 0; s < steps; s++ {
+			muts[rng.Intn(len(muts))].step(t)
+		}
+		if err := mixed.Crawl(); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Crawl(); err != nil {
+			t.Fatal(err)
+		}
+		compareSnapshots(t, round, snap(t, mixed), snap(t, oracle))
+	}
+}

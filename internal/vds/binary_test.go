@@ -1,0 +1,177 @@
+package vds
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"chimera/internal/catalog"
+	"chimera/internal/codec"
+	"chimera/internal/dtype"
+	"chimera/internal/schema"
+)
+
+func seedExportState(t *testing.T, cat *catalog.Catalog) {
+	t.Helper()
+	if err := cat.AddTransformation(twoArg("t")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if err := cat.AddDataset(schema.Dataset{Name: name, Attrs: schema.Attributes{"k": name}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddReplica(schema.Replica{ID: "r-" + name, Dataset: name, Site: "anl", PFN: "/" + name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dv, err := cat.AddDerivation(chainDV("t", "a", "a.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddInvocation(schema.Invocation{
+		ID: "iv", Derivation: dv.ID, Site: "anl", Host: "n1",
+		Start: time.Unix(50, 0).UTC(), End: time.Unix(60, 0).UTC(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stripAccept simulates a pre-negotiation server: it never sees (and
+// so never honors) the Accept header.
+func stripAccept(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept")
+		h.ServeHTTP(w, r)
+	})
+}
+
+// TestBinaryExportNegotiation: a binary client against a
+// binary-capable server gets the binary body; against a legacy server
+// it degrades to JSON. Either way the decoded export is identical to
+// the plain JSON client's.
+func TestBinaryExportNegotiation(t *testing.T) {
+	cat := catalog.New(dtype.StandardRegistry())
+	seedExportState(t, cat)
+	srv := NewServer("nego-vdc", cat)
+
+	modern := httptest.NewServer(srv)
+	defer modern.Close()
+	legacy := httptest.NewServer(stripAccept(srv))
+	defer legacy.Close()
+
+	jsonClient := NewClient(modern.URL)
+	binClient := NewClient(modern.URL)
+	binClient.Binary = true
+	downClient := NewClient(legacy.URL)
+	downClient.Binary = true
+
+	want, err := jsonClient.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := schema.CanonicalBytes(want)
+
+	for name, cl := range map[string]*Client{"binary": binClient, "negotiated-down": downClient} {
+		got, err := cl.Export()
+		if err != nil {
+			t.Fatalf("%s export: %v", name, err)
+		}
+		gotJSON, _ := schema.CanonicalBytes(got)
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("%s export differs from JSON export", name)
+		}
+
+		gd, n, err := cl.ExportSince(t.Context(), 0, 0)
+		if err != nil || n == 0 {
+			t.Fatalf("%s delta: %v (n=%d)", name, err, n)
+		}
+		wd, _, err := jsonClient.ExportSince(t.Context(), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, _ := json.Marshal(gd)
+		wj, _ := json.Marshal(wd)
+		if string(gj) != string(wj) {
+			t.Fatalf("%s delta differs:\n%s\n---\n%s", name, gj, wj)
+		}
+	}
+}
+
+// TestBinaryWireContentType pins the negotiation matrix at the HTTP
+// level: Accept decides the representation, JSON stays the default.
+func TestBinaryWireContentType(t *testing.T) {
+	cat := catalog.New(dtype.StandardRegistry())
+	seedExportState(t, cat)
+	hs := httptest.NewServer(NewServer("ct-vdc", cat))
+	defer hs.Close()
+
+	cases := []struct {
+		accept, wantCT string
+	}{
+		{"", codec.JSONContentType},
+		{"application/json", codec.JSONContentType},
+		{"*/*", codec.JSONContentType},
+		{codec.BinaryContentType, codec.BinaryContentType},
+		{codec.BinaryContentType + ", application/json;q=0.5", codec.BinaryContentType},
+	}
+	for _, path := range []string{"/v1/export", "/v1/export?since=0&instance=0"} {
+		for _, tc := range cases {
+			req, _ := http.NewRequest("GET", hs.URL+path, nil)
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != tc.wantCT {
+				t.Errorf("%s with Accept=%q: Content-Type %q, want %q", path, tc.accept, ct, tc.wantCT)
+			}
+		}
+	}
+}
+
+// TestBinaryDeltaSmallerOnWire: the negotiated binary delta body must
+// be materially smaller than the JSON body for the same state.
+func TestBinaryDeltaSmallerOnWire(t *testing.T) {
+	cat := catalog.New(dtype.StandardRegistry())
+	if err := cat.AddTransformation(twoArg("t")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("lfn://cms/run%03d/reco-%04d.root", i%40, i)
+		if err := cat.AddDataset(schema.Dataset{Name: name, Size: int64(i) * 7919, Attrs: schema.Attributes{
+			"run": fmt.Sprint(i % 40), "site": "anl", "owner": "cms-prod", "quality": "approved",
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddReplica(schema.Replica{
+			ID: fmt.Sprintf("rep-%04d", i), Dataset: name, Site: "anl",
+			PFN: "gsiftp://gridftp.anl.gov" + name[5:], Size: int64(i) * 7919,
+			Attrs: schema.Attributes{"checksum": fmt.Sprintf("adler32:%08x", i*2654435761)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := httptest.NewServer(NewServer("size-vdc", cat))
+	defer hs.Close()
+
+	jc := NewClient(hs.URL)
+	bc := NewClient(hs.URL)
+	bc.Binary = true
+	_, nj, err := jc.ExportSince(t.Context(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nb, err := bc.ExportSince(t.Context(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb*2 > nj {
+		t.Fatalf("binary delta %d bytes, JSON %d: want >=2x smaller", nb, nj)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"chimera/internal/catalog"
+	"chimera/internal/codec"
 	"chimera/internal/dtype"
 	"chimera/internal/obs"
 	"chimera/internal/schema"
@@ -37,9 +38,12 @@ const (
 	DefaultRetryBackoff = 50 * time.Millisecond
 )
 
-// maxResponseBytes caps how much of a response body a client will read.
-// A variable so tests can exercise the limit without allocating 64 MB.
-var maxResponseBytes = int64(64 << 20)
+// DefaultMaxResponseBytes is the response-body read cap applied when
+// Client.MaxResponseBytes is zero: large enough for a multi-million
+// object delta, small enough that one misbehaving server cannot balloon
+// a federation crawler. Deployments shipping bigger full exports raise
+// it per client (vdcd: -max-export-bytes).
+const DefaultMaxResponseBytes = int64(64 << 20)
 
 // ErrResponseTooLarge reports a response body that exceeded the
 // client's read limit. Distinct from a decode failure so callers see
@@ -74,6 +78,16 @@ type Client struct {
 	// attempt; each delay is drawn uniform in (0, ceiling] (full
 	// jitter). 0 means DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// MaxResponseBytes caps how much of a response body the client
+	// reads before failing with ErrResponseTooLarge. 0 means
+	// DefaultMaxResponseBytes; negative means no limit.
+	MaxResponseBytes int64
+	// Binary offers the compact binary transport
+	// (Accept: application/x-vdg-binary) on export requests. Servers
+	// that do not speak it — or predate content negotiation entirely —
+	// keep answering JSON, which the client detects by Content-Type, so
+	// enabling this against a mixed-version federation is always safe.
+	Binary bool
 }
 
 // NewClient returns a client for the service at base.
@@ -103,6 +117,25 @@ func (c *Client) retryBackoff() time.Duration {
 		return DefaultRetryBackoff
 	}
 	return c.RetryBackoff
+}
+
+func (c *Client) maxResponseBytes() int64 {
+	if c.MaxResponseBytes == 0 {
+		return DefaultMaxResponseBytes
+	}
+	if c.MaxResponseBytes < 0 {
+		return int64(1)<<62 - 1
+	}
+	return c.MaxResponseBytes
+}
+
+// exportAccept is the Accept header offered on export requests: binary
+// preferred when enabled, JSON always acceptable.
+func (c *Client) exportAccept() string {
+	if c.Binary {
+		return codec.BinaryContentType + ", " + codec.JSONContentType
+	}
+	return ""
 }
 
 // RemoteError is a non-2xx response from a catalog service.
@@ -141,29 +174,40 @@ func (c *Client) do(method, path string, in, out any) error {
 	return err
 }
 
-// doCtx issues one API request under ctx with bounded retry/backoff for
-// idempotent methods, returning the encoded response size in bytes.
-// Only GETs are retried: a transient transport failure or gateway-style
-// status (502/503/504) triggers up to Retries extra attempts with
-// fully-jittered exponential backoff, unless ctx is done first.
-// Mutations run exactly once — the server may have applied a request
-// whose response was lost.
+// doCtx issues one JSON API request under ctx, returning the encoded
+// response size in bytes. See roundTrip for the retry contract.
 func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) (int, error) {
+	data, _, err := c.roundTrip(ctx, method, path, in, "")
+	if err != nil {
+		return len(data), err
+	}
+	if out != nil {
+		return len(data), json.Unmarshal(data, out)
+	}
+	return len(data), nil
+}
+
+// roundTrip issues one API request under ctx with bounded
+// retry/backoff for idempotent methods, returning the raw response
+// body and its Content-Type. Only GETs are retried: a transient
+// transport failure or gateway-style status (502/503/504) triggers up
+// to Retries extra attempts with fully-jittered exponential backoff,
+// unless ctx is done first. Mutations run exactly once — the server
+// may have applied a request whose response was lost. A non-empty
+// accept is offered as the Accept header (export content negotiation).
+func (c *Client) roundTrip(ctx context.Context, method, path string, in any, accept string) (data []byte, contentType string, err error) {
 	var payload []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		payload, err = json.Marshal(in)
 		if err != nil {
-			return 0, err
+			return nil, "", err
 		}
-		payload = data
 	}
 	attempts := 1
 	if method == http.MethodGet {
 		attempts += c.retries()
 	}
 	ceiling := c.retryBackoff()
-	var n int
-	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			// Full jitter: sleep uniform in (0, ceiling], doubling the
@@ -173,34 +217,37 @@ func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) (i
 			// spreads the herd across the whole window.
 			select {
 			case <-ctx.Done():
-				return n, err // last attempt's error, not the bare ctx error
+				return data, contentType, err // last attempt's error, not the bare ctx error
 			case <-time.After(time.Duration(1 + rand.Int64N(int64(ceiling)))):
 			}
 			ceiling *= 2
 		}
 		var retryable bool
-		n, retryable, err = c.once(ctx, method, path, payload, in != nil, out)
+		data, contentType, retryable, err = c.once(ctx, method, path, payload, in != nil, accept)
 		if err == nil || !retryable || ctx.Err() != nil {
-			return n, err
+			return data, contentType, err
 		}
 	}
-	return n, err
+	return data, contentType, err
 }
 
 // once issues a single HTTP request. retryable marks failures that a
 // fresh attempt could plausibly cure: transport errors and upstream
 // 502/503/504 responses.
-func (c *Client) once(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (bytes_ int, retryable bool, err error) {
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, hasBody bool, accept string) (data []byte, contentType string, retryable bool, err error) {
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
 	if err != nil {
-		return 0, false, err
+		return nil, "", false, err
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	// Propagate the caller's span so the remote server's spans parent
 	// under it — one federation pass, one connected trace.
@@ -209,18 +256,20 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return 0, true, fmt.Errorf("vds: %s %s: %w", method, path, err)
+		return nil, "", true, fmt.Errorf("vds: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	limit := c.maxResponseBytes()
+	data, err = io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
-		return len(data), true, err
+		return data, "", true, err
 	}
-	if int64(len(data)) > maxResponseBytes {
+	if int64(len(data)) > limit {
 		// The cap used to truncate silently, surfacing later as a baffling
 		// JSON unmarshal failure; name the real problem instead.
-		return len(data), false, fmt.Errorf("vds: %s %s: %w (limit %d bytes)", method, path, ErrResponseTooLarge, maxResponseBytes)
+		return data, "", false, fmt.Errorf("vds: %s %s: %w (limit %d bytes)", method, path, ErrResponseTooLarge, limit)
 	}
+	contentType = resp.Header.Get("Content-Type")
 	if resp.StatusCode/100 != 2 {
 		re := &RemoteError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 		var eb errorBody
@@ -229,14 +278,18 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		}
 		switch resp.StatusCode {
 		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-			return len(data), true, re
+			return data, contentType, true, re
 		}
-		return len(data), false, re
+		return data, contentType, false, re
 	}
-	if out != nil {
-		return len(data), false, json.Unmarshal(data, out)
-	}
-	return len(data), false, nil
+	return data, contentType, false, nil
+}
+
+// isBinary reports whether a response Content-Type names the binary
+// export transport.
+func isBinary(contentType string) bool {
+	mt, _, _ := strings.Cut(contentType, ";")
+	return strings.TrimSpace(mt) == codec.BinaryContentType
 }
 
 // Info fetches service identity and stats.
@@ -253,21 +306,53 @@ func (c *Client) Export() (catalog.Export, error) {
 
 // ExportCtx fetches the catalog's full state under ctx; a span-carrying
 // context propagates to the remote server as a traceparent header.
+// With Client.Binary set, the request offers the binary transport and
+// decodes whichever representation the server chose.
 func (c *Client) ExportCtx(ctx context.Context) (catalog.Export, error) {
+	data, ct, err := c.roundTrip(ctx, "GET", "/v1/export", nil, c.exportAccept())
+	if err != nil {
+		return catalog.Export{}, err
+	}
+	if isBinary(ct) {
+		bin, err := codec.Lookup(codec.BinaryName)
+		if err != nil {
+			return catalog.Export{}, err
+		}
+		p, err := bin.DecodeSnapshot(data)
+		if err != nil {
+			return catalog.Export{}, fmt.Errorf("vds: binary export: %w", err)
+		}
+		return catalog.ExportFromCodec(p), nil
+	}
 	var out catalog.Export
-	_, err := c.doCtx(ctx, "GET", "/v1/export", nil, &out)
-	return out, err
+	return out, json.Unmarshal(data, &out)
 }
 
 // ExportSince fetches the changes the remote catalog has accumulated
 // past (since, instance), as reported by an earlier Delta. Pass zeros
 // on first contact to receive a full export. The returned byte count
-// is the encoded response size, for transfer accounting.
+// is the encoded response size, for transfer accounting. With
+// Client.Binary set, the delta travels in the binary transport when
+// the server speaks it; a JSON-only server degrades transparently.
 func (c *Client) ExportSince(ctx context.Context, since, instance uint64) (catalog.Delta, int, error) {
-	var out catalog.Delta
 	path := "/v1/export?since=" + strconv.FormatUint(since, 10) + "&instance=" + strconv.FormatUint(instance, 10)
-	n, err := c.doCtx(ctx, "GET", path, nil, &out)
-	return out, n, err
+	data, ct, err := c.roundTrip(ctx, "GET", path, nil, c.exportAccept())
+	if err != nil {
+		return catalog.Delta{}, len(data), err
+	}
+	if isBinary(ct) {
+		bin, err := codec.Lookup(codec.BinaryName)
+		if err != nil {
+			return catalog.Delta{}, len(data), err
+		}
+		cd, err := bin.DecodeDelta(data)
+		if err != nil {
+			return catalog.Delta{}, len(data), fmt.Errorf("vds: binary delta: %w", err)
+		}
+		return catalog.DeltaFromCodec(cd), len(data), nil
+	}
+	var out catalog.Delta
+	return out, len(data), json.Unmarshal(data, &out)
 }
 
 // Types fetches the catalog's dataset-type registry.

@@ -100,11 +100,8 @@ func TestResponseTooLarge(t *testing.T) {
 	}))
 	defer hs.Close()
 
-	old := maxResponseBytes
-	maxResponseBytes = 1024
-	defer func() { maxResponseBytes = old }()
-
 	client := NewClient(hs.URL)
+	client.MaxResponseBytes = 1024
 	var out any
 	err := client.do("GET", "/v1/export", nil, &out)
 	if !errors.Is(err, ErrResponseTooLarge) {

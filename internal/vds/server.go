@@ -14,9 +14,11 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 
 	"chimera/internal/catalog"
+	"chimera/internal/codec"
 	"chimera/internal/obs"
 	"chimera/internal/query"
 	"chimera/internal/schema"
@@ -134,9 +136,17 @@ func (s *Server) routes() {
 
 	handle("GET /v1/export", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
+		binary := acceptsBinary(r.Header.Get("Accept"))
 		if !q.Has("since") && !q.Has("instance") {
 			// Legacy full-export form.
-			writeJSONPooled(w, http.StatusOK, s.Cat.Export())
+			exp := s.Cat.Export()
+			if binary {
+				writeBinaryPooled(w, func(buf *bytes.Buffer) error {
+					return binaryExportCodec.EncodeSnapshot(buf, exp.CodecPayload())
+				})
+				return
+			}
+			writeJSONPooled(w, http.StatusOK, exp)
 			return
 		}
 		since, err := strconv.ParseUint(q.Get("since"), 10, 64)
@@ -149,7 +159,14 @@ func (s *Server) routes() {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad instance: " + q.Get("instance")})
 			return
 		}
-		writeJSONPooled(w, http.StatusOK, s.Cat.ChangesSince(since, instance))
+		d := s.Cat.ChangesSince(since, instance)
+		if binary {
+			writeBinaryPooled(w, func(buf *bytes.Buffer) error {
+				return binaryExportCodec.EncodeDelta(buf, d.CodecDelta())
+			})
+			return
+		}
+		writeJSONPooled(w, http.StatusOK, d)
 	})
 
 	handle("GET /v1/types", func(w http.ResponseWriter, r *http.Request) {
@@ -404,6 +421,42 @@ func writeJSONPooled(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledExportBuf {
+		exportBufs.Put(buf)
+	}
+}
+
+// binaryExportCodec is the negotiated wire codec for /v1/export; the
+// registry lookup happens once (init-registered, cannot fail).
+var binaryExportCodec, _ = codec.Lookup(codec.BinaryName)
+
+// acceptsBinary reports whether an Accept header offers the binary
+// export transport. Absent or wildcard-only headers (and every header a
+// pre-negotiation client sends) keep the JSON default.
+func acceptsBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mt) == codec.BinaryContentType {
+			return true
+		}
+	}
+	return false
+}
+
+// writeBinaryPooled streams a binary export body through the shared
+// export buffer pool with an exact Content-Length.
+func writeBinaryPooled(w http.ResponseWriter, encode func(*bytes.Buffer) error) {
+	buf := exportBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := encode(buf); err != nil {
+		exportBufs.Put(buf)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "encode: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", codec.BinaryContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes())
 	if buf.Cap() <= maxPooledExportBuf {
 		exportBufs.Put(buf)
