@@ -139,3 +139,14 @@ func BenchmarkE16Codec(b *testing.B) {
 		return bench.E16Codec([]int{10000}, 0.05)
 	})
 }
+
+// BenchmarkE17Replication regenerates E17: the dynamic-replication
+// shoot-out (none vs popularity vs economy eviction) on the 48-site
+// hierarchical testbed (docs/PERF.md, "Grid simulator at scale"). Kept
+// small so the -race CI smoke run covers the popularity tracker,
+// reclaim economics, and hierarchy-aware placement in seconds.
+func BenchmarkE17Replication(b *testing.B) {
+	runTable(b, func() (bench.Table, error) {
+		return bench.E17DynamicReplication([]int{200}, 2)
+	})
+}

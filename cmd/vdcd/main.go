@@ -58,7 +58,9 @@ import (
 	"chimera/internal/catalog"
 	"chimera/internal/dtype"
 	"chimera/internal/federation"
+	"chimera/internal/grid"
 	"chimera/internal/obs"
+	"chimera/internal/planner"
 	"chimera/internal/vds"
 )
 
@@ -134,6 +136,17 @@ func main() {
 	srv := vds.NewServer(*name, cat)
 	srv.ReadOnly = *readonly
 
+	// Grid-simulation and replication counters (events, queue resizes,
+	// replicas created, evictions) are process-wide; expose them under
+	// one /debug/vdc section. Federation (below) chains its own section.
+	srv.OnDebug = func(info map[string]any) {
+		stats := grid.DebugStats()
+		for k, v := range planner.DebugStats() {
+			stats[k] = v
+		}
+		info["grid"] = stats
+	}
+
 	var tracer *obs.Tracer
 	if *traceOn {
 		tracer = obs.NewTracer()
@@ -187,7 +200,9 @@ func main() {
 			cl.MaxResponseBytes = *maxExportBytes
 			ix.AddMember(strings.TrimSpace(authority), cl)
 		}
+		base := srv.OnDebug
 		srv.OnDebug = func(info map[string]any) {
+			base(info)
 			info["federation"] = map[string]any{
 				"members": ix.Members(),
 				"crawls":  ix.Crawls(),

@@ -83,6 +83,9 @@ func experiments() []experiment {
 		{"E16",
 			func() (bench.Table, error) { return bench.E16Codec([]int{20000, 100000}, 0.01) },
 			func() (bench.Table, error) { return bench.E16Codec([]int{100000, 1000000}, 0.01) }},
+		{"E17",
+			func() (bench.Table, error) { return bench.E17DynamicReplication([]int{200, 1000}, 2) },
+			func() (bench.Table, error) { return bench.E17DynamicReplication([]int{1000, 10000}, 2) }},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -96,7 +99,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E16, A1..A3, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E17, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")
@@ -134,7 +137,7 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", ex.id, time.Since(start).Round(time.Millisecond))
 		// CI consumes these experiments' headline numbers as artifacts.
-		if ex.id == "E15" || ex.id == "E16" {
+		if ex.id == "E15" || ex.id == "E16" || ex.id == "E17" {
 			name := "BENCH_" + ex.id + ".json"
 			data, err := json.MarshalIndent(tab, "", "  ")
 			if err == nil {

@@ -311,3 +311,38 @@ func TestA2TrackingWins(t *testing.T) {
 		t.Errorf("tracking did not help: with=%g without=%g", with, without)
 	}
 }
+
+func TestE17EconomyBeatsPopularityUnderPressure(t *testing.T) {
+	tab, err := E17DynamicReplication([]int{1000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := map[string]int{} // workload/policy -> row index
+	for i := range tab.Rows {
+		row[cell(t, tab, i, "workload")+"/"+cell(t, tab, i, "policy")] = i
+	}
+	for _, w := range []string{"sdss", "cms"} {
+		if cellF(t, tab, row[w+"/none"], "replicas") != 0 {
+			t.Errorf("%s: no-replication arm created replicas", w)
+		}
+		noneWAN := cellF(t, tab, row[w+"/none"], "wan-GB")
+		popWAN := cellF(t, tab, row[w+"/popularity"], "wan-GB")
+		if !(popWAN < noneWAN) {
+			t.Errorf("%s: popularity did not cut WAN: none=%g pop=%g", w, noneWAN, popWAN)
+		}
+	}
+	// The CMS community's large samples overwhelm the bounded caches:
+	// the popularity arm stops replicating, the economy arm evicts cold
+	// replicas and keeps winning on both WAN and makespan.
+	if !(cellF(t, tab, row["cms/economy"], "evictions") > 0) {
+		t.Error("cms: economy arm evicted nothing")
+	}
+	ecoWAN := cellF(t, tab, row["cms/economy"], "wan-GB")
+	popWAN := cellF(t, tab, row["cms/popularity"], "wan-GB")
+	if !(ecoWAN < popWAN) {
+		t.Errorf("cms: economy WAN (%g) not below popularity (%g)", ecoWAN, popWAN)
+	}
+	if !(cellF(t, tab, row["cms/economy"], "makespan-s") < cellF(t, tab, row["cms/popularity"], "makespan-s")) {
+		t.Errorf("cms: economy makespan not below popularity: %v", tab.Rows)
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"chimera/internal/catalog"
+	"chimera/internal/dag"
+	"chimera/internal/estimator"
+	"chimera/internal/executor"
+	"chimera/internal/grid"
+	"chimera/internal/planner"
+	"chimera/internal/replica"
+	"chimera/internal/schema"
+	"chimera/internal/workload"
+)
+
+// e17Community shapes one analysis community hitting a shared archive:
+// a Zipf-popular dataset collection whose primaries live at the
+// archive site of the hierarchical testbed, analyzed by independent
+// jobs spread across every site.
+type e17Community struct {
+	name     string
+	datasets int     // archive size in datasets
+	size     int64   // bytes per dataset
+	skew     float64 // Zipf exponent of the access trace
+	cacheCap int64   // per-site cache capacity at non-archive sites
+}
+
+// e17Communities are the two workload shapes of the shoot-out: an
+// SDSS-style survey (many modest fields, broad interest) and a
+// CMS-style event archive (few large samples, a hot head).
+func e17Communities() []e17Community {
+	return []e17Community{
+		{name: "sdss", datasets: 300, size: 200e6, skew: 1.2, cacheCap: 1e9},
+		{name: "cms", datasets: 60, size: 2e9, skew: 1.8, cacheCap: 4e9},
+	}
+}
+
+func e17Counter(stats map[string]any, key string) uint64 {
+	if v, ok := stats[key].(uint64); ok {
+		return v
+	}
+	return 0
+}
+
+// e17Run executes one arm of the shoot-out and reports makespan, WAN
+// volume, and the replica/eviction counts attributable to the run.
+func e17Run(hosts, jobs int, c e17Community, policy string) (makespan, wanGB float64, replicas, evictions uint64, err error) {
+	g, err := grid.HierarchicalTestbed(grid.HierarchyParams{
+		Hosts: hosts, SpeedSpread: 0.1, Seed: 17,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	sites := g.Sites()
+	archive := sites[0]
+	// The archive site keeps its bulk store; every other site offers
+	// only a bounded cache, so replica placement has to economize.
+	for _, name := range sites[1:] {
+		s, _ := g.Site(name)
+		s.Storage.Capacity = c.cacheCap
+	}
+
+	cat := catalog.New(nil)
+	analyze := schema.Transformation{
+		Namespace: c.name, Name: "analyze", Kind: schema.Simple, Exec: "/bin/analyze",
+		Args: []schema.FormalArg{
+			{Name: "out", Direction: schema.Out},
+			{Name: "in", Direction: schema.In},
+		}}
+	if err := cat.AddTransformation(analyze); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for i := 0; i < c.datasets; i++ {
+		name := fmt.Sprintf("%s.%04d", c.name, i)
+		if err := cat.AddDataset(schema.Dataset{Name: name, Size: c.size}); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := cat.AddReplica(schema.Replica{
+			ID: "prim-" + name, Dataset: name, Site: archive,
+			PFN: "/archive/" + name, Size: c.size,
+		}); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	trace := workload.Zipf(17, c.datasets, c.skew, jobs)
+	var dvs []schema.Derivation
+	for j, pick := range trace {
+		dv := schema.Derivation{TR: analyze.Ref(), Params: map[string]schema.Actual{
+			"out": schema.DatasetActual("output", fmt.Sprintf("%s.result.%05d", c.name, j)),
+			"in":  schema.DatasetActual("input", fmt.Sprintf("%s.%04d", c.name, pick)),
+		}}
+		stored, err := cat.AddDerivation(dv)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		dvs = append(dvs, stored)
+	}
+
+	cl := grid.NewCluster(g, grid.NewSim(17))
+	est := estimator.New(300)
+	pl := planner.New(cat, est, cl)
+	// Hierarchy-aware placement in every arm: transatlantic staging is
+	// priced above its raw bandwidth cost, steering work regional.
+	pl.LinkClassWeight = map[string]float64{grid.ClassTransatlantic: 4}
+	switch policy {
+	case "none":
+		pl.Replication = planner.NoReplication{}
+	case "popularity", "economy":
+		pop := replica.NewPopularity(1500)
+		pl.Pop = pop
+		pl.SimNow = cl.Sim.Now
+		pl.Replication = planner.PopularityDriven{Pop: pop, Now: cl.Sim.Now, Threshold: 2}
+		pl.EconomyEviction = policy == "economy"
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("E17: unknown policy %q", policy)
+	}
+
+	graph, err := dag.Build(dvs, cat.Resolver())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	before := planner.DebugStats()
+	ex := &executor.Executor{Driver: executor.NewSimDriver(cl), Assign: pl.Assign, OnEvent: pl.OnEvent, Catalog: cat}
+	rep, err := ex.Run(graph)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !rep.Succeeded() {
+		return 0, 0, 0, 0, fmt.Errorf("E17: %s/%s at %d hosts failed", c.name, policy, hosts)
+	}
+	after := planner.DebugStats()
+	replicas = e17Counter(after, "replicas_created_total") - e17Counter(before, "replicas_created_total")
+	evictions = e17Counter(after, "evictions_total") - e17Counter(before, "evictions_total")
+	return rep.Makespan, float64(cl.TransferredBytes) / 1e9, replicas, evictions, nil
+}
+
+// E17DynamicReplication is the replication shoot-out on the 48-site
+// hierarchical testbed: no-replication vs popularity-driven caching vs
+// popularity + economy eviction, for SDSS- and CMS-shaped communities,
+// at each host count. Non-archive sites have bounded caches, so the
+// popularity arm stops replicating once caches fill while the economy
+// arm keeps trading cold replicas for hot ones.
+func E17DynamicReplication(hostCounts []int, jobsPerHost int) (Table, error) {
+	t := Table{
+		Experiment: "E17",
+		Title: fmt.Sprintf("dynamic replication at grid scale (%d jobs/host, 48-site bandwidth hierarchy)",
+			jobsPerHost),
+		Columns: []string{"workload", "hosts", "policy", "makespan-s", "wan-GB",
+			"replicas", "evictions", "wan-saved-%"},
+		Metrics: map[string]float64{},
+	}
+	for _, c := range e17Communities() {
+		for _, hosts := range hostCounts {
+			jobs := jobsPerHost * hosts
+			var noneWAN float64
+			for _, policy := range []string{"none", "popularity", "economy"} {
+				makespan, wanGB, replicas, evictions, err := e17Run(hosts, jobs, c, policy)
+				if err != nil {
+					return t, err
+				}
+				if policy == "none" {
+					noneWAN = wanGB
+				}
+				saved := 0.0
+				if noneWAN > 0 {
+					saved = 100 * (1 - wanGB/noneWAN)
+				}
+				t.Add(c.name, hosts, policy, makespan, wanGB, replicas, evictions, saved)
+				// Headline: WAN saved at the largest host count.
+				if hosts == hostCounts[len(hostCounts)-1] && policy != "none" {
+					t.Metrics[c.name+"_"+policy+"_wan_saved_pct"] = saved
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"caches at non-archive sites are bounded: popularity stops replicating when they fill; economy evicts the lowest popularity x refetch-cost replica to admit hotter data",
+		"wan-saved-% is WAN volume relative to the no-replication arm at the same workload and host count")
+	return t, nil
+}

@@ -1,0 +1,346 @@
+package grid
+
+import "math"
+
+// calQueue is an indexed calendar queue (Brown, CACM 1988): the default
+// event engine. Events hash by time into an array of buckets, each
+// bucket a slice kept sorted by (time, seq); one bucket covers `width`
+// seconds of virtual time, and the whole array covers one "year" of
+// nbuckets×width seconds, wrapping for later years.
+//
+// Push appends into a bucket (binary search + memmove within an
+// expected-O(1)-length slice); pop resumes a rotating scan from the
+// bucket of the last dispatched event, taking the first event whose
+// window number matches the scan's current year. When occupancy drifts
+// outside [nbuckets, 4×nbuckets] the bucket array is rebuilt at the
+// new size with a width re-estimated from a stride sample of queued
+// events, so both operations stay O(1) amortized at any queue depth —
+// against the heap's O(log n) per event at 10k-host occupancy.
+//
+// Window numbers, not raw times, drive all placement and scanning: an
+// event's window is floor(time/width), an exact float integer computed
+// once per (event, width); its bucket is window mod nbuckets, and the
+// scan compares whole windows. Comparing raw times against accumulated
+// float window edges is 1-ulp fragile — an event whose time lands
+// exactly on a bucket boundary can fail a `time < edge` check against
+// its own window's edge and silently wait an entire extra year.
+//
+// Events are stored by value, each bucket keeps its slice header and
+// head index on the same cache line, and retired bucket arrays are
+// pooled in a freelist, so steady-state scheduling allocates nothing
+// (the heap engine allocates one node per event).
+//
+// Determinism contract: pop returns the exact (time, seq) minimum.
+// Simultaneous events always share a bucket (equal times hash
+// identically) where they sort by seq, so FIFO tie-breaking is
+// preserved and trajectories are byte-identical to the heap oracle's.
+type calQueue struct {
+	buckets []calBucket
+	mask    int // len(buckets)-1; bucket counts are powers of two
+	width   float64
+	n       int
+
+	// Rotating-scan position: the last dispatched event's bucket, its
+	// window number, and its time. Only pop persists these — a peek
+	// must not advance them, because events pushed later may still land
+	// below a peeked-ahead window.
+	lastBucket int
+	curWin     float64
+	lastPrio   float64
+
+	// free pools retired bucket backing arrays across resizes.
+	free [][]calEvent
+
+	resizes int // lifetime resize count (also counted in metricQueueResizes)
+}
+
+// calBucket is one calendar day: a (time, seq)-sorted slice whose live
+// region starts at head. Keeping head next to the slice header means
+// one cache fetch per bucket probe instead of two parallel-array hits.
+type calBucket struct {
+	events []calEvent
+	head   int
+}
+
+// calEvent pairs an event with its window number under the current
+// width, so scans compare exact cached integers instead of re-deriving
+// them from times.
+type calEvent struct {
+	event
+	win float64
+}
+
+const (
+	calMinBuckets  = 8
+	calInitWidth   = 1.0
+	calSampleItems = 32
+)
+
+func newCalQueue() *calQueue {
+	q := &calQueue{width: calInitWidth}
+	q.setBucketCount(calMinBuckets)
+	return q
+}
+
+// setBucketCount installs a bucket array of size nb, drawing backing
+// arrays from the freelist when available.
+func (q *calQueue) setBucketCount(nb int) {
+	q.buckets = make([]calBucket, nb)
+	for i := range q.buckets {
+		if k := len(q.free); k > 0 {
+			q.buckets[i].events = q.free[k-1][:0]
+			q.free = q.free[:k-1]
+		}
+	}
+	q.mask = nb - 1
+}
+
+// winOf maps a time to its absolute window number: an exact float
+// integer (times beyond 2^53 windows merge, consistently, since every
+// placement and comparison goes through this same computation).
+func (q *calQueue) winOf(t float64) float64 {
+	return math.Floor(t / q.width)
+}
+
+// bucketOf maps a window number to its bucket index. Bucket counts are
+// powers of two, so the common case is a mask of the integer window;
+// windows outside int64 range (astronomical times over tiny widths)
+// take the slow math.Mod path.
+func (q *calQueue) bucketOf(win float64) int {
+	if win >= 0 && win < 1<<62 {
+		return int(int64(win)) & q.mask
+	}
+	b := int(math.Mod(win, float64(len(q.buckets))))
+	if b < 0 {
+		b += len(q.buckets)
+	}
+	if b >= len(q.buckets) { // FP edge (win ~ 2^63)
+		b = 0
+	}
+	return b
+}
+
+func (q *calQueue) push(e event) {
+	ce := calEvent{event: e, win: q.winOf(e.time)}
+	q.insert(q.bucketOf(ce.win), ce)
+	q.n++
+	if e.time < q.lastPrio {
+		// Defensive resync: Sim.At clamps times to >= now, so this
+		// cannot fire from the simulator, but the queue stays correct
+		// for any caller by restarting the scan at the earlier event.
+		q.lastPrio = e.time
+		q.curWin = ce.win
+		q.lastBucket = q.bucketOf(ce.win)
+	}
+	if q.n > 4*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// insert places ce into bucket b keeping the live region sorted by
+// (time, seq).
+func (q *calQueue) insert(b int, ce calEvent) {
+	bk := &q.buckets[b]
+	ev := bk.events
+	lo, hi := bk.head, len(ev)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ev[mid].before(ce.event) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ev = append(ev, calEvent{})
+	copy(ev[lo+1:], ev[lo:])
+	ev[lo] = ce
+	bk.events = ev
+}
+
+// take removes the first live event of bucket b. When the dead prefix
+// left by prior takes outgrows the live region it is compacted away —
+// without this, a bucket that never fully drains (steady interleaved
+// push/pop at high occupancy) grows its backing array without bound.
+func (q *calQueue) take(b int) calEvent {
+	bk := &q.buckets[b]
+	h := bk.head
+	ce := bk.events[h]
+	bk.events[h] = calEvent{} // release the closure for GC
+	h++
+	switch {
+	case h == len(bk.events):
+		bk.events = bk.events[:0]
+		h = 0
+	case h > 16 && h > len(bk.events)-h:
+		live := copy(bk.events, bk.events[h:])
+		for i := live; i < len(bk.events); i++ {
+			bk.events[i] = calEvent{}
+		}
+		bk.events = bk.events[:live]
+		h = 0
+	}
+	bk.head = h
+	q.n--
+	return ce
+}
+
+func (q *calQueue) pop() (event, bool) {
+	if q.n == 0 {
+		return event{}, false
+	}
+	nb := len(q.buckets)
+	i, win := q.lastBucket, q.curWin
+	for k := 0; k < nb; k++ {
+		bk := &q.buckets[i]
+		if h := bk.head; h < len(bk.events) {
+			if ce := bk.events[h]; ce.win <= win {
+				q.take(i)
+				q.lastBucket, q.curWin, q.lastPrio = i, ce.win, ce.time
+				q.maybeShrink()
+				return ce.event, true
+			}
+		}
+		i++
+		if i == nb {
+			i = 0
+		}
+		win++
+	}
+	// No event inside the next full year: the queue is sparse relative
+	// to the calendar. Direct-search the global minimum and resync the
+	// scan position to its window.
+	ce, b := q.minEvent()
+	q.take(b)
+	q.lastBucket = b
+	q.curWin = ce.win
+	q.lastPrio = ce.time
+	q.maybeShrink()
+	return ce.event, true
+}
+
+// minEvent finds the (time, seq)-minimum across all buckets. Each
+// bucket is sorted, so only first live events are compared.
+func (q *calQueue) minEvent() (calEvent, int) {
+	var best calEvent
+	bi := -1
+	for j := range q.buckets {
+		bk := &q.buckets[j]
+		if bk.head >= len(bk.events) {
+			continue
+		}
+		if ce := bk.events[bk.head]; bi < 0 || ce.before(best.event) {
+			best, bi = ce, j
+		}
+	}
+	return best, bi
+}
+
+// peek reports the minimum pending time without disturbing the scan
+// position (see the field comment: persisting a peeked-ahead position
+// would misorder events pushed below it afterwards).
+func (q *calQueue) peek() (float64, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	nb := len(q.buckets)
+	i, win := q.lastBucket, q.curWin
+	for k := 0; k < nb; k++ {
+		bk := &q.buckets[i]
+		if h := bk.head; h < len(bk.events) {
+			if ce := bk.events[h]; ce.win <= win {
+				return ce.time, true
+			}
+		}
+		i++
+		if i == nb {
+			i = 0
+		}
+		win++
+	}
+	ce, _ := q.minEvent()
+	return ce.time, true
+}
+
+func (q *calQueue) len() int { return q.n }
+
+func (q *calQueue) maybeShrink() {
+	if nb := len(q.buckets); nb > calMinBuckets && q.n < nb {
+		q.resize(nb / 2)
+	}
+}
+
+// resize rebuilds the calendar at nb buckets with a freshly estimated
+// width, reinserting every live event (window numbers are recomputed
+// under the new width). Retired backing arrays feed the freelist.
+// Amortized against the doubling/halving schedule this keeps push/pop
+// O(1).
+func (q *calQueue) resize(nb int) {
+	if nb < calMinBuckets {
+		nb = calMinBuckets
+	}
+	if w := q.estimateWidth(); w > 0 {
+		q.width = w
+	}
+	old := q.buckets
+	q.setBucketCount(nb)
+	for b := range old {
+		for _, ce := range old[b].events[old[b].head:] {
+			ce.win = q.winOf(ce.time)
+			q.insert(q.bucketOf(ce.win), ce)
+		}
+		// Pool the retired array with its slots cleared so freed
+		// closures do not linger.
+		arr := old[b].events[:cap(old[b].events)]
+		for i := range arr {
+			arr[i] = calEvent{}
+		}
+		if len(q.free) < nb {
+			q.free = append(q.free, arr[:0])
+		}
+	}
+	q.curWin = q.winOf(q.lastPrio)
+	q.lastBucket = q.bucketOf(q.curWin)
+	q.resizes++
+	metricQueueResizes.Inc()
+}
+
+// estimateWidth derives a bucket width from a stride sample of queued
+// events: the mean inter-event gap over the sampled span, scaled so an
+// average bucket holds ~3 events. Returns 0 when no estimate is
+// possible (empty or all-simultaneous queue), meaning keep the current
+// width.
+func (q *calQueue) estimateWidth() float64 {
+	if q.n < 2 {
+		return 0
+	}
+	stride := q.n / calSampleItems
+	if stride < 1 {
+		stride = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	sampled := 0
+	skip := 0
+	for b := range q.buckets {
+		bk := q.buckets[b].events[q.buckets[b].head:]
+		for j := range bk {
+			if skip > 0 {
+				skip--
+				continue
+			}
+			skip = stride - 1
+			t := bk[j].time
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+			sampled++
+		}
+	}
+	if sampled < 2 || hi <= lo {
+		return 0
+	}
+	// Sampled span approximates the full span; gap = span/n events.
+	return 3 * (hi - lo) / float64(q.n)
+}

@@ -1,0 +1,166 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReleaseUnderflowRegression pins the Release contract: exact
+// alloc/release pairs are silent, over-releases clamp to zero but
+// report the error and bump the underflow counter.
+func TestReleaseUnderflowRegression(t *testing.T) {
+	se := &StorageElement{Site: "ul", Capacity: 1000}
+	if err := se.Alloc(400); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Release(400); err != nil {
+		t.Errorf("balanced release errored: %v", err)
+	}
+	if err := se.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	before := metricReleaseUnderflow.Value()
+	err := se.Release(250)
+	if err == nil {
+		t.Fatal("over-release returned no error")
+	}
+	if !strings.Contains(err.Error(), "ul") || !strings.Contains(err.Error(), "150") {
+		t.Errorf("error names neither site nor overage: %v", err)
+	}
+	if se.Used() != 0 {
+		t.Errorf("usage not clamped: %d", se.Used())
+	}
+	if got := metricReleaseUnderflow.Value(); got != before+1 {
+		t.Errorf("underflow counter: got %d want %d", got, before+1)
+	}
+	if err := se.Release(-5); err == nil {
+		t.Error("negative release accepted")
+	}
+	// The element stays serviceable after the accounting error.
+	if err := se.Alloc(1000); err != nil {
+		t.Errorf("element unusable after clamped underflow: %v", err)
+	}
+}
+
+// TestFailHostQueuedJobPropagation covers the queued-job half of host
+// failure: a job that never started running still gets Failed=true and
+// an OnDone callback at the failure instant with zero elapsed.
+func TestFailHostQueuedJobPropagation(t *testing.T) {
+	g := NewGrid()
+	if _, err := g.AddSite("s", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddHost("s", "h0", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(1)
+	c := NewCluster(g, s)
+
+	type doneRec struct {
+		id             string
+		start, elapsed float64
+		failed         bool
+	}
+	var done []doneRec
+	submit := func(id string, work float64) *Job {
+		j := &Job{ID: id, Work: work}
+		j.OnDone = func(start, elapsed float64) {
+			done = append(done, doneRec{id, start, elapsed, j.Failed})
+		}
+		if err := c.Submit("h0", j); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	running := submit("running", 100)
+	queued := submit("queued", 100)
+
+	s.RunUntil(10)
+	if err := c.FailHost("h0"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	if len(done) != 2 {
+		t.Fatalf("OnDone fired %d times, want 2 (running and queued)", len(done))
+	}
+	for _, d := range done {
+		if !d.failed {
+			t.Errorf("job %s: Failed not set at OnDone", d.id)
+		}
+		if d.start != 10 || d.elapsed != 0 {
+			t.Errorf("job %s: done at start=%g elapsed=%g, want failure instant 10/0", d.id, d.start, d.elapsed)
+		}
+	}
+	if !running.Failed || !queued.Failed {
+		t.Error("Failed flag not persisted on job structs")
+	}
+	// Resubmission to the downed host is refused until repair.
+	if err := c.Submit("h0", &Job{ID: "late", Work: 1}); err == nil {
+		t.Error("submission to downed host accepted")
+	}
+	if err := c.RepairHost("h0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit("h0", &Job{ID: "after-repair", Work: 1}); err != nil {
+		t.Errorf("submission after repair refused: %v", err)
+	}
+	s.Run()
+}
+
+// TestFailedTransferReleasesStorage models the planner-side contract
+// around Transfer.OnDone: when a staging transfer lands on a host that
+// has since failed, the driver must release its storage reservation —
+// and exactly once, with the double-release caught by Release.
+func TestFailedTransferReleasesStorage(t *testing.T) {
+	g := NewGrid()
+	for _, site := range []string{"src", "dst"} {
+		if _, err := g.AddSite(site, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddHost("dst", "d0", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "dst", 100, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(1)
+	c := NewCluster(g, s)
+	dst, _ := g.Site("dst")
+
+	if err := dst.Storage.Alloc(500); err != nil {
+		t.Fatal(err)
+	}
+	var transferDone bool
+	err := c.TransferData(&Transfer{ID: "stage", From: "src", To: "dst", Bytes: 500,
+		OnDone: func(start, elapsed float64) {
+			transferDone = true
+			// Destination host failed mid-transfer: the staged bytes are
+			// orphaned, so the reservation is returned.
+			if h, _ := g.Host("d0"); h.Down() {
+				if err := dst.Storage.Release(500); err != nil {
+					t.Errorf("release of failed staging errored: %v", err)
+				}
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(1)
+	if err := c.FailHost("d0"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	if !transferDone {
+		t.Fatal("transfer OnDone never fired")
+	}
+	if dst.Storage.Used() != 0 {
+		t.Errorf("staging reservation leaked: %d bytes", dst.Storage.Used())
+	}
+	// A second (buggy) release of the same reservation is reported.
+	if err := dst.Storage.Release(500); err == nil {
+		t.Error("double release of staging reservation went unreported")
+	}
+}

@@ -155,7 +155,9 @@ func TestStorageAccounting(t *testing.T) {
 	if se.Used() != 60 || se.Free() != 40 {
 		t.Errorf("used=%d free=%d", se.Used(), se.Free())
 	}
-	se.Release(100)
+	if err := se.Release(100); err == nil {
+		t.Error("underflow release (100 of 60) returned no error")
+	}
 	if se.Used() != 0 {
 		t.Errorf("release floor: %d", se.Used())
 	}

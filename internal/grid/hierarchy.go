@@ -1,0 +1,146 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HierarchyParams sizes a grid-scale topology an order of magnitude
+// past the paper's four-site ~800-host testbed: Regions wide-area
+// regions (think continents), SitesPerRegion sites each, and Hosts
+// worker nodes distributed evenly across the sites. Links form a full
+// mesh with a two-tier bandwidth hierarchy — fat low-latency regional
+// links inside a region, thin high-latency transatlantic links between
+// regions — plus the implicit intra-site LAN.
+type HierarchyParams struct {
+	// Regions is the number of wide-area regions (default 3).
+	Regions int
+	// SitesPerRegion is the number of sites per region (default 16).
+	SitesPerRegion int
+	// Hosts is the total host count across all sites (default 10000).
+	Hosts int
+	// Cores per host (default 1).
+	Cores int
+	// StoragePerSite is each site's storage capacity (default 100 TB).
+	StoragePerSite int64
+	// SpeedSpread is the ± fractional host-speed variation around 1.0,
+	// drawn deterministically from Seed (default 0: uniform hosts).
+	SpeedSpread float64
+	// Seed drives the host-speed variation.
+	Seed int64
+
+	// RegionalBW/RegionalLatency size intra-region links
+	// (defaults 100 MB/s, 10 ms — a 2002-era well-provisioned NREN).
+	RegionalBW, RegionalLatency float64
+	// WANBW/WANLatency size inter-region links
+	// (defaults 10 MB/s, 150 ms — a shared transatlantic path).
+	WANBW, WANLatency float64
+	// RegionalStreams/WANStreams are the per-link parallel transfer
+	// slots (defaults 8 and 4).
+	RegionalStreams, WANStreams int
+}
+
+func (p *HierarchyParams) defaults() {
+	if p.Regions <= 0 {
+		p.Regions = 3
+	}
+	if p.SitesPerRegion <= 0 {
+		p.SitesPerRegion = 16
+	}
+	if p.Hosts <= 0 {
+		p.Hosts = 10000
+	}
+	if p.Cores <= 0 {
+		p.Cores = 1
+	}
+	if p.StoragePerSite <= 0 {
+		p.StoragePerSite = 100e12
+	}
+	if p.RegionalBW <= 0 {
+		p.RegionalBW = 100e6
+	}
+	if p.RegionalLatency < 0 {
+		p.RegionalLatency = 0
+	} else if p.RegionalLatency == 0 {
+		p.RegionalLatency = 0.010
+	}
+	if p.WANBW <= 0 {
+		p.WANBW = 10e6
+	}
+	if p.WANLatency == 0 {
+		p.WANLatency = 0.150
+	}
+	if p.RegionalStreams <= 0 {
+		p.RegionalStreams = 8
+	}
+	if p.WANStreams <= 0 {
+		p.WANStreams = 4
+	}
+}
+
+// HierarchySiteName names site s of region r ("r01s04"). Names sort by
+// (region, site), so Grid.Sites() lists region 0's sites first.
+func HierarchySiteName(region, site int) string {
+	return fmt.Sprintf("r%02ds%02d", region, site)
+}
+
+// HierarchicalTestbed builds the multi-region topology. Host counts
+// divide evenly across sites with the remainder going to the earliest
+// sites, so any Hosts value is honored exactly.
+func HierarchicalTestbed(p HierarchyParams) (*Grid, error) {
+	p.defaults()
+	nSites := p.Regions * p.SitesPerRegion
+	if p.Hosts < nSites {
+		return nil, fmt.Errorf("grid: %d hosts cannot cover %d sites", p.Hosts, nSites)
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	g := NewGrid()
+
+	base := p.Hosts / nSites
+	extra := p.Hosts % nSites
+	idx := 0
+	var names []string
+	for r := 0; r < p.Regions; r++ {
+		for s := 0; s < p.SitesPerRegion; s++ {
+			name := HierarchySiteName(r, s)
+			names = append(names, name)
+			if _, err := g.AddSite(name, p.StoragePerSite); err != nil {
+				return nil, err
+			}
+			hosts := base
+			if idx < extra {
+				hosts++
+			}
+			idx++
+			for h := 0; h < hosts; h++ {
+				speed := 1.0
+				if p.SpeedSpread > 0 {
+					speed = 1 + p.SpeedSpread*(2*rng.Float64()-1)
+				}
+				hostName := fmt.Sprintf("%s-h%04d", name, h)
+				if _, err := g.AddHost(name, hostName, speed, p.Cores); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Full mesh: regional links inside a region, transatlantic between.
+	for i := 0; i < nSites; i++ {
+		for j := i + 1; j < nSites; j++ {
+			sameRegion := i/p.SitesPerRegion == j/p.SitesPerRegion
+			var err error
+			if sameRegion {
+				err = g.ConnectClass(names[i], names[j], ClassRegional,
+					p.RegionalBW, p.RegionalLatency, p.RegionalStreams)
+			} else {
+				err = g.ConnectClass(names[i], names[j], ClassTransatlantic,
+					p.WANBW, p.WANLatency, p.WANStreams)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,77 @@
+package grid
+
+import "testing"
+
+func TestHierarchicalTestbed(t *testing.T) {
+	g, err := HierarchicalTestbed(HierarchyParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := g.Sites()
+	if len(sites) != 48 {
+		t.Fatalf("sites: got %d want 48", len(sites))
+	}
+	if g.TotalHosts() != 10000 {
+		t.Fatalf("hosts: got %d want 10000", g.TotalHosts())
+	}
+	// 10000 across 48 sites: 16 sites get 209 hosts, 32 get 208.
+	counts := map[int]int{}
+	for _, s := range sites {
+		counts[len(g.HostNames(s))]++
+	}
+	if counts[209] != 16 || counts[208] != 32 {
+		t.Errorf("host distribution off: %v", counts)
+	}
+	if sites[0] != "r00s00" {
+		t.Errorf("first site %q; names must sort region 0 first", sites[0])
+	}
+
+	// Bandwidth hierarchy: same-region links regional, cross-region
+	// transatlantic, same-site local.
+	if got := g.ClassBetween("r00s00", "r00s15"); got != ClassRegional {
+		t.Errorf("intra-region class: %q", got)
+	}
+	if got := g.ClassBetween("r00s00", "r02s00"); got != ClassTransatlantic {
+		t.Errorf("cross-region class: %q", got)
+	}
+	if got := g.ClassBetween("r01s03", "r01s03"); got != ClassLocal {
+		t.Errorf("same-site class: %q", got)
+	}
+	reg, ok := g.Link("r00s00", "r00s01")
+	if !ok {
+		t.Fatal("missing regional link")
+	}
+	wan, ok := g.Link("r00s00", "r01s00")
+	if !ok {
+		t.Fatal("missing transatlantic link")
+	}
+	if reg.Bandwidth <= wan.Bandwidth {
+		t.Errorf("hierarchy inverted: regional %g <= wan %g", reg.Bandwidth, wan.Bandwidth)
+	}
+	if reg.LatencySec >= wan.LatencySec {
+		t.Errorf("latency hierarchy inverted: regional %g >= wan %g", reg.LatencySec, wan.LatencySec)
+	}
+
+	// Deterministic for a fixed seed, including speed jitter.
+	a, err := HierarchicalTestbed(HierarchyParams{Hosts: 100, Regions: 2, SitesPerRegion: 2, SpeedSpread: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HierarchicalTestbed(HierarchyParams{Hosts: 100, Regions: 2, SitesPerRegion: 2, SpeedSpread: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Sites() {
+		for _, hn := range a.HostNames(s) {
+			ha, _ := a.Host(hn)
+			hb, _ := b.Host(hn)
+			if hb == nil || ha.Speed != hb.Speed {
+				t.Fatalf("host %s not deterministic across builds", hn)
+			}
+		}
+	}
+
+	if _, err := HierarchicalTestbed(HierarchyParams{Hosts: 10, Regions: 3, SitesPerRegion: 16}); err == nil {
+		t.Error("hosts < sites accepted")
+	}
+}

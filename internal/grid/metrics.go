@@ -1,0 +1,24 @@
+package grid
+
+import "chimera/internal/obs"
+
+// Grid simulator metrics: event-engine throughput and storage
+// accounting health.
+var (
+	metricEvents = obs.Default.Counter("vdc_grid_events_total",
+		"Discrete events dispatched by simulator Step calls.")
+	metricQueueResizes = obs.Default.Counter("vdc_grid_queue_resizes_total",
+		"Calendar-queue bucket-array resizes (occupancy-triggered).")
+	metricReleaseUnderflow = obs.Default.Counter("vdc_grid_storage_release_underflow_total",
+		"StorageElement.Release calls that freed more bytes than were allocated (accounting bugs).")
+)
+
+// DebugStats reports the grid simulator counters for runtime
+// introspection (/debug/vdc).
+func DebugStats() map[string]any {
+	return map[string]any{
+		"events_total":                    metricEvents.Value(),
+		"queue_resizes_total":             metricQueueResizes.Value(),
+		"storage_release_underflow_total": metricReleaseUnderflow.Value(),
+	}
+}

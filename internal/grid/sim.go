@@ -13,22 +13,43 @@ package grid
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 )
+
+// Options configures a simulator's event engine.
+type Options struct {
+	// HeapQueue selects the original container/heap event queue instead
+	// of the default indexed calendar queue. The heap is kept as the
+	// equivalence oracle: both engines dispatch events in identical
+	// (time, seq) order, so any run may be replayed on either and must
+	// produce a byte-identical trajectory.
+	HeapQueue bool
+}
 
 // Sim is the discrete-event engine. Time is simulated seconds from 0.
 // Sim is not safe for concurrent use: the executor drives it from one
 // goroutine, as all concurrency is simulated.
 type Sim struct {
-	now    float64
-	seq    int64
-	events eventQueue
-	rng    *rand.Rand
+	now float64
+	seq int64
+	q   simQueue
+	rng *rand.Rand
 }
 
-// NewSim returns a simulator seeded for reproducibility.
-func NewSim(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+// NewSim returns a simulator seeded for reproducibility, using the
+// calendar-queue engine.
+func NewSim(seed int64) *Sim { return NewSimOpts(seed, Options{}) }
+
+// NewSimOpts returns a seeded simulator with an explicit engine choice.
+func NewSimOpts(seed int64, o Options) *Sim {
+	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	if o.HeapQueue {
+		s.q = &heapQueue{}
+	} else {
+		s.q = newCalQueue()
+	}
+	return s
 }
 
 // Now returns the current simulated time in seconds.
@@ -38,13 +59,19 @@ func (s *Sim) Now() float64 { return s.now }
 // generators that want reproducible noise).
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at absolute simulated time t (>= now).
+// At schedules fn to run at absolute simulated time t (>= now). A
+// non-finite t would silently poison the queue ordering invariants
+// (NaN compares false against everything, so a heap or calendar bucket
+// holding one can strand other events); it is rejected loudly instead.
 func (s *Sim) At(t float64, fn func()) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("grid: Sim.At called with non-finite time %v at now=%g; event times must be finite", t, s.now))
+	}
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+	s.q.push(event{time: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -52,11 +79,12 @@ func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
 
 // Step runs the next event; it reports false when no events remain.
 func (s *Sim) Step() bool {
-	if s.events.Len() == 0 {
+	e, ok := s.q.pop()
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
 	s.now = e.time
+	metricEvents.Inc()
 	e.fn()
 	return true
 }
@@ -71,7 +99,11 @@ func (s *Sim) Run() float64 {
 // RunUntil processes events until the given time; pending later events
 // remain queued.
 func (s *Sim) RunUntil(t float64) {
-	for s.events.Len() > 0 && s.events[0].time <= t {
+	for {
+		next, ok := s.q.peek()
+		if !ok || next > t {
+			break
+		}
 		s.Step()
 	}
 	if s.now < t {
@@ -80,46 +112,7 @@ func (s *Sim) RunUntil(t float64) {
 }
 
 // Pending reports the number of queued events.
-func (s *Sim) Pending() int { return s.events.Len() }
-
-type event struct {
-	time  float64
-	seq   int64 // FIFO tie-break for simultaneous events
-	index int
-	fn    func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+func (s *Sim) Pending() int { return s.q.len() }
 
 // Noise returns a deterministic multiplicative jitter factor in
 // [1-amp, 1+amp]; amp 0 disables noise.
@@ -128,6 +121,91 @@ func (s *Sim) Noise(amp float64) float64 {
 		return 1
 	}
 	return 1 + amp*(2*s.rng.Float64()-1)
+}
+
+// event is one pending callback. Events are ordered by (time, seq):
+// the monotone seq gives simultaneous events FIFO semantics, which both
+// engines must preserve exactly (the determinism contract).
+type event struct {
+	time float64
+	seq  int64 // FIFO tie-break for simultaneous events
+	fn   func()
+}
+
+// before reports the (time, seq) ordering both engines sort by.
+func (e event) before(o event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
+// simQueue is the event-queue engine contract: push accepts any finite
+// time >= the last popped time, pop removes the (time, seq)-minimum,
+// peek reports its time without removing it.
+type simQueue interface {
+	push(e event)
+	pop() (event, bool)
+	peek() (float64, bool)
+	len() int
+}
+
+// heapQueue is the original pointer-heavy container/heap engine, kept
+// unchanged as the equivalence oracle and the perf baseline: every push
+// allocates one *event node and pays O(log n) sift, which is what the
+// calendar queue is measured against in BenchmarkSimEventThroughput.
+type heapQueue struct{ events heapEvents }
+
+func (h *heapQueue) push(e event) {
+	heap.Push(&h.events, &heapEvent{event: e})
+}
+
+func (h *heapQueue) pop() (event, bool) {
+	if h.events.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&h.events).(*heapEvent).event, true
+}
+
+func (h *heapQueue) peek() (float64, bool) {
+	if h.events.Len() == 0 {
+		return 0, false
+	}
+	return h.events[0].time, true
+}
+
+func (h *heapQueue) len() int { return h.events.Len() }
+
+type heapEvent struct {
+	event
+	index int
+}
+
+type heapEvents []*heapEvent
+
+func (q heapEvents) Len() int { return len(q) }
+
+func (q heapEvents) Less(i, j int) bool { return q[i].event.before(q[j].event) }
+
+func (q heapEvents) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *heapEvents) Push(x any) {
+	e := x.(*heapEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *heapEvents) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
 }
 
 func checkPositive(name string, v float64) error {

@@ -52,12 +52,25 @@ func (se *StorageElement) Alloc(bytes int64) error {
 	return nil
 }
 
-// Release frees previously allocated space.
-func (se *StorageElement) Release(bytes int64) {
+// Release frees previously allocated space. Releasing more than is
+// allocated is an accounting bug (typically a double release): the
+// usage is clamped to zero so the element stays serviceable, but the
+// underflow is counted and returned as an error instead of being
+// silently absorbed — silent clamping let double-releases corrupt
+// capacity accounting invisibly.
+func (se *StorageElement) Release(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("grid: negative release at %s (%d bytes)", se.Site, bytes)
+	}
 	se.used -= bytes
 	if se.used < 0 {
+		over := -se.used
 		se.used = 0
+		metricReleaseUnderflow.Inc()
+		return fmt.Errorf("grid: storage at %s released %d bytes more than allocated (double release?)",
+			se.Site, over)
 	}
+	return nil
 }
 
 // Site groups hosts and a storage element.
@@ -66,6 +79,16 @@ type Site struct {
 	Hosts   []*Host
 	Storage *StorageElement
 }
+
+// Link classes of the bandwidth hierarchy: intra-site LAN moves are
+// implicit (no Link object), links within a region are "regional", and
+// links crossing regions are "transatlantic". Planners may weight
+// staging costs by class to keep traffic low in the hierarchy.
+const (
+	ClassLocal         = "local"
+	ClassRegional      = "regional"
+	ClassTransatlantic = "transatlantic"
+)
 
 // Link models the WAN path between two sites.
 type Link struct {
@@ -78,6 +101,9 @@ type Link struct {
 	// Streams is the number of concurrent transfers served at full
 	// per-stream rate; additional transfers queue. Default 4.
 	Streams int
+	// Class labels the link's tier in the bandwidth hierarchy
+	// (ClassRegional/ClassTransatlantic); empty for flat topologies.
+	Class string
 
 	active  int
 	waiting []*Transfer
@@ -157,6 +183,12 @@ func (g *Grid) AddHosts(site, prefix string, n int, speed float64, cores int) er
 
 // Connect installs a bidirectional WAN link between two sites.
 func (g *Grid) Connect(a, b string, bandwidth, latencySec float64, streams int) error {
+	return g.ConnectClass(a, b, "", bandwidth, latencySec, streams)
+}
+
+// ConnectClass installs a bidirectional WAN link carrying a bandwidth-
+// hierarchy class label (ClassRegional, ClassTransatlantic).
+func (g *Grid) ConnectClass(a, b, class string, bandwidth, latencySec float64, streams int) error {
 	if _, ok := g.sites[a]; !ok {
 		return fmt.Errorf("grid: unknown site %q", a)
 	}
@@ -169,9 +201,27 @@ func (g *Grid) Connect(a, b string, bandwidth, latencySec float64, streams int) 
 	if err := checkPositive("link bandwidth", bandwidth); err != nil {
 		return err
 	}
-	l := &Link{From: a, To: b, Bandwidth: bandwidth, LatencySec: latencySec, Streams: streams}
+	l := &Link{From: a, To: b, Bandwidth: bandwidth, LatencySec: latencySec, Streams: streams, Class: class}
 	g.links[linkKey(a, b)] = l
 	return nil
+}
+
+// ClassBetween reports the bandwidth-hierarchy class of the path
+// between two sites: ClassLocal for same-site moves, the link's class
+// for connected sites (empty-class links report ClassRegional as the
+// flat-mesh default), and "" when no path exists.
+func (g *Grid) ClassBetween(a, b string) string {
+	if a == b {
+		return ClassLocal
+	}
+	l, ok := g.Link(a, b)
+	if !ok {
+		return ""
+	}
+	if l.Class == "" {
+		return ClassRegional
+	}
+	return l.Class
 }
 
 func linkKey(a, b string) [2]string {

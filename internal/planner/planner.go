@@ -23,6 +23,7 @@ import (
 	"chimera/internal/executor"
 	"chimera/internal/grid"
 	"chimera/internal/obs"
+	"chimera/internal/replica"
 	"chimera/internal/schema"
 )
 
@@ -40,7 +41,24 @@ var (
 		"Assign-cache lookups of replica sites and dataset sizes; miss means a catalog read.", "outcome")
 	assignCacheHit  = metricAssignCache.With("hit")
 	assignCacheMiss = metricAssignCache.With("miss")
+
+	metricGridReplicas = obs.Default.Counter("vdc_grid_replicas_created_total",
+		"Dynamic replicas created on the simulated grid by replication policies.")
+	metricGridEvictions = obs.Default.Counter("vdc_grid_evictions_total",
+		"Replicas evicted from simulated storage elements by reclamation.")
+	metricReplicaSkips = obs.Default.Counter("vdc_planner_replica_storage_skips_total",
+		"Replica creations skipped because the destination storage element was full.")
 )
+
+// DebugStats reports the dynamic-replication counters for runtime
+// introspection (/debug/vdc).
+func DebugStats() map[string]any {
+	return map[string]any{
+		"replicas_created_total":      metricGridReplicas.Value(),
+		"evictions_total":             metricGridEvictions.Value(),
+		"replica_storage_skips_total": metricReplicaSkips.Value(),
+	}
+}
 
 // Profile keys the planner interprets on transformations.
 const (
@@ -95,11 +113,31 @@ type Planner struct {
 	// disabled, bursts of ready nodes all see empty queues and pile
 	// onto the data's home site (the A2 ablation in the harness).
 	DisablePendingLoad bool
+	// Pop, when set, tracks time-decayed dataset popularity (feed it to
+	// a PopularityDriven policy); economy eviction prices replicas
+	// with it.
+	Pop *replica.Popularity
+	// SimNow supplies the simulation clock for popularity decay
+	// (nil = constant zero: no decay).
+	SimNow func() float64
+	// EconomyEviction turns on reclaim-on-full economics: when a new
+	// replica does not fit its destination storage element, the lowest-
+	// valued replicas there (value = popularity × transfer-cost-saved)
+	// are evicted to make room. Off, a full destination just skips the
+	// replica.
+	EconomyEviction bool
+	// LinkClassWeight scales staging costs per bandwidth-hierarchy link
+	// class (grid.ClassRegional, grid.ClassTransatlantic, ...); unset
+	// classes weigh 1. Weighting transatlantic links above their raw
+	// transfer time biases placement toward keeping traffic low in the
+	// hierarchy even when thin links are idle.
+	LinkClassWeight map[string]float64
 
-	mu       sync.Mutex
-	accesses map[string]map[string]int // dataset -> site -> count
-	pending  map[string]int            // site -> assigned-but-unfinished jobs
-	repSeq   int
+	mu        sync.Mutex
+	accesses  map[string]map[string]int // dataset -> site -> count
+	pending   map[string]int            // site -> assigned-but-unfinished jobs
+	allocated map[string]int64          // replica ID -> bytes reserved by this planner
+	repSeq    int
 }
 
 // New returns a planner over the given catalog, estimator and cluster.
@@ -109,6 +147,7 @@ func New(cat *catalog.Catalog, est *estimator.Estimator, cl *grid.Cluster) *Plan
 		DefaultSize: 1 << 20,
 		accesses:    make(map[string]map[string]int),
 		pending:     make(map[string]int),
+		allocated:   make(map[string]int64),
 	}
 }
 
@@ -205,9 +244,12 @@ func (c *assignCache) sizeOf(ds string) int64 {
 // invalidate drops a dataset's cached replica sites after a mutation.
 func (c *assignCache) invalidate(ds string) { delete(c.sites, ds) }
 
-// sizeOf estimates a dataset's size from its record or replicas.
+// sizeOf estimates a dataset's size from its record, its replicas, or
+// — for an unmaterialized derived output — the estimator's byte model
+// of its producing transformation, before falling back to DefaultSize.
 func (p *Planner) sizeOf(ds string) int64 {
-	if rec, err := p.Cat.Dataset(ds); err == nil && rec.Size > 0 {
+	rec, recErr := p.Cat.Dataset(ds)
+	if recErr == nil && rec.Size > 0 {
 		return rec.Size
 	}
 	for _, r := range p.Cat.ReplicasOf(ds) {
@@ -215,7 +257,29 @@ func (p *Planner) sizeOf(ds string) int64 {
 			return r.Size
 		}
 	}
+	if recErr == nil && rec.CreatedBy != "" && p.Est != nil {
+		if dv, err := p.Cat.Derivation(rec.CreatedBy); err == nil {
+			if _, out := p.Est.Bytes(dv.TR); out > 0 {
+				return int64(out)
+			}
+		}
+	}
 	return p.DefaultSize
+}
+
+// transferCost predicts staging seconds between sites, weighted by the
+// bandwidth-hierarchy class of the path.
+func (p *Planner) transferCost(from, to string, bytes int64) (float64, error) {
+	t, err := p.Cluster.Grid.TransferTime(from, to, bytes)
+	if err != nil {
+		return 0, err
+	}
+	if len(p.LinkClassWeight) > 0 {
+		if w, ok := p.LinkClassWeight[p.Cluster.Grid.ClassBetween(from, to)]; ok && w > 0 {
+			t *= w
+		}
+	}
+	return t, nil
 }
 
 // replicaSites returns the sites holding a current-epoch replica.
@@ -242,7 +306,7 @@ func (p *Planner) bestSource(ds, dst string, lc *assignCache) (site string, seco
 	best := math.Inf(1)
 	size := lc.sizeOf(ds)
 	for _, s := range lc.replicaSites(ds) {
-		t, err := p.Cluster.Grid.TransferTime(s, dst, size)
+		t, err := p.transferCost(s, dst, size)
 		if err != nil {
 			continue
 		}
@@ -465,14 +529,18 @@ func (p *Planner) noteAccess(ds, site string, bytes int64, lc *assignCache) {
 		if containsStr(lc.replicaSites(ds), dst) {
 			continue
 		}
-		p.mu.Lock()
-		p.repSeq++
-		seq := p.repSeq
-		p.mu.Unlock()
 		rec, err := p.Cat.Dataset(ds)
 		if err != nil {
 			continue
 		}
+		if !p.reserveStorage(dst, bytes) {
+			metricReplicaSkips.Inc()
+			continue
+		}
+		p.mu.Lock()
+		p.repSeq++
+		seq := p.repSeq
+		p.mu.Unlock()
 		rep := schema.Replica{
 			ID:      fmt.Sprintf("cache-%s-%s-%d", ds, dst, seq),
 			Dataset: ds, Site: dst,
@@ -482,10 +550,15 @@ func (p *Planner) noteAccess(ds, site string, bytes int64, lc *assignCache) {
 			Attrs: schema.Attributes{"replication": p.Replication.Name()},
 		}
 		if err := p.Cat.AddReplica(rep); err != nil {
+			p.unreserveStorage(dst, bytes)
 			continue
 		}
+		p.mu.Lock()
+		p.allocated[rep.ID] = bytes
+		p.mu.Unlock()
 		lc.invalidate(ds)
 		metricReplicas.Inc()
+		metricGridReplicas.Inc()
 		if dst != site {
 			// Push replicas move bytes in the background; cache-at-
 			// client replicas reuse the staging transfer already paid.
@@ -493,6 +566,38 @@ func (p *Planner) noteAccess(ds, site string, bytes int64, lc *assignCache) {
 				ID: rep.ID, From: src, To: dst, Bytes: bytes,
 			})
 		}
+	}
+}
+
+// reserveStorage allocates bytes for a new replica at a site's storage
+// element. When the element is full and EconomyEviction is on, the
+// lowest-valued replicas there are reclaimed first. Reports whether
+// the reservation succeeded; unknown sites refuse.
+func (p *Planner) reserveStorage(site string, bytes int64) bool {
+	s, ok := p.Cluster.Grid.Site(site)
+	if !ok {
+		return false
+	}
+	if s.Storage == nil {
+		return true
+	}
+	if s.Storage.Alloc(bytes) == nil {
+		return true
+	}
+	if !p.EconomyEviction {
+		return false
+	}
+	if _, err := p.Reclaim(site, bytes-s.Storage.Free()); err != nil {
+		return false
+	}
+	return s.Storage.Alloc(bytes) == nil
+}
+
+// unreserveStorage returns a reservation made by reserveStorage that
+// never became a tracked replica.
+func (p *Planner) unreserveStorage(site string, bytes int64) {
+	if s, ok := p.Cluster.Grid.Site(site); ok && s.Storage != nil {
+		s.Storage.Release(bytes)
 	}
 }
 

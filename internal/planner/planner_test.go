@@ -206,7 +206,7 @@ func TestReplicationPolicies(t *testing.T) {
 	if len(combo) != 2 {
 		t.Errorf("combo: %v", combo)
 	}
-	if len(Policies(3)) != 5 {
+	if len(Policies(3)) != 6 {
 		t.Error("policy sweep size")
 	}
 }

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"chimera/internal/schema"
@@ -40,6 +41,54 @@ func (p *Planner) value(r schema.Replica) float64 {
 	return float64(total) + 2*float64(counts[r.Site])
 }
 
+// economicValue prices a replica as popularity × transfer-cost-saved:
+// the decayed local access rate times the seconds the grid would spend
+// getting the bytes back if this copy vanished (cheapest refetch from
+// another replica, or the re-derivation work for the last copy of a
+// derived dataset). Used instead of value when EconomyEviction is on
+// with a popularity tracker present.
+func (p *Planner) economicValue(r schema.Replica) float64 {
+	now := 0.0
+	if p.SimNow != nil {
+		now = p.SimNow()
+	}
+	// Count both local heat and a slice of grid-wide heat, so a replica
+	// hot elsewhere (a refetch source for others) is not free to drop.
+	pop := p.Pop.Score(r.Dataset, r.Site, now) + 0.25*p.Pop.Total(r.Dataset, now)
+	return pop * p.refetchCost(r)
+}
+
+// refetchCost is the predicted seconds to restore the replica's bytes
+// at its site after eviction.
+func (p *Planner) refetchCost(r schema.Replica) float64 {
+	size := r.Size
+	if size <= 0 {
+		size = p.sizeOf(r.Dataset)
+	}
+	best := math.Inf(1)
+	for _, s := range p.replicaSites(r.Dataset) {
+		if s == r.Site {
+			continue
+		}
+		if t, err := p.transferCost(s, r.Site, size); err == nil && t < best {
+			best = t
+		}
+	}
+	if !math.IsInf(best, 1) {
+		return best
+	}
+	// Last copy of a derived dataset: restoring it means re-running the
+	// recipe.
+	if rec, err := p.Cat.Dataset(r.Dataset); err == nil && rec.CreatedBy != "" && p.Est != nil {
+		if dv, err := p.Cat.Derivation(rec.CreatedBy); err == nil {
+			if w, ok := p.Est.Work(dv.TR); ok && w > 0 {
+				return w
+			}
+		}
+	}
+	return float64(size) / p.Cluster.Grid.LocalBandwidth
+}
+
 // Reclaim frees at least the requested bytes at a site by removing the
 // least valuable evictable replicas. It returns the evicted replicas
 // (possibly fewer bytes than requested if nothing more is evictable).
@@ -60,9 +109,16 @@ func (p *Planner) Reclaim(site string, bytes int64) ([]schema.Replica, error) {
 			}
 		}
 	}
+	economy := p.EconomyEviction && p.Pop != nil
 	for _, r := range atSite {
 		if p.evictable(r, seen[r.Dataset]) {
-			cands = append(cands, cand{rep: r, value: p.value(r)})
+			v := 0.0
+			if economy {
+				v = p.economicValue(r)
+			} else {
+				v = p.value(r)
+			}
+			cands = append(cands, cand{rep: r, value: v})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -84,9 +140,25 @@ func (p *Planner) Reclaim(site string, bytes int64) ([]schema.Replica, error) {
 		if err := p.Cat.RemoveReplica(c.rep.ID); err != nil {
 			return evicted, fmt.Errorf("planner: reclaim: %w", err)
 		}
-		if s, ok := p.Cluster.Grid.Site(site); ok && s.Storage != nil {
-			s.Storage.Release(c.rep.Size)
+		// Release exactly what this planner reserved for the replica;
+		// replicas placed by other actors (primaries, executor records)
+		// were never allocated here, and releasing them would underflow
+		// the element's accounting.
+		p.mu.Lock()
+		alloc, tracked := p.allocated[c.rep.ID]
+		delete(p.allocated, c.rep.ID)
+		p.mu.Unlock()
+		if tracked {
+			if s, ok := p.Cluster.Grid.Site(site); ok && s.Storage != nil {
+				if err := s.Storage.Release(alloc); err != nil {
+					return evicted, fmt.Errorf("planner: reclaim: %w", err)
+				}
+			}
 		}
+		if p.Pop != nil {
+			p.Pop.Forget(c.rep.Dataset, site)
+		}
+		metricGridEvictions.Inc()
 		evicted = append(evicted, c.rep)
 		freed += c.rep.Size
 	}

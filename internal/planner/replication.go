@@ -1,5 +1,7 @@
 package planner
 
+import "chimera/internal/replica"
+
 // ReplicationPolicy decides, on each cross-site access of a dataset,
 // which sites should receive new replicas. These are the dynamic
 // replication strategies of the paper's references [18,19], adapted to
@@ -105,6 +107,46 @@ func (b Broadcast) OnAccess(_ string, _ int64, _, _ string, accesses map[string]
 	return out
 }
 
+// PopularityDriven replicates to a requesting site once its
+// exponentially decayed access score crosses Threshold — the
+// popularity-based strategy of ref [18] and the Venugopal taxonomy.
+// Unlike BestClient's lifetime counts, decay means a site must be hot
+// *now*: bursts of community interest trigger replicas, while datasets
+// popular last week age back below threshold.
+type PopularityDriven struct {
+	// Pop holds the decayed scores. Required.
+	Pop *replica.Popularity
+	// Now supplies the clock for decay (simulated seconds). Nil means
+	// a constant clock: with no elapsed time, scores never decay, and
+	// the policy degrades to per-site access counting.
+	Now func() float64
+	// Threshold is the decayed score that triggers a replica
+	// (default 3, matching the other threshold policies).
+	Threshold float64
+}
+
+// Name implements ReplicationPolicy.
+func (PopularityDriven) Name() string { return "popularity" }
+
+// OnAccess implements ReplicationPolicy.
+func (p PopularityDriven) OnAccess(ds string, _ int64, _, by string, _ map[string]int) []string {
+	if p.Pop == nil {
+		return nil
+	}
+	th := p.Threshold
+	if th <= 0 {
+		th = 3
+	}
+	now := 0.0
+	if p.Now != nil {
+		now = p.Now()
+	}
+	if p.Pop.Bump(ds, by, now) >= th {
+		return []string{by}
+	}
+	return nil
+}
+
 // Policies returns the named built-in policies for sweeps.
 func Policies(threshold int) []ReplicationPolicy {
 	return []ReplicationPolicy{
@@ -113,5 +155,6 @@ func Policies(threshold int) []ReplicationPolicy {
 		BestClient{Threshold: threshold},
 		CacheAndBestClient{Threshold: threshold},
 		Broadcast{Threshold: threshold},
+		PopularityDriven{Pop: replica.NewPopularity(0), Threshold: float64(threshold)},
 	}
 }
