@@ -140,6 +140,18 @@ func BenchmarkE16Codec(b *testing.B) {
 	})
 }
 
+// BenchmarkAnalystStorm regenerates E18: the concurrent-analyst storm —
+// locked ordered-snapshot reads vs the lock-free epoch path with the
+// plan/result cache, under sustained ingest (docs/PERF.md, "Concurrent
+// read path"). Kept small (short windows, two analyst counts) so the
+// -race CI smoke run drives epoch acquisition, cache hits, and the
+// executor dedup fast path under real concurrency in seconds.
+func BenchmarkAnalystStorm(b *testing.B) {
+	runTable(b, func() (bench.Table, error) {
+		return bench.E18Analysts([]int{1, 8}, 40, 100*time.Millisecond)
+	})
+}
+
 // BenchmarkE17Replication regenerates E17: the dynamic-replication
 // shoot-out (none vs popularity vs economy eviction) on the 48-site
 // hierarchical testbed (docs/PERF.md, "Grid simulator at scale"). Kept

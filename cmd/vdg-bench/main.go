@@ -1,5 +1,5 @@
 // Command vdg-bench runs the experiment harness at paper scale and
-// prints one results table per experiment (E1–E12 in DESIGN.md). The
+// prints one results table per experiment (E1–E18 in DESIGN.md). The
 // tables reproduce the shapes of the paper's evaluation claims; the
 // recorded outputs live in EXPERIMENTS.md.
 //
@@ -86,6 +86,13 @@ func experiments() []experiment {
 		{"E17",
 			func() (bench.Table, error) { return bench.E17DynamicReplication([]int{200, 1000}, 2) },
 			func() (bench.Table, error) { return bench.E17DynamicReplication([]int{1000, 10000}, 2) }},
+		{"E18",
+			func() (bench.Table, error) {
+				return bench.E18Analysts([]int{1, 16}, 60, 250*time.Millisecond)
+			},
+			func() (bench.Table, error) {
+				return bench.E18Analysts([]int{1, 16, 256}, 100, 750*time.Millisecond)
+			}},
 		{"A1",
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000}) },
 			func() (bench.Table, error) { return bench.A1IndexVsScan([]int{500, 2000, 10000}) }},
@@ -99,7 +106,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (E1..E17, A1..A3, or all)")
+	run := flag.String("run", "all", "experiment to run (E1..E18, A1..A3, or all)")
 	scale := flag.String("scale", "paper", "parameter scale: small or paper")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace with one span per experiment")
@@ -137,7 +144,7 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", ex.id, time.Since(start).Round(time.Millisecond))
 		// CI consumes these experiments' headline numbers as artifacts.
-		if ex.id == "E15" || ex.id == "E16" || ex.id == "E17" {
+		if ex.id == "E15" || ex.id == "E16" || ex.id == "E17" || ex.id == "E18" {
 			name := "BENCH_" + ex.id + ".json"
 			data, err := json.MarshalIndent(tab, "", "  ")
 			if err == nil {

@@ -132,10 +132,12 @@ func (c *Catalog) mutateAsync(set shardSet, fn func() error) (wait func() error,
 	err = fn()
 	var w0 walWait
 	var more []walWait
+	var deferred shardSet
 	for i, s := range c.shards {
 		if !set.has(i) {
 			continue
 		}
+		committed := false
 		if s.pendingSeq != 0 {
 			if s.wal != nil && s.wal.com != nil {
 				if w0.com == nil {
@@ -143,8 +145,21 @@ func (c *Catalog) mutateAsync(set shardSet, fn func() error) (wait func() error,
 				} else {
 					more = append(more, walWait{s.wal.com, s.pendingSeq})
 				}
+				committed = true
 			}
 			s.pendingSeq = 0
+		}
+		// Epoch publication (published.go). Shards whose records are
+		// riding a group commit publish when the batch resolves — that
+		// amortization is what lets N concurrent writers pay one swap per
+		// batch instead of one per mutation. Everything else — in-memory
+		// catalogs, inline WALs, failed mutations, and shards touched only
+		// by cross-shard adjacency updates (no WAL record) — publishes
+		// inline, before the lock drops, preserving read-your-writes.
+		if committed && err == nil {
+			deferred = deferred.with(i)
+		} else {
+			s.publishLocked()
 		}
 	}
 	c.unlockSet(set)
@@ -156,9 +171,6 @@ func (c *Catalog) mutateAsync(set shardSet, fn func() error) (wait func() error,
 	if w0.com == nil {
 		return nil, nil
 	}
-	if more == nil {
-		return func() error { return w0.com.wait(w0.seq) }, nil
-	}
 	return func() error {
 		first := w0.com.wait(w0.seq)
 		for _, w := range more {
@@ -166,6 +178,11 @@ func (c *Catalog) mutateAsync(set shardSet, fn func() error) (wait func() error,
 				first = e
 			}
 		}
+		// Publish after durability resolves, even on failure: the ops are
+		// applied in memory either way, and the published side must track
+		// the write side. The first waiter of a shared batch does the real
+		// swap; later waiters find nothing pending and no-op.
+		c.publishSet(deferred)
 		return first
 	}, nil
 }
@@ -180,6 +197,11 @@ func (c *Catalog) DefineType(d dtype.Dimension, name, parent string) (err error)
 		if err := c.types.Register(d, name, parent); err != nil {
 			return err
 		}
+		// The registry is shared (own lock), not part of shard state, but
+		// a definition changes type-conformance answers — apply a no-op
+		// closure so shard 0's epoch version advances and every cached
+		// query result keyed on the old vector invalidates.
+		c.shards[0].apply(func(*shardState) {})
 		c.shards[0].noteJournal(c, jTypes, "", false)
 		return c.shards[0].logOp(opType, typeRecord{Dim: int(d), Name: name, Parent: parent})
 	})
@@ -288,8 +310,8 @@ func (c *Catalog) BumpEpoch(name string, restampReplicas bool) (_ int, err error
 // Dataset returns the dataset with the given logical name.
 func (c *Catalog) Dataset(name string) (schema.Dataset, error) {
 	s := c.shardOf(name)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	ds, ok := s.datasets[name]
 	if !ok {
 		return schema.Dataset{}, fmt.Errorf("%w: dataset %q", ErrNotFound, name)
@@ -297,13 +319,14 @@ func (c *Catalog) Dataset(name string) (schema.Dataset, error) {
 	return ds, nil
 }
 
-// Datasets returns all datasets, sorted by name.
+// Datasets returns all datasets, sorted by name. The listing walks the
+// published epochs — zero lock acquisitions.
 func (c *Catalog) Datasets() []schema.Dataset {
-	c.rlockAll()
-	defer c.runlockAll()
+	v := c.View()
+	defer v.Close()
 	var out []schema.Dataset
-	for _, s := range c.shards {
-		for _, ds := range s.datasets {
+	for _, st := range v.states {
+		for _, ds := range st.datasets {
 			out = append(out, ds)
 		}
 	}
@@ -350,8 +373,8 @@ func (c *Catalog) AddTransformation(tr schema.Transformation) (err error) {
 // error, if several versions exist).
 func (c *Catalog) Transformation(ref string) (schema.Transformation, error) {
 	s := c.shardOfTR(ref)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.transformationLocked(ref)
 }
 
@@ -384,13 +407,14 @@ func (s *cshard) transformationLocked(ref string) (schema.Transformation, error)
 	return schema.Transformation{}, fmt.Errorf("%w: transformation %q", ErrNotFound, ref)
 }
 
-// Transformations returns all transformations sorted by reference.
+// Transformations returns all transformations sorted by reference,
+// from the published epochs.
 func (c *Catalog) Transformations() []schema.Transformation {
-	c.rlockAll()
-	defer c.runlockAll()
+	v := c.View()
+	defer v.Close()
 	var out []schema.Transformation
-	for _, s := range c.shards {
-		for _, tr := range s.transformations {
+	for _, st := range v.states {
+		for _, tr := range st.transformations {
 			out = append(out, tr)
 		}
 	}
@@ -402,8 +426,8 @@ func (c *Catalog) Transformations() []schema.Transformation {
 func (c *Catalog) Versions(namespace, name string) []string {
 	base := schema.FormatTRRef(namespace, name, "")
 	s := c.shardOfTR(base)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	vs := append([]string(nil), s.versionsOf[base]...)
 	sort.Strings(vs)
 	return vs
@@ -434,7 +458,7 @@ func (c *Catalog) AssertCompatibility(a schema.CompatibilityAssertion) (err erro
 				return nil
 			}
 		}
-		s.compat = append(s.compat, a)
+		s.apply(func(st *shardState) { st.compat = append(st.compat, a) })
 		s.noteJournal(c, jCompat, "", false)
 		return s.logOp(opCompat, a)
 	})
@@ -449,8 +473,8 @@ func (c *Catalog) Compatible(namespace, name, v1, v2 string) bool {
 		return true
 	}
 	s := c.shards[0]
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	// Collect equivalence edges and veto pairs for this transformation.
 	adj := make(map[string][]string)
 	veto := make(map[[2]string]bool)
@@ -661,8 +685,8 @@ func (c *Catalog) AddDerivation(dv schema.Derivation) (_ schema.Derivation, err 
 // Derivation returns the derivation with the given ID.
 func (c *Catalog) Derivation(id string) (schema.Derivation, error) {
 	s := c.shardOf(id)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	dv, ok := s.derivations[id]
 	if !ok {
 		return schema.Derivation{}, fmt.Errorf("%w: derivation %q", ErrNotFound, id)
@@ -676,8 +700,8 @@ func (c *Catalog) Derivation(id string) (schema.Derivation, error) {
 func (c *Catalog) FindDerivation(dv schema.Derivation) (schema.Derivation, bool) {
 	sig := dv.Signature()
 	s := c.shardOf(sig)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	found, ok := s.derivations[sig]
 	return found, ok
 }
@@ -709,13 +733,14 @@ func (c *Catalog) FindEquivalentDerivation(dv schema.Derivation) (schema.Derivat
 	return schema.Derivation{}, "", false
 }
 
-// Derivations returns all derivations sorted by ID.
+// Derivations returns all derivations sorted by ID, from the published
+// epochs.
 func (c *Catalog) Derivations() []schema.Derivation {
-	c.rlockAll()
-	defer c.runlockAll()
+	v := c.View()
+	defer v.Close()
 	var out []schema.Derivation
-	for _, s := range c.shards {
-		for _, dv := range s.derivations {
+	for _, st := range v.states {
+		for _, dv := range st.derivations {
 			out = append(out, dv)
 		}
 	}
@@ -786,8 +811,8 @@ func (c *Catalog) Invocation(id string) (schema.Invocation, error) {
 // query layer's `executed` flag wants.
 func (c *Catalog) HasInvocations(derivation string) bool {
 	s := c.shardOf(derivation)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return s.idx.executed.Has(derivation)
 }
 
@@ -795,8 +820,8 @@ func (c *Catalog) HasInvocations(derivation string) bool {
 // derivation.
 func (c *Catalog) InvocationCount(derivation string) int {
 	s := c.shardOf(derivation)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	return len(s.invocationsByDV[derivation])
 }
 
@@ -804,8 +829,8 @@ func (c *Catalog) InvocationCount(derivation string) int {
 // order.
 func (c *Catalog) InvocationsOf(derivation string) []schema.Invocation {
 	s := c.shardOf(derivation)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	ids := s.invocationsByDV[derivation]
 	out := make([]schema.Invocation, 0, len(ids))
 	for _, id := range ids {
@@ -814,13 +839,14 @@ func (c *Catalog) InvocationsOf(derivation string) []schema.Invocation {
 	return out
 }
 
-// Invocations returns all invocations sorted by ID.
+// Invocations returns all invocations sorted by ID, from the published
+// epochs.
 func (c *Catalog) Invocations() []schema.Invocation {
-	c.rlockAll()
-	defer c.runlockAll()
+	v := c.View()
+	defer v.Close()
 	var out []schema.Invocation
-	for _, s := range c.shards {
-		for _, iv := range s.invocations {
+	for _, st := range v.states {
+		for _, iv := range st.invocations {
 			out = append(out, iv)
 		}
 	}
@@ -900,8 +926,8 @@ func (c *Catalog) Replica(id string) (schema.Replica, error) {
 // ReplicasOf lists the replicas of a dataset, in registration order.
 func (c *Catalog) ReplicasOf(dataset string) []schema.Replica {
 	s := c.shardOf(dataset)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	ids := s.replicasByDataset[dataset]
 	out := make([]schema.Replica, 0, len(ids))
 	for _, id := range ids {
@@ -914,17 +940,11 @@ func (c *Catalog) ReplicasOf(dataset string) []schema.Replica {
 // its current epoch.
 func (c *Catalog) Materialized(dataset string) bool {
 	s := c.shardOf(dataset)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	// The flag set is maintained by every mutation path (index.go), so
 	// membership is the answer — no replica scan.
 	return s.idx.materialized.Has(dataset)
-}
-
-// materializedAllLocked is Materialized with every shard lock already
-// held (provenance traversals).
-func (c *Catalog) materializedAllLocked(dataset string) bool {
-	return c.shardOf(dataset).idx.materialized.Has(dataset)
 }
 
 // Stats summarizes catalog contents.
@@ -932,17 +952,17 @@ type Stats struct {
 	Datasets, Transformations, Derivations, Invocations, Replicas int
 }
 
-// Stats returns object counts.
+// Stats returns object counts, from the published epochs.
 func (c *Catalog) Stats() Stats {
-	c.rlockAll()
-	defer c.runlockAll()
+	v := c.View()
+	defer v.Close()
 	var st Stats
-	for _, s := range c.shards {
-		st.Datasets += len(s.datasets)
-		st.Transformations += len(s.transformations)
-		st.Derivations += len(s.derivations)
-		st.Invocations += len(s.invocations)
-		st.Replicas += len(s.replicas)
+	for _, ss := range v.states {
+		st.Datasets += len(ss.datasets)
+		st.Transformations += len(ss.transformations)
+		st.Derivations += len(ss.derivations)
+		st.Invocations += len(ss.invocations)
+		st.Replicas += len(ss.replicas)
 	}
 	return st
 }

@@ -129,30 +129,43 @@ func attrIndexRemove(idx map[string]map[string]IndexSet, attrs schema.Attributes
 }
 
 // --- mutation funnel ---------------------------------------------------
+//
+// Each put*/drop* is split in two: a Catalog-level wrapper that routes
+// to the home shard, applies a deterministic mutation closure through
+// cshard.apply (which runs it on the write side and queues it for
+// replay onto the published side at the next epoch swap), and journals;
+// and a shardState-level method holding the actual map/index edits.
+// The closures capture values only — replaying them in order against
+// the retired epoch state reproduces the write side exactly, which is
+// the left-right invariant CheckPublished verifies.
 
 // putDataset installs or replaces a dataset record and all its index
 // entries on the dataset's home shard. Callers hold that shard's write
 // lock.
 func (c *Catalog) putDataset(ds schema.Dataset) {
 	s := c.shardOf(ds.Name)
-	if old, ok := s.datasets[ds.Name]; ok {
-		attrIndexRemove(s.idx.dsAttr, old.Attrs, old.Name)
+	s.apply(func(st *shardState) { st.putDataset(ds) })
+	s.noteJournal(c, jDataset, ds.Name, false)
+}
+
+func (st *shardState) putDataset(ds schema.Dataset) {
+	if old, ok := st.datasets[ds.Name]; ok {
+		attrIndexRemove(st.idx.dsAttr, old.Attrs, old.Name)
 		if old.Type != ds.Type {
-			setRemoveTyped(s.idx.dsByType, old.Type, old.Name)
+			setRemoveTyped(st.idx.dsByType, old.Type, old.Name)
 		}
 		if old.CreatedBy != "" && ds.CreatedBy == "" {
-			delete(s.idx.derived, old.Name)
+			delete(st.idx.derived, old.Name)
 		}
 	}
-	s.datasets[ds.Name] = ds
-	attrIndexAdd(s.idx.dsAttr, ds.Attrs, ds.Name)
-	setAddTyped(s.idx.dsByType, ds.Type, ds.Name)
+	st.datasets[ds.Name] = ds
+	attrIndexAdd(st.idx.dsAttr, ds.Attrs, ds.Name)
+	setAddTyped(st.idx.dsByType, ds.Type, ds.Name)
 	if ds.CreatedBy != "" {
-		s.idx.derived[ds.Name] = struct{}{}
+		st.idx.derived[ds.Name] = struct{}{}
 	}
 	// An epoch change can flip materialization either way.
-	s.reindexMaterialized(ds.Name)
-	s.noteJournal(c, jDataset, ds.Name, false)
+	st.reindexMaterialized(ds.Name)
 }
 
 func setAddTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
@@ -179,15 +192,20 @@ func setRemoveTyped(m map[dtype.Type]IndexSet, t dtype.Type, id string) {
 func (c *Catalog) putTransformation(tr schema.Transformation) {
 	ref := tr.Ref()
 	s := c.shardOfTR(ref)
-	if old, ok := s.transformations[ref]; ok {
-		attrIndexRemove(s.idx.trAttr, old.Attrs, ref)
+	s.apply(func(st *shardState) { st.putTransformation(tr) })
+	s.noteJournal(c, jTransformation, ref, false)
+}
+
+func (st *shardState) putTransformation(tr schema.Transformation) {
+	ref := tr.Ref()
+	if old, ok := st.transformations[ref]; ok {
+		attrIndexRemove(st.idx.trAttr, old.Attrs, ref)
 	} else {
 		base := schema.FormatTRRef(tr.Namespace, tr.Name, "")
-		s.versionsOf[base] = append(s.versionsOf[base], tr.Version)
+		st.versionsOf[base] = append(st.versionsOf[base], tr.Version)
 	}
-	s.transformations[ref] = tr
-	attrIndexAdd(s.idx.trAttr, tr.Attrs, ref)
-	s.noteJournal(c, jTransformation, ref, false)
+	st.transformations[ref] = tr
+	attrIndexAdd(st.idx.trAttr, tr.Attrs, ref)
 }
 
 // indexDerivation installs a derivation with its provenance and
@@ -203,27 +221,38 @@ func (c *Catalog) indexDerivation(dv schema.Derivation, tr schema.Transformation
 	}
 	inputs := dv.Inputs(tr)
 	outputs := dv.Outputs(tr)
-	home.derivations[dv.ID] = dv
-	home.inputsOf[dv.ID] = inputs
-	home.outputsOf[dv.ID] = outputs
+	home.apply(func(st *shardState) { st.indexDerivationHome(dv, inputs, outputs) })
+	// Adjacency entries land on each dataset's own shard; these closures
+	// write no journal entry there, which is exactly why the epoch
+	// version (cshard.ver) and not the journal cursor keys cache
+	// invalidation.
 	for _, in := range inputs {
-		ds := c.shardOf(in)
-		ds.consumersOf[in] = append(ds.consumersOf[in], dv.ID)
+		c.shardOf(in).apply(func(st *shardState) {
+			st.consumersOf[in] = append(st.consumersOf[in], dv.ID)
+		})
 	}
 	for _, out := range outputs {
-		c.shardOf(out).producerOf[out] = dv.ID
+		c.shardOf(out).apply(func(st *shardState) { st.producerOf[out] = dv.ID })
 	}
-	attrIndexAdd(home.idx.dvAttr, dv.Attrs, dv.ID)
-	setAdd(home.idx.dvByTR, dv.TR, dv.ID)
+	home.noteJournal(c, jDerivation, dv.ID, false)
+}
+
+// indexDerivationHome installs the derivation record and the
+// derivation-keyed indexes on the ID's home shard state.
+func (st *shardState) indexDerivationHome(dv schema.Derivation, inputs, outputs []string) {
+	st.derivations[dv.ID] = dv
+	st.inputsOf[dv.ID] = inputs
+	st.outputsOf[dv.ID] = outputs
+	attrIndexAdd(st.idx.dvAttr, dv.Attrs, dv.ID)
+	setAdd(st.idx.dvByTR, dv.TR, dv.ID)
 	if ns, name, _, err := schema.ParseTRRef(dv.TR); err == nil {
-		setAdd(home.idx.dvByTRBase, schema.FormatTRRef(ns, name, ""), dv.ID)
+		setAdd(st.idx.dvByTRBase, schema.FormatTRRef(ns, name, ""), dv.ID)
 	}
 	name := dv.Name
 	if name == "" {
 		name = dv.ID
 	}
-	setAdd(home.idx.dvByName, name, dv.ID)
-	home.noteJournal(c, jDerivation, dv.ID, false)
+	setAdd(st.idx.dvByName, name, dv.ID)
 }
 
 // putInvocation installs an invocation on its derivation's home shard.
@@ -233,9 +262,11 @@ func (c *Catalog) putInvocation(iv schema.Invocation) {
 	if _, ok := s.invocations[iv.ID]; ok {
 		return
 	}
-	s.invocations[iv.ID] = iv
-	s.invocationsByDV[iv.Derivation] = append(s.invocationsByDV[iv.Derivation], iv.ID)
-	s.idx.executed[iv.Derivation] = struct{}{}
+	s.apply(func(st *shardState) {
+		st.invocations[iv.ID] = iv
+		st.invocationsByDV[iv.Derivation] = append(st.invocationsByDV[iv.Derivation], iv.ID)
+		st.idx.executed[iv.Derivation] = struct{}{}
+	})
 	s.noteJournal(c, jInvocation, iv.ID, false)
 }
 
@@ -244,13 +275,13 @@ func (c *Catalog) putInvocation(iv schema.Invocation) {
 // materialized set current. Callers hold that shard's write lock.
 func (c *Catalog) putReplica(r schema.Replica) {
 	s := c.shardOf(r.Dataset)
-	if _, ok := s.replicas[r.ID]; ok {
-		s.replicas[r.ID] = r
-	} else {
-		s.replicas[r.ID] = r
-		s.replicasByDataset[r.Dataset] = append(s.replicasByDataset[r.Dataset], r.ID)
-	}
-	s.reindexMaterialized(r.Dataset)
+	s.apply(func(st *shardState) {
+		if _, ok := st.replicas[r.ID]; !ok {
+			st.replicasByDataset[r.Dataset] = append(st.replicasByDataset[r.Dataset], r.ID)
+		}
+		st.replicas[r.ID] = r
+		st.reindexMaterialized(r.Dataset)
+	})
 	s.noteJournal(c, jReplica, r.ID, false)
 }
 
@@ -264,43 +295,50 @@ func (c *Catalog) dropReplica(id string) (schema.Replica, bool) {
 		if !ok {
 			continue
 		}
-		delete(s.replicas, id)
-		ids := s.replicasByDataset[r.Dataset]
-		for i, x := range ids {
-			if x == id {
-				ids = append(ids[:i:i], ids[i+1:]...)
-				break
-			}
-		}
-		if len(ids) == 0 {
-			delete(s.replicasByDataset, r.Dataset)
-		} else {
-			s.replicasByDataset[r.Dataset] = ids
-		}
-		s.reindexMaterialized(r.Dataset)
+		s.apply(func(st *shardState) { st.dropReplica(id) })
 		s.noteJournal(c, jReplica, id, true)
 		return r, true
 	}
 	return schema.Replica{}, false
 }
 
-// reindexMaterialized recomputes one dataset's membership in the
-// materialized set from its replicas and current epoch. The dataset,
-// its replicas, and the flag entry all live on this shard. Callers
-// hold s.mu.
-func (s *cshard) reindexMaterialized(name string) {
-	ds, ok := s.datasets[name]
+func (st *shardState) dropReplica(id string) {
+	r, ok := st.replicas[id]
 	if !ok {
-		delete(s.idx.materialized, name)
 		return
 	}
-	for _, id := range s.replicasByDataset[name] {
-		if s.replicas[id].Epoch == ds.Epoch {
-			s.idx.materialized[name] = struct{}{}
+	delete(st.replicas, id)
+	ids := st.replicasByDataset[r.Dataset]
+	for i, x := range ids {
+		if x == id {
+			ids = append(ids[:i:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(st.replicasByDataset, r.Dataset)
+	} else {
+		st.replicasByDataset[r.Dataset] = ids
+	}
+	st.reindexMaterialized(r.Dataset)
+}
+
+// reindexMaterialized recomputes one dataset's membership in the
+// materialized set from its replicas and current epoch. The dataset,
+// its replicas, and the flag entry all live on this state's shard.
+func (st *shardState) reindexMaterialized(name string) {
+	ds, ok := st.datasets[name]
+	if !ok {
+		delete(st.idx.materialized, name)
+		return
+	}
+	for _, id := range st.replicasByDataset[name] {
+		if st.replicas[id].Epoch == ds.Epoch {
+			st.idx.materialized[name] = struct{}{}
 			return
 		}
 	}
-	delete(s.idx.materialized, name)
+	delete(st.idx.materialized, name)
 }
 
 // --- verification ------------------------------------------------------
@@ -341,25 +379,25 @@ func (c *Catalog) CheckIndexes() error {
 // scratch. Every index entry's source objects are homed on the same
 // shard as the entry (invocations live with their derivation, replicas
 // with their dataset), so the rebuild is shard-local.
-func (s *cshard) rebuildIndexesLocked() indexes {
+func (st *shardState) rebuildIndexesLocked() indexes {
 	idx := newIndexes()
-	for name, ds := range s.datasets {
+	for name, ds := range st.datasets {
 		attrIndexAdd(idx.dsAttr, ds.Attrs, name)
 		setAddTyped(idx.dsByType, ds.Type, name)
 		if ds.CreatedBy != "" {
 			idx.derived[name] = struct{}{}
 		}
-		for _, id := range s.replicasByDataset[name] {
-			if s.replicas[id].Epoch == ds.Epoch {
+		for _, id := range st.replicasByDataset[name] {
+			if st.replicas[id].Epoch == ds.Epoch {
 				idx.materialized[name] = struct{}{}
 				break
 			}
 		}
 	}
-	for ref, tr := range s.transformations {
+	for ref, tr := range st.transformations {
 		attrIndexAdd(idx.trAttr, tr.Attrs, ref)
 	}
-	for id, dv := range s.derivations {
+	for id, dv := range st.derivations {
 		attrIndexAdd(idx.dvAttr, dv.Attrs, id)
 		setAdd(idx.dvByTR, dv.TR, id)
 		if ns, name, _, err := schema.ParseTRRef(dv.TR); err == nil {
@@ -371,7 +409,7 @@ func (s *cshard) rebuildIndexesLocked() indexes {
 		}
 		setAdd(idx.dvByName, name, id)
 	}
-	for _, iv := range s.invocations {
+	for _, iv := range st.invocations {
 		idx.executed[iv.Derivation] = struct{}{}
 	}
 	return idx

@@ -75,6 +75,7 @@ type journalEntry struct {
 // shard's delta floor.
 func (s *cshard) noteJournal(c *Catalog, k journalKind, id string, del bool) {
 	seq := c.jseq.Add(1)
+	s.lastSeq = seq // stamped into the published epoch at the next swap
 	s.journal = append(s.journal, journalEntry{seq: seq, kind: k, id: id, del: del})
 	if w := s.jwindow; len(s.journal) >= 2*w {
 		s.trimmed = s.journal[len(s.journal)-w-1].seq

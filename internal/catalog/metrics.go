@@ -65,6 +65,13 @@ var (
 	// canonical signature — the paper's "computation already performed".
 	dedupHits = obs.Default.Counter("vdc_catalog_derivation_dedup_total",
 		"Derivation registrations that matched an existing canonical signature.")
+
+	// metricEpochSwaps counts shard epoch publications: the atomic
+	// pointer flips that expose a new immutable snapshot to the lock-free
+	// read path (published.go). The ratio of this to vdc_catalog_ops_total
+	// is the copy-on-write amortization factor group commit buys.
+	metricEpochSwaps = obs.Default.Counter("vdc_catalog_epoch_swaps_total",
+		"Shard read-epoch publications (atomic snapshot swaps).")
 )
 
 // WALBatchStats reports the cumulative group-commit batch count and the

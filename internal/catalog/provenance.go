@@ -15,31 +15,31 @@ import (
 //
 // A traversal hops shards: producerOf/consumersOf live on each
 // dataset's home shard, inputsOf/outputsOf on each derivation's. Every
-// entry point therefore takes all shard read locks (rlockAll) for the
-// duration — the same ordered-snapshot consistency the pre-sharding
-// catalog got from its single lock — and the walk routes each map
-// access to the owning shard.
+// entry point walks an epoch View (view.go) — the published snapshots,
+// read with zero lock acquisitions — and routes each map access to the
+// owning shard's state. Callers that need the ordered-snapshot oracle
+// instead can open a LockedView and use its Ancestors/Descendants.
 
 // Producer returns the derivation registered as producing the dataset,
 // or ErrNotFound for primary data.
 func (c *Catalog) Producer(dataset string) (schema.Derivation, error) {
-	c.rlockAll()
-	defer c.runlockAll()
-	id, ok := c.shardOf(dataset).producerOf[dataset]
+	v := c.View()
+	defer v.Close()
+	id, ok := v.state(dataset).producerOf[dataset]
 	if !ok {
 		return schema.Derivation{}, fmt.Errorf("%w: no producer for dataset %q", ErrNotFound, dataset)
 	}
-	return c.shardOf(id).derivations[id], nil
+	return v.state(id).derivations[id], nil
 }
 
 // Consumers returns the derivations that read the dataset.
 func (c *Catalog) Consumers(dataset string) []schema.Derivation {
-	c.rlockAll()
-	defer c.runlockAll()
-	ids := c.shardOf(dataset).consumersOf[dataset]
+	v := c.View()
+	defer v.Close()
+	ids := v.state(dataset).consumersOf[dataset]
 	out := make([]schema.Derivation, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, c.shardOf(id).derivations[id])
+		out = append(out, v.state(id).derivations[id])
 	}
 	return out
 }
@@ -47,13 +47,13 @@ func (c *Catalog) Consumers(dataset string) []schema.Derivation {
 // DerivationIO returns the input and output dataset names of a
 // registered derivation.
 func (c *Catalog) DerivationIO(id string) (inputs, outputs []string, err error) {
-	c.rlockAll()
-	defer c.runlockAll()
-	s := c.shardOf(id)
-	if _, ok := s.derivations[id]; !ok {
+	v := c.View()
+	defer v.Close()
+	st := v.state(id)
+	if _, ok := st.derivations[id]; !ok {
 		return nil, nil, fmt.Errorf("%w: derivation %q", ErrNotFound, id)
 	}
-	return append([]string(nil), s.inputsOf[id]...), append([]string(nil), s.outputsOf[id]...), nil
+	return append([]string(nil), st.inputsOf[id]...), append([]string(nil), st.outputsOf[id]...), nil
 }
 
 // Closure identifies a set of datasets and derivations reached by a
@@ -69,25 +69,25 @@ type Closure struct {
 // derivation and dataset its content (transitively) depends on. The
 // starting dataset itself is not included.
 func (c *Catalog) Ancestors(dataset string) (Closure, error) {
-	c.rlockAll()
-	defer c.runlockAll()
-	return c.ancestorsLocked(dataset)
+	v := c.View()
+	defer v.Close()
+	return v.ancestors(dataset)
 }
 
-func (c *Catalog) ancestorsLocked(dataset string) (Closure, error) {
-	if _, ok := c.shardOf(dataset).datasets[dataset]; !ok {
+func (v *View) ancestors(dataset string) (Closure, error) {
+	if _, ok := v.state(dataset).datasets[dataset]; !ok {
 		return Closure{}, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
 	}
 	seenDS := make(map[string]bool)
 	seenDV := make(map[string]bool)
 	var walk func(ds string)
 	walk = func(ds string) {
-		dvID, ok := c.shardOf(ds).producerOf[ds]
+		dvID, ok := v.state(ds).producerOf[ds]
 		if !ok || seenDV[dvID] {
 			return
 		}
 		seenDV[dvID] = true
-		for _, in := range c.shardOf(dvID).inputsOf[dvID] {
+		for _, in := range v.state(dvID).inputsOf[dvID] {
 			if !seenDS[in] {
 				seenDS[in] = true
 				walk(in)
@@ -102,25 +102,25 @@ func (c *Catalog) ancestorsLocked(dataset string) (Closure, error) {
 // derivation that (transitively) consumed it and every dataset those
 // derivations produce. The starting dataset itself is not included.
 func (c *Catalog) Descendants(dataset string) (Closure, error) {
-	c.rlockAll()
-	defer c.runlockAll()
-	return c.descendantsLocked(dataset)
+	v := c.View()
+	defer v.Close()
+	return v.descendants(dataset)
 }
 
-func (c *Catalog) descendantsLocked(dataset string) (Closure, error) {
-	if _, ok := c.shardOf(dataset).datasets[dataset]; !ok {
+func (v *View) descendants(dataset string) (Closure, error) {
+	if _, ok := v.state(dataset).datasets[dataset]; !ok {
 		return Closure{}, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
 	}
 	seenDS := make(map[string]bool)
 	seenDV := make(map[string]bool)
 	var walk func(ds string)
 	walk = func(ds string) {
-		for _, dvID := range c.shardOf(ds).consumersOf[ds] {
+		for _, dvID := range v.state(ds).consumersOf[ds] {
 			if seenDV[dvID] {
 				continue
 			}
 			seenDV[dvID] = true
-			for _, out := range c.shardOf(dvID).outputsOf[dvID] {
+			for _, out := range v.state(dvID).outputsOf[dvID] {
 				if !seenDS[out] {
 					seenDS[out] = true
 					walk(out)
@@ -219,13 +219,13 @@ func (r LineageReport) DOT() string {
 // breadth-first order from the dataset; each derivation appears once at
 // its minimum depth.
 func (c *Catalog) Lineage(dataset string) (LineageReport, error) {
-	c.rlockAll()
-	defer c.runlockAll()
-	if _, ok := c.shardOf(dataset).datasets[dataset]; !ok {
+	v := c.View()
+	defer v.Close()
+	if _, ok := v.state(dataset).datasets[dataset]; !ok {
 		return LineageReport{}, fmt.Errorf("%w: dataset %q", ErrNotFound, dataset)
 	}
 	rep := LineageReport{Dataset: dataset}
-	if _, ok := c.shardOf(dataset).producerOf[dataset]; !ok {
+	if _, ok := v.state(dataset).producerOf[dataset]; !ok {
 		rep.Primary = true
 		rep.PrimarySources = []string{dataset}
 		return rep, nil
@@ -241,7 +241,7 @@ func (c *Catalog) Lineage(dataset string) (LineageReport, error) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		dvID, ok := c.shardOf(cur.ds).producerOf[cur.ds]
+		dvID, ok := v.state(cur.ds).producerOf[cur.ds]
 		if !ok {
 			primaries[cur.ds] = true
 			continue
@@ -252,7 +252,7 @@ func (c *Catalog) Lineage(dataset string) (LineageReport, error) {
 		seenDV[dvID] = true
 		// The derivation, its IO adjacency, and its invocations are all
 		// homed on one shard.
-		ss := c.shardOf(dvID)
+		ss := v.state(dvID)
 		dv := ss.derivations[dvID]
 		step := LineageStep{
 			Derivation: dv,
@@ -286,13 +286,13 @@ func (c *Catalog) Lineage(dataset string) (LineageReport, error) {
 // ancestors need not run. A dataset that is unmaterialized, underived
 // and not primary input data is an error.
 func (c *Catalog) MaterializationPlan(target string, materialized func(dataset string) bool) ([]schema.Derivation, error) {
-	c.rlockAll()
-	defer c.runlockAll()
-	if _, ok := c.shardOf(target).datasets[target]; !ok {
+	v := c.View()
+	defer v.Close()
+	if _, ok := v.state(target).datasets[target]; !ok {
 		return nil, fmt.Errorf("%w: dataset %q", ErrNotFound, target)
 	}
 	if materialized == nil {
-		materialized = c.materializedAllLocked
+		materialized = v.Materialized
 	}
 	var order []schema.Derivation
 	visiting := make(map[string]bool) // derivation IDs on the stack
@@ -302,7 +302,7 @@ func (c *Catalog) MaterializationPlan(target string, materialized func(dataset s
 		if materialized(ds) {
 			return nil
 		}
-		dvID, ok := c.shardOf(ds).producerOf[ds]
+		dvID, ok := v.state(ds).producerOf[ds]
 		if !ok {
 			return fmt.Errorf("%w: dataset %q is needed%s but is neither materialized nor derivable", ErrNotFound, ds, forWhom)
 		}
@@ -313,14 +313,14 @@ func (c *Catalog) MaterializationPlan(target string, materialized func(dataset s
 			return fmt.Errorf("%w: derivation cycle at dataset %q", ErrConflict, ds)
 		}
 		visiting[dvID] = true
-		for _, in := range c.shardOf(dvID).inputsOf[dvID] {
+		for _, in := range v.state(dvID).inputsOf[dvID] {
 			if err := need(in, fmt.Sprintf(" by derivation %s", dvID)); err != nil {
 				return err
 			}
 		}
 		visiting[dvID] = false
 		done[dvID] = true
-		order = append(order, c.shardOf(dvID).derivations[dvID])
+		order = append(order, v.state(dvID).derivations[dvID])
 		return nil
 	}
 	if err := need(target, ""); err != nil {

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chimera/internal/obs"
@@ -56,33 +57,49 @@ import (
 // MaxShards bounds the shard count; shard sets are uint64 bitmasks.
 const MaxShards = 64
 
-// cshard is one catalog shard: a full copy of the per-object storage,
-// provenance adjacency, secondary indexes, change journal, and WAL,
-// all guarded by its own lock.
+// cshard is one catalog shard: the write side of the object state
+// (embedded shardState, guarded by mu), the published read epoch
+// (published.go), the change journal, and the WAL.
 type cshard struct {
 	mu sync.RWMutex
 
-	datasets        map[string]schema.Dataset
-	transformations map[string]schema.Transformation // key: canonical ref (homed by base)
-	derivations     map[string]schema.Derivation     // key: ID
-	invocations     map[string]schema.Invocation     // homed by iv.Derivation
-	replicas        map[string]schema.Replica        // homed by r.Dataset
-	compat          []schema.CompatibilityAssertion  // shard 0 only
+	// The write side. Embedding keeps every mutation and locked read
+	// addressing fields directly (s.datasets, s.idx, ...); publication
+	// re-points this at the caught-up retired side.
+	*shardState
 
-	// Provenance indexes (keys homed on this shard).
-	producerOf  map[string]string   // dataset -> producing derivation ID
-	consumersOf map[string][]string // dataset -> derivation IDs reading it
-	outputsOf   map[string][]string // derivation ID -> output dataset names
-	inputsOf    map[string][]string // derivation ID -> input dataset names
+	// pub is the published read epoch: the immutable counterpart of the
+	// write side, read lock-free via acquire/release (published.go).
+	pub atomic.Pointer[publishedEpoch]
 
-	// Secondary indexes.
-	replicasByDataset map[string][]string // dataset -> replica IDs
-	invocationsByDV   map[string][]string // derivation ID -> invocation IDs
-	versionsOf        map[string][]string // "ns::name" -> versions
+	// spare is the third buffer: the previously published state, waiting
+	// for its last readers to drain so a rotation can recycle it as the
+	// next write side. Guarded by mu (its ep.readers is atomic).
+	spare *sideState
 
-	// Discovery indexes (index.go), maintained incrementally by the
-	// put*/drop* helpers every mutation path funnels through.
-	idx indexes
+	// spareEp mirrors spare.ep for lock-free observation: readers gate
+	// the assist publication on the spare having drained (spareDrained),
+	// so a pinned spare never triggers futile TryLock storms. Written
+	// under mu at rotation; nil while the spare was never published.
+	spareEp atomic.Pointer[publishedEpoch]
+
+	// ops is the log of mutation closures applied to the write side,
+	// kept for replay onto the lagging buffers; opBase is the ver value
+	// of ops[0]. Entries below every laggard's cursor are dropped at
+	// rotation. Guarded by mu.
+	ops    []func(*shardState)
+	opBase uint64
+
+	// dirty flags unpublished mutations, letting lock-free readers
+	// trigger the reader-assist publication without touching mu first.
+	dirty atomic.Bool
+
+	// ver counts every applied mutation closure on this shard (journaled
+	// or not); lastSeq is the catalog-wide sequence of the shard's last
+	// journal entry. Both are stamped into the epoch at publication.
+	// Guarded by mu.
+	ver     uint64
+	lastSeq uint64
 
 	// Change journal (journal.go): the bounded tail of this shard's
 	// mutations. Entries carry the catalog-wide sequence they were
@@ -109,31 +126,15 @@ type cshard struct {
 
 func newCShard(index, window int) *cshard {
 	label := strconv.Itoa(index)
-	return &cshard{
-		datasets:          make(map[string]schema.Dataset),
-		transformations:   make(map[string]schema.Transformation),
-		derivations:       make(map[string]schema.Derivation),
-		invocations:       make(map[string]schema.Invocation),
-		replicas:          make(map[string]schema.Replica),
-		producerOf:        make(map[string]string),
-		consumersOf:       make(map[string][]string),
-		outputsOf:         make(map[string][]string),
-		inputsOf:          make(map[string][]string),
-		replicasByDataset: make(map[string][]string),
-		invocationsByDV:   make(map[string][]string),
-		versionsOf:        make(map[string][]string),
-		idx:               newIndexes(),
-		jwindow:           window,
-		gObjects:          metricShardObjects.With(label),
-		gJournal:          metricShardJournal.With(label),
+	s := &cshard{
+		shardState: newShardState(),
+		jwindow:    window,
+		gObjects:   metricShardObjects.With(label),
+		gJournal:   metricShardJournal.With(label),
 	}
-}
-
-// objectCount is the shard's total object population across the five
-// classes. Callers hold the shard lock (any mode).
-func (s *cshard) objectCount() int {
-	return len(s.datasets) + len(s.transformations) + len(s.derivations) +
-		len(s.invocations) + len(s.replicas)
+	s.pub.Store(&publishedEpoch{state: newShardState()})
+	s.spare = &sideState{state: newShardState()}
+	return s
 }
 
 // --- routing -----------------------------------------------------------
@@ -220,18 +221,20 @@ func (c *Catalog) unlockSet(set shardSet) {
 }
 
 // rlockAll takes every shard's read lock in ascending order: the
-// scatter-gather snapshot underpinning View, Export, provenance
-// traversals, and ChangesSince.
+// ordered-snapshot oracle underpinning LockedView, ChangesSince, and
+// the administrative probes. The hot scatter-gather paths (View, query,
+// Export, provenance) no longer come here — they read published epochs
+// lock-free (published.go).
 func (c *Catalog) rlockAll() {
 	for _, s := range c.shards {
-		s.mu.RLock()
+		s.rlock()
 	}
 }
 
 // runlockAll releases the read locks taken by rlockAll.
 func (c *Catalog) runlockAll() {
 	for _, s := range c.shards {
-		s.mu.RUnlock()
+		s.runlock()
 	}
 }
 

@@ -1,89 +1,175 @@
 package catalog
 
 import (
+	"fmt"
+	"strings"
+
 	"chimera/internal/dtype"
 	"chimera/internal/schema"
 )
 
-// View is a consistent read-only snapshot of the catalog: it holds
-// every shard's read lock (taken in ascending order) from View() until
-// Close(), so everything observed through it — objects, indexes,
-// provenance closures — reflects one atomic state, no matter how many
-// mutations race with the reader.
+// View is a consistent read-only snapshot of the catalog. The default
+// (epoch) view pins each shard's published epoch (published.go) with a
+// refcount — zero lock acquisitions, immutable state — so everything
+// observed through it reflects one published snapshot per shard, no
+// matter how many mutations race with the reader. LockedView is the
+// legacy oracle: it holds every shard's read lock from open to Close
+// and reads the live write side, giving ordered-snapshot consistency
+// across shards at the cost of contending with writers.
 //
-// Views exist for the discovery path: a query used to pay one lock
-// round-trip plus a full copy+sort per object class, and then another
-// lock round-trip per object for predicates like `materialized`. A
-// View pays one lock sweep for the whole query and serves every lookup
-// lock-free against the live maps, routed to the object's home shard.
+// Epoch views are per-shard consistent: each shard's state is one
+// atomic publication, but two shards may expose publications from
+// slightly different moments (staleness bound: one group commit). At a
+// quiescent point — every durability wait resolved — an epoch view and
+// a locked view observe byte-identical state; the equivalence storm in
+// published_test.go proves it.
 //
-// Rules: a View is not safe for use after Close; the goroutine holding
-// it must not call any mutating catalog method before Close (the write
-// lock would deadlock behind its own read lock); maps and slices
-// returned by View methods are the catalog's own storage — read-only,
-// and only valid until Close. Single-shard catalogs hand out live index
-// sets; cross-shard candidate sets are merged copies.
+// Rules: a View is not safe for use after Close; maps and slices
+// returned by View methods are the snapshot's own storage — read-only,
+// and (for locked views) only valid until Close. A goroutine holding a
+// LockedView must not call any mutating catalog method before Close;
+// epoch views have no such restriction.
 type View struct {
-	c *Catalog
+	c      *Catalog
+	states []*shardState
+	// eps holds the pinned epochs (nil for locked views, which read the
+	// write sides under rlockAll instead).
+	eps []*publishedEpoch
+	// seqs/vers are the per-shard cursor stamps of the snapshot: the
+	// journal sequence and mutation version each shard's state was
+	// published (or read) at.
+	seqs []uint64
+	vers []uint64
 }
 
-// View opens a consistent snapshot. Callers must Close it.
+// View opens a lock-free snapshot of the published epochs. Callers must
+// Close it.
 func (c *Catalog) View() *View {
-	c.rlockAll()
-	return &View{c: c}
+	n := len(c.shards)
+	v := &View{
+		c:      c,
+		states: make([]*shardState, n),
+		eps:    make([]*publishedEpoch, n),
+		seqs:   make([]uint64, n),
+		vers:   make([]uint64, n),
+	}
+	for i, s := range c.shards {
+		e := s.acquire()
+		v.eps[i] = e
+		v.states[i] = e.state
+		v.seqs[i] = e.seq
+		v.vers[i] = e.ver
+	}
+	return v
 }
 
-// Close releases the snapshot.
+// LockedView opens the legacy locked snapshot: every shard's read lock
+// held until Close, reading the live write side. It is the equivalence
+// oracle for the epoch read path and the option for callers that need
+// ordered-snapshot consistency across shards (a locked reader can never
+// observe a mutation without every mutation that happened-before it).
+func (c *Catalog) LockedView() *View {
+	c.rlockAll()
+	n := len(c.shards)
+	v := &View{c: c, states: make([]*shardState, n), seqs: make([]uint64, n), vers: make([]uint64, n)}
+	for i, s := range c.shards {
+		v.states[i] = s.shardState
+		v.seqs[i] = s.lastSeq
+		v.vers[i] = s.ver
+	}
+	return v
+}
+
+// Close releases the snapshot (epoch pins or read locks).
 func (v *View) Close() {
-	v.c.runlockAll()
+	if v.eps == nil {
+		v.c.runlockAll()
+		return
+	}
+	for _, e := range v.eps {
+		e.release()
+	}
+}
+
+// Stamp reports the snapshot's (instance, per-shard seq) cursor: the
+// journal identity plus the sequence of the last journaled mutation
+// visible in each shard's state. This is the consistency stamp exports
+// and explain output carry.
+func (v *View) Stamp() (instance uint64, seqs []uint64) {
+	return v.c.jinstance, v.seqs
+}
+
+// EpochKey renders the snapshot's identity — journal instance plus the
+// per-shard mutation-version vector — as a compact string. Two views
+// with equal keys observed identical state (versions advance on every
+// mutation, including non-journaled adjacency updates), which is what
+// makes the key safe to cache query results under.
+func (v *View) EpochKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", v.c.jinstance)
+	for _, ver := range v.vers {
+		fmt.Fprintf(&b, ".%d", ver)
+	}
+	return b.String()
 }
 
 // Types returns the type registry. The registry has its own lock and
 // outlives the view.
 func (v *View) Types() *dtype.Registry { return v.c.types }
 
+// state returns the snapshot state of the shard homing name.
+func (v *View) state(name string) *shardState {
+	return v.states[HomeShard(name, len(v.states))]
+}
+
+// stateTR returns the snapshot state of the shard homing a
+// transformation reference.
+func (v *View) stateTR(ref string) *shardState {
+	return v.states[HomeShard(trHome(ref), len(v.states))]
+}
+
 // --- object access -----------------------------------------------------
 
 // Dataset looks up a dataset by name.
 func (v *View) Dataset(name string) (schema.Dataset, bool) {
-	ds, ok := v.c.shardOf(name).datasets[name]
+	ds, ok := v.state(name).datasets[name]
 	return ds, ok
 }
 
 // Transformation looks up a transformation by exact canonical ref (no
 // versionless resolution).
 func (v *View) Transformation(ref string) (schema.Transformation, bool) {
-	tr, ok := v.c.shardOfTR(ref).transformations[ref]
+	tr, ok := v.stateTR(ref).transformations[ref]
 	return tr, ok
 }
 
 // Derivation looks up a derivation by ID.
 func (v *View) Derivation(id string) (schema.Derivation, bool) {
-	dv, ok := v.c.shardOf(id).derivations[id]
+	dv, ok := v.state(id).derivations[id]
 	return dv, ok
 }
 
 // NumDatasets, NumTransformations, NumDerivations report object counts.
 func (v *View) NumDatasets() int {
 	n := 0
-	for _, s := range v.c.shards {
-		n += len(s.datasets)
+	for _, st := range v.states {
+		n += len(st.datasets)
 	}
 	return n
 }
 
 func (v *View) NumTransformations() int {
 	n := 0
-	for _, s := range v.c.shards {
-		n += len(s.transformations)
+	for _, st := range v.states {
+		n += len(st.transformations)
 	}
 	return n
 }
 
 func (v *View) NumDerivations() int {
 	n := 0
-	for _, s := range v.c.shards {
-		n += len(s.derivations)
+	for _, st := range v.states {
+		n += len(st.derivations)
 	}
 	return n
 }
@@ -91,8 +177,8 @@ func (v *View) NumDerivations() int {
 // RangeDatasets calls fn for every dataset, in map (unspecified) order,
 // until fn returns false.
 func (v *View) RangeDatasets(fn func(schema.Dataset) bool) {
-	for _, s := range v.c.shards {
-		for _, ds := range s.datasets {
+	for _, st := range v.states {
+		for _, ds := range st.datasets {
 			if !fn(ds) {
 				return
 			}
@@ -103,8 +189,8 @@ func (v *View) RangeDatasets(fn func(schema.Dataset) bool) {
 // RangeTransformations calls fn for every transformation, in map order,
 // until fn returns false.
 func (v *View) RangeTransformations(fn func(schema.Transformation) bool) {
-	for _, s := range v.c.shards {
-		for _, tr := range s.transformations {
+	for _, st := range v.states {
+		for _, tr := range st.transformations {
 			if !fn(tr) {
 				return
 			}
@@ -115,8 +201,8 @@ func (v *View) RangeTransformations(fn func(schema.Transformation) bool) {
 // RangeDerivations calls fn for every derivation, in map order, until
 // fn returns false.
 func (v *View) RangeDerivations(fn func(schema.Derivation) bool) {
-	for _, s := range v.c.shards {
-		for _, dv := range s.derivations {
+	for _, st := range v.states {
+		for _, dv := range st.derivations {
 			if !fn(dv) {
 				return
 			}
@@ -129,24 +215,24 @@ func (v *View) RangeDerivations(fn func(schema.Derivation) bool) {
 // Materialized reports whether the dataset has a current-epoch replica
 // (O(1) from the home shard's flag set).
 func (v *View) Materialized(dataset string) bool {
-	return v.c.shardOf(dataset).idx.materialized.Has(dataset)
+	return v.state(dataset).idx.materialized.Has(dataset)
 }
 
 // HasInvocations reports whether the derivation has recorded at least
 // one invocation, without copying them.
 func (v *View) HasInvocations(id string) bool {
-	return v.c.shardOf(id).idx.executed.Has(id)
+	return v.state(id).idx.executed.Has(id)
 }
 
 // InvocationCount returns the number of recorded invocations of a
 // derivation.
 func (v *View) InvocationCount(id string) int {
-	return len(v.c.shardOf(id).invocationsByDV[id])
+	return len(v.state(id).invocationsByDV[id])
 }
 
 // Consumes reports whether the derivation reads the dataset.
 func (v *View) Consumes(id, dataset string) bool {
-	for _, in := range v.c.shardOf(id).inputsOf[id] {
+	for _, in := range v.state(id).inputsOf[id] {
 		if in == dataset {
 			return true
 		}
@@ -156,19 +242,19 @@ func (v *View) Consumes(id, dataset string) bool {
 
 // Produces reports whether the derivation produces the dataset.
 func (v *View) Produces(id, dataset string) bool {
-	return v.c.shardOf(dataset).producerOf[dataset] == id
+	return v.state(dataset).producerOf[dataset] == id
 }
 
 // Ancestors computes the upward provenance closure of a dataset within
 // the snapshot. Same contract as Catalog.Ancestors.
 func (v *View) Ancestors(dataset string) (Closure, error) {
-	return v.c.ancestorsLocked(dataset)
+	return v.ancestors(dataset)
 }
 
 // Descendants computes the downward provenance closure of a dataset
 // within the snapshot. Same contract as Catalog.Descendants.
 func (v *View) Descendants(dataset string) (Closure, error) {
-	return v.c.descendantsLocked(dataset)
+	return v.descendants(dataset)
 }
 
 // --- index access (candidate sets for the query planner) ---------------
@@ -207,12 +293,12 @@ func gatherSets(sets []IndexSet) IndexSet {
 
 // gather runs pick on every shard's indexes and merges the results.
 func (v *View) gather(pick func(*indexes) IndexSet) IndexSet {
-	if len(v.c.shards) == 1 {
-		return pick(&v.c.shards[0].idx)
+	if len(v.states) == 1 {
+		return pick(&v.states[0].idx)
 	}
-	sets := make([]IndexSet, 0, len(v.c.shards))
-	for _, s := range v.c.shards {
-		sets = append(sets, pick(&s.idx))
+	sets := make([]IndexSet, 0, len(v.states))
+	for _, st := range v.states {
+		sets = append(sets, pick(&st.idx))
 	}
 	return gatherSets(sets)
 }
@@ -237,8 +323,8 @@ func (v *View) DerivationsByAttr(key, value string) IndexSet {
 // set is freshly allocated when more than one exact type matches.
 func (v *View) DatasetsByType(t dtype.Type) IndexSet {
 	var sets []IndexSet
-	for _, s := range v.c.shards {
-		for exact, set := range s.idx.dsByType {
+	for _, st := range v.states {
+		for exact, set := range st.idx.dsByType {
 			if v.c.types.Conforms(exact, t) {
 				sets = append(sets, set)
 			}
@@ -287,20 +373,20 @@ func (v *View) DerivationsByName(name string) IndexSet {
 // HasTransformation reports whether the exact canonical ref is
 // registered.
 func (v *View) HasTransformation(ref string) bool {
-	_, ok := v.c.shardOfTR(ref).transformations[ref]
+	_, ok := v.stateTR(ref).transformations[ref]
 	return ok
 }
 
 // ConsumersOf returns the IDs of derivations reading the dataset (the
-// catalog's own slice — read-only).
+// snapshot's own slice — read-only).
 func (v *View) ConsumersOf(dataset string) []string {
-	return v.c.shardOf(dataset).consumersOf[dataset]
+	return v.state(dataset).consumersOf[dataset]
 }
 
 // ProducerOf returns the ID of the derivation producing the dataset,
 // or "" for primary data.
 func (v *View) ProducerOf(dataset string) string {
-	return v.c.shardOf(dataset).producerOf[dataset]
+	return v.state(dataset).producerOf[dataset]
 }
 
 // SortedSet returns the members of an index set, sorted — the helper

@@ -297,6 +297,9 @@ func Open(dir string, seed *dtype.Registry, opts Options) (*Catalog, error) {
 		}
 		s.wal = w
 	}
+	// Expose the restored state to the lock-free read path: one epoch
+	// publication per shard covering the whole replay.
+	c.publishAll()
 	return c, nil
 }
 
@@ -482,6 +485,7 @@ func (c *Catalog) apply(rec walRecord, deferred *[]schema.Derivation) error {
 		if err := json.Unmarshal(rec.Data, &t); err != nil {
 			return err
 		}
+		c.shards[0].apply(func(*shardState) {}) // ver bump: conformance answers change
 		c.shards[0].noteJournal(c, jTypes, "", false)
 		return c.types.Register(dtype.Dimension(t.Dim), t.Name, t.Parent)
 	case opDataset:
@@ -536,7 +540,7 @@ func (c *Catalog) apply(rec walRecord, deferred *[]schema.Derivation) error {
 		if err := json.Unmarshal(rec.Data, &a); err != nil {
 			return err
 		}
-		c.shards[0].compat = append(c.shards[0].compat, a)
+		c.shards[0].apply(func(st *shardState) { st.compat = append(st.compat, a) })
 		c.shards[0].noteJournal(c, jCompat, "", false)
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
@@ -556,14 +560,23 @@ type Export struct {
 	Compat          []schema.CompatibilityAssertion `json:"compat,omitempty"`
 }
 
-// Export captures the catalog's full state: per-shard snapshots taken
-// under all read locks (ascending order), merged with a deterministic
-// sort, so the result is identical no matter how the objects were
-// distributed.
+// Export captures the catalog's full state: the per-shard published
+// epochs, merged with a deterministic sort, so the result is identical
+// no matter how the objects were distributed. The read is lock-free
+// (see published.go); a caller that needs the ordered write-side
+// snapshot instead — Snapshot() does, under all write locks — uses
+// exportAllLocked.
 func (c *Catalog) Export() Export {
-	c.rlockAll()
-	defer c.runlockAll()
-	return c.exportAllLocked()
+	v := c.View()
+	defer v.Close()
+	return v.Export()
+}
+
+// Export serializes the view's full state. For epoch views the
+// (instance, seqs) from Stamp() is the cursor the export is consistent
+// at, per shard.
+func (v *View) Export() Export {
+	return exportStates(v.c.types.Clone(), v.states)
 }
 
 // Sort orders every object slice by its identity, the canonical order
@@ -588,6 +601,7 @@ func (c *Catalog) applyExport(exp Export) error {
 		if err := c.types.Merge(exp.Types); err != nil {
 			return err
 		}
+		c.shards[0].apply(func(*shardState) {}) // ver bump: conformance answers change
 		c.shards[0].noteJournal(c, jTypes, "", false)
 	}
 	for _, ds := range exp.Datasets {
@@ -612,7 +626,7 @@ func (c *Catalog) applyExport(exp Export) error {
 		}
 	}
 	if len(exp.Compat) > 0 {
-		c.shards[0].compat = append(c.shards[0].compat, exp.Compat...)
+		c.shards[0].apply(func(st *shardState) { st.compat = append(st.compat, exp.Compat...) })
 		c.shards[0].noteJournal(c, jCompat, "", false)
 	}
 	return nil
@@ -635,6 +649,7 @@ func (c *Catalog) ImportTolerant(exp Export) int {
 		// readers of the registry) see a consistent update.
 		_ = c.mutate(shardSet(0).with(0), func() error {
 			_ = c.types.Merge(exp.Types)
+			c.shards[0].apply(func(*shardState) {}) // ver bump: conformance answers change
 			c.shards[0].noteJournal(c, jTypes, "", false)
 			return nil
 		})
@@ -773,28 +788,38 @@ func (c *Catalog) Snapshot() error {
 	return nil
 }
 
-// exportAllLocked merges every shard's state into one sorted Export.
-// Callers hold every shard's lock (read or write).
+// exportAllLocked merges every shard's write-side state into one sorted
+// Export. Callers hold every shard's lock (read or write).
 func (c *Catalog) exportAllLocked() Export {
-	exp := Export{Types: c.types.Clone()}
-	for _, s := range c.shards {
-		for _, ds := range s.datasets {
+	states := make([]*shardState, len(c.shards))
+	for i, s := range c.shards {
+		states[i] = s.shardState
+	}
+	return exportStates(c.types.Clone(), states)
+}
+
+// exportStates merges shard states into one sorted Export; the shared
+// body of the locked (write-side) and epoch (published-side) exports.
+func exportStates(types *dtype.Registry, states []*shardState) Export {
+	exp := Export{Types: types}
+	for _, st := range states {
+		for _, ds := range st.datasets {
 			exp.Datasets = append(exp.Datasets, ds)
 		}
-		for _, tr := range s.transformations {
+		for _, tr := range st.transformations {
 			exp.Transformations = append(exp.Transformations, tr)
 		}
-		for _, dv := range s.derivations {
+		for _, dv := range st.derivations {
 			exp.Derivations = append(exp.Derivations, dv)
 		}
-		for _, iv := range s.invocations {
+		for _, iv := range st.invocations {
 			exp.Invocations = append(exp.Invocations, iv)
 		}
-		for _, r := range s.replicas {
+		for _, r := range st.replicas {
 			exp.Replicas = append(exp.Replicas, r)
 		}
 	}
-	exp.Compat = append([]schema.CompatibilityAssertion(nil), c.shards[0].compat...)
+	exp.Compat = append([]schema.CompatibilityAssertion(nil), states[0].compat...)
 	sortExport(&exp)
 	return exp
 }

@@ -50,9 +50,17 @@ var (
 	evDone       = metricEvents.With("done")
 	evRetry      = metricEvents.With("retry")
 	evFail       = metricEvents.With("fail")
+	evDedup      = metricEvents.With("dedup")
 
 	gaugeInflight = obs.Default.Gauge("vdc_executor_inflight",
 		"Nodes dispatched but not yet terminally done or failed.")
+
+	// metricDedupHits counts nodes satisfied from the catalog's published
+	// epoch instead of dispatched: the derivation already had a recorded
+	// invocation — the paper's "has this computation already been
+	// performed?" answered before the executor pays for a placement.
+	metricDedupHits = obs.Default.Counter("vdc_executor_dedup_hits_total",
+		"Nodes skipped because the catalog already records an invocation of the derivation (DedupExecuted).")
 )
 
 // StageIn describes one input transfer a placement requires.
@@ -110,7 +118,8 @@ type Driver interface {
 type Event struct {
 	// Kind is "dispatch" (first attempt), "redispatch" (a retry
 	// attempt entering the driver), "done", "retry" (decision to retry
-	// after a failure), or "fail".
+	// after a failure), "fail", or "dedup" (node satisfied from the
+	// catalog's published epoch without dispatching).
 	Kind string
 	Node string
 	// Attempt is the zero-based attempt number the event refers to;
@@ -151,6 +160,17 @@ type Executor struct {
 	// tests). The default hands durability waits to the off-lock
 	// recording pipeline so concurrent completions group-commit.
 	SyncRecording bool
+	// DedupExecuted, with Catalog set, answers "has this derivation
+	// already run?" from the catalog's published epoch before paying for
+	// a placement: a node whose derivation already has a recorded
+	// invocation completes instantly (no Assign, no driver dispatch, no
+	// new invocation record) and unlocks its successors. The check is
+	// lock-free and bounded-stale — a miss can only cost a redundant
+	// re-execution, exactly what an executor without the flag always
+	// does, never a false skip of never-run work. Off by default: runs
+	// that *want* re-execution (fresh epochs, benchmarking) keep the old
+	// behaviour.
+	DedupExecuted bool
 
 	traceRoot int64
 	// runCtx is the context RunContext was called with, held for the
@@ -296,7 +316,10 @@ func (e *Executor) dispatchInitialLocked() {
 		if e.firstErr != nil {
 			return
 		}
-		if e.indeg[n.ID] == 0 {
+		// The dispatched guard matters once dedup exists: a dedup'd root
+		// synchronously unlocks successors, which can dispatch a node this
+		// loop has not reached yet.
+		if e.indeg[n.ID] == 0 && !e.dispatched[n.ID] {
 			e.startLocked(n, 0)
 		}
 	}
@@ -343,6 +366,18 @@ func (e *Executor) dispatchReadyLocked() {
 
 // startLocked dispatches one attempt. Callers hold e.mu.
 func (e *Executor) startLocked(n *dag.Node, attempt int) {
+	if attempt == 0 && e.DedupExecuted && e.Catalog != nil && e.Catalog.ExecutedPublished(n.ID) {
+		// Duplicate-derivation fast path: the published epoch already
+		// records an invocation of this derivation, so the computation has
+		// been performed — complete the node without a placement.
+		e.dispatched[n.ID] = true
+		e.done[n.ID] = true
+		evDedup.Inc()
+		metricDedupHits.Inc()
+		e.emit(Event{Kind: "dedup", Node: n.ID, Attempt: 0})
+		e.unlockSuccsLocked(n)
+		return
+	}
 	p, err := e.Assign(n)
 	if err != nil {
 		e.firstErr = fmt.Errorf("executor: assign %s: %w", n.ID, err)

@@ -359,7 +359,9 @@ func plan(ctx *evalCtx, kind Kind, e Expr, forceScan bool) (*queryPlan, error) {
 	return p, nil
 }
 
-// run is the shared Run/RunScan implementation.
+// run is the shared Run/RunScan implementation: an epoch view (zero
+// shard-lock acquisitions), consulted through the result cache unless
+// the caller forces a scan.
 func run(callCtx context.Context, c *catalog.Catalog, kind Kind, e Expr, forceScan bool) (Results, error) {
 	if kind != KDataset && kind != KTransformation && kind != KDerivation {
 		return Results{}, fmt.Errorf("query: invalid kind %d", int(kind))
@@ -370,16 +372,32 @@ func run(callCtx context.Context, c *catalog.Catalog, kind Kind, e Expr, forceSc
 	defer span.End()
 	v := c.View()
 	defer v.Close()
-	ctx := newEvalCtx(v)
-	p, err := plan(ctx, kind, e, forceScan)
+
+	// Cache lookup. The view is acquired *first* and the key derived
+	// from its own epoch vector, so a hit is exactly a prior execution
+	// against byte-identical state; RunScan bypasses (the ablation must
+	// always execute).
+	useCache := !forceScan && planCache.enabled()
+	var key string
+	if useCache {
+		key = cacheKey(kind, e, v)
+		if res, ok := planCache.get(key); ok {
+			metricPlanCacheHits.Inc()
+			span.SetAttr("path", "cached")
+			queryRunsCached.Inc()
+			querySecsCached.ObserveSince(start)
+			return res, nil
+		}
+		metricPlanCacheMisses.Inc()
+	}
+
+	res, p, err := evalView(v, kind, e, forceScan)
 	if err != nil {
 		span.SetError(err)
 		return Results{}, err
 	}
-	res, err := p.execute(ctx, e)
-	if err != nil {
-		span.SetError(err)
-		return Results{}, err
+	if useCache {
+		planCache.put(key, cloneResults(res))
 	}
 	if p.scan {
 		span.SetAttr("path", "scan")
@@ -393,6 +411,21 @@ func run(callCtx context.Context, c *catalog.Catalog, kind Kind, e Expr, forceSc
 		metricQueryCandidates.Observe(float64(len(p.candidates)))
 	}
 	return res, nil
+}
+
+// evalView plans and executes a query against an already-open view:
+// the shared body of the cached epoch path and the locked oracle.
+func evalView(v *catalog.View, kind Kind, e Expr, forceScan bool) (Results, *queryPlan, error) {
+	ctx := newEvalCtx(v)
+	p, err := plan(ctx, kind, e, forceScan)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	res, err := p.execute(ctx, e)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	return res, p, nil
 }
 
 // execute materializes the plan's results. Result order matches the
@@ -515,15 +548,42 @@ func (p *queryPlan) executeScan(ctx *evalCtx, full Expr) (Results, error) {
 // one-line EXPLAIN string showing the chosen path, the indexed
 // conjuncts with their candidate-set sizes, and the residual predicate.
 func Explain(c *catalog.Catalog, kind Kind, e Expr) (string, error) {
+	info, err := ExplainQuery(c, kind, e)
+	if err != nil {
+		return "", err
+	}
+	return info.Plan, nil
+}
+
+// ExplainInfo is Explain plus the cache placement of the query: whether
+// a run right now would be answered from the result cache, and the
+// epoch vector (journal instance + per-shard mutation versions) that
+// placement was validated against. vds surfaces it via ?explain=1.
+type ExplainInfo struct {
+	Plan string `json:"plan"`
+	// Cached reports whether a cached result exists for this exact
+	// predicate at the current epoch vector.
+	Cached bool `json:"cached"`
+	// Epoch is the view's epoch vector the cache probe keyed on.
+	Epoch string `json:"epoch"`
+}
+
+// ExplainQuery plans a query and reports the plan together with its
+// cache placement at the current published epochs.
+func ExplainQuery(c *catalog.Catalog, kind Kind, e Expr) (ExplainInfo, error) {
 	if kind != KDataset && kind != KTransformation && kind != KDerivation {
-		return "", fmt.Errorf("query: invalid kind %d", int(kind))
+		return ExplainInfo{}, fmt.Errorf("query: invalid kind %d", int(kind))
 	}
 	v := c.View()
 	defer v.Close()
 	ctx := newEvalCtx(v)
 	p, err := plan(ctx, kind, e, false)
 	if err != nil {
-		return "", err
+		return ExplainInfo{}, err
 	}
-	return p.String(), nil
+	info := ExplainInfo{Plan: p.String(), Epoch: v.EpochKey()}
+	if planCache.enabled() {
+		info.Cached = planCache.has(cacheKey(kind, e, v))
+	}
+	return info, nil
 }

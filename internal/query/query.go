@@ -160,6 +160,28 @@ func RunScan(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
 	return run(context.Background(), c, kind, e, true)
 }
 
+// RunOracle evaluates the expression against a LockedView — every shard
+// read lock held for the duration, reading the live write sides — and
+// never consults the result cache. It is the ordered-snapshot oracle
+// the lock-free cached path is proven equivalent to (the -race
+// equivalence storm, the E18 locked arm, and vds's LockedReads option
+// all run through here).
+func RunOracle(c *catalog.Catalog, kind Kind, e Expr) (Results, error) {
+	v := c.LockedView()
+	defer v.Close()
+	res, _, err := evalView(v, kind, e, false)
+	return res, err
+}
+
+// SearchOracle parses and runs a query through RunOracle.
+func SearchOracle(c *catalog.Catalog, kind Kind, src string) (Results, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return Results{}, err
+	}
+	return RunOracle(c, kind, e)
+}
+
 // Search parses and runs a query in one step.
 func Search(c *catalog.Catalog, kind Kind, src string) (Results, error) {
 	return SearchContext(context.Background(), c, kind, src)

@@ -44,6 +44,12 @@ type Server struct {
 	// OnDebug, when set, contributes extra entries to the /debug/vdc
 	// report (e.g. a daemon's federation shard states).
 	OnDebug func(map[string]any)
+	// LockedReads routes search endpoints through the locked
+	// ordered-snapshot oracle (query.RunOracle: every shard read lock
+	// held, no result cache) instead of the lock-free epoch path. It
+	// exists for A/B measurement (the E18 locked arm) and as an escape
+	// hatch; leave it off in production.
+	LockedReads bool
 
 	slow *slowRing
 	mux  *http.ServeMux
@@ -113,6 +119,8 @@ func (s *Server) routes() {
 			"shard_cursors": s.Cat.ShardJournalStates(),
 			"indexes":       s.Cat.IndexStats(),
 			"stats":         s.Cat.Stats(),
+			"epochs":        s.Cat.EpochStats(),
+			"query_cache":   query.CacheStats(),
 			"slow_requests": s.slow.snapshot(),
 			"goroutines":    runtime.NumGoroutine(),
 		}
@@ -329,20 +337,29 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request, kind query.Kind)
 		return
 	}
 	// ?explain=1 returns the planner's EXPLAIN string instead of
-	// executing the query.
+	// executing the query, plus the result cache's placement: whether a
+	// run right now would be served from the cache, and the epoch vector
+	// that placement was validated against.
 	if r.URL.Query().Get("explain") != "" {
-		plan, err := query.Explain(s.Cat, kind, e)
+		info, err := query.ExplainQuery(s.Cat, kind, e)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, struct {
-			Query string `json:"query"`
-			Plan  string `json:"plan"`
-		}{Query: q, Plan: plan})
+			Query  string `json:"query"`
+			Plan   string `json:"plan"`
+			Cached bool   `json:"cached"`
+			Epoch  string `json:"epoch"`
+		}{Query: q, Plan: info.Plan, Cached: info.Cached, Epoch: info.Epoch})
 		return
 	}
-	res, err := query.RunContext(r.Context(), s.Cat, kind, e)
+	var res query.Results
+	if s.LockedReads {
+		res, err = query.RunOracle(s.Cat, kind, e)
+	} else {
+		res, err = query.RunContext(r.Context(), s.Cat, kind, e)
+	}
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
